@@ -1,0 +1,160 @@
+//! BiCGSTAB on the 2-D Poisson problem (Figure 11b).
+//!
+//! The natural implementation uses twice as many vector operations per
+//! iteration as CG, giving Diffuse more to fuse. The PETSc baseline uses
+//! PETSc's hand-fused `VecAXPBYPCZ` kernel, as the paper notes.
+
+use dense::{DArray, DenseContext};
+use machine::MachineConfig;
+use petsc::PetscSolver;
+use sparse::{CsrMatrix, SparseContext};
+
+use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+
+fn grid_size(gpus: usize, per_gpu: u64) -> u64 {
+    ((per_gpu * gpus as u64) as f64).sqrt().floor().max(2.0) as u64
+}
+
+struct BicgState {
+    x: DArray,
+    r: DArray,
+    r0: DArray,
+    p: DArray,
+    rho: DArray,
+}
+
+fn init(np: &DenseContext, a: &CsrMatrix, b: &DArray) -> BicgState {
+    let x = np.zeros(&[a.rows()]);
+    let r = b.copy();
+    let r0 = r.copy();
+    let p = r.copy();
+    let rho = r0.dot(&r);
+    BicgState { x, r, r0, p, rho }
+}
+
+/// One natural BiCGSTAB iteration written with SciPy-style operations.
+fn iteration(a: &CsrMatrix, s: &mut BicgState) {
+    let v = a.spmv(&s.p);
+    let r0v = s.r0.dot(&v);
+    let alpha = s.rho.div(&r0v);
+    // s_vec = r - alpha v
+    let s_vec = s.r.axpy(&alpha, &v, -1.0);
+    let t = a.spmv(&s_vec);
+    let tt = t.dot(&t);
+    let ts = t.dot(&s_vec);
+    let omega = ts.div(&tt);
+    // x = x + alpha p + omega s
+    let x1 = s.x.axpy(&alpha, &s.p, 1.0);
+    s.x = x1.axpy(&omega, &s_vec, 1.0);
+    // r = s - omega t
+    s.r = s_vec.axpy(&omega, &t, -1.0);
+    let rho_new = s.r0.dot(&s.r);
+    let beta_num = rho_new.div(&s.rho);
+    let beta = beta_num.mul(&alpha.div(&omega));
+    // p = r + beta (p - omega v)
+    let p_minus = s.p.axpy(&omega, &v, -1.0);
+    s.p = s.r.axpy(&beta, &p_minus, 1.0);
+    s.rho = rho_new;
+}
+
+fn run_petsc(gpus: usize, grid: u64, iterations: u64, functional: bool) -> BenchmarkResult {
+    let mut solver = PetscSolver::new(MachineConfig::with_gpus(gpus), functional);
+    let a = if functional {
+        solver.poisson_2d(grid)
+    } else {
+        solver.poisson_2d_symbolic(grid)
+    };
+    let rows = grid * grid;
+    let b = solver.vector(rows, 1.0);
+    let x = solver.vector(rows, 0.0);
+    solver.reset_timing();
+    let result = solver.bicgstab(&a, b, x, iterations);
+    BenchmarkResult {
+        name: "BiCGSTAB".into(),
+        mode: Mode::Petsc,
+        gpus,
+        iterations,
+        elapsed: result.elapsed,
+        throughput: if result.elapsed > 0.0 {
+            iterations as f64 / result.elapsed
+        } else {
+            0.0
+        },
+        tasks_per_iteration: 13.0,
+        launches_per_iteration: 13.0,
+        avg_task_ms: result.elapsed / (iterations.max(1) * 13) as f64 * 1e3,
+        window_size: 0,
+        compile_time: 0.0,
+        warmup_elapsed: 0.0,
+        checksum: result.residual,
+    }
+}
+
+/// Runs BiCGSTAB with `per_gpu` matrix rows per GPU, weak scaled.
+///
+/// # Panics
+///
+/// Panics if `mode` is [`Mode::ManuallyFused`] (the paper has no such variant
+/// for BiCGSTAB).
+pub fn run(mode: Mode, gpus: usize, per_gpu: u64, iterations: u64, functional: bool) -> BenchmarkResult {
+    assert!(
+        mode != Mode::ManuallyFused,
+        "BiCGSTAB has no manually fused variant"
+    );
+    let grid = grid_size(gpus, per_gpu);
+    if mode == Mode::Petsc {
+        return run_petsc(gpus, grid, iterations, functional);
+    }
+    let np = dense_context(mode, gpus, functional);
+    let sp = SparseContext::new(&np);
+    let a = if functional {
+        CsrMatrix::poisson_2d(&sp, grid)
+    } else {
+        CsrMatrix::poisson_2d_symbolic(&sp, grid)
+    };
+    let b = np.ones(&[a.rows()]);
+    let mut state = init(&np, &a, &b);
+    let mut result = measure(
+        "BiCGSTAB",
+        mode,
+        &np,
+        1,
+        iterations,
+        |_| iteration(&a, &mut state),
+        None,
+    );
+    if functional {
+        result.checksum = state.r.dot(&state.r).scalar_value();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_converge_and_agree() {
+        let fused = run(Mode::Fused, 2, 32, 25, true);
+        let unfused = run(Mode::Unfused, 2, 32, 25, true);
+        let petsc = run(Mode::Petsc, 2, 32, 25, true);
+        for r in [&fused, &unfused, &petsc] {
+            assert!(
+                r.checksum.unwrap() < 1e-6,
+                "{} residual {}",
+                r.mode,
+                r.checksum.unwrap()
+            );
+        }
+        assert!((fused.checksum.unwrap() - unfused.checksum.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_counts_match_the_papers_shape() {
+        let fused = run(Mode::Fused, 4, 64, 8, true);
+        let unfused = run(Mode::Unfused, 4, 64, 8, true);
+        // The paper reports roughly 27 tasks per iteration unfused and 8 fused.
+        assert!(unfused.tasks_per_iteration >= 14.0);
+        assert!(fused.launches_per_iteration < unfused.launches_per_iteration);
+    }
+}

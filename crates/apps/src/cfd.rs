@@ -1,0 +1,169 @@
+//! Navier-Stokes channel flow (Figure 12b).
+//!
+//! A cuPyNumeric port of the "CFD Python" 2-D channel-flow solver: every step
+//! performs elementwise operations on aliasing slices of the velocity and
+//! pressure grids (the same view structure as Figure 1). On a single GPU the
+//! data is not partitioned and long prefixes fuse; on multiple GPUs the
+//! aliasing views limit fusion, as the paper discusses.
+
+use dense::{DArray, DenseContext};
+
+use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+
+const DT: f64 = 0.001;
+const DX: f64 = 0.05;
+const RHO: f64 = 1.0;
+const NU: f64 = 0.1;
+
+/// The five stencil views of a grid array (center, north, south, east, west).
+struct Views {
+    c: DArray,
+    n: DArray,
+    s: DArray,
+    e: DArray,
+    w: DArray,
+}
+
+/// Interior column count of the weak-scaling grids: the row count grows with
+/// the machine so the per-GPU tile stays constant under row-block
+/// partitioning.
+pub const COLS: u64 = 256;
+
+fn views(grid: &DArray, rows: u64) -> Views {
+    Views {
+        c: grid.slice_2d(1..rows + 1, 1..COLS + 1),
+        n: grid.slice_2d(0..rows, 1..COLS + 1),
+        s: grid.slice_2d(2..rows + 2, 1..COLS + 1),
+        e: grid.slice_2d(1..rows + 1, 2..COLS + 2),
+        w: grid.slice_2d(1..rows + 1, 0..COLS),
+    }
+}
+
+struct Cfd {
+    u: DArray,
+    v: DArray,
+    p: DArray,
+    n: u64,
+}
+
+impl Cfd {
+    fn new(np: &DenseContext, n: u64, functional: bool) -> Cfd {
+        let shape = [n + 2, COLS + 2];
+        let (u, v, p) = if functional {
+            (
+                np.random(&shape, 11).scalar_mul(0.1),
+                np.random(&shape, 12).scalar_mul(0.1),
+                np.random(&shape, 13).scalar_mul(0.1),
+            )
+        } else {
+            (np.full(&shape, 0.1), np.full(&shape, 0.1), np.zeros(&shape))
+        };
+        Cfd { u, v, p, n }
+    }
+
+    /// One time step: build the pressure source term, relax the pressure
+    /// Poisson equation, then update the velocities.
+    fn step(&self) {
+        let n = self.n;
+        let u = views(&self.u, n);
+        let v = views(&self.v, n);
+        // Source term b = rho/dt * (du/dx + dv/dy).
+        let dudx = u.e.sub(&u.w).scalar_mul(1.0 / (2.0 * DX));
+        let dvdy = v.n.sub(&v.s).scalar_mul(1.0 / (2.0 * DX));
+        let b = dudx.add(&dvdy).scalar_mul(RHO / DT);
+        // Pressure Poisson relaxation sweeps (Jacobi form).
+        for _ in 0..2 {
+            let p = views(&self.p, n);
+            let neighbours = p.e.add(&p.w).add(&p.n).add(&p.s);
+            let relaxed = neighbours.scalar_mul(0.25);
+            let source = b.scalar_mul(DX * DX / 4.0);
+            let p_new = relaxed.sub(&source);
+            p.c.assign(&p_new);
+        }
+        // Velocity update: advection-free channel-flow form
+        // u += dt * (-1/rho dp/dx + nu laplacian(u)).
+        let p = views(&self.p, n);
+        let dpdx = p.e.sub(&p.w).scalar_mul(1.0 / (2.0 * DX * RHO));
+        let lap_u = u
+            .e
+            .add(&u.w)
+            .add(&u.n)
+            .add(&u.s)
+            .sub(&u.c.scalar_mul(4.0))
+            .scalar_mul(NU / (DX * DX));
+        let du = lap_u.sub(&dpdx).scalar_mul(DT);
+        let u_new = u.c.add(&du);
+        u.c.assign(&u_new);
+        let dpdy = p.n.sub(&p.s).scalar_mul(1.0 / (2.0 * DX * RHO));
+        let lap_v = v
+            .e
+            .add(&v.w)
+            .add(&v.n)
+            .add(&v.s)
+            .sub(&v.c.scalar_mul(4.0))
+            .scalar_mul(NU / (DX * DX));
+        let dv = lap_v.sub(&dpdy).scalar_mul(DT);
+        let v_new = v.c.add(&dv);
+        v.c.assign(&v_new);
+    }
+}
+
+/// Runs the channel-flow solver with a `per_gpu`-row interior per GPU,
+/// weak scaled.
+///
+/// # Panics
+///
+/// Panics if `mode` is not [`Mode::Fused`] or [`Mode::Unfused`].
+pub fn run(mode: Mode, gpus: usize, per_gpu: u64, iterations: u64, functional: bool) -> BenchmarkResult {
+    assert!(
+        matches!(mode, Mode::Fused | Mode::Unfused),
+        "CFD supports only the fused and unfused modes"
+    );
+    let np = dense_context(mode, gpus, functional);
+    let n = per_gpu * gpus as u64;
+    let sim = Cfd::new(&np, n, functional);
+    let mut result = measure("CFD", mode, &np, 1, iterations, |_| sim.step(), None);
+    if functional {
+        let total = sim.u.sum().scalar_value().unwrap_or(0.0)
+            + sim.v.sum().scalar_value().unwrap_or(0.0)
+            + sim.p.sum().scalar_value().unwrap_or(0.0);
+        result.checksum = Some(total);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_matches_unfused() {
+        let fused = run(Mode::Fused, 2, 8, 3, true);
+        let unfused = run(Mode::Unfused, 2, 8, 3, true);
+        let (a, b) = (fused.checksum.unwrap(), unfused.checksum.unwrap());
+        assert!(
+            (a - b).abs() < 1e-9 * a.abs().max(1.0),
+            "fused {a} vs unfused {b}"
+        );
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn fusion_reduces_launches_but_aliasing_limits_it() {
+        let fused = run(Mode::Fused, 4, 8, 3, true);
+        let unfused = run(Mode::Unfused, 4, 8, 3, true);
+        assert!(unfused.tasks_per_iteration >= 25.0);
+        assert!(fused.launches_per_iteration < unfused.launches_per_iteration);
+        // The aliasing writes to the center views prevent total fusion.
+        assert!(fused.launches_per_iteration > 1.0);
+    }
+
+    #[test]
+    fn single_gpu_fuses_longer_sequences_than_multi_gpu() {
+        // The paper observes higher CFD speedups on one GPU because data is
+        // not partitioned and longer prefixes satisfy the constraints.
+        let single = run(Mode::Fused, 1, 8, 3, true);
+        let multi = run(Mode::Fused, 4, 8, 3, true);
+        assert!(single.launches_per_iteration <= multi.launches_per_iteration);
+    }
+}

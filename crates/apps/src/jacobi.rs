@@ -1,0 +1,104 @@
+//! Dense Jacobi iteration (Figure 10b).
+//!
+//! Each iteration is one dense matrix-vector product plus two cheap vector
+//! operations. The GEMV dominates, so fusion has negligible potential benefit;
+//! the paper uses this benchmark to show Diffuse's analyses do not hurt when
+//! there is nothing to fuse (0.93x–1.08x).
+
+use dense::{DArray, DenseContext};
+
+use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+
+/// Diagonal value of the synthetic diagonally-dominant system.
+const DIAG: f64 = 64.0;
+
+fn setup(np: &DenseContext, n: u64, functional: bool) -> (DArray, DArray, DArray) {
+    let a = if functional {
+        // Random off-diagonal entries in [0, 1), strongly dominant diagonal.
+        let mut data: Vec<f64> = {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..n * n).map(|_| rng.gen::<f64>() / n as f64).collect()
+        };
+        for i in 0..n {
+            data[(i * n + i) as usize] = DIAG;
+        }
+        np.from_vec(&[n, n], data)
+    } else {
+        np.zeros(&[n, n])
+    };
+    let b = np.full(&[n], 1.0);
+    let x = np.zeros(&[n]);
+    (a, b, x)
+}
+
+/// Runs dense Jacobi iteration with `per_gpu` *matrix elements* per GPU, weak
+/// scaled (the matrix edge grows with the square root of the machine size so
+/// the per-GPU matrix block stays constant).
+///
+/// # Panics
+///
+/// Panics if `mode` is not [`Mode::Fused`] or [`Mode::Unfused`].
+pub fn run(mode: Mode, gpus: usize, per_gpu: u64, iterations: u64, functional: bool) -> BenchmarkResult {
+    assert!(
+        matches!(mode, Mode::Fused | Mode::Unfused),
+        "Jacobi supports only the fused and unfused modes"
+    );
+    let np = dense_context(mode, gpus, functional);
+    let n = ((per_gpu * gpus as u64) as f64).sqrt().floor().max(4.0) as u64;
+    let (a, b, x0) = setup(&np, n, functional);
+    let mut x = x0;
+    let mut result = measure(
+        "Jacobi",
+        mode,
+        &np,
+        1,
+        iterations,
+        |_| {
+            // x = x + (b - A x) / diag
+            let ax = a.matvec(&x);
+            let residual = b.sub(&ax);
+            let correction = residual.scalar_mul(1.0 / DIAG);
+            x = x.add(&correction);
+        },
+        None,
+    );
+    if functional {
+        result.checksum = x.sum().scalar_value();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_towards_the_solution() {
+        // With a strongly dominant diagonal the iteration converges quickly;
+        // the solution of A x = 1 has entries close to 1/DIAG.
+        let result = run(Mode::Fused, 2, 128, 20, true);
+        let sum = result.checksum.unwrap();
+        let n = 16.0;
+        assert!((sum - n / DIAG).abs() < 0.05 * n / DIAG, "sum {sum}");
+    }
+
+    #[test]
+    fn fused_matches_unfused() {
+        let fused = run(Mode::Fused, 2, 128, 5, true);
+        let unfused = run(Mode::Unfused, 2, 128, 5, true);
+        assert!((fused.checksum.unwrap() - unfused.checksum.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn few_tasks_per_iteration_and_no_large_penalty() {
+        let fused = run(Mode::Fused, 4, 64, 4, true);
+        let unfused = run(Mode::Unfused, 4, 64, 4, true);
+        // The paper reports 3 tasks per iteration unfused, 2 fused.
+        assert!(unfused.tasks_per_iteration <= 5.0);
+        assert!(fused.launches_per_iteration <= unfused.tasks_per_iteration);
+        // Fusion must not slow Jacobi down by more than a few percent.
+        assert!(fused.elapsed <= unfused.elapsed * 1.1);
+    }
+}

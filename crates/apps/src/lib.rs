@@ -1,0 +1,30 @@
+//! The seven benchmark applications of the paper's evaluation (Section 7).
+//!
+//! Every application is written naturally against the public APIs of the
+//! `dense` and `sparse` libraries — no Diffuse-specific code — exactly as the
+//! paper's applications are written against cuPyNumeric and Legate Sparse.
+//! Switching between the fused and unfused configurations changes nothing in
+//! the application code; the PETSc baseline uses the `petsc` crate and the
+//! "manually fused" variants restructure the application by hand the way the
+//! original developers did.
+//!
+//! | Module | Paper workload | Figure |
+//! |---|---|---|
+//! | [`black_scholes`] | Black-Scholes option pricing | 10a |
+//! | [`jacobi`] | Dense Jacobi iteration | 10b |
+//! | [`cg`] | Conjugate Gradient (Legate Sparse + cuPyNumeric) | 11a |
+//! | [`bicgstab`] | BiCGSTAB | 11b |
+//! | [`gmg`] | Geometric multigrid solver | 12a |
+//! | [`cfd`] | Navier-Stokes channel flow | 12b |
+//! | [`torchswe`] | TorchSWE shallow-water solver | 12c |
+
+pub mod bicgstab;
+pub mod black_scholes;
+pub mod cfd;
+pub mod cg;
+pub mod common;
+pub mod gmg;
+pub mod jacobi;
+pub mod torchswe;
+
+pub use common::{BenchmarkResult, Mode};

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the fusion analysis itself.
+//!
+//! These measure real wall-clock time (not simulated time) of the scale-free
+//! analyses: finding fusible prefixes, canonicalizing windows for memoization,
+//! and replaying memoized decisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion::{find_fusible_prefix, CanonicalWindow, MemoCache};
+use ir::{Domain, IndexTask, Partition, Privilege, StoreArg, StoreId, TaskId};
+use std::collections::HashMap;
+
+/// A chain of fusible elementwise tasks: t_i reads store i and writes i+1.
+fn elementwise_chain(len: usize, launch_points: u64) -> Vec<IndexTask> {
+    let block = Partition::block(vec![64]);
+    (0..len)
+        .map(|i| {
+            IndexTask::new(
+                TaskId(i as u64),
+                0,
+                "ew",
+                Domain::linear(launch_points),
+                vec![
+                    StoreArg::new(StoreId(i as u64), block.clone(), Privilege::Read),
+                    StoreArg::new(StoreId(i as u64 + 1), block.clone(), Privilege::Write),
+                ],
+                vec![],
+            )
+        })
+        .collect()
+}
+
+fn shapes(n: u64) -> HashMap<StoreId, Vec<u64>> {
+    (0..n).map(|i| (StoreId(i), vec![4096])).collect()
+}
+
+fn bench_prefix_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusible_prefix");
+    for window in [8usize, 32, 128] {
+        let tasks = elementwise_chain(window, 8);
+        group.bench_with_input(BenchmarkId::new("window", window), &tasks, |b, tasks| {
+            b.iter(|| find_fusible_prefix(std::hint::black_box(tasks)))
+        });
+    }
+    group.finish();
+}
+
+/// The analysis is scale-free: its cost must not grow with the launch-domain
+/// size (the number of GPUs).
+fn bench_scale_freedom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_vs_gpu_count");
+    for gpus in [8u64, 128, 1024] {
+        let tasks = elementwise_chain(32, gpus);
+        group.bench_with_input(BenchmarkId::new("gpus", gpus), &tasks, |b, tasks| {
+            b.iter(|| find_fusible_prefix(std::hint::black_box(tasks)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonicalization_and_memo(c: &mut Criterion) {
+    let tasks = elementwise_chain(32, 8);
+    let shapes = shapes(64);
+    c.bench_function("canonicalize_window_32", |b| {
+        b.iter(|| CanonicalWindow::new(std::hint::black_box(&tasks), &shapes))
+    });
+    let key = CanonicalWindow::new(&tasks, &shapes);
+    let mut cache: MemoCache<usize> = MemoCache::new();
+    cache.insert(key.clone(), 32);
+    c.bench_function("memo_hit_vs_reanalysis", |b| {
+        b.iter(|| {
+            let key = CanonicalWindow::new(std::hint::black_box(&tasks), &shapes);
+            cache.get(&key).copied().unwrap_or_else(|| find_fusible_prefix(&tasks))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prefix_search,
+    bench_scale_freedom,
+    bench_canonicalization_and_memo
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the kernel compilation pipeline and interpreter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernel::{
+    BufferId, BufferRole, Interpreter, KernelModule, LoopBuilder, Pipeline, PipelineConfig,
+};
+
+/// A chain of `n` elementwise adds through local temporaries, like Figure 8b
+/// scaled up: buffer 0 and 1 are inputs, the last buffer is the output, the
+/// rest are locals.
+fn chain_module(n: u32) -> (KernelModule, Vec<usize>) {
+    let mut module = KernelModule::new(n + 3);
+    for i in 2..n + 2 {
+        module.set_role(BufferId(i), BufferRole::Local);
+    }
+    module.set_role(BufferId(n + 2), BufferRole::Output);
+    for i in 0..n + 1 {
+        let (a, b, out) = if i == 0 {
+            (BufferId(0), BufferId(1), BufferId(2))
+        } else {
+            (BufferId(i + 1), BufferId(1), BufferId(i + 2))
+        };
+        let mut lb = LoopBuilder::new("add", out);
+        let (x, y) = (lb.load(a), lb.load(b));
+        let s = lb.add(x, y);
+        lb.store(out, s);
+        module.push_loop(lb.finish());
+    }
+    let lens = vec![1024usize; n as usize + 3];
+    (module, lens)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_pipeline");
+    for n in [4u32, 16, 64] {
+        let (module, lens) = chain_module(n);
+        group.bench_with_input(BenchmarkId::new("loops", n), &(module, lens), |b, (m, l)| {
+            b.iter(|| Pipeline::default().run(std::hint::black_box(m.clone()), l))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let (module, lens) = chain_module(16);
+    let fused = Pipeline::default().run(module.clone(), &lens).module;
+    let unfused = Pipeline::new(PipelineConfig::disabled()).run(module, &lens).module;
+    let make_bufs = || -> Vec<Vec<f64>> { lens.iter().map(|&l| vec![1.0; l]).collect() };
+    c.bench_function("interpret_fused_chain16", |b| {
+        b.iter(|| {
+            let mut bufs = make_bufs();
+            Interpreter::new().execute(&fused, &mut bufs, &[]).unwrap();
+            bufs
+        })
+    });
+    c.bench_function("interpret_unfused_chain16", |b| {
+        b.iter(|| {
+            let mut bufs = make_bufs();
+            Interpreter::new().execute(&unfused, &mut bufs, &[]).unwrap();
+            bufs
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_interpreter);
+criterion_main!(benches);

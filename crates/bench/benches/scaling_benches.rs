@@ -1,0 +1,34 @@
+//! Criterion benchmarks of end-to-end simulation cost versus machine size.
+//!
+//! The harness itself must stay cheap as the simulated machine grows — the
+//! point of the scale-free IR is that analysis cost does not scale with the
+//! GPU count, and these benches measure the real wall-clock cost of pushing an
+//! application iteration through Diffuse at different machine sizes.
+
+use apps::Mode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_black_scholes_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("black_scholes_sim_wallclock");
+    group.sample_size(10);
+    for gpus in [8usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("gpus", gpus), &gpus, |b, &gpus| {
+            b.iter(|| apps::black_scholes::run(Mode::Fused, gpus, 1 << 18, 3, false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_sim_wallclock");
+    group.sample_size(10);
+    for gpus in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("gpus", gpus), &gpus, |b, &gpus| {
+            b.iter(|| apps::cg::run(Mode::Fused, gpus, 1 << 16, 3, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_black_scholes_iteration, bench_cg_iteration);
+criterion_main!(benches);

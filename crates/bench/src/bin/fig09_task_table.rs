@@ -1,0 +1,35 @@
+//! Regenerates Figure 9: index tasks per iteration with and without fusion,
+//! average task length, and the window size selected by Diffuse.
+
+use apps::Mode;
+
+fn main() {
+    let gpus = 8;
+    let iters = 10;
+    println!("=== Figure 9: tasks per iteration (8 GPUs, simulation only) ===");
+    println!(
+        "{:<14}{:>16}{:>22}{:>20}{:>14}",
+        "Benchmark", "Tasks/iter", "Tasks/iter (fused)", "Avg task len (ms)", "Window size"
+    );
+    let rows: Vec<(&str, Box<dyn Fn(Mode) -> apps::BenchmarkResult>)> = vec![
+        ("Black-Scholes", Box::new(move |m| apps::black_scholes::run(m, gpus, 1 << 27, iters, false))),
+        ("Jacobi", Box::new(move |m| apps::jacobi::run(m, gpus, 1u64 << 32, iters, false))),
+        ("CG", Box::new(move |m| apps::cg::run(m, gpus, 1 << 27, iters, false))),
+        ("BiCGSTAB", Box::new(move |m| apps::bicgstab::run(m, gpus, 1 << 27, iters, false))),
+        ("GMG", Box::new(move |m| apps::gmg::run(m, gpus, 1 << 26, iters, false))),
+        ("CFD", Box::new(move |m| apps::cfd::run(m, gpus, 1 << 18, iters, false))),
+        ("TorchSWE", Box::new(move |m| apps::torchswe::run(m, gpus, 1 << 18, iters, false))),
+    ];
+    for (name, run) in rows {
+        let unfused = run(Mode::Unfused);
+        let fused = run(Mode::Fused);
+        println!(
+            "{:<14}{:>16.1}{:>22.1}{:>20.2}{:>14}",
+            name,
+            unfused.tasks_per_iteration,
+            fused.launches_per_iteration,
+            unfused.avg_task_ms,
+            fused.window_size
+        );
+    }
+}

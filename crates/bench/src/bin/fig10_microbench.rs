@@ -1,0 +1,21 @@
+//! Regenerates Figure 10: Black-Scholes and Jacobi weak scaling.
+
+use apps::Mode;
+use bench::{print_weak_scaling, sweep, GPU_COUNTS};
+
+fn main() {
+    let iters = 10;
+    let bs = |mode, gpus| apps::black_scholes::run(mode, gpus, 1 << 27, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, bs),
+        sweep(Mode::Unfused, GPU_COUNTS, bs),
+    ];
+    print_weak_scaling("Figure 10a: Black-Scholes", &series);
+
+    let jac = |mode, gpus| apps::jacobi::run(mode, gpus, 1u64 << 32, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, jac),
+        sweep(Mode::Unfused, GPU_COUNTS, jac),
+    ];
+    print_weak_scaling("Figure 10b: Dense Jacobi iteration", &series);
+}

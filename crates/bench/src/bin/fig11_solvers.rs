@@ -1,0 +1,25 @@
+//! Regenerates Figure 11: CG and BiCGSTAB weak scaling against PETSc.
+
+use apps::Mode;
+use bench::{print_weak_scaling, sweep, GPU_COUNTS};
+
+fn main() {
+    let iters = 10;
+    let per_gpu = 1u64 << 19;
+    let cg = |mode, gpus| apps::cg::run(mode, gpus, per_gpu, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, cg),
+        sweep(Mode::Petsc, GPU_COUNTS, cg),
+        sweep(Mode::ManuallyFused, GPU_COUNTS, cg),
+        sweep(Mode::Unfused, GPU_COUNTS, cg),
+    ];
+    print_weak_scaling("Figure 11a: Conjugate Gradient", &series);
+
+    let bi = |mode, gpus| apps::bicgstab::run(mode, gpus, per_gpu, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, bi),
+        sweep(Mode::Petsc, GPU_COUNTS, bi),
+        sweep(Mode::Unfused, GPU_COUNTS, bi),
+    ];
+    print_weak_scaling("Figure 11b: BiCGSTAB", &series);
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 12: GMG, CFD and TorchSWE weak scaling.
+
+use apps::Mode;
+use bench::{print_weak_scaling, sweep, GPU_COUNTS};
+
+fn main() {
+    let iters = 10;
+    let gmg = |mode, gpus| apps::gmg::run(mode, gpus, 1 << 26, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, gmg),
+        sweep(Mode::Unfused, GPU_COUNTS, gmg),
+    ];
+    print_weak_scaling("Figure 12a: Geometric multigrid", &series);
+
+    let cfd = |mode, gpus| apps::cfd::run(mode, gpus, 1 << 18, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, cfd),
+        sweep(Mode::Unfused, GPU_COUNTS, cfd),
+    ];
+    print_weak_scaling("Figure 12b: CFD channel flow", &series);
+
+    let swe = |mode, gpus| apps::torchswe::run(mode, gpus, 1 << 18, iters, false);
+    let series = vec![
+        sweep(Mode::Fused, GPU_COUNTS, swe),
+        sweep(Mode::ManuallyFused, GPU_COUNTS, swe),
+        sweep(Mode::Unfused, GPU_COUNTS, swe),
+    ];
+    print_weak_scaling("Figure 12c: TorchSWE", &series);
+}

@@ -1,0 +1,43 @@
+//! Regenerates Figure 13: warmup times with and without JIT compilation on
+//! 8 GPUs, and the number of iterations needed to amortize compilation.
+
+use apps::Mode;
+
+fn main() {
+    let gpus = 8;
+    let iters = 10;
+    println!("=== Figure 13: warmup times on 8 GPUs ===");
+    println!(
+        "{:<14}{:>14}{:>14}{:>22}",
+        "Benchmark", "Standard (s)", "Compiled (s)", "Breakeven iterations"
+    );
+    let rows: Vec<(&str, Box<dyn Fn(Mode) -> apps::BenchmarkResult>)> = vec![
+        ("Black-Scholes", Box::new(move |m| apps::black_scholes::run(m, gpus, 1 << 27, iters, false))),
+        ("Jacobi", Box::new(move |m| apps::jacobi::run(m, gpus, 1u64 << 32, iters, false))),
+        ("CG", Box::new(move |m| apps::cg::run(m, gpus, 1 << 27, iters, false))),
+        ("BiCGSTAB", Box::new(move |m| apps::bicgstab::run(m, gpus, 1 << 27, iters, false))),
+        ("GMG", Box::new(move |m| apps::gmg::run(m, gpus, 1 << 26, iters, false))),
+        ("CFD", Box::new(move |m| apps::cfd::run(m, gpus, 1 << 18, iters, false))),
+        ("TorchSWE", Box::new(move |m| apps::torchswe::run(m, gpus, 1 << 18, iters, false))),
+    ];
+    for (name, run) in rows {
+        let unfused = run(Mode::Unfused);
+        let fused = run(Mode::Fused);
+        // Per-iteration times after warmup.
+        let t_unfused = unfused.elapsed / unfused.iterations as f64;
+        let t_fused = fused.elapsed / fused.iterations as f64;
+        let saving = (t_unfused - t_fused).max(0.0);
+        let breakeven = if saving > 0.0 && fused.compile_time > 0.0 {
+            format!("{:.2}", fused.compile_time / saving)
+        } else {
+            "N/A".to_string()
+        };
+        println!(
+            "{:<14}{:>14.3}{:>14.3}{:>22}",
+            name,
+            unfused.warmup_elapsed,
+            fused.warmup_with_compile(),
+            breakeven
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Headline numbers of Section 7: geometric-mean speedup of Diffuse over the
+//! unfused baselines, over PETSc, and over the hand-optimized variants.
+
+use apps::Mode;
+use bench::{geomean, GPU_COUNTS_SHORT};
+
+fn main() {
+    let iters = 10;
+    let mut vs_unfused = Vec::new();
+    let mut vs_petsc = Vec::new();
+    let mut vs_manual = Vec::new();
+
+    let apps_list: Vec<(&str, Box<dyn Fn(Mode, usize) -> apps::BenchmarkResult>, bool, bool)> = vec![
+        ("Black-Scholes", Box::new(move |m, g| apps::black_scholes::run(m, g, 1 << 27, iters, false)), false, false),
+        ("Jacobi", Box::new(move |m, g| apps::jacobi::run(m, g, 1u64 << 32, iters, false)), false, false),
+        ("CG", Box::new(move |m, g| apps::cg::run(m, g, 1 << 27, iters, false)), true, true),
+        ("BiCGSTAB", Box::new(move |m, g| apps::bicgstab::run(m, g, 1 << 27, iters, false)), true, false),
+        ("GMG", Box::new(move |m, g| apps::gmg::run(m, g, 1 << 26, iters, false)), false, false),
+        ("CFD", Box::new(move |m, g| apps::cfd::run(m, g, 1 << 18, iters, false)), false, false),
+        ("TorchSWE", Box::new(move |m, g| apps::torchswe::run(m, g, 1 << 18, iters, false)), false, true),
+    ];
+
+    println!("=== Section 7 headline speedups (geo-mean across GPU counts {GPU_COUNTS_SHORT:?}) ===");
+    for (name, run, has_petsc, has_manual) in &apps_list {
+        let mut per_app = Vec::new();
+        for &g in GPU_COUNTS_SHORT {
+            let fused = run(Mode::Fused, g);
+            let unfused = run(Mode::Unfused, g);
+            let s = fused.throughput / unfused.throughput.max(1e-12);
+            per_app.push(s);
+            vs_unfused.push(s);
+            if *has_petsc {
+                let petsc = run(Mode::Petsc, g);
+                vs_petsc.push(fused.throughput / petsc.throughput.max(1e-12));
+            }
+            if *has_manual {
+                let manual = run(Mode::ManuallyFused, g);
+                vs_manual.push(fused.throughput / manual.throughput.max(1e-12));
+            }
+        }
+        println!("{name:<14} speedup over unfused: {:.2}x (geo-mean)", geomean(&per_app));
+    }
+    println!();
+    println!("Overall geo-mean speedup over unfused:        {:.2}x (paper: 1.86x)", geomean(&vs_unfused));
+    println!("Geo-mean speedup over PETSc (CG, BiCGSTAB):   {:.2}x (paper: ~1.4x)", geomean(&vs_petsc));
+    println!("Geo-mean speedup over hand-optimized code:    {:.2}x (paper: 1.23x)", geomean(&vs_manual));
+}

@@ -1,0 +1,102 @@
+//! Benchmark harness utilities shared by the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+//! measured results):
+//!
+//! * `fig09_task_table` — tasks per iteration with/without fusion (Figure 9)
+//! * `fig10_microbench` — Black-Scholes and Jacobi weak scaling (Figure 10)
+//! * `fig11_solvers`    — CG and BiCGSTAB vs PETSc (Figure 11)
+//! * `fig12_apps`       — GMG, CFD and TorchSWE (Figure 12)
+//! * `fig13_warmup`     — warmup/compilation times and breakeven (Figure 13)
+//! * `summary`          — headline geometric-mean speedups (Section 7)
+//! * `ablation`         — task-fusion-only and no-memoization ablations
+//!
+//! The Criterion benches in `benches/` measure the *wall-clock* cost of the
+//! analyses themselves (fusion constraint checking, canonicalization, kernel
+//! compilation), demonstrating the scale-free property of the IR.
+
+use apps::{BenchmarkResult, Mode};
+
+/// The GPU counts of the paper's weak-scaling studies.
+pub const GPU_COUNTS: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// A smaller sweep for quick checks.
+pub const GPU_COUNTS_SHORT: &[usize] = &[1, 8, 32, 128];
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a weak-scaling series as a text table: one row per GPU count, one
+/// column per mode, values are throughput in iterations per second.
+pub fn print_weak_scaling(title: &str, series: &[(Mode, Vec<BenchmarkResult>)]) {
+    println!("\n=== {title} (throughput, iterations/s; higher is better) ===");
+    print!("{:>6}", "GPUs");
+    for (mode, _) in series {
+        print!("{:>16}", mode.to_string());
+    }
+    println!();
+    let gpu_counts: Vec<usize> = series
+        .first()
+        .map(|(_, rs)| rs.iter().map(|r| r.gpus).collect())
+        .unwrap_or_default();
+    for (i, gpus) in gpu_counts.iter().enumerate() {
+        print!("{gpus:>6}");
+        for (_, results) in series {
+            print!("{:>16.3}", results[i].throughput);
+        }
+        println!();
+    }
+    // Speedup of the first series over each other series, geometric mean.
+    if let Some((first_mode, first)) = series.first() {
+        for (mode, results) in series.iter().skip(1) {
+            let speedups: Vec<f64> = first
+                .iter()
+                .zip(results)
+                .map(|(f, o)| f.throughput / o.throughput.max(1e-12))
+                .collect();
+            println!(
+                "geo-mean speedup of {first_mode} over {mode}: {:.2}x",
+                geomean(&speedups)
+            );
+        }
+    }
+}
+
+/// Runs one application across a GPU sweep in one mode.
+pub fn sweep<F>(mode: Mode, gpu_counts: &[usize], mut run: F) -> (Mode, Vec<BenchmarkResult>)
+where
+    F: FnMut(Mode, usize) -> BenchmarkResult,
+{
+    let results = gpu_counts.iter().map(|&g| run(mode, g)).collect();
+    (mode, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_collects_each_gpu_count() {
+        let (mode, results) = sweep(Mode::Fused, &[1, 2], |m, g| {
+            apps::black_scholes::run(m, g, 64, 2, false)
+        });
+        assert_eq!(mode, Mode::Fused);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].gpus, 1);
+        assert_eq!(results[1].gpus, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Configuration of the Diffuse middle layer.
+
+use machine::MachineConfig;
+
+/// Configuration of a [`crate::Context`].
+///
+/// The presets mirror the configurations evaluated in the paper:
+/// [`DiffuseConfig::fused`] is full Diffuse (task fusion + kernel fusion +
+/// temporary elimination + memoization); [`DiffuseConfig::unfused`] is the
+/// baseline that forwards every task to the runtime unchanged;
+/// [`DiffuseConfig::task_fusion_only`] is the ablation discussed in Section 7
+/// (task fusion without kernel fusion yields little benefit at these task
+/// granularities).
+#[derive(Debug, Clone)]
+pub struct DiffuseConfig {
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Whether regions hold real data and kernels execute functionally.
+    pub materialize_data: bool,
+    /// Buffer tasks and replace fusible prefixes with fused tasks.
+    pub enable_task_fusion: bool,
+    /// Run the kernel pipeline (loop fusion, store forwarding, local
+    /// elimination) on fused task bodies.
+    pub enable_kernel_fusion: bool,
+    /// Demote temporary stores (Definition 4) to task-local buffers.
+    pub enable_temp_elimination: bool,
+    /// Memoize analysis and compilation over isomorphic windows.
+    pub enable_memoization: bool,
+    /// Initial task-window size.
+    pub initial_window_size: usize,
+    /// Maximum task-window size.
+    pub max_window_size: usize,
+}
+
+impl DiffuseConfig {
+    /// Full Diffuse with functional execution.
+    pub fn fused(machine: MachineConfig) -> Self {
+        DiffuseConfig {
+            machine,
+            materialize_data: true,
+            enable_task_fusion: true,
+            enable_kernel_fusion: true,
+            enable_temp_elimination: true,
+            enable_memoization: true,
+            initial_window_size: 5,
+            max_window_size: 70,
+        }
+    }
+
+    /// The unfused baseline: every task goes straight to the runtime.
+    pub fn unfused(machine: MachineConfig) -> Self {
+        DiffuseConfig {
+            enable_task_fusion: false,
+            enable_kernel_fusion: false,
+            enable_temp_elimination: false,
+            enable_memoization: false,
+            ..DiffuseConfig::fused(machine)
+        }
+    }
+
+    /// Task fusion without kernel fusion or temporary elimination (the
+    /// ablation the paper discusses: only runtime overhead is removed).
+    pub fn task_fusion_only(machine: MachineConfig) -> Self {
+        DiffuseConfig {
+            enable_kernel_fusion: false,
+            enable_temp_elimination: false,
+            ..DiffuseConfig::fused(machine)
+        }
+    }
+
+    /// Switches off functional execution (pure performance simulation for
+    /// machine-scale problem sizes).
+    pub fn simulation_only(mut self) -> Self {
+        self.materialize_data = false;
+        self
+    }
+
+    /// Overrides the window sizing.
+    pub fn with_window(mut self, initial: usize, max: usize) -> Self {
+        self.initial_window_size = initial;
+        self.max_window_size = max;
+        self
+    }
+
+    /// Disables memoization (ablation).
+    pub fn without_memoization(mut self) -> Self {
+        self.enable_memoization = false;
+        self
+    }
+}
+
+impl Default for DiffuseConfig {
+    fn default() -> Self {
+        DiffuseConfig::fused(MachineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_toggle_the_right_flags() {
+        let fused = DiffuseConfig::fused(MachineConfig::single_node(4));
+        assert!(fused.enable_task_fusion && fused.enable_kernel_fusion);
+        let unfused = DiffuseConfig::unfused(MachineConfig::single_node(4));
+        assert!(!unfused.enable_task_fusion && !unfused.enable_kernel_fusion);
+        let tf = DiffuseConfig::task_fusion_only(MachineConfig::single_node(4));
+        assert!(tf.enable_task_fusion && !tf.enable_kernel_fusion);
+    }
+
+    #[test]
+    fn builders_modify_fields() {
+        let c = DiffuseConfig::fused(MachineConfig::single_node(2))
+            .simulation_only()
+            .with_window(10, 40)
+            .without_memoization();
+        assert!(!c.materialize_data);
+        assert_eq!(c.initial_window_size, 10);
+        assert_eq!(c.max_window_size, 40);
+        assert!(!c.enable_memoization);
+    }
+
+    #[test]
+    fn default_is_fused() {
+        assert!(DiffuseConfig::default().enable_task_fusion);
+    }
+}

@@ -1,0 +1,937 @@
+//! The Diffuse context: task window management, fusion, JIT and lowering.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use fusion::{
+    find_fusible_prefix, temporary_stores, AdaptiveWindow, CanonicalWindow, FusedTask, MemoCache,
+};
+use ir::{Domain, IndexTask, Partition, StoreArg, StoreId, TaskId, TaskWindow};
+use kernel::{
+    BufferId, BufferRole, CompileTimeModel, GenArgs, GeneratorRegistry, KernelModule, Pipeline,
+    PipelineConfig, TaskKind,
+};
+use runtime::{OverheadClass, Profile, RegionId, RegionRequirement, Runtime, RuntimeConfig, TaskLaunch};
+
+use crate::config::DiffuseConfig;
+use crate::handle::StoreHandle;
+use crate::stats::ExecutionStats;
+
+/// Metadata Diffuse keeps per store.
+#[derive(Debug, Clone)]
+struct StoreMeta {
+    shape: Vec<u64>,
+    name: String,
+    /// Region backing the store, allocated lazily on first non-temporary use.
+    region: Option<RegionId>,
+    /// Live application references (the split reference count).
+    app_refs: u64,
+}
+
+/// Cached analysis + compilation result for one canonical window.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    prefix_len: usize,
+    module: Option<KernelModule>,
+}
+
+/// Internal, mutable state of a [`Context`]. Exposed to the crate so that
+/// [`StoreHandle`] can maintain the application reference counts.
+#[derive(Debug)]
+pub struct ContextInner {
+    config: DiffuseConfig,
+    runtime: Runtime,
+    registry: GeneratorRegistry,
+    window: TaskWindow,
+    adaptive: AdaptiveWindow,
+    memo: MemoCache<MemoEntry>,
+    compile_model: CompileTimeModel,
+    stats: ExecutionStats,
+    stores: HashMap<StoreId, StoreMeta>,
+    next_store: u64,
+    next_task: u64,
+}
+
+impl ContextInner {
+    pub(crate) fn add_app_ref(&mut self, id: StoreId) {
+        if let Some(meta) = self.stores.get_mut(&id) {
+            meta.app_refs += 1;
+        }
+    }
+
+    pub(crate) fn drop_app_ref(&mut self, id: StoreId) {
+        if let Some(meta) = self.stores.get_mut(&id) {
+            meta.app_refs = meta.app_refs.saturating_sub(1);
+        }
+    }
+
+    fn store_shapes(&self) -> HashMap<StoreId, Vec<u64>> {
+        self.stores
+            .iter()
+            .map(|(id, m)| (*id, m.shape.clone()))
+            .collect()
+    }
+
+    /// Number of elements a (store, partition) argument touches over a launch
+    /// domain: the volume of the bounding box of its sub-stores.
+    fn access_volume(&self, store: StoreId, partition: &Partition, domain: &Domain) -> usize {
+        let shape = &self.stores[&store].shape;
+        match partition {
+            Partition::Replicate => shape.iter().product::<u64>() as usize,
+            Partition::Tiling { .. } => {
+                let mut acc: Option<ir::Rect> = None;
+                for p in domain.points() {
+                    let r = partition.sub_store_bounds(shape, &p);
+                    if r.is_empty() {
+                        continue;
+                    }
+                    acc = Some(match acc {
+                        None => r,
+                        Some(prev) => ir::Rect::new(
+                            prev.lo.iter().zip(&r.lo).map(|(&a, &b)| a.min(b)).collect(),
+                            prev.hi.iter().zip(&r.hi).map(|(&a, &b)| a.max(b)).collect(),
+                        ),
+                    });
+                }
+                acc.map(|r| r.volume() as usize).unwrap_or(0)
+            }
+        }
+    }
+
+    /// Ensures a store has a backing region, allocating it lazily.
+    fn ensure_region(&mut self, store: StoreId) -> RegionId {
+        let meta = self.stores.get_mut(&store).expect("unknown store");
+        if let Some(r) = meta.region {
+            return r;
+        }
+        let region = self
+            .runtime
+            .allocate_region(meta.shape.clone(), meta.name.clone());
+        self.stores.get_mut(&store).unwrap().region = Some(region);
+        region
+    }
+
+    /// Frees regions of stores with no application references once the window
+    /// no longer mentions them.
+    fn sweep_dead_stores(&mut self) {
+        let pending: HashSet<StoreId> = self
+            .window
+            .tasks()
+            .iter()
+            .flat_map(|t| t.stores())
+            .collect();
+        let dead: Vec<StoreId> = self
+            .stores
+            .iter()
+            .filter(|(id, m)| m.app_refs == 0 && m.region.is_some() && !pending.contains(id))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            if let Some(region) = self.stores.get_mut(&id).and_then(|m| m.region.take()) {
+                let _ = self.runtime.free_region(region);
+            }
+        }
+    }
+
+    /// Generates the kernel module for a single task.
+    fn generate_task_module(&self, task: &IndexTask) -> KernelModule {
+        let lens: Vec<usize> = task
+            .args
+            .iter()
+            .map(|a| self.access_volume(a.store, &a.partition, &task.launch_domain))
+            .collect();
+        let args = GenArgs {
+            buffer_lens: &lens,
+            scalars: &task.scalars,
+        };
+        self.registry
+            .generate(TaskKind(task.kind), &args)
+            .unwrap_or_else(|| panic!("no generator registered for task kind {}", task.kind))
+    }
+
+    /// Launches a single task without fusion.
+    fn launch_unfused(&mut self, task: IndexTask) {
+        let module = self.generate_task_module(&task);
+        let mut local_lens = Vec::new();
+        for b in task.args.len()..module.num_buffers() as usize {
+            let _ = b;
+            let max_arg = task
+                .args
+                .iter()
+                .map(|a| self.access_volume(a.store, &a.partition, &task.launch_domain))
+                .max()
+                .unwrap_or(1);
+            local_lens.push(max_arg);
+        }
+        let requirements: Vec<RegionRequirement> = task
+            .args
+            .iter()
+            .map(|a| {
+                let region = self.ensure_region(a.store);
+                RegionRequirement::new(region, a.partition.clone(), a.privilege)
+            })
+            .collect();
+        let launch = TaskLaunch {
+            name: task.name.clone(),
+            launch_domain: task.launch_domain.clone(),
+            requirements,
+            module,
+            scalars: task.scalars.clone(),
+            local_buffer_lens: local_lens,
+            overhead: OverheadClass::TaskRuntime,
+        };
+        self.runtime.execute(&launch).expect("launch failed");
+        self.stats.tasks_launched += 1;
+    }
+
+    /// Composes, optimizes and launches a fused task built from `prefix`.
+    fn launch_fused(&mut self, prefix: Vec<IndexTask>, cached_module: Option<KernelModule>) {
+        let shapes = self.store_shapes();
+        let pending: Vec<IndexTask> = self.window.tasks().to_vec();
+        let fused = FusedTask::build(prefix);
+        let temps: HashSet<StoreId> = if self.config.enable_temp_elimination {
+            let stores = &self.stores;
+            temporary_stores(&fused.tasks, &pending, &shapes, |s| {
+                stores.get(&s).map(|m| m.app_refs > 0).unwrap_or(false)
+            })
+        } else {
+            HashSet::new()
+        };
+
+        // Which fused args are temporaries (become task-local buffers).
+        let is_temp: Vec<bool> = fused.args.iter().map(|(s, _, _)| temps.contains(s)).collect();
+        let domain = &fused.launch_domain;
+        let arg_volumes: Vec<usize> = fused
+            .args
+            .iter()
+            .map(|(s, p, _)| self.access_volume(*s, p, domain))
+            .collect();
+
+        // Build or reuse the compiled module (buffer ids = fused arg order,
+        // then generator locals).
+        let (module, generator_local_lens) = match cached_module {
+            Some(m) => {
+                let extra = (m.num_buffers() as usize).saturating_sub(fused.args.len());
+                let max_vol = arg_volumes.iter().copied().max().unwrap_or(1);
+                (m, vec![max_vol; extra])
+            }
+            None => self.compose_and_compile(&fused, &is_temp, &arg_volumes, &temps),
+        };
+
+        // Reorder buffers so non-temporary args come first (they become region
+        // requirements) and temporaries follow (task-local buffers), with
+        // generator locals at the end.
+        let mut remap: Vec<BufferId> = vec![BufferId(0); module.num_buffers() as usize];
+        let mut requirements = Vec::new();
+        let mut next = 0u32;
+        for (i, (store, part, priv_)) in fused.args.iter().enumerate() {
+            if !is_temp[i] {
+                let region = self.ensure_region(*store);
+                requirements.push(RegionRequirement::new(region, part.clone(), *priv_));
+                remap[i] = BufferId(next);
+                next += 1;
+            }
+        }
+        let mut local_lens = Vec::new();
+        for (i, _) in fused.args.iter().enumerate() {
+            if is_temp[i] {
+                remap[i] = BufferId(next);
+                next += 1;
+                local_lens.push(arg_volumes[i].max(1));
+            }
+        }
+        for (j, &len) in generator_local_lens.iter().enumerate() {
+            remap[fused.args.len() + j] = BufferId(next);
+            next += 1;
+            local_lens.push(len.max(1));
+        }
+        let module = module.remap_buffers(&remap);
+
+        // Statistics for temporaries whose distributed allocation never
+        // happened.
+        for (i, (store, _, _)) in fused.args.iter().enumerate() {
+            if is_temp[i] {
+                self.stats.temporaries_eliminated += 1;
+                if self.stores[store].region.is_none() {
+                    self.stats.distributed_allocations_avoided += 1;
+                }
+            }
+        }
+
+        let scalars: Vec<f64> = fused
+            .tasks
+            .iter()
+            .flat_map(|t| t.scalars.iter().copied())
+            .collect();
+        let launch = TaskLaunch {
+            name: fused.name.clone(),
+            launch_domain: fused.launch_domain.clone(),
+            requirements,
+            module,
+            scalars,
+            local_buffer_lens: local_lens,
+            overhead: OverheadClass::TaskRuntime,
+        };
+        self.runtime.execute(&launch).expect("fused launch failed");
+        self.stats.tasks_launched += 1;
+        if fused.len() > 1 {
+            self.stats.fused_tasks += 1;
+        }
+    }
+
+    /// Generates every constituent task's kernel, composes them in program
+    /// order, and runs the optimization pipeline. Returns the optimized module
+    /// (buffer ids: fused args then generator locals) and the lengths of the
+    /// generator-introduced locals. Charges JIT compilation time.
+    fn compose_and_compile(
+        &mut self,
+        fused: &FusedTask,
+        is_temp: &[bool],
+        arg_volumes: &[usize],
+        _temps: &HashSet<StoreId>,
+    ) -> (KernelModule, Vec<usize>) {
+        let mut module = KernelModule::new(fused.args.len() as u32);
+        for (i, (_, _, priv_)) in fused.args.iter().enumerate() {
+            let role = if is_temp[i] {
+                BufferRole::Local
+            } else if priv_.reduces() {
+                BufferRole::Reduction
+            } else if priv_.writes() && priv_.reads() {
+                BufferRole::InOut
+            } else if priv_.writes() {
+                BufferRole::Output
+            } else {
+                BufferRole::Input
+            };
+            module.set_role(BufferId(i as u32), role);
+        }
+        let mut generator_local_lens: Vec<usize> = Vec::new();
+        let mut scalar_offset = 0usize;
+        for (ti, task) in fused.tasks.iter().enumerate() {
+            let mut body = self.generate_task_module(task);
+            body.offset_params(scalar_offset);
+            scalar_offset += task.scalars.len();
+            // Remap: generator buffers 0..args -> fused arg positions;
+            // generator locals -> fresh locals in the fused module.
+            let mut map: Vec<BufferId> = fused.arg_map[ti]
+                .iter()
+                .map(|&i| BufferId(i as u32))
+                .collect();
+            let max_arg_vol = task
+                .args
+                .iter()
+                .map(|a| self.access_volume(a.store, &a.partition, &task.launch_domain))
+                .max()
+                .unwrap_or(1);
+            for _ in task.args.len()..body.num_buffers() as usize {
+                let local = module.add_local();
+                map.push(local);
+                generator_local_lens.push(max_arg_vol);
+            }
+            let remapped = body.remap_buffers(&map);
+            module.append(remapped);
+        }
+        // Charge JIT time for the composed module.
+        self.stats.compile_time += self.compile_model.compile_time(&module);
+        self.stats.compilations += 1;
+
+        // Buffer lengths for the pipeline: fused arg volumes then locals.
+        let mut lens: Vec<usize> = arg_volumes.to_vec();
+        lens.extend(generator_local_lens.iter().copied());
+        let pipeline_config = if self.config.enable_kernel_fusion {
+            PipelineConfig::default()
+        } else {
+            PipelineConfig {
+                parallelize: true,
+                ..PipelineConfig::disabled()
+            }
+        };
+        // Alias pairs: fused args backed by the same store through different
+        // partitions must not be loop-fused (they may overlap in memory).
+        let compiled = Pipeline::new(pipeline_config).run(module, &lens);
+        (compiled.module, generator_local_lens)
+    }
+
+    /// Processes the entire buffered window: repeatedly extract a fusible
+    /// prefix (or a single task) and launch it.
+    fn process_window(&mut self) {
+        while !self.window.is_empty() {
+            if !self.config.enable_task_fusion {
+                let task = self.window.drain_prefix(1).pop().unwrap();
+                self.launch_unfused(task);
+                continue;
+            }
+            let window_len = self.window.len();
+            let shapes = self.store_shapes();
+            let (prefix_len, cached_module) = if self.config.enable_memoization {
+                let key = CanonicalWindow::new(self.window.tasks(), &shapes);
+                match self.memo.get(&key) {
+                    Some(entry) => {
+                        self.stats.memo_hits += 1;
+                        (entry.prefix_len, entry.module.clone())
+                    }
+                    None => {
+                        self.stats.memo_misses += 1;
+                        let len = find_fusible_prefix(self.window.tasks()).max(1);
+                        (len, None)
+                    }
+                }
+            } else {
+                (find_fusible_prefix(self.window.tasks()).max(1), None)
+            };
+            let prefix_len = prefix_len.min(self.window.len()).max(1);
+            let need_memo_insert =
+                self.config.enable_memoization && cached_module.is_none();
+            let memo_key = if need_memo_insert {
+                Some(CanonicalWindow::new(self.window.tasks(), &shapes))
+            } else {
+                None
+            };
+            let prefix = self.window.drain_prefix(prefix_len);
+            if prefix_len == 1 && !self.config.enable_kernel_fusion {
+                // A singleton prefix with no kernel-level optimization is just
+                // an unfused launch.
+                self.launch_unfused(prefix.into_iter().next().unwrap());
+            } else if cached_module.is_some() {
+                self.launch_fused(prefix, cached_module);
+            } else {
+                // Compile fresh and memoize the result.
+                let before_compilations = self.stats.compilations;
+                self.launch_fused_and_memoize(prefix, memo_key, prefix_len);
+                let _ = before_compilations;
+            }
+            self.adaptive.record(window_len, prefix_len);
+        }
+        self.stats.windows_flushed += 1;
+        self.stats.current_window_size = self.adaptive.size() as u64;
+        self.sweep_dead_stores();
+    }
+
+    fn launch_fused_and_memoize(
+        &mut self,
+        prefix: Vec<IndexTask>,
+        memo_key: Option<CanonicalWindow>,
+        prefix_len: usize,
+    ) {
+        // Compose and compile inside launch_fused; capture the module by
+        // recompiling through the same path would double-charge, so instead we
+        // build the fused task here, compile once, and hand the module over.
+        let shapes = self.store_shapes();
+        let pending: Vec<IndexTask> = self.window.tasks().to_vec();
+        let fused_probe = FusedTask::build(prefix.clone());
+        let temps: HashSet<StoreId> = if self.config.enable_temp_elimination {
+            let stores = &self.stores;
+            temporary_stores(&fused_probe.tasks, &pending, &shapes, |s| {
+                stores.get(&s).map(|m| m.app_refs > 0).unwrap_or(false)
+            })
+        } else {
+            HashSet::new()
+        };
+        let is_temp: Vec<bool> = fused_probe
+            .args
+            .iter()
+            .map(|(s, _, _)| temps.contains(s))
+            .collect();
+        let arg_volumes: Vec<usize> = fused_probe
+            .args
+            .iter()
+            .map(|(s, p, _)| self.access_volume(*s, p, &fused_probe.launch_domain))
+            .collect();
+        let (module, _locals) =
+            self.compose_and_compile(&fused_probe, &is_temp, &arg_volumes, &temps);
+        if let Some(key) = memo_key {
+            self.memo.insert(
+                key,
+                MemoEntry {
+                    prefix_len,
+                    module: Some(module.clone()),
+                },
+            );
+        }
+        self.launch_fused(prefix, Some(module));
+    }
+}
+
+/// The Diffuse context: the handle applications and libraries use to create
+/// stores, register generators and submit index tasks.
+///
+/// Cloning a `Context` is cheap (it is a shared reference to the same
+/// underlying state), which lets library types such as the dense library's
+/// arrays carry the context around.
+#[derive(Clone, Debug)]
+pub struct Context {
+    inner: Rc<RefCell<ContextInner>>,
+}
+
+impl Context {
+    /// Creates a context over the given configuration.
+    pub fn new(config: DiffuseConfig) -> Self {
+        let runtime_config = if config.materialize_data {
+            RuntimeConfig::functional(config.machine.clone())
+        } else {
+            RuntimeConfig::simulation_only(config.machine.clone())
+        };
+        let inner = ContextInner {
+            adaptive: AdaptiveWindow::new(
+                config.initial_window_size.max(1),
+                config.max_window_size.max(config.initial_window_size.max(1)),
+            ),
+            runtime: Runtime::new(runtime_config),
+            registry: GeneratorRegistry::new(),
+            window: TaskWindow::new(),
+            memo: MemoCache::new(),
+            compile_model: CompileTimeModel::default(),
+            stats: ExecutionStats::default(),
+            stores: HashMap::new(),
+            next_store: 0,
+            next_task: 0,
+            config,
+        };
+        Context {
+            inner: Rc::new(RefCell::new(inner)),
+        }
+    }
+
+    /// Number of GPUs in the simulated machine.
+    pub fn gpus(&self) -> usize {
+        self.inner.borrow().runtime.gpus()
+    }
+
+    /// The configuration the context was created with.
+    pub fn config(&self) -> DiffuseConfig {
+        self.inner.borrow().config.clone()
+    }
+
+    /// Registers a kernel generator function (library developers only — see
+    /// Section 6.2). Returns the task kind to use in [`Context::submit`].
+    pub fn register_generator<F>(&self, name: &str, generator: F) -> TaskKind
+    where
+        F: Fn(&GenArgs<'_>) -> KernelModule + Send + Sync + 'static,
+    {
+        self.inner
+            .borrow_mut()
+            .registry
+            .register_fn(name, generator)
+    }
+
+    /// Creates a distributed store with the given shape. The backing region is
+    /// allocated lazily on first use, so stores that only ever exist as fused
+    /// temporaries never allocate distributed memory.
+    pub fn create_store(&self, shape: Vec<u64>, name: &str) -> StoreHandle {
+        let mut inner = self.inner.borrow_mut();
+        let id = StoreId(inner.next_store);
+        inner.next_store += 1;
+        inner.stores.insert(
+            id,
+            StoreMeta {
+                shape: shape.clone(),
+                name: name.to_string(),
+                region: None,
+                app_refs: 1,
+            },
+        );
+        StoreHandle {
+            id,
+            shape,
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Fills a store with a constant value (flushes pending tasks first to
+    /// preserve program order).
+    pub fn fill(&self, store: &StoreHandle, value: f64) {
+        self.flush();
+        let mut inner = self.inner.borrow_mut();
+        let region = inner.ensure_region(store.id);
+        inner.runtime.fill(region, value).expect("fill failed");
+    }
+
+    /// Overwrites a store's contents with row-major data (host initialization,
+    /// no simulated cost). Flushes pending tasks first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the store volume.
+    pub fn write_store(&self, store: &StoreHandle, data: Vec<f64>) {
+        self.flush();
+        let mut inner = self.inner.borrow_mut();
+        let region = inner.ensure_region(store.id);
+        inner
+            .runtime
+            .write_region_data(region, data)
+            .expect("write failed");
+    }
+
+    /// Reads back a store's contents (functional mode only). Flushes pending
+    /// tasks first.
+    pub fn read_store(&self, store: &StoreHandle) -> Option<Vec<f64>> {
+        self.flush();
+        let mut inner = self.inner.borrow_mut();
+        let region = inner.ensure_region(store.id);
+        inner.runtime.region_data(region).map(|d| d.to_vec())
+    }
+
+    /// Reads element 0 of a store as a scalar (functional mode only).
+    pub fn read_scalar(&self, store: &StoreHandle) -> Option<f64> {
+        self.read_store(store).and_then(|d| d.first().copied())
+    }
+
+    /// Submits an index task built from a task kind, launch arguments and
+    /// scalars. The task is buffered in the window; the window is analyzed
+    /// and flushed automatically once it reaches the adaptive window size.
+    pub fn submit(
+        &self,
+        kind: TaskKind,
+        name: &str,
+        args: Vec<StoreArg>,
+        scalars: Vec<f64>,
+    ) -> TaskId {
+        let mut inner = self.inner.borrow_mut();
+        let gpus = inner.runtime.gpus() as u64;
+        let id = TaskId(inner.next_task);
+        inner.next_task += 1;
+        // Default launch domain: one point per GPU; libraries express the
+        // decomposition through partitions.
+        let launch_domain = Domain::linear(gpus);
+        self.submit_task_locked(&mut inner, IndexTask::new(id, kind.0, name, launch_domain, args, scalars));
+        id
+    }
+
+    /// Submits an index task with an explicit launch domain.
+    pub fn submit_with_domain(
+        &self,
+        kind: TaskKind,
+        name: &str,
+        launch_domain: Domain,
+        args: Vec<StoreArg>,
+        scalars: Vec<f64>,
+    ) -> TaskId {
+        let mut inner = self.inner.borrow_mut();
+        let id = TaskId(inner.next_task);
+        inner.next_task += 1;
+        self.submit_task_locked(&mut inner, IndexTask::new(id, kind.0, name, launch_domain, args, scalars));
+        id
+    }
+
+    fn submit_task_locked(&self, inner: &mut ContextInner, task: IndexTask) {
+        inner.stats.tasks_submitted += 1;
+        inner.window.push(task);
+        if inner.window.len() >= inner.adaptive.size() {
+            inner.process_window();
+        }
+    }
+
+    /// Flushes the task window: analyzes and launches every buffered task
+    /// (the `flush_window` operation of Figure 6).
+    pub fn flush(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.window.is_empty() {
+            inner.process_window();
+        }
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> ExecutionStats {
+        let mut stats = self.inner.borrow().stats;
+        stats.current_window_size = self.inner.borrow().adaptive.size() as u64;
+        stats
+    }
+
+    /// The runtime's execution profile.
+    pub fn profile(&self) -> Profile {
+        *self.inner.borrow().runtime.profile()
+    }
+
+    /// Simulated seconds elapsed on the machine.
+    pub fn elapsed(&self) -> f64 {
+        self.inner.borrow().runtime.elapsed()
+    }
+
+    /// Resets the simulated clock and runtime profile, e.g. after warmup
+    /// iterations. Diffuse's own statistics (compile time, fusion counts) are
+    /// preserved.
+    pub fn reset_timing(&self) {
+        self.flush();
+        self.inner.borrow_mut().runtime.reset_timing();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::Privilege;
+    use kernel::LoopBuilder;
+    use machine::MachineConfig;
+
+    /// Registers an elementwise binary-add generator and returns its kind.
+    fn register_add(ctx: &Context) -> TaskKind {
+        ctx.register_generator("add", |_args| {
+            let mut m = KernelModule::new(3);
+            m.set_role(BufferId(2), BufferRole::Output);
+            let mut b = LoopBuilder::new("add", BufferId(2));
+            let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+            let s = b.add(x, y);
+            b.store(BufferId(2), s);
+            m.push_loop(b.finish());
+            m
+        })
+    }
+
+    fn register_scale(ctx: &Context) -> TaskKind {
+        ctx.register_generator("scale", |_args| {
+            let mut m = KernelModule::new(2);
+            m.set_role(BufferId(1), BufferRole::Output);
+            let mut b = LoopBuilder::new("scale", BufferId(1));
+            let x = b.load(BufferId(0));
+            let s = b.param(0);
+            let v = b.mul(x, s);
+            b.store(BufferId(1), v);
+            m.push_loop(b.finish());
+            m
+        })
+    }
+
+    fn ctx_with_gpus(gpus: usize) -> Context {
+        Context::new(DiffuseConfig::fused(MachineConfig::with_gpus(gpus)))
+    }
+
+    fn block(n: u64, gpus: u64) -> Partition {
+        Partition::block(vec![n.div_ceil(gpus)])
+    }
+
+    #[test]
+    fn fused_chain_executes_correctly_and_launches_once() {
+        let ctx = ctx_with_gpus(4);
+        let add = register_add(&ctx);
+        let n = 64u64;
+        let p = block(n, 4);
+        let a = ctx.create_store(vec![n], "a");
+        let b = ctx.create_store(vec![n], "b");
+        let c = ctx.create_store(vec![n], "c");
+        let d = ctx.create_store(vec![n], "d");
+        ctx.fill(&a, 1.0);
+        ctx.fill(&b, 2.0);
+        let ew = |x: &StoreHandle, y: &StoreHandle, o: &StoreHandle| {
+            vec![
+                StoreArg::new(x.id(), p.clone(), Privilege::Read),
+                StoreArg::new(y.id(), p.clone(), Privilege::Read),
+                StoreArg::new(o.id(), p.clone(), Privilege::Write),
+            ]
+        };
+        ctx.submit(add, "add", ew(&a, &b, &c), vec![]);
+        ctx.submit(add, "add", ew(&c, &a, &d), vec![]);
+        ctx.flush();
+        assert_eq!(ctx.read_store(&d).unwrap(), vec![4.0; 64]);
+        let stats = ctx.stats();
+        assert_eq!(stats.tasks_submitted, 2);
+        assert_eq!(stats.tasks_launched, 1);
+        assert_eq!(stats.fused_tasks, 1);
+    }
+
+    #[test]
+    fn unfused_config_launches_every_task() {
+        let ctx = Context::new(DiffuseConfig::unfused(MachineConfig::with_gpus(4)));
+        let add = register_add(&ctx);
+        let n = 64u64;
+        let p = block(n, 4);
+        let a = ctx.create_store(vec![n], "a");
+        let b = ctx.create_store(vec![n], "b");
+        let c = ctx.create_store(vec![n], "c");
+        let d = ctx.create_store(vec![n], "d");
+        ctx.fill(&a, 1.0);
+        ctx.fill(&b, 2.0);
+        let ew = |x: &StoreHandle, y: &StoreHandle, o: &StoreHandle| {
+            vec![
+                StoreArg::new(x.id(), p.clone(), Privilege::Read),
+                StoreArg::new(y.id(), p.clone(), Privilege::Read),
+                StoreArg::new(o.id(), p.clone(), Privilege::Write),
+            ]
+        };
+        ctx.submit(add, "add", ew(&a, &b, &c), vec![]);
+        ctx.submit(add, "add", ew(&c, &a, &d), vec![]);
+        ctx.flush();
+        assert_eq!(ctx.read_store(&d).unwrap(), vec![4.0; 64]);
+        let stats = ctx.stats();
+        assert_eq!(stats.tasks_launched, 2);
+        assert_eq!(stats.fused_tasks, 0);
+        assert_eq!(stats.compile_time, 0.0);
+    }
+
+    #[test]
+    fn fused_and_unfused_agree_numerically() {
+        let run = |config: DiffuseConfig| {
+            let ctx = Context::new(config);
+            let add = register_add(&ctx);
+            let scale = register_scale(&ctx);
+            let n = 32u64;
+            let p = block(n, 4);
+            let a = ctx.create_store(vec![n], "a");
+            let b = ctx.create_store(vec![n], "b");
+            let out = ctx.create_store(vec![n], "out");
+            ctx.write_store(&a, (0..n).map(|i| i as f64).collect());
+            ctx.fill(&b, 3.0);
+            // t = a + b; out = 0.5 * t, with t dropped (temporary).
+            let t = ctx.create_store(vec![n], "t");
+            ctx.submit(
+                add,
+                "add",
+                vec![
+                    StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                    StoreArg::new(b.id(), p.clone(), Privilege::Read),
+                    StoreArg::new(t.id(), p.clone(), Privilege::Write),
+                ],
+                vec![],
+            );
+            ctx.submit(
+                scale,
+                "scale",
+                vec![
+                    StoreArg::new(t.id(), p.clone(), Privilege::Read),
+                    StoreArg::new(out.id(), p.clone(), Privilege::Write),
+                ],
+                vec![0.5],
+            );
+            drop(t);
+            ctx.flush();
+            ctx.read_store(&out).unwrap()
+        };
+        let fused = run(DiffuseConfig::fused(MachineConfig::with_gpus(4)));
+        let unfused = run(DiffuseConfig::unfused(MachineConfig::with_gpus(4)));
+        assert_eq!(fused, unfused);
+        assert_eq!(fused[2], (2.0 + 3.0) * 0.5);
+    }
+
+    #[test]
+    fn temporary_store_avoids_distributed_allocation() {
+        let ctx = ctx_with_gpus(4);
+        let add = register_add(&ctx);
+        let n = 64u64;
+        let p = block(n, 4);
+        let a = ctx.create_store(vec![n], "a");
+        let b = ctx.create_store(vec![n], "b");
+        let out = ctx.create_store(vec![n], "out");
+        ctx.fill(&a, 1.0);
+        ctx.fill(&b, 2.0);
+        let t = ctx.create_store(vec![n], "t");
+        let ew = |x: ir::StoreId, y: ir::StoreId, o: ir::StoreId| {
+            vec![
+                StoreArg::new(x, p.clone(), Privilege::Read),
+                StoreArg::new(y, p.clone(), Privilege::Read),
+                StoreArg::new(o, p.clone(), Privilege::Write),
+            ]
+        };
+        ctx.submit(add, "add", ew(a.id(), b.id(), t.id()), vec![]);
+        ctx.submit(add, "add", ew(t.id(), b.id(), out.id()), vec![]);
+        drop(t);
+        ctx.flush();
+        assert_eq!(ctx.read_store(&out).unwrap(), vec![5.0; 64]);
+        let stats = ctx.stats();
+        assert_eq!(stats.temporaries_eliminated, 1);
+        assert_eq!(stats.distributed_allocations_avoided, 1);
+    }
+
+    #[test]
+    fn memoization_reuses_compiled_kernels_on_isomorphic_windows() {
+        let ctx = ctx_with_gpus(4);
+        let add = register_add(&ctx);
+        let n = 64u64;
+        let p = block(n, 4);
+        let a = ctx.create_store(vec![n], "a");
+        let b = ctx.create_store(vec![n], "b");
+        ctx.fill(&a, 1.0);
+        ctx.fill(&b, 2.0);
+        let ew = |x: ir::StoreId, y: ir::StoreId, o: ir::StoreId| {
+            vec![
+                StoreArg::new(x, p.clone(), Privilege::Read),
+                StoreArg::new(y, p.clone(), Privilege::Read),
+                StoreArg::new(o, p.clone(), Privilege::Write),
+            ]
+        };
+        // Two iterations of the same two-task pattern over fresh temporaries.
+        for _ in 0..2 {
+            let t = ctx.create_store(vec![n], "t");
+            let u = ctx.create_store(vec![n], "u");
+            ctx.submit(add, "add", ew(a.id(), b.id(), t.id()), vec![]);
+            ctx.submit(add, "add", ew(t.id(), b.id(), u.id()), vec![]);
+            drop(t);
+            drop(u);
+            ctx.flush();
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.compilations, 1, "second window reuses the compiled kernel");
+        assert!(stats.memo_hits >= 1);
+        assert!(stats.compile_time > 0.0);
+    }
+
+    #[test]
+    fn fusion_reduces_simulated_time() {
+        let run = |config: DiffuseConfig| {
+            let ctx = Context::new(config.simulation_only());
+            let add = register_add(&ctx);
+            let n = 1u64 << 22;
+            let p = block(n, 8);
+            let a = ctx.create_store(vec![n], "a");
+            let b = ctx.create_store(vec![n], "b");
+            ctx.fill(&a, 1.0);
+            ctx.fill(&b, 2.0);
+            ctx.reset_timing();
+            let ew = |x: ir::StoreId, y: ir::StoreId, o: ir::StoreId| {
+                vec![
+                    StoreArg::new(x, p.clone(), Privilege::Read),
+                    StoreArg::new(y, p.clone(), Privilege::Read),
+                    StoreArg::new(o, p.clone(), Privilege::Write),
+                ]
+            };
+            for _ in 0..5 {
+                let t1 = ctx.create_store(vec![n], "t1");
+                let t2 = ctx.create_store(vec![n], "t2");
+                let t3 = ctx.create_store(vec![n], "t3");
+                ctx.submit(add, "add", ew(a.id(), b.id(), t1.id()), vec![]);
+                ctx.submit(add, "add", ew(t1.id(), b.id(), t2.id()), vec![]);
+                ctx.submit(add, "add", ew(t2.id(), b.id(), t3.id()), vec![]);
+                drop(t1);
+                drop(t2);
+                drop(t3);
+                ctx.flush();
+            }
+            ctx.elapsed()
+        };
+        let fused = run(DiffuseConfig::fused(MachineConfig::with_gpus(8)));
+        let unfused = run(DiffuseConfig::unfused(MachineConfig::with_gpus(8)));
+        assert!(
+            fused < unfused,
+            "fused {fused} should be faster than unfused {unfused}"
+        );
+    }
+
+    #[test]
+    fn window_grows_when_everything_fuses() {
+        let ctx = Context::new(
+            DiffuseConfig::fused(MachineConfig::with_gpus(2)).with_window(2, 16),
+        );
+        let add = register_add(&ctx);
+        let n = 16u64;
+        let p = block(n, 2);
+        let a = ctx.create_store(vec![n], "a");
+        let b = ctx.create_store(vec![n], "b");
+        ctx.fill(&a, 1.0);
+        ctx.fill(&b, 1.0);
+        for _ in 0..8 {
+            let t = ctx.create_store(vec![n], "t");
+            ctx.submit(
+                add,
+                "add",
+                vec![
+                    StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                    StoreArg::new(b.id(), p.clone(), Privilege::Read),
+                    StoreArg::new(t.id(), p.clone(), Privilege::Write),
+                ],
+                vec![],
+            );
+            drop(t);
+        }
+        ctx.flush();
+        assert!(ctx.stats().current_window_size > 2);
+    }
+}

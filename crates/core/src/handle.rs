@@ -1,0 +1,61 @@
+//! Application-side store handles and the split reference count.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ir::StoreId;
+
+use crate::context::ContextInner;
+
+/// An application-side handle to a distributed store.
+///
+/// Cloning a handle increments the store's *application* reference count and
+/// dropping it decrements it — the split reference counting scheme of
+/// Section 5.1. A store with no live application references and no pending
+/// readers is eligible for temporary-store elimination when it is produced
+/// entirely inside a fused task.
+#[derive(Debug)]
+pub struct StoreHandle {
+    pub(crate) id: StoreId,
+    pub(crate) shape: Vec<u64>,
+    pub(crate) inner: Rc<RefCell<ContextInner>>,
+}
+
+impl StoreHandle {
+    /// The store's identifier (used to build [`ir::StoreArg`]s).
+    pub fn id(&self) -> StoreId {
+        self.id
+    }
+
+    /// The store's shape.
+    pub fn shape(&self) -> &[u64] {
+        &self.shape
+    }
+
+    /// Number of elements in the store.
+    pub fn volume(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+impl Clone for StoreHandle {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().add_app_ref(self.id);
+        StoreHandle {
+            id: self.id,
+            shape: self.shape.clone(),
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for StoreHandle {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().drop_app_ref(self.id);
+    }
+}

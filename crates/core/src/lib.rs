@@ -1,0 +1,71 @@
+//! Diffuse: the middle layer between task-based libraries and the runtime.
+//!
+//! This crate ties the pieces of the reproduction together into the system the
+//! paper describes. Libraries (the `dense` and `sparse` crates) create
+//! [`StoreHandle`]s and submit [`ir::IndexTask`]s through a [`Context`];
+//! Diffuse buffers the tasks into a window, finds fusible prefixes with the
+//! analysis in the `fusion` crate, demotes temporary stores, JIT-compiles the
+//! fused kernel bodies with the `kernel` crate's pipeline, memoizes both the
+//! analysis and the compiled kernels over isomorphic windows, and finally
+//! lowers everything to index-task launches on the Legion-style `runtime`.
+//!
+//! Every optimization can be switched off through [`DiffuseConfig`], which is
+//! how the benchmark harness produces the paper's unfused baselines and the
+//! ablations.
+//!
+//! # Example: the Figure 8 computation
+//!
+//! ```
+//! use diffuse::{Context, DiffuseConfig};
+//! use machine::MachineConfig;
+//! use ir::{Partition, Privilege, StoreArg};
+//! use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder};
+//!
+//! let ctx = Context::new(DiffuseConfig::fused(MachineConfig::single_node(4)));
+//! // Register an elementwise-add generator (library developer's job).
+//! let add = ctx.register_generator("add", |args| {
+//!     let mut m = KernelModule::new(3);
+//!     m.set_role(BufferId(2), BufferRole::Output);
+//!     let mut b = LoopBuilder::new("add", BufferId(2));
+//!     let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+//!     let s = b.add(x, y);
+//!     b.store(BufferId(2), s);
+//!     m.push_loop(b.finish());
+//!     assert_eq!(args.buffer_lens.len(), 3);
+//!     m
+//! });
+//!
+//! let n = 64u64;
+//! let a = ctx.create_store(vec![n], "a");
+//! let b = ctx.create_store(vec![n], "b");
+//! let c = ctx.create_store(vec![n], "c");
+//! let d = ctx.create_store(vec![n], "d");
+//! let e = ctx.create_store(vec![n], "e");
+//! ctx.fill(&a, 1.0); ctx.fill(&b, 2.0); ctx.fill(&d, 3.0);
+//!
+//! let block = Partition::block(vec![n / 4]);
+//! let ew = |x: &diffuse::StoreHandle, y: &diffuse::StoreHandle, out: &diffuse::StoreHandle| vec![
+//!     StoreArg::new(x.id(), block.clone(), Privilege::Read),
+//!     StoreArg::new(y.id(), block.clone(), Privilege::Read),
+//!     StoreArg::new(out.id(), block.clone(), Privilege::Write),
+//! ];
+//! ctx.submit(add, "add", ew(&a, &b, &c), vec![]);
+//! ctx.submit(add, "add", ew(&c, &d, &e), vec![]);
+//! drop(c); // c becomes a temporary
+//! ctx.flush();
+//!
+//! assert_eq!(ctx.read_store(&e).unwrap(), vec![6.0; 64]);
+//! let stats = ctx.stats();
+//! assert_eq!(stats.tasks_submitted, 2);
+//! assert_eq!(stats.tasks_launched, 1, "both adds fused into one launch");
+//! ```
+
+pub mod config;
+pub mod context;
+pub mod handle;
+pub mod stats;
+
+pub use config::DiffuseConfig;
+pub use context::Context;
+pub use handle::StoreHandle;
+pub use stats::ExecutionStats;

@@ -1,0 +1,76 @@
+//! Statistics reported by the Diffuse layer.
+
+/// Counters describing what Diffuse did to the task stream. The benchmark
+/// harness uses these to regenerate Figure 9 (tasks per iteration with and
+/// without fusion, window sizes) and Figure 13 (compilation time).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutionStats {
+    /// Index tasks submitted by libraries.
+    pub tasks_submitted: u64,
+    /// Index tasks actually launched on the runtime (fused tasks count once).
+    pub tasks_launched: u64,
+    /// Launches that combined two or more submitted tasks.
+    pub fused_tasks: u64,
+    /// Windows analyzed.
+    pub windows_flushed: u64,
+    /// Distinct kernels JIT-compiled (memoization misses that compiled code).
+    pub compilations: u64,
+    /// Simulated seconds spent JIT-compiling fused kernels.
+    pub compile_time: f64,
+    /// Memoization cache hits.
+    pub memo_hits: u64,
+    /// Memoization cache misses.
+    pub memo_misses: u64,
+    /// Temporary stores demoted to task-local allocations (Definition 4).
+    pub temporaries_eliminated: u64,
+    /// Distributed allocations that were never performed because the store
+    /// only ever existed as a task-local temporary.
+    pub distributed_allocations_avoided: u64,
+    /// The window size currently selected by the adaptive policy.
+    pub current_window_size: u64,
+}
+
+impl ExecutionStats {
+    /// The difference between two snapshots (`self - earlier`); used to report
+    /// per-iteration numbers.
+    pub fn since(&self, earlier: &ExecutionStats) -> ExecutionStats {
+        ExecutionStats {
+            tasks_submitted: self.tasks_submitted - earlier.tasks_submitted,
+            tasks_launched: self.tasks_launched - earlier.tasks_launched,
+            fused_tasks: self.fused_tasks - earlier.fused_tasks,
+            windows_flushed: self.windows_flushed - earlier.windows_flushed,
+            compilations: self.compilations - earlier.compilations,
+            compile_time: self.compile_time - earlier.compile_time,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            memo_misses: self.memo_misses - earlier.memo_misses,
+            temporaries_eliminated: self.temporaries_eliminated - earlier.temporaries_eliminated,
+            distributed_allocations_avoided: self.distributed_allocations_avoided
+                - earlier.distributed_allocations_avoided,
+            current_window_size: self.current_window_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_counters() {
+        let early = ExecutionStats {
+            tasks_submitted: 10,
+            tasks_launched: 4,
+            ..Default::default()
+        };
+        let late = ExecutionStats {
+            tasks_submitted: 30,
+            tasks_launched: 9,
+            current_window_size: 20,
+            ..Default::default()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.tasks_submitted, 20);
+        assert_eq!(d.tasks_launched, 5);
+        assert_eq!(d.current_window_size, 20);
+    }
+}

@@ -1,0 +1,318 @@
+//! The dense library context: generator registration and array creation.
+
+use std::rc::Rc;
+
+use diffuse::Context;
+use kernel::{BinaryOp, BufferId, BufferRole, KernelModule, LoopBuilder, OpaqueOp, ReduceOp, TaskKind, UnaryOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::array::DArray;
+
+/// Task kinds registered by the dense library, one per operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Kinds {
+    pub add: TaskKind,
+    pub sub: TaskKind,
+    pub mul: TaskKind,
+    pub div: TaskKind,
+    pub max: TaskKind,
+    pub min: TaskKind,
+    pub sqrt: TaskKind,
+    pub exp: TaskKind,
+    pub ln: TaskKind,
+    pub erf: TaskKind,
+    pub neg: TaskKind,
+    pub abs: TaskKind,
+    pub copy: TaskKind,
+    pub scalar_mul: TaskKind,
+    pub scalar_add: TaskKind,
+    pub scalar_pow: TaskKind,
+    pub scalar_rsub: TaskKind,
+    pub fill: TaskKind,
+    pub axpy: TaskKind,
+    pub scale_by_store: TaskKind,
+    pub dot: TaskKind,
+    pub sum: TaskKind,
+    pub sum_sq: TaskKind,
+    pub gemv: TaskKind,
+}
+
+fn binary_generator(op: BinaryOp) -> impl Fn(&kernel::GenArgs<'_>) -> KernelModule {
+    move |_args| {
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Output);
+        let mut b = LoopBuilder::new("binary", BufferId(2));
+        let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+        let v = b.binary(op, x, y);
+        b.store(BufferId(2), v);
+        m.push_loop(b.finish());
+        m
+    }
+}
+
+fn unary_generator(op: UnaryOp) -> impl Fn(&kernel::GenArgs<'_>) -> KernelModule {
+    move |_args| {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Output);
+        let mut b = LoopBuilder::new("unary", BufferId(1));
+        let x = b.load(BufferId(0));
+        let v = b.unary(op, x);
+        b.store(BufferId(1), v);
+        m.push_loop(b.finish());
+        m
+    }
+}
+
+/// out = f(a, param) where `f` is the given binary operator and `param` is the
+/// task's first scalar. `swapped` computes f(param, a) instead.
+fn scalar_generator(op: BinaryOp, swapped: bool) -> impl Fn(&kernel::GenArgs<'_>) -> KernelModule {
+    move |_args| {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Output);
+        let mut b = LoopBuilder::new("scalar", BufferId(1));
+        let x = b.load(BufferId(0));
+        let p = b.param(0);
+        let v = if swapped {
+            b.binary(op, p, x)
+        } else {
+            b.binary(op, x, p)
+        };
+        b.store(BufferId(1), v);
+        m.push_loop(b.finish());
+        m
+    }
+}
+
+fn reduce_generator(two_inputs: bool, square: bool) -> impl Fn(&kernel::GenArgs<'_>) -> KernelModule {
+    move |_args| {
+        let nbuf = if two_inputs { 3 } else { 2 };
+        let out = BufferId(nbuf - 1);
+        let mut m = KernelModule::new(nbuf);
+        m.set_role(out, BufferRole::Reduction);
+        let mut b = LoopBuilder::new("reduce", BufferId(0));
+        let x = b.load(BufferId(0));
+        let v = if two_inputs {
+            let y = b.load(BufferId(1));
+            b.mul(x, y)
+        } else if square {
+            b.mul(x, x)
+        } else {
+            x
+        };
+        b.reduce(out, ReduceOp::Sum, v);
+        m.push_loop(b.finish());
+        m
+    }
+}
+
+impl Kinds {
+    fn register(ctx: &Context) -> Kinds {
+        Kinds {
+            add: ctx.register_generator("add", binary_generator(BinaryOp::Add)),
+            sub: ctx.register_generator("sub", binary_generator(BinaryOp::Sub)),
+            mul: ctx.register_generator("mul", binary_generator(BinaryOp::Mul)),
+            div: ctx.register_generator("div", binary_generator(BinaryOp::Div)),
+            max: ctx.register_generator("maximum", binary_generator(BinaryOp::Max)),
+            min: ctx.register_generator("minimum", binary_generator(BinaryOp::Min)),
+            sqrt: ctx.register_generator("sqrt", unary_generator(UnaryOp::Sqrt)),
+            exp: ctx.register_generator("exp", unary_generator(UnaryOp::Exp)),
+            ln: ctx.register_generator("log", unary_generator(UnaryOp::Ln)),
+            erf: ctx.register_generator("erf", unary_generator(UnaryOp::Erf)),
+            neg: ctx.register_generator("negative", unary_generator(UnaryOp::Neg)),
+            abs: ctx.register_generator("absolute", unary_generator(UnaryOp::Abs)),
+            copy: ctx.register_generator("copy", |_args| {
+                let mut m = KernelModule::new(2);
+                m.set_role(BufferId(1), BufferRole::Output);
+                let mut b = LoopBuilder::new("copy", BufferId(1));
+                let x = b.load(BufferId(0));
+                b.store(BufferId(1), x);
+                m.push_loop(b.finish());
+                m
+            }),
+            scalar_mul: ctx.register_generator("scalar_mul", scalar_generator(BinaryOp::Mul, false)),
+            scalar_add: ctx.register_generator("scalar_add", scalar_generator(BinaryOp::Add, false)),
+            scalar_pow: ctx.register_generator("scalar_pow", scalar_generator(BinaryOp::Pow, false)),
+            scalar_rsub: ctx.register_generator("scalar_rsub", scalar_generator(BinaryOp::Sub, true)),
+            fill: ctx.register_generator("fill", |_args| {
+                let mut m = KernelModule::new(1);
+                m.set_role(BufferId(0), BufferRole::Output);
+                let mut b = LoopBuilder::new("fill", BufferId(0));
+                let p = b.param(0);
+                b.store(BufferId(0), p);
+                m.push_loop(b.finish());
+                m
+            }),
+            // out = a + sign * s * b, with s a scalar store and sign a scalar
+            // parameter (the paper's AXPY building block).
+            axpy: ctx.register_generator("axpy", |_args| {
+                let mut m = KernelModule::new(4);
+                m.set_role(BufferId(3), BufferRole::Output);
+                let mut b = LoopBuilder::new("axpy", BufferId(3));
+                let a = b.load(BufferId(0));
+                let x = b.load(BufferId(1));
+                let s = b.load_scalar(BufferId(2));
+                let sign = b.param(0);
+                let sx = b.mul(s, x);
+                let signed = b.mul(sign, sx);
+                let v = b.add(a, signed);
+                b.store(BufferId(3), v);
+                m.push_loop(b.finish());
+                m
+            }),
+            // out = s * a with s a scalar store.
+            scale_by_store: ctx.register_generator("scale_by_store", |_args| {
+                let mut m = KernelModule::new(3);
+                m.set_role(BufferId(2), BufferRole::Output);
+                let mut b = LoopBuilder::new("scale_by_store", BufferId(2));
+                let a = b.load(BufferId(0));
+                let s = b.load_scalar(BufferId(1));
+                let v = b.mul(a, s);
+                b.store(BufferId(2), v);
+                m.push_loop(b.finish());
+                m
+            }),
+            dot: ctx.register_generator("dot", reduce_generator(true, false)),
+            sum: ctx.register_generator("sum", reduce_generator(false, false)),
+            sum_sq: ctx.register_generator("sum_sq", reduce_generator(false, true)),
+            gemv: ctx.register_generator("gemv", |_args| {
+                let mut m = KernelModule::new(3);
+                m.set_role(BufferId(2), BufferRole::Output);
+                m.push_opaque(OpaqueOp::Gemv {
+                    a: BufferId(0),
+                    x: BufferId(1),
+                    y: BufferId(2),
+                });
+                m
+            }),
+        }
+    }
+}
+
+/// The dense array library: a NumPy-like front end that lowers to Diffuse
+/// index tasks.
+#[derive(Clone, Debug)]
+pub struct DenseContext {
+    ctx: Context,
+    pub(crate) kinds: Rc<Kinds>,
+}
+
+impl DenseContext {
+    /// Creates the library over a Diffuse context, registering its kernel
+    /// generators.
+    pub fn new(ctx: Context) -> Self {
+        let kinds = Rc::new(Kinds::register(&ctx));
+        DenseContext { ctx, kinds }
+    }
+
+    /// The underlying Diffuse context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Number of GPUs in the simulated machine.
+    pub fn gpus(&self) -> u64 {
+        self.ctx.gpus() as u64
+    }
+
+    /// Creates an array of zeros.
+    pub fn zeros(&self, shape: &[u64]) -> DArray {
+        let handle = self.ctx.create_store(shape.to_vec(), "zeros");
+        // Stores materialize as zeros, so no fill task is needed; this mirrors
+        // deferred initialization in cuPyNumeric.
+        DArray::full_store(self.clone(), handle)
+    }
+
+    /// Creates an array filled with a value (issues a fill task).
+    pub fn full(&self, shape: &[u64], value: f64) -> DArray {
+        let arr = self.zeros(shape);
+        arr.fill(value);
+        arr
+    }
+
+    /// Creates an array of ones.
+    pub fn ones(&self, shape: &[u64]) -> DArray {
+        self.full(shape, 1.0)
+    }
+
+    /// Creates an array with uniformly random contents in `[0, 1)`
+    /// (host-initialized, deterministic in the seed).
+    pub fn random(&self, shape: &[u64], seed: u64) -> DArray {
+        let arr = self.zeros(shape);
+        let volume: u64 = shape.iter().product();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..volume).map(|_| rng.gen::<f64>()).collect();
+        self.ctx.write_store(arr.handle(), data);
+        arr
+    }
+
+    /// Creates an array from explicit row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the shape.
+    pub fn from_vec(&self, shape: &[u64], data: Vec<f64>) -> DArray {
+        assert_eq!(
+            data.len() as u64,
+            shape.iter().product::<u64>(),
+            "data length must match shape"
+        );
+        let arr = self.zeros(shape);
+        self.ctx.write_store(arr.handle(), data);
+        arr
+    }
+
+    /// Creates a scalar store holding `value`.
+    pub fn scalar(&self, value: f64) -> DArray {
+        self.from_vec(&[1], vec![value])
+    }
+
+    /// Flushes the Diffuse task window (the `flush_window` of Figure 6).
+    pub fn flush(&self) {
+        self.ctx.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse::DiffuseConfig;
+    use machine::MachineConfig;
+
+    fn np() -> DenseContext {
+        DenseContext::new(Context::new(DiffuseConfig::fused(MachineConfig::single_node(4))))
+    }
+
+    #[test]
+    fn creation_helpers() {
+        let np = np();
+        let z = np.zeros(&[16]);
+        assert_eq!(z.to_vec().unwrap(), vec![0.0; 16]);
+        let o = np.ones(&[8]);
+        assert_eq!(o.to_vec().unwrap(), vec![1.0; 8]);
+        let f = np.full(&[4, 4], 2.5);
+        assert_eq!(f.to_vec().unwrap(), vec![2.5; 16]);
+        let v = np.from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.to_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        let s = np.scalar(7.0);
+        assert_eq!(s.scalar_value().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let np = np();
+        let a = np.random(&[32], 42);
+        let b = np.random(&[32], 42);
+        let c = np.random(&[32], 7);
+        assert_eq!(a.to_vec().unwrap(), b.to_vec().unwrap());
+        assert_ne!(a.to_vec().unwrap(), c.to_vec().unwrap());
+        assert!(a.to_vec().unwrap().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_mismatch_panics() {
+        let np = np();
+        let _ = np.from_vec(&[4], vec![1.0]);
+    }
+}

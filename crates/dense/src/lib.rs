@@ -1,0 +1,45 @@
+//! A cuPyNumeric-equivalent distributed dense array library targeting Diffuse.
+//!
+//! The paper's applications are written against cuPyNumeric, a drop-in NumPy
+//! replacement that maps array operations onto index-task launches over
+//! partitioned data. This crate plays that role for the reproduction: a
+//! [`DenseContext`] registers one kernel generator per operation (Section 6.2)
+//! and a [`DArray`] maps NumPy-style operations — elementwise arithmetic,
+//! scalar broadcasting, reductions, matrix-vector products, slicing views and
+//! view assignment — onto [`ir::IndexTask`]s submitted through the Diffuse
+//! [`diffuse::Context`].
+//!
+//! Slices are *views*: they share the parent store and are expressed as offset
+//! tilings of it, exactly like Figure 1's `center`/`north`/`east`/`west`/
+//! `south` views of `grid`. Diffuse's fusion analysis therefore sees the real
+//! aliasing structure of stencil codes.
+//!
+//! # Example: the Figure 1 stencil step
+//!
+//! ```
+//! use dense::DenseContext;
+//! use diffuse::{Context, DiffuseConfig};
+//! use machine::MachineConfig;
+//!
+//! let np = DenseContext::new(Context::new(DiffuseConfig::fused(
+//!     MachineConfig::single_node(4),
+//! )));
+//! let n = 16;
+//! let grid = np.full(&[n + 2, n + 2], 1.0);
+//! let center = grid.slice_2d(1..n + 1, 1..n + 1);
+//! let north = grid.slice_2d(0..n, 1..n + 1);
+//! let south = grid.slice_2d(2..n + 2, 1..n + 1);
+//! let east = grid.slice_2d(1..n + 1, 2..n + 2);
+//! let west = grid.slice_2d(1..n + 1, 0..n);
+//! let avg = center.add(&north).add(&east).add(&west).add(&south);
+//! let work = avg.scalar_mul(0.2);
+//! center.assign(&work);
+//! np.context().flush();
+//! assert_eq!(center.to_vec().unwrap()[0], 1.0);
+//! ```
+
+pub mod array;
+pub mod context;
+
+pub use array::DArray;
+pub use context::DenseContext;

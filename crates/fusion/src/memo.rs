@@ -1,0 +1,241 @@
+//! Memoization of the fusion analysis over isomorphic task windows
+//! (Section 5.2, Figure 7).
+//!
+//! Two task windows are isomorphic when they differ only in the identities of
+//! the stores they touch — the pattern of accesses is identical. Diffuse
+//! canonicalizes windows with a De-Bruijn-style renaming (each store is
+//! replaced by the index of its first occurrence) and memoizes analysis and
+//! code-generation results under that canonical key.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use ir::{Domain, IndexTask, Partition, Privilege, StoreId};
+
+/// Canonical form of one task: everything that affects the analysis, with
+/// store identities replaced by first-occurrence indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CanonicalTask {
+    kind: u32,
+    launch_domain: Domain,
+    args: Vec<(usize, Partition, Privilege)>,
+    num_scalars: usize,
+}
+
+/// Canonical form of a task window, usable as a memoization key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalWindow {
+    tasks: Vec<CanonicalTask>,
+    /// Shapes of the canonically-numbered stores: buffer lengths feed the
+    /// kernel pipeline, so windows over differently-shaped stores must not
+    /// share compiled artifacts.
+    shapes: Vec<Vec<u64>>,
+}
+
+impl CanonicalWindow {
+    /// Canonicalizes a window of tasks. `store_shapes` must contain every
+    /// store referenced by the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced store has no shape entry.
+    pub fn new(tasks: &[IndexTask], store_shapes: &HashMap<StoreId, Vec<u64>>) -> Self {
+        let mut numbering: HashMap<StoreId, usize> = HashMap::new();
+        let mut shapes: Vec<Vec<u64>> = Vec::new();
+        let mut canonical_tasks = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let mut args = Vec::with_capacity(task.args.len());
+            for arg in &task.args {
+                let next = numbering.len();
+                let idx = *numbering.entry(arg.store).or_insert_with(|| {
+                    shapes.push(
+                        store_shapes
+                            .get(&arg.store)
+                            .unwrap_or_else(|| panic!("missing shape for {}", arg.store))
+                            .clone(),
+                    );
+                    next
+                });
+                args.push((idx, arg.partition.clone(), arg.privilege));
+            }
+            canonical_tasks.push(CanonicalTask {
+                kind: task.kind,
+                launch_domain: task.launch_domain.clone(),
+                args,
+                num_scalars: task.scalars.len(),
+            });
+        }
+        CanonicalWindow {
+            tasks: canonical_tasks,
+            shapes,
+        }
+    }
+
+    /// Number of tasks in the canonical window.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of distinct stores referenced.
+    pub fn num_stores(&self) -> usize {
+        self.shapes.len()
+    }
+}
+
+/// A memoization cache keyed by canonical windows, with hit/miss statistics.
+#[derive(Debug, Clone)]
+pub struct MemoCache<V> {
+    entries: HashMap<CanonicalWindow, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> Default for MemoCache<V> {
+    fn default() -> Self {
+        MemoCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<V> MemoCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a canonical window, recording a hit or miss.
+    pub fn get(&mut self, key: &CanonicalWindow) -> Option<&V> {
+        match self.entries.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an analysis result under a canonical window.
+    pub fn insert(&mut self, key: CanonicalWindow, value: V) {
+        self.entries.insert(key, value);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Partition, StoreArg, TaskId};
+
+    fn block() -> Partition {
+        Partition::block(vec![4])
+    }
+
+    fn shapes(ids: &[u64]) -> HashMap<StoreId, Vec<u64>> {
+        ids.iter().map(|&i| (StoreId(i), vec![16])).collect()
+    }
+
+    fn rw_task(id: u64, read: u64, write: u64) -> IndexTask {
+        IndexTask::new(
+            TaskId(id),
+            0,
+            "t",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(StoreId(read), block(), Privilege::Read),
+                StoreArg::new(StoreId(write), block(), Privilege::Write),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn figure7_isomorphic_windows_share_a_key() {
+        // Left stream: S1/S2/S3; middle stream: S5/S6/S7 with the same access
+        // pattern; right stream differs (T3 reads and writes S7).
+        let left = vec![rw_task(0, 1, 2), rw_task(1, 2, 1), rw_task(2, 1, 3), rw_task(3, 3, 1)];
+        let middle = vec![rw_task(0, 5, 6), rw_task(1, 6, 5), rw_task(2, 5, 7), rw_task(3, 7, 5)];
+        let right = vec![rw_task(0, 5, 6), rw_task(1, 6, 5), rw_task(2, 7, 7), rw_task(3, 7, 5)];
+        let shapes = shapes(&[1, 2, 3, 5, 6, 7]);
+        let l = CanonicalWindow::new(&left, &shapes);
+        let m = CanonicalWindow::new(&middle, &shapes);
+        let r = CanonicalWindow::new(&right, &shapes);
+        assert_eq!(l, m);
+        assert_ne!(l, r);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.num_stores(), 3);
+    }
+
+    #[test]
+    fn shapes_affect_the_key() {
+        let tasks = vec![rw_task(0, 0, 1)];
+        let a = CanonicalWindow::new(&tasks, &shapes(&[0, 1]));
+        let mut other = shapes(&[0, 1]);
+        other.insert(StoreId(1), vec![64]);
+        let b = CanonicalWindow::new(&tasks, &other);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn privileges_and_partitions_affect_the_key() {
+        let a = CanonicalWindow::new(&[rw_task(0, 0, 1)], &shapes(&[0, 1]));
+        let mut t = rw_task(0, 0, 1);
+        t.args[0].privilege = Privilege::ReadWrite;
+        let b = CanonicalWindow::new(&[t], &shapes(&[0, 1]));
+        assert_ne!(a, b);
+        let mut t = rw_task(0, 0, 1);
+        t.args[1].partition = Partition::Replicate;
+        let c = CanonicalWindow::new(&[t], &shapes(&[0, 1]));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let shapes = shapes(&[1, 2, 5, 6]);
+        let w1 = CanonicalWindow::new(&[rw_task(0, 1, 2)], &shapes);
+        let w2 = CanonicalWindow::new(&[rw_task(0, 5, 6)], &shapes);
+        let mut cache: MemoCache<usize> = MemoCache::new();
+        assert!(cache.get(&w1).is_none());
+        cache.insert(w1.clone(), 42);
+        assert_eq!(cache.get(&w2), Some(&42), "isomorphic window hits the cache");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_shape_panics() {
+        let _ = CanonicalWindow::new(&[rw_task(0, 0, 1)], &HashMap::new());
+    }
+}

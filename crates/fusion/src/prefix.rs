@@ -1,0 +1,170 @@
+//! Greedy search for the longest fusible prefix of a task window.
+
+use ir::IndexTask;
+
+use crate::constraints::{ConstraintState, FusionViolation};
+
+/// Returns the length of the longest prefix of `tasks` that satisfies all
+/// fusion constraints (Section 4.2). A result of `0` or `1` means no fusion is
+/// possible at the head of the window.
+pub fn find_fusible_prefix(tasks: &[IndexTask]) -> usize {
+    find_fusible_prefix_explained(tasks).0
+}
+
+/// Like [`find_fusible_prefix`], additionally returning the constraint
+/// violation that stopped the prefix (if the whole window did not fuse).
+pub fn find_fusible_prefix_explained(tasks: &[IndexTask]) -> (usize, Option<FusionViolation>) {
+    let mut state = ConstraintState::new();
+    for (i, task) in tasks.iter().enumerate() {
+        match state.try_push(task) {
+            Ok(()) => {}
+            Err(violation) => return (i, Some(violation)),
+        }
+    }
+    (tasks.len(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Domain, Partition, Privilege, Projection, StoreArg, StoreId, TaskId};
+
+    fn block() -> Partition {
+        Partition::block(vec![4])
+    }
+
+    fn elementwise(id: u64, inputs: &[u64], output: u64) -> IndexTask {
+        let mut args: Vec<StoreArg> = inputs
+            .iter()
+            .map(|&s| StoreArg::new(StoreId(s), block(), Privilege::Read))
+            .collect();
+        args.push(StoreArg::new(StoreId(output), block(), Privilege::Write));
+        IndexTask::new(TaskId(id), 0, "ew", Domain::linear(4), args, vec![])
+    }
+
+    #[test]
+    fn empty_window() {
+        assert_eq!(find_fusible_prefix(&[]), 0);
+    }
+
+    #[test]
+    fn whole_window_fuses() {
+        // The Figure 1c stream before the aliasing copy: a chain of adds and a
+        // multiply over disjoint temporaries.
+        let tasks = vec![
+            elementwise(0, &[0, 1], 10),
+            elementwise(1, &[10, 2], 11),
+            elementwise(2, &[11, 3], 12),
+            elementwise(3, &[12, 4], 13),
+            elementwise(4, &[13], 14),
+        ];
+        assert_eq!(find_fusible_prefix(&tasks), 5);
+    }
+
+    #[test]
+    fn figure1_stencil_prefix_stops_before_aliasing_copy() {
+        // Stores: 0 = grid. Views of grid: center (offset 1), north (offset 0),
+        // east (offset 2). Temporaries 10..; work = 13.
+        let grid = StoreId(0);
+        let center = Partition::tiling(vec![4], vec![1], Projection::Identity);
+        let north = Partition::tiling(vec![4], vec![0], Projection::Identity);
+        let east = Partition::tiling(vec![4], vec![2], Projection::Identity);
+        let domain = Domain::linear(4);
+        let add1 = IndexTask::new(
+            TaskId(0),
+            0,
+            "add",
+            domain.clone(),
+            vec![
+                StoreArg::new(grid, center.clone(), Privilege::Read),
+                StoreArg::new(grid, north, Privilege::Read),
+                StoreArg::new(StoreId(10), block(), Privilege::Write),
+            ],
+            vec![],
+        );
+        let add2 = IndexTask::new(
+            TaskId(1),
+            0,
+            "add",
+            domain.clone(),
+            vec![
+                StoreArg::new(StoreId(10), block(), Privilege::Read),
+                StoreArg::new(grid, east, Privilege::Read),
+                StoreArg::new(StoreId(11), block(), Privilege::Write),
+            ],
+            vec![],
+        );
+        let mult = IndexTask::new(
+            TaskId(2),
+            1,
+            "mult",
+            domain.clone(),
+            vec![
+                StoreArg::new(StoreId(11), block(), Privilege::Read),
+                StoreArg::new(StoreId(12), block(), Privilege::Write),
+            ],
+            vec![0.2],
+        );
+        let copy_back = IndexTask::new(
+            TaskId(3),
+            2,
+            "copy",
+            domain,
+            vec![
+                StoreArg::new(StoreId(12), block(), Privilege::Read),
+                StoreArg::new(grid, center, Privilege::Write),
+            ],
+            vec![],
+        );
+        let tasks = vec![add1, add2, mult, copy_back];
+        // The adds and the multiply fuse; the copy back into the aliased
+        // center view does not (anti dependence against the north/east reads).
+        let (len, violation) = find_fusible_prefix_explained(&tasks);
+        assert_eq!(len, 3);
+        assert!(matches!(
+            violation,
+            Some(crate::FusionViolation::AntiDependence { store }) if store == grid
+        ));
+    }
+
+    #[test]
+    fn prefix_respects_launch_domain_change() {
+        let mut tasks = vec![elementwise(0, &[0], 1), elementwise(1, &[1], 2)];
+        tasks.push(IndexTask::new(
+            TaskId(2),
+            0,
+            "other",
+            Domain::linear(8),
+            vec![StoreArg::new(StoreId(2), block(), Privilege::Read)],
+            vec![],
+        ));
+        let (len, violation) = find_fusible_prefix_explained(&tasks);
+        assert_eq!(len, 2);
+        assert!(matches!(
+            violation,
+            Some(crate::FusionViolation::LaunchDomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn soundness_against_ground_truth_on_fused_prefix() {
+        // Every pair of tasks inside a fusible prefix must be fusible by the
+        // ground-truth dependence maps of Definition 3.
+        use std::collections::HashMap;
+        let tasks = vec![
+            elementwise(0, &[0, 1], 10),
+            elementwise(1, &[10, 2], 11),
+            elementwise(2, &[11], 12),
+        ];
+        let len = find_fusible_prefix(&tasks);
+        let shapes: HashMap<StoreId, Vec<u64>> = [0, 1, 2, 10, 11, 12]
+            .into_iter()
+            .map(|s| (StoreId(s), vec![16]))
+            .collect();
+        for i in 0..len {
+            for j in (i + 1)..len {
+                assert!(ir::fusible_ground_truth(&tasks[i], &tasks[j], &shapes));
+            }
+        }
+    }
+}

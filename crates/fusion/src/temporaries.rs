@@ -1,0 +1,230 @@
+//! Temporary store elimination (Section 5.1, Definition 4).
+//!
+//! After a fusible prefix has been identified, stores whose entire contents
+//! are produced and consumed inside the fused task — and which neither pending
+//! tasks nor the application can observe afterwards — are *temporary* and can
+//! be demoted from distributed allocations to task-local allocations, where
+//! the kernel pipeline can usually eliminate them entirely.
+
+use std::collections::{HashMap, HashSet};
+
+use ir::{Domain, IndexTask, StoreId};
+
+/// Computes the set of temporary stores for the fusion of `prefix`
+/// (Definition 4).
+///
+/// * `prefix` — the fusible prefix about to be replaced by a fused task.
+/// * `pending` — tasks issued after the prefix that have not executed yet
+///   (the rest of the window).
+/// * `store_shapes` — shapes of every store referenced (needed for the
+///   `covers` check).
+/// * `has_app_reference` — whether the application still holds a live
+///   reference to a store (the split reference count of Section 5.1).
+pub fn temporary_stores(
+    prefix: &[IndexTask],
+    pending: &[IndexTask],
+    store_shapes: &HashMap<StoreId, Vec<u64>>,
+    mut has_app_reference: impl FnMut(StoreId) -> bool,
+) -> HashSet<StoreId> {
+    if prefix.is_empty() {
+        return HashSet::new();
+    }
+    let launch_domain: &Domain = &prefix[0].launch_domain;
+    // Candidate stores: everything accessed by the prefix.
+    let mut candidates: Vec<StoreId> = Vec::new();
+    for t in prefix {
+        for s in t.stores() {
+            if !candidates.contains(&s) {
+                candidates.push(s);
+            }
+        }
+    }
+    let mut result = HashSet::new();
+    'candidate: for store in candidates {
+        // Condition 3: no live application references.
+        if has_app_reference(store) {
+            continue;
+        }
+        // Condition 2: no pending task reads or reduces the store.
+        for t in pending {
+            if t.reads(store) || t.reduces(store) {
+                continue 'candidate;
+            }
+        }
+        // Condition 1: every read of the store within the prefix is preceded
+        // by a covering write through the same partition.
+        let shape = match store_shapes.get(&store) {
+            Some(s) => s,
+            None => continue,
+        };
+        let mut covering_writes: Vec<&ir::Partition> = Vec::new();
+        let mut written_at_all = false;
+        for t in prefix {
+            for arg in t.args_for(store) {
+                if arg.privilege.reads() || arg.privilege.reduces() {
+                    // A read (or reduction, which also observes prior
+                    // contents' absence) must be preceded by a covering write
+                    // through the same partition.
+                    if !covering_writes.contains(&&arg.partition) {
+                        continue 'candidate;
+                    }
+                }
+                if arg.privilege.writes() {
+                    written_at_all = true;
+                    if arg.partition.covers(shape, launch_domain)
+                        && !covering_writes.contains(&&arg.partition)
+                    {
+                        covering_writes.push(&arg.partition);
+                    }
+                }
+            }
+        }
+        // A store that is never written inside the prefix is an input, not a
+        // temporary (its contents flow in from earlier execution).
+        if !written_at_all {
+            continue;
+        }
+        result.insert(store);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Partition, Privilege, Projection, ReductionOp, StoreArg, TaskId};
+
+    fn block() -> Partition {
+        Partition::block(vec![4])
+    }
+
+    fn shapes(ids: &[u64]) -> HashMap<StoreId, Vec<u64>> {
+        ids.iter().map(|&i| (StoreId(i), vec![16])).collect()
+    }
+
+    fn task(id: u64, args: Vec<StoreArg>) -> IndexTask {
+        IndexTask::new(TaskId(id), 0, "t", Domain::linear(4), args, vec![])
+    }
+
+    /// The Figure 6 example: z = 2 * x; w = y + z; v = w ** 2, with a pending
+    /// norm task reading part of w, v still referenced by the application, and
+    /// x, y, z, w dropped by the application.
+    fn figure6() -> (Vec<IndexTask>, Vec<IndexTask>, HashMap<StoreId, Vec<u64>>) {
+        let (x, y, z, w, v, norm) = (0u64, 1, 2, 3, 4, 5);
+        let mult = task(
+            0,
+            vec![
+                StoreArg::new(StoreId(x), block(), Privilege::Read),
+                StoreArg::new(StoreId(z), block(), Privilege::Write),
+            ],
+        );
+        let add = task(
+            1,
+            vec![
+                StoreArg::new(StoreId(y), block(), Privilege::Read),
+                StoreArg::new(StoreId(z), block(), Privilege::Read),
+                StoreArg::new(StoreId(w), block(), Privilege::Write),
+            ],
+        );
+        let pow = task(
+            2,
+            vec![
+                StoreArg::new(StoreId(w), block(), Privilege::Read),
+                StoreArg::new(StoreId(v), block(), Privilege::Write),
+            ],
+        );
+        // The pending norm reads a sub-slice of w (a different partition) and
+        // reduces into the norm scalar.
+        let half = Partition::tiling(vec![2], vec![8], Projection::Identity);
+        let norm_task = task(
+            3,
+            vec![
+                StoreArg::new(StoreId(w), half, Privilege::Read),
+                StoreArg::new(
+                    StoreId(norm),
+                    Partition::Replicate,
+                    Privilege::Reduce(ReductionOp::Sum),
+                ),
+            ],
+        );
+        (
+            vec![mult, add, pow],
+            vec![norm_task],
+            shapes(&[x, y, z, w, v, norm]),
+        )
+    }
+
+    #[test]
+    fn figure6_only_z_is_temporary() {
+        let (prefix, pending, shapes) = figure6();
+        // The application still references v; x, y, z, w were deleted.
+        let temps = temporary_stores(&prefix, &pending, &shapes, |s| s == StoreId(4));
+        assert_eq!(temps, HashSet::from([StoreId(2)]));
+    }
+
+    #[test]
+    fn live_application_reference_blocks_elimination() {
+        let (prefix, pending, shapes) = figure6();
+        // If the application also still holds z, nothing is temporary.
+        let temps = temporary_stores(&prefix, &pending, &shapes, |s| {
+            s == StoreId(4) || s == StoreId(2)
+        });
+        assert!(temps.is_empty());
+    }
+
+    #[test]
+    fn pending_reader_blocks_elimination() {
+        let (prefix, _, shapes) = figure6();
+        // A pending task reading z keeps it alive.
+        let reader = task(
+            9,
+            vec![StoreArg::new(StoreId(2), block(), Privilege::Read)],
+        );
+        let temps = temporary_stores(&prefix, &[reader], &shapes, |s| s == StoreId(4));
+        assert!(!temps.contains(&StoreId(2)));
+    }
+
+    #[test]
+    fn non_covering_write_blocks_elimination() {
+        // Write only part of the store, then read it through the full block
+        // partition: the read observes data not produced in the fused task.
+        let partial = Partition::tiling(vec![2], vec![0], Projection::Identity);
+        let prefix = vec![
+            task(0, vec![StoreArg::new(StoreId(0), partial, Privilege::Write)]),
+            task(1, vec![StoreArg::new(StoreId(0), block(), Privilege::Read)]),
+        ];
+        let temps = temporary_stores(&prefix, &[], &shapes(&[0]), |_| false);
+        assert!(temps.is_empty());
+    }
+
+    #[test]
+    fn read_through_different_view_than_write_blocks_elimination() {
+        let shifted = Partition::tiling(vec![4], vec![1], Projection::Identity);
+        let prefix = vec![
+            task(0, vec![StoreArg::new(StoreId(0), block(), Privilege::Write)]),
+            task(1, vec![StoreArg::new(StoreId(0), shifted, Privilege::Read)]),
+        ];
+        let temps = temporary_stores(&prefix, &[], &shapes(&[0]), |_| false);
+        assert!(temps.is_empty());
+    }
+
+    #[test]
+    fn pure_input_is_not_temporary() {
+        let prefix = vec![task(
+            0,
+            vec![
+                StoreArg::new(StoreId(0), block(), Privilege::Read),
+                StoreArg::new(StoreId(1), block(), Privilege::Write),
+            ],
+        )];
+        let temps = temporary_stores(&prefix, &[], &shapes(&[0, 1]), |_| false);
+        assert!(!temps.contains(&StoreId(0)));
+        // The dead output with no references is temporary.
+        assert!(temps.contains(&StoreId(1)));
+    }
+
+    #[test]
+    fn empty_prefix_has_no_temporaries() {
+        assert!(temporary_stores(&[], &[], &HashMap::new(), |_| false).is_empty());
+    }
+}

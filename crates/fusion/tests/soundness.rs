@@ -1,0 +1,173 @@
+//! Property tests: the scale-free fusion constraints are sound with respect to
+//! the ground-truth dependence definitions (Theorem 1, part 1).
+//!
+//! For arbitrary task streams over a small machine, every pair of tasks inside
+//! the fusible prefix found by the greedy algorithm must be fusible according
+//! to the materialized dependence maps of Definition 3, and temporary stores
+//! must never be observable by pending tasks.
+
+use std::collections::HashMap;
+
+use fusion::{find_fusible_prefix, temporary_stores, CanonicalWindow};
+use ir::{
+    fusible_ground_truth, Domain, IndexTask, Partition, Privilege, Projection, ReductionOp,
+    StoreArg, StoreId, TaskId,
+};
+use proptest::prelude::*;
+
+const NUM_STORES: u64 = 6;
+const STORE_LEN: u64 = 24;
+const LAUNCH_POINTS: u64 = 4;
+
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    prop_oneof![
+        Just(Partition::Replicate),
+        Just(Partition::block(vec![STORE_LEN / LAUNCH_POINTS])),
+        (0i64..3).prop_map(|off| Partition::tiling(
+            vec![STORE_LEN / LAUNCH_POINTS],
+            vec![off],
+            Projection::Identity
+        )),
+        Just(Partition::tiling(
+            vec![STORE_LEN / 2],
+            vec![0],
+            Projection::Constant(vec![0])
+        )),
+    ]
+}
+
+fn arb_privilege() -> impl Strategy<Value = Privilege> {
+    prop_oneof![
+        Just(Privilege::Read),
+        Just(Privilege::Write),
+        Just(Privilege::ReadWrite),
+        Just(Privilege::Reduce(ReductionOp::Sum)),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = StoreArg> {
+    (0..NUM_STORES, arb_partition(), arb_privilege())
+        .prop_map(|(s, p, pr)| StoreArg::new(StoreId(s), p, pr))
+}
+
+fn arb_task(id: u64) -> impl Strategy<Value = IndexTask> {
+    prop::collection::vec(arb_arg(), 1..4).prop_map(move |args| {
+        IndexTask::new(
+            TaskId(id),
+            0,
+            format!("t{id}"),
+            Domain::linear(LAUNCH_POINTS),
+            args,
+            vec![],
+        )
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<IndexTask>> {
+    prop::collection::vec(arb_task(0), 1..8).prop_map(|mut tasks| {
+        for (i, t) in tasks.iter_mut().enumerate() {
+            t.id = TaskId(i as u64);
+        }
+        tasks
+    })
+}
+
+fn store_shapes() -> HashMap<StoreId, Vec<u64>> {
+    (0..NUM_STORES)
+        .map(|s| (StoreId(s), vec![STORE_LEN]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: every pair of tasks inside the fusible prefix is fusible by
+    /// the ground-truth dependence maps.
+    #[test]
+    fn fusible_prefix_is_sound(tasks in arb_stream()) {
+        let shapes = store_shapes();
+        let len = find_fusible_prefix(&tasks);
+        prop_assert!(len <= tasks.len());
+        for i in 0..len {
+            for j in (i + 1)..len {
+                prop_assert!(
+                    fusible_ground_truth(&tasks[i], &tasks[j], &shapes),
+                    "tasks {i} and {j} admitted by the constraints but not fusible \
+                     by the ground truth"
+                );
+            }
+        }
+    }
+
+    /// The greedy search is monotone: a prefix of a stream never produces a
+    /// longer fusible prefix than the full stream allows at the same cut.
+    #[test]
+    fn prefix_search_is_greedy_and_stable(tasks in arb_stream()) {
+        let len = find_fusible_prefix(&tasks);
+        if len > 1 {
+            // Every shorter prefix of the fusible prefix must itself be fully
+            // fusible.
+            for cut in 1..len {
+                prop_assert_eq!(find_fusible_prefix(&tasks[..cut]), cut);
+            }
+        }
+    }
+
+    /// Temporary stores are never read or reduced by pending tasks and never
+    /// application-referenced.
+    #[test]
+    fn temporaries_are_unobservable(tasks in arb_stream(), split in 0usize..8) {
+        let shapes = store_shapes();
+        let len = find_fusible_prefix(&tasks);
+        let split = split.min(len);
+        let (prefix, pending) = tasks.split_at(split.max(1).min(tasks.len()));
+        let temps = temporary_stores(prefix, pending, &shapes, |_| false);
+        for s in &temps {
+            for t in pending {
+                prop_assert!(!t.reads(*s) && !t.reduces(*s));
+            }
+            // A temporary must have been written inside the prefix.
+            prop_assert!(prefix.iter().any(|t| t.writes(*s)));
+        }
+    }
+
+    /// Canonicalization is invariant under store renaming (alpha-equivalence).
+    #[test]
+    fn canonicalization_is_renaming_invariant(tasks in arb_stream(), offset in 1u64..40) {
+        let shapes = store_shapes();
+        let renamed: Vec<IndexTask> = tasks
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                for arg in &mut t.args {
+                    arg.store = StoreId(arg.store.0 + offset);
+                }
+                t
+            })
+            .collect();
+        let renamed_shapes: HashMap<StoreId, Vec<u64>> = (0..NUM_STORES)
+            .map(|s| (StoreId(s + offset), vec![STORE_LEN]))
+            .collect();
+        let a = CanonicalWindow::new(&tasks, &shapes);
+        let b = CanonicalWindow::new(&renamed, &renamed_shapes);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The fusion decision itself is replayable on isomorphic windows: two
+    /// windows with equal canonical forms produce the same fusible prefix
+    /// length.
+    #[test]
+    fn isomorphic_windows_fuse_identically(tasks in arb_stream(), offset in 1u64..40) {
+        let renamed: Vec<IndexTask> = tasks
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                for arg in &mut t.args {
+                    arg.store = StoreId(arg.store.0 + offset);
+                }
+                t
+            })
+            .collect();
+        prop_assert_eq!(find_fusible_prefix(&tasks), find_fusible_prefix(&renamed));
+    }
+}

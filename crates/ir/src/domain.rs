@@ -1,0 +1,266 @@
+//! Points, rectangular domains and rectangles.
+
+/// A point in an n-dimensional integer space.
+pub type Point = Vec<i64>;
+
+/// A rectangular, origin-anchored domain described by its shape (the exclusive
+/// upper bound of every dimension). Used both for store shapes and for index
+/// task launch domains.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Domain {
+    shape: Vec<u64>,
+}
+
+impl Domain {
+    /// Creates a domain with the given shape.
+    pub fn new(shape: Vec<u64>) -> Self {
+        Domain { shape }
+    }
+
+    /// A one-dimensional domain of `n` points.
+    pub fn linear(n: u64) -> Self {
+        Domain { shape: vec![n] }
+    }
+
+    /// The shape of the domain.
+    pub fn shape(&self) -> &[u64] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of points in the domain (product of the shape).
+    pub fn size(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Whether the domain contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// Whether `point` lies inside the domain.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        point.len() == self.shape.len()
+            && point
+                .iter()
+                .zip(&self.shape)
+                .all(|(&p, &s)| p >= 0 && (p as u64) < s)
+    }
+
+    /// Iterates over every point in the domain in row-major order.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        let total = self.size();
+        let shape = self.shape.clone();
+        (0..total).map(move |mut idx| {
+            let mut p = vec![0i64; shape.len()];
+            for d in (0..shape.len()).rev() {
+                let extent = shape[d].max(1);
+                p[d] = (idx % extent) as i64;
+                idx /= extent;
+            }
+            p
+        })
+    }
+
+    /// The whole domain as a rectangle anchored at the origin.
+    pub fn to_rect(&self) -> Rect {
+        Rect {
+            lo: vec![0; self.shape.len()],
+            hi: self.shape.iter().map(|&s| s as i64).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.shape.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A half-open rectangle `[lo, hi)` in n-dimensional integer space. Used for
+/// sub-store bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Inclusive lower bound of each dimension.
+    pub lo: Vec<i64>,
+    /// Exclusive upper bound of each dimension.
+    pub hi: Vec<i64>,
+}
+
+impl Rect {
+    /// Creates a rectangle from inclusive lower and exclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds have different dimensionality.
+    pub fn new(lo: Vec<i64>, hi: Vec<i64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "rect bounds must have equal rank");
+        Rect { lo, hi }
+    }
+
+    /// An empty rectangle of the given rank.
+    pub fn empty(rank: usize) -> Self {
+        Rect {
+            lo: vec![0; rank],
+            hi: vec![0; rank],
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether the rectangle contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(&l, &h)| h <= l)
+    }
+
+    /// Number of points in the rectangle.
+    pub fn volume(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| (h - l) as u64)
+            .product()
+    }
+
+    /// The intersection of two rectangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangles have different rank.
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        assert_eq!(self.rank(), other.rank(), "rank mismatch in intersect");
+        let lo: Vec<i64> = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        let hi: Vec<i64> = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        Rect { lo, hi }
+    }
+
+    /// Whether two rectangles overlap in at least one point.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Whether `self` entirely contains `other`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.lo
+            .iter()
+            .zip(&other.lo)
+            .all(|(&a, &b)| a <= b)
+            && self.hi.iter().zip(&other.hi).all(|(&a, &b)| a >= b)
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?}, {:?})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_size_and_contains() {
+        let d = Domain::new(vec![4, 3]);
+        assert_eq!(d.size(), 12);
+        assert_eq!(d.dims(), 2);
+        assert!(!d.is_empty());
+        assert!(d.contains(&[3, 2]));
+        assert!(!d.contains(&[4, 0]));
+        assert!(!d.contains(&[0, -1]));
+        assert!(!d.contains(&[0]));
+    }
+
+    #[test]
+    fn domain_points_row_major() {
+        let d = Domain::new(vec![2, 2]);
+        let pts: Vec<_> = d.points().collect();
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn linear_domain() {
+        let d = Domain::linear(5);
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.points().count(), 5);
+        assert_eq!(d.to_string(), "(5)");
+    }
+
+    #[test]
+    fn empty_domain() {
+        let d = Domain::new(vec![0, 4]);
+        assert!(d.is_empty());
+        assert_eq!(d.points().count(), 0);
+    }
+
+    #[test]
+    fn rect_volume_and_empty() {
+        let r = Rect::new(vec![1, 1], vec![3, 4]);
+        assert_eq!(r.volume(), 6);
+        assert!(!r.is_empty());
+        assert!(Rect::new(vec![2], vec![2]).is_empty());
+        assert_eq!(Rect::empty(2).volume(), 0);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(vec![0, 0], vec![4, 4]);
+        let b = Rect::new(vec![2, 2], vec![6, 6]);
+        let i = a.intersect(&b);
+        assert_eq!(i, Rect::new(vec![2, 2], vec![4, 4]));
+        assert!(a.overlaps(&b));
+        let c = Rect::new(vec![4, 0], vec![8, 4]);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn rect_containment() {
+        let outer = Rect::new(vec![0, 0], vec![4, 4]);
+        let inner = Rect::new(vec![1, 1], vec![3, 3]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&Rect::empty(2)));
+    }
+
+    #[test]
+    fn domain_to_rect() {
+        let d = Domain::new(vec![3, 2]);
+        assert_eq!(d.to_rect(), Rect::new(vec![0, 0], vec![3, 2]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rect_rank_mismatch_panics() {
+        let _ = Rect::new(vec![0], vec![1, 2]);
+    }
+}

@@ -1,0 +1,333 @@
+//! First-class, structured partitions of stores.
+//!
+//! Partitions map points of a launch domain to sub-stores (Figure 3). The two
+//! kinds from the paper are implemented: replication (`None` in the paper,
+//! [`Partition::Replicate`] here to avoid clashing with `Option::None`) and
+//! affine tilings with projection functions. The critical property is that two
+//! partitions can be compared for equality (the conservative alias check used
+//! by the fusion constraints) in constant time, without enumerating
+//! sub-stores.
+
+use crate::domain::{Point, Rect};
+
+/// A projection function applied to a launch-domain point before the tile
+/// bounds are computed (Figure 3d–3e).
+///
+/// Projections are represented structurally so that equality is syntactic and
+/// constant-time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Projection {
+    /// The identity projection.
+    Identity,
+    /// Keep only the listed dimensions of the point, in order. For example
+    /// `SelectDims([0])` maps `(i, j)` to `(i,)`, producing a partition of a
+    /// vector that is aliased along the second launch-domain dimension.
+    SelectDims(Vec<usize>),
+    /// Map every point to a fixed point (full aliasing).
+    Constant(Point),
+    /// Pad the point with trailing zeros up to `rank` dimensions, e.g. mapping
+    /// `(g,)` to `(g, 0)`. Used to tile a 2-D store by row blocks over a 1-D
+    /// launch domain. This projection is injective, so the resulting tiling is
+    /// still disjoint across points.
+    PadZeros {
+        /// Target rank of the projected point.
+        rank: usize,
+    },
+}
+
+impl Projection {
+    /// Applies the projection to a point.
+    pub fn apply(&self, point: &[i64]) -> Point {
+        match self {
+            Projection::Identity => point.to_vec(),
+            Projection::SelectDims(dims) => dims.iter().map(|&d| point[d]).collect(),
+            Projection::Constant(p) => p.clone(),
+            Projection::PadZeros { rank } => {
+                let mut p = point.to_vec();
+                p.resize(*rank, 0);
+                p
+            }
+        }
+    }
+
+    /// The rank of the projected point given an input of rank `input_rank`.
+    pub fn output_rank(&self, input_rank: usize) -> usize {
+        match self {
+            Projection::Identity => input_rank,
+            Projection::SelectDims(dims) => dims.len(),
+            Projection::Constant(p) => p.len(),
+            Projection::PadZeros { rank } => *rank,
+        }
+    }
+
+    /// Whether the projection is injective (distinct points map to distinct
+    /// projected points). Injective projections keep tilings disjoint across
+    /// launch-domain points.
+    pub fn is_injective(&self) -> bool {
+        matches!(self, Projection::Identity | Projection::PadZeros { .. })
+    }
+}
+
+/// A partition of a store: a scale-free mapping from launch-domain points to
+/// sub-stores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// Every point maps to the entire store (the paper's `None` partition).
+    Replicate,
+    /// An affine tiling: point `p` maps to the rectangle
+    /// `[proj(p) * tile, proj(p + 1) * tile) + offset`, clamped to the store
+    /// bounds (Figure 3e).
+    Tiling {
+        /// Shape of each tile.
+        tile: Vec<u64>,
+        /// Offset of the tiling from the store origin.
+        offset: Vec<i64>,
+        /// Projection applied to launch-domain points.
+        proj: Projection,
+    },
+}
+
+impl Partition {
+    /// Convenience constructor for a tiling partition.
+    pub fn tiling(tile: Vec<u64>, offset: Vec<i64>, proj: Projection) -> Self {
+        assert_eq!(
+            tile.len(),
+            offset.len(),
+            "tile shape and offset must have the same rank"
+        );
+        Partition::Tiling { tile, offset, proj }
+    }
+
+    /// An identity-projection tiling with zero offset: the standard block
+    /// decomposition used by the dense library.
+    pub fn block(tile: Vec<u64>) -> Self {
+        let offset = vec![0; tile.len()];
+        Partition::tiling(tile, offset, Projection::Identity)
+    }
+
+    /// Whether this is the replicated partition.
+    pub fn is_replicate(&self) -> bool {
+        matches!(self, Partition::Replicate)
+    }
+
+    /// Whether two *different* launch-domain points may map to overlapping
+    /// sub-stores. Replication and tilings with non-identity projection
+    /// functions alias across points; identity tilings are disjoint.
+    ///
+    /// The fusion constraints use this: a write through a partition that
+    /// aliases across points can never be part of a point-wise dependence with
+    /// a later access, even through the identical partition.
+    pub fn may_alias_across_points(&self) -> bool {
+        match self {
+            Partition::Replicate => true,
+            Partition::Tiling { proj, .. } => !proj.is_injective(),
+        }
+    }
+
+    /// Computes the sub-store bounds for launch-domain point `point` of a
+    /// store with shape `store_shape` (Figure 3e). The result is clamped to
+    /// the store bounds and may be empty for points that fall outside the
+    /// store.
+    pub fn sub_store_bounds(&self, store_shape: &[u64], point: &[i64]) -> Rect {
+        let store_rect = Rect::new(
+            vec![0; store_shape.len()],
+            store_shape.iter().map(|&s| s as i64).collect(),
+        );
+        match self {
+            Partition::Replicate => store_rect,
+            Partition::Tiling { tile, offset, proj } => {
+                let p = proj.apply(point);
+                let p_next: Point = p.iter().map(|&x| x + 1).collect();
+                assert_eq!(
+                    p.len(),
+                    tile.len(),
+                    "projected point rank must match tile rank"
+                );
+                let lo: Vec<i64> = p
+                    .iter()
+                    .zip(tile)
+                    .zip(offset)
+                    .map(|((&pi, &ti), &oi)| pi * ti as i64 + oi)
+                    .collect();
+                let hi: Vec<i64> = p_next
+                    .iter()
+                    .zip(tile)
+                    .zip(offset)
+                    .map(|((&pi, &ti), &oi)| pi * ti as i64 + oi)
+                    .collect();
+                Rect::new(lo, hi).intersect(&store_rect)
+            }
+        }
+    }
+
+    /// Whether the partition covers every element of a store with shape
+    /// `store_shape` when launched over `launch_domain` — the `covers`
+    /// predicate used by temporary-store elimination (Definition 4).
+    pub fn covers(&self, store_shape: &[u64], launch_domain: &crate::Domain) -> bool {
+        match self {
+            Partition::Replicate => true,
+            Partition::Tiling { .. } => {
+                let total: u64 = store_shape.iter().product();
+                let mut covered: u64 = 0;
+                // Tilings produced by the libraries are disjoint; summing
+                // clamped tile volumes is exact for disjoint tiles and a safe
+                // underestimate otherwise (covers() may return false
+                // negatives, never false positives, for aliased tilings this
+                // conservative answer is acceptable).
+                let mut rects: Vec<Rect> = Vec::new();
+                for p in launch_domain.points() {
+                    let r = self.sub_store_bounds(store_shape, &p);
+                    if rects.iter().any(|prev| prev.overlaps(&r)) {
+                        return false;
+                    }
+                    covered += r.volume();
+                    rects.push(r);
+                }
+                covered == total
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partition::Replicate => write!(f, "Replicate"),
+            Partition::Tiling { tile, offset, proj } => {
+                write!(f, "Tiling(tile={tile:?}, offset={offset:?}, proj={proj:?})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    #[test]
+    fn projection_apply() {
+        assert_eq!(Projection::Identity.apply(&[1, 2]), vec![1, 2]);
+        assert_eq!(Projection::SelectDims(vec![0]).apply(&[1, 2]), vec![1]);
+        assert_eq!(Projection::SelectDims(vec![1, 0]).apply(&[1, 2]), vec![2, 1]);
+        assert_eq!(Projection::Constant(vec![0]).apply(&[5, 7]), vec![0]);
+        assert_eq!(Projection::Identity.output_rank(3), 3);
+        assert_eq!(Projection::SelectDims(vec![0]).output_rank(2), 1);
+        assert_eq!(Projection::Constant(vec![0, 0]).output_rank(1), 2);
+    }
+
+    #[test]
+    fn figure3a_2x2_tiling_of_4x4_store() {
+        // 2x2 tiles of a 4x4 store over a (2,2) domain.
+        let p = Partition::block(vec![2, 2]);
+        assert_eq!(
+            p.sub_store_bounds(&[4, 4], &[0, 0]),
+            Rect::new(vec![0, 0], vec![2, 2])
+        );
+        assert_eq!(
+            p.sub_store_bounds(&[4, 4], &[1, 1]),
+            Rect::new(vec![2, 2], vec![4, 4])
+        );
+        assert!(p.covers(&[4, 4], &Domain::new(vec![2, 2])));
+    }
+
+    #[test]
+    fn figure3b_row_tiling() {
+        // 1x4 tiles of a 4x4 store over a (4,1) domain.
+        let p = Partition::block(vec![1, 4]);
+        assert_eq!(
+            p.sub_store_bounds(&[4, 4], &[2, 0]),
+            Rect::new(vec![2, 0], vec![3, 4])
+        );
+        assert!(p.covers(&[4, 4], &Domain::new(vec![4, 1])));
+    }
+
+    #[test]
+    fn figure3c_offset_tiling() {
+        // 1x1 tiles offset by (1,1): sub-stores sit in the interior.
+        let p = Partition::tiling(vec![1, 1], vec![1, 1], Projection::Identity);
+        assert_eq!(
+            p.sub_store_bounds(&[4, 4], &[0, 0]),
+            Rect::new(vec![1, 1], vec![2, 2])
+        );
+        // Offset tilings do not cover the store.
+        assert!(!p.covers(&[4, 4], &Domain::new(vec![2, 2])));
+    }
+
+    #[test]
+    fn figure3d_aliased_projection_tiling() {
+        // A length-4 vector tiled over a (2,2) domain with a projection that
+        // drops the second dimension: points (i, 0) and (i, 1) alias.
+        let p = Partition::tiling(vec![2], vec![0], Projection::SelectDims(vec![0]));
+        let a = p.sub_store_bounds(&[4], &[1, 0]);
+        let b = p.sub_store_bounds(&[4], &[1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a, Rect::new(vec![2], vec![4]));
+        assert!(!p.covers(&[4], &Domain::new(vec![2, 2])));
+    }
+
+    #[test]
+    fn replicate_maps_everything() {
+        let p = Partition::Replicate;
+        assert!(p.is_replicate());
+        assert_eq!(
+            p.sub_store_bounds(&[8], &[3]),
+            Rect::new(vec![0], vec![8])
+        );
+        assert!(p.covers(&[8], &Domain::linear(4)));
+    }
+
+    #[test]
+    fn out_of_store_tiles_clamp_to_empty() {
+        let p = Partition::block(vec![4]);
+        let r = p.sub_store_bounds(&[8], &[5]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn padzeros_projection_tiles_2d_by_row_blocks() {
+        // A (8, 4) store tiled by 2-row blocks over a 1-D launch domain of 4.
+        let p = Partition::tiling(vec![2, 4], vec![0, 0], Projection::PadZeros { rank: 2 });
+        assert_eq!(
+            p.sub_store_bounds(&[8, 4], &[1]),
+            Rect::new(vec![2, 0], vec![4, 4])
+        );
+        assert_eq!(
+            p.sub_store_bounds(&[8, 4], &[3]),
+            Rect::new(vec![6, 0], vec![8, 4])
+        );
+        assert!(p.covers(&[8, 4], &Domain::linear(4)));
+        assert!(!p.may_alias_across_points());
+        assert!(Projection::PadZeros { rank: 2 }.is_injective());
+        assert_eq!(Projection::PadZeros { rank: 2 }.apply(&[3]), vec![3, 0]);
+        assert_eq!(Projection::PadZeros { rank: 2 }.output_rank(1), 2);
+    }
+
+    #[test]
+    fn aliasing_across_points() {
+        assert!(Partition::Replicate.may_alias_across_points());
+        assert!(!Partition::block(vec![4]).may_alias_across_points());
+        assert!(!Partition::tiling(vec![4], vec![1], Projection::Identity)
+            .may_alias_across_points());
+        assert!(Partition::tiling(vec![2], vec![0], Projection::SelectDims(vec![0]))
+            .may_alias_across_points());
+        assert!(Partition::tiling(vec![2], vec![0], Projection::Constant(vec![0]))
+            .may_alias_across_points());
+    }
+
+    #[test]
+    fn partition_equality_is_the_alias_check() {
+        let a = Partition::block(vec![2, 2]);
+        let b = Partition::block(vec![2, 2]);
+        let c = Partition::tiling(vec![2, 2], vec![0, 1], Projection::Identity);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Partition::Replicate);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tile_offset_rank_mismatch_panics() {
+        let _ = Partition::tiling(vec![2, 2], vec![0], Projection::Identity);
+    }
+}

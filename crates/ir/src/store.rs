@@ -1,0 +1,80 @@
+//! Stores: distributed arrays in the data model.
+
+/// Unique identifier of a store (a distributed array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreId(pub u64);
+
+impl std::fmt::Display for StoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Metadata describing a store: its shape and element size.
+///
+/// The store's *contents* live in the runtime layer; the IR only needs shapes
+/// to compute sub-store bounds and sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreInfo {
+    /// The store's identifier.
+    pub id: StoreId,
+    /// Rectangular shape (exclusive upper bound per dimension).
+    pub shape: Vec<u64>,
+    /// Size in bytes of each element.
+    pub elem_size: u64,
+    /// Human-readable name for debugging and profiles.
+    pub name: String,
+}
+
+impl StoreInfo {
+    /// Creates store metadata.
+    pub fn new(id: StoreId, shape: Vec<u64>, elem_size: u64, name: impl Into<String>) -> Self {
+        StoreInfo {
+            id,
+            shape,
+            elem_size,
+            name: name.into(),
+        }
+    }
+
+    /// Number of elements in the store.
+    pub fn volume(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Total size of the store in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.volume() * self.elem_size
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_info_volume_and_bytes() {
+        let s = StoreInfo::new(StoreId(3), vec![4, 8], 8, "grid");
+        assert_eq!(s.volume(), 32);
+        assert_eq!(s.size_bytes(), 256);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.name, "grid");
+    }
+
+    #[test]
+    fn store_id_display() {
+        assert_eq!(StoreId(7).to_string(), "S7");
+    }
+
+    #[test]
+    fn scalar_store() {
+        let s = StoreInfo::new(StoreId(0), vec![1], 8, "alpha");
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.size_bytes(), 8);
+    }
+}

@@ -1,0 +1,272 @@
+//! Index tasks: the computational model.
+
+use crate::domain::Domain;
+use crate::partition::Partition;
+use crate::store::StoreId;
+
+/// Unique identifier of an index task in a task stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Reduction operators usable with the [`Privilege::Reduce`] privilege.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionOp {
+    /// Sum reduction.
+    Sum,
+    /// Max reduction.
+    Max,
+    /// Min reduction.
+    Min,
+}
+
+/// The privilege with which a task accesses a (store, partition) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Read-only access.
+    Read,
+    /// Write-only access.
+    Write,
+    /// Read-write access.
+    ReadWrite,
+    /// Reduction access with an associative, commutative operator.
+    Reduce(ReductionOp),
+}
+
+impl Privilege {
+    /// Whether the privilege reads the data (Read or ReadWrite).
+    pub fn reads(self) -> bool {
+        matches!(self, Privilege::Read | Privilege::ReadWrite)
+    }
+
+    /// Whether the privilege writes the data (Write or ReadWrite).
+    pub fn writes(self) -> bool {
+        matches!(self, Privilege::Write | Privilege::ReadWrite)
+    }
+
+    /// Whether the privilege reduces to the data.
+    pub fn reduces(self) -> bool {
+        matches!(self, Privilege::Reduce(_))
+    }
+
+    /// The least privilege that subsumes both `self` and `other`, used when a
+    /// fused task merges the privileges of its constituent tasks. Reductions
+    /// combined with anything other than the same reduction are promoted to
+    /// ReadWrite.
+    pub fn promote(self, other: Privilege) -> Privilege {
+        use Privilege::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Reduce(_), _) | (_, Reduce(_)) => ReadWrite,
+            (Read, Write) | (Write, Read) => ReadWrite,
+            (ReadWrite, _) | (_, ReadWrite) => ReadWrite,
+            _ => ReadWrite,
+        }
+    }
+}
+
+impl std::fmt::Display for Privilege {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Privilege::Read => write!(f, "R"),
+            Privilege::Write => write!(f, "W"),
+            Privilege::ReadWrite => write!(f, "RW"),
+            Privilege::Reduce(op) => write!(f, "Rd({op:?})"),
+        }
+    }
+}
+
+/// One store argument of an index task: a (store, partition, privilege)
+/// triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreArg {
+    /// The store being accessed.
+    pub store: StoreId,
+    /// The partition through which the store is accessed.
+    pub partition: Partition,
+    /// The access privilege.
+    pub privilege: Privilege,
+}
+
+impl StoreArg {
+    /// Creates a store argument.
+    pub fn new(store: StoreId, partition: Partition, privilege: Privilege) -> Self {
+        StoreArg {
+            store,
+            partition,
+            privilege,
+        }
+    }
+}
+
+/// A group of parallel point tasks launched over a rectangular domain
+/// (Figure 2a). Each point task accesses the sub-stores selected by its launch
+/// point through the argument partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexTask {
+    /// Unique id within the task stream.
+    pub id: TaskId,
+    /// The task kind (which library operation this is). Matches a generator
+    /// registered in the kernel generator registry.
+    pub kind: u32,
+    /// Human-readable name for debugging and profiles.
+    pub name: String,
+    /// The launch domain: one point per parallel point task.
+    pub launch_domain: Domain,
+    /// Store arguments in kernel-argument order.
+    pub args: Vec<StoreArg>,
+    /// Scalar parameters forwarded to the kernel.
+    pub scalars: Vec<f64>,
+}
+
+impl IndexTask {
+    /// Creates an index task.
+    pub fn new(
+        id: TaskId,
+        kind: u32,
+        name: impl Into<String>,
+        launch_domain: Domain,
+        args: Vec<StoreArg>,
+        scalars: Vec<f64>,
+    ) -> Self {
+        IndexTask {
+            id,
+            kind,
+            name: name.into(),
+            launch_domain,
+            args,
+            scalars,
+        }
+    }
+
+    /// Whether any argument reads `store`.
+    pub fn reads(&self, store: StoreId) -> bool {
+        self.args
+            .iter()
+            .any(|a| a.store == store && a.privilege.reads())
+    }
+
+    /// Whether any argument writes `store`.
+    pub fn writes(&self, store: StoreId) -> bool {
+        self.args
+            .iter()
+            .any(|a| a.store == store && a.privilege.writes())
+    }
+
+    /// Whether any argument reduces to `store`.
+    pub fn reduces(&self, store: StoreId) -> bool {
+        self.args
+            .iter()
+            .any(|a| a.store == store && a.privilege.reduces())
+    }
+
+    /// All stores referenced by the task (with duplicates removed, in
+    /// argument order).
+    pub fn stores(&self) -> Vec<StoreId> {
+        let mut out = Vec::new();
+        for a in &self.args {
+            if !out.contains(&a.store) {
+                out.push(a.store);
+            }
+        }
+        out
+    }
+
+    /// Arguments accessing `store`.
+    pub fn args_for(&self, store: StoreId) -> impl Iterator<Item = &StoreArg> {
+        self.args.iter().filter(move |a| a.store == store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Projection;
+
+    fn task() -> IndexTask {
+        IndexTask::new(
+            TaskId(1),
+            0,
+            "add",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(StoreId(0), Partition::block(vec![8]), Privilege::Read),
+                StoreArg::new(StoreId(1), Partition::block(vec![8]), Privilege::Read),
+                StoreArg::new(StoreId(2), Partition::block(vec![8]), Privilege::Write),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn privilege_predicates() {
+        assert!(Privilege::Read.reads());
+        assert!(!Privilege::Read.writes());
+        assert!(Privilege::ReadWrite.reads() && Privilege::ReadWrite.writes());
+        assert!(Privilege::Write.writes() && !Privilege::Write.reads());
+        assert!(Privilege::Reduce(ReductionOp::Sum).reduces());
+        assert!(!Privilege::Reduce(ReductionOp::Sum).reads());
+    }
+
+    #[test]
+    fn privilege_promotion() {
+        use Privilege::*;
+        assert_eq!(Read.promote(Read), Read);
+        assert_eq!(Read.promote(Write), ReadWrite);
+        assert_eq!(Write.promote(Read), ReadWrite);
+        assert_eq!(ReadWrite.promote(Read), ReadWrite);
+        assert_eq!(
+            Reduce(ReductionOp::Sum).promote(Reduce(ReductionOp::Sum)),
+            Reduce(ReductionOp::Sum)
+        );
+        assert_eq!(Reduce(ReductionOp::Sum).promote(Read), ReadWrite);
+    }
+
+    #[test]
+    fn task_access_predicates() {
+        let t = task();
+        assert!(t.reads(StoreId(0)));
+        assert!(!t.writes(StoreId(0)));
+        assert!(t.writes(StoreId(2)));
+        assert!(!t.reduces(StoreId(2)));
+        assert_eq!(t.stores(), vec![StoreId(0), StoreId(1), StoreId(2)]);
+        assert_eq!(t.args_for(StoreId(1)).count(), 1);
+    }
+
+    #[test]
+    fn aliasing_views_are_same_store_different_partitions() {
+        // Figure 1: center and north are the same store accessed through
+        // different offset tilings.
+        let grid = StoreId(0);
+        let center = Partition::tiling(vec![2, 2], vec![1, 1], Projection::Identity);
+        let north = Partition::tiling(vec![2, 2], vec![0, 1], Projection::Identity);
+        let t = IndexTask::new(
+            TaskId(0),
+            0,
+            "stencil_read",
+            Domain::new(vec![2, 2]),
+            vec![
+                StoreArg::new(grid, center.clone(), Privilege::Read),
+                StoreArg::new(grid, north, Privilege::Read),
+            ],
+            vec![],
+        );
+        assert_eq!(t.stores(), vec![grid]);
+        assert_eq!(t.args_for(grid).count(), 2);
+        assert_ne!(t.args[0].partition, t.args[1].partition);
+        assert_eq!(t.args[0].partition, center);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TaskId(4).to_string(), "T4");
+        assert_eq!(Privilege::Read.to_string(), "R");
+        assert_eq!(Privilege::ReadWrite.to_string(), "RW");
+        assert!(Privilege::Reduce(ReductionOp::Sum).to_string().contains("Rd"));
+    }
+}

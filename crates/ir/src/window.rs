@@ -1,0 +1,114 @@
+//! Buffered windows of index tasks awaiting analysis.
+
+use crate::task::IndexTask;
+
+/// A FIFO window of index tasks that have been submitted by the application
+/// but not yet analyzed and forwarded to the underlying runtime (Section 4).
+#[derive(Debug, Clone, Default)]
+pub struct TaskWindow {
+    tasks: Vec<IndexTask>,
+}
+
+impl TaskWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        TaskWindow { tasks: Vec::new() }
+    }
+
+    /// Appends a task to the window.
+    pub fn push(&mut self, task: IndexTask) {
+        self.tasks.push(task);
+    }
+
+    /// Number of buffered tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The buffered tasks in program order.
+    pub fn tasks(&self) -> &[IndexTask] {
+        &self.tasks
+    }
+
+    /// Removes and returns the first `n` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the window length.
+    pub fn drain_prefix(&mut self, n: usize) -> Vec<IndexTask> {
+        assert!(n <= self.tasks.len(), "cannot drain more tasks than buffered");
+        self.tasks.drain(..n).collect()
+    }
+
+    /// Removes and returns all buffered tasks.
+    pub fn drain_all(&mut self) -> Vec<IndexTask> {
+        std::mem::take(&mut self.tasks)
+    }
+}
+
+impl FromIterator<IndexTask> for TaskWindow {
+    fn from_iter<T: IntoIterator<Item = IndexTask>>(iter: T) -> Self {
+        TaskWindow {
+            tasks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<IndexTask> for TaskWindow {
+    fn extend<T: IntoIterator<Item = IndexTask>>(&mut self, iter: T) {
+        self.tasks.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, TaskId};
+
+    fn task(id: u64) -> IndexTask {
+        IndexTask::new(TaskId(id), 0, "t", Domain::linear(1), vec![], vec![])
+    }
+
+    #[test]
+    fn push_and_drain_prefix() {
+        let mut w = TaskWindow::new();
+        assert!(w.is_empty());
+        for i in 0..5 {
+            w.push(task(i));
+        }
+        assert_eq!(w.len(), 5);
+        let prefix = w.drain_prefix(2);
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(prefix[0].id, TaskId(0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.tasks()[0].id, TaskId(2));
+    }
+
+    #[test]
+    fn drain_all_empties_window() {
+        let mut w: TaskWindow = (0..3).map(task).collect();
+        let all = w.drain_all();
+        assert_eq!(all.len(), 3);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut w = TaskWindow::new();
+        w.extend((0..2).map(task));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn drain_too_many_panics() {
+        let mut w = TaskWindow::new();
+        w.push(task(0));
+        let _ = w.drain_prefix(2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Convenience builder for loop kernels.
+//!
+//! Generator functions (registered by the dense and sparse libraries) use
+//! [`LoopBuilder`] to assemble the straight-line body of an elementwise loop
+//! without manually numbering SSA values.
+
+use crate::ir::{BinaryOp, BufferId, LoopKernel, LoopOp, ReduceOp, UnaryOp, ValueId};
+
+/// Builds a [`LoopKernel`] one operation at a time.
+///
+/// ```
+/// use kernel::builder::LoopBuilder;
+/// use kernel::ir::BufferId;
+///
+/// // out[i] = 0.2 * (a[i] + b[i])
+/// let mut b = LoopBuilder::new("scaled_add", BufferId(2));
+/// let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+/// let sum = b.add(x, y);
+/// let scale = b.constant(0.2);
+/// let result = b.mul(scale, sum);
+/// b.store(BufferId(2), result);
+/// let kernel = b.finish();
+/// assert_eq!(kernel.arith_ops(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    domain: BufferId,
+    ops: Vec<LoopOp>,
+    next_value: u32,
+}
+
+impl LoopBuilder {
+    /// Starts a loop named `name` iterating over the length of `domain`.
+    pub fn new(name: impl Into<String>, domain: BufferId) -> Self {
+        LoopBuilder {
+            name: name.into(),
+            domain,
+            ops: Vec::new(),
+            next_value: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    /// Loads element `i` of `buffer`.
+    pub fn load(&mut self, buffer: BufferId) -> ValueId {
+        let dst = self.fresh();
+        self.ops.push(LoopOp::Load { dst, buffer });
+        dst
+    }
+
+    /// Loads element 0 of `buffer` as a broadcast scalar (e.g. the result of
+    /// an earlier reduction).
+    pub fn load_scalar(&mut self, buffer: BufferId) -> ValueId {
+        let dst = self.fresh();
+        self.ops.push(LoopOp::LoadScalar { dst, buffer });
+        dst
+    }
+
+    /// Materializes a constant.
+    pub fn constant(&mut self, value: f64) -> ValueId {
+        let dst = self.fresh();
+        self.ops.push(LoopOp::Const { dst, value });
+        dst
+    }
+
+    /// Reads the `index`-th scalar parameter of the kernel.
+    pub fn param(&mut self, index: usize) -> ValueId {
+        let dst = self.fresh();
+        self.ops.push(LoopOp::Param { dst, index });
+        dst
+    }
+
+    /// Emits a unary operation.
+    pub fn unary(&mut self, op: UnaryOp, a: ValueId) -> ValueId {
+        let dst = self.fresh();
+        self.ops.push(LoopOp::Unary { dst, op, a });
+        dst
+    }
+
+    /// Emits a binary operation.
+    pub fn binary(&mut self, op: BinaryOp, a: ValueId, b: ValueId) -> ValueId {
+        let dst = self.fresh();
+        self.ops.push(LoopOp::Binary { dst, op, a, b });
+        dst
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Mul, a, b)
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Div, a, b)
+    }
+
+    /// `max(a, b)`.
+    pub fn max(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Max, a, b)
+    }
+
+    /// `min(a, b)`.
+    pub fn min(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Min, a, b)
+    }
+
+    /// `a^b`.
+    pub fn pow(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(BinaryOp::Pow, a, b)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: ValueId) -> ValueId {
+        self.unary(UnaryOp::Neg, a)
+    }
+
+    /// `sqrt(a)`.
+    pub fn sqrt(&mut self, a: ValueId) -> ValueId {
+        self.unary(UnaryOp::Sqrt, a)
+    }
+
+    /// `exp(a)`.
+    pub fn exp(&mut self, a: ValueId) -> ValueId {
+        self.unary(UnaryOp::Exp, a)
+    }
+
+    /// `ln(a)`.
+    pub fn ln(&mut self, a: ValueId) -> ValueId {
+        self.unary(UnaryOp::Ln, a)
+    }
+
+    /// `erf(a)`.
+    pub fn erf(&mut self, a: ValueId) -> ValueId {
+        self.unary(UnaryOp::Erf, a)
+    }
+
+    /// `|a|`.
+    pub fn abs(&mut self, a: ValueId) -> ValueId {
+        self.unary(UnaryOp::Abs, a)
+    }
+
+    /// Stores `src` into element `i` of `buffer`.
+    pub fn store(&mut self, buffer: BufferId, src: ValueId) {
+        self.ops.push(LoopOp::Store { buffer, src });
+    }
+
+    /// Accumulates `src` into element 0 of the scalar buffer `buffer`.
+    pub fn reduce(&mut self, buffer: BufferId, op: ReduceOp, src: ValueId) {
+        self.ops.push(LoopOp::Reduce { buffer, op, src });
+    }
+
+    /// Finishes the loop.
+    pub fn finish(self) -> LoopKernel {
+        LoopKernel {
+            name: self.name,
+            domain: self.domain,
+            ops: self.ops,
+            parallel: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sequential_value_ids() {
+        let mut b = LoopBuilder::new("k", BufferId(0));
+        let v0 = b.load(BufferId(0));
+        let v1 = b.constant(1.0);
+        let v2 = b.add(v0, v1);
+        assert_eq!((v0, v1, v2), (ValueId(0), ValueId(1), ValueId(2)));
+        b.store(BufferId(1), v2);
+        let k = b.finish();
+        assert_eq!(k.ops.len(), 4);
+        assert_eq!(k.num_values(), 3);
+        assert!(!k.parallel);
+    }
+
+    #[test]
+    fn all_helpers_emit_ops() {
+        let mut b = LoopBuilder::new("k", BufferId(0));
+        let x = b.load(BufferId(0));
+        let y = b.param(0);
+        let _ = b.sub(x, y);
+        let _ = b.mul(x, y);
+        let _ = b.div(x, y);
+        let _ = b.max(x, y);
+        let _ = b.min(x, y);
+        let _ = b.pow(x, y);
+        let _ = b.neg(x);
+        let _ = b.sqrt(x);
+        let _ = b.exp(x);
+        let _ = b.ln(x);
+        let _ = b.erf(x);
+        let _ = b.abs(x);
+        b.reduce(BufferId(1), ReduceOp::Sum, x);
+        let k = b.finish();
+        assert_eq!(k.arith_ops(), 13);
+    }
+}

@@ -1,0 +1,253 @@
+//! Traffic, arithmetic and compile-time estimates for kernel modules.
+
+use crate::ir::{KernelModule, KernelStage, LoopKernel, OpaqueOp};
+
+/// Estimated execution resources of one kernel module on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCost {
+    /// Bytes moved through device memory.
+    pub bytes: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Number of kernel launches (one per stage).
+    pub launches: u64,
+}
+
+impl KernelCost {
+    /// Adds another cost component.
+    pub fn add(&mut self, other: KernelCost) {
+        self.bytes += other.bytes;
+        self.flops += other.flops;
+        self.launches += other.launches;
+    }
+}
+
+/// Bytes per double-precision element.
+const F64_BYTES: u64 = 8;
+
+/// Estimates the cost of a single loop stage over buffers of the given
+/// lengths. Each distinct elementwise-accessed buffer contributes one
+/// streaming pass over the loop domain; broadcast scalar loads and reduction
+/// accumulators are negligible.
+pub fn loop_cost(kernel: &LoopKernel, buffer_lens: &[usize]) -> KernelCost {
+    let n = buffer_lens
+        .get(kernel.domain.0 as usize)
+        .copied()
+        .unwrap_or(0) as u64;
+    let mut streams: u64 = 0;
+    let loaded = kernel.loaded_buffers();
+    streams += loaded.len() as u64;
+    for b in kernel.written_buffers() {
+        // A buffer both loaded and stored is still a read stream plus a write
+        // stream; count the write stream here.
+        let is_reduction = kernel
+            .ops
+            .iter()
+            .any(|op| matches!(op, crate::ir::LoopOp::Reduce { buffer, .. } if *buffer == b));
+        if !is_reduction {
+            streams += 1;
+        }
+    }
+    KernelCost {
+        bytes: streams * n * F64_BYTES,
+        flops: kernel.arith_ops() as u64 * n,
+        launches: 1,
+    }
+}
+
+/// Estimates the cost of an opaque stage.
+pub fn opaque_cost(op: &OpaqueOp, buffer_lens: &[usize]) -> KernelCost {
+    let len = |b: crate::ir::BufferId| buffer_lens.get(b.0 as usize).copied().unwrap_or(0) as u64;
+    match op {
+        OpaqueOp::SpMvCsr {
+            crd,
+            x,
+            y,
+            index_width,
+            ..
+        } => {
+            let nnz = len(*crd);
+            let rows = len(*y);
+            // Nonzero values and column indices stream once; row offsets and
+            // the output stream once; the input vector is gathered.
+            let bytes = nnz * (F64_BYTES + index_width.bytes())
+                + (rows + 1) * index_width.bytes()
+                + rows * F64_BYTES
+                + len(*x) * F64_BYTES;
+            KernelCost {
+                bytes,
+                flops: 2 * nnz,
+                launches: 1,
+            }
+        }
+        OpaqueOp::Gemv { a, x, y } => {
+            let bytes = len(*a) * F64_BYTES + len(*x) * F64_BYTES + len(*y) * F64_BYTES;
+            KernelCost {
+                bytes,
+                flops: 2 * len(*x) * len(*y),
+                launches: 1,
+            }
+        }
+        OpaqueOp::Restrict { fine, coarse } => KernelCost {
+            bytes: (len(*fine) + len(*coarse)) * F64_BYTES,
+            flops: len(*coarse),
+            launches: 1,
+        },
+        OpaqueOp::Prolong { coarse, fine } => KernelCost {
+            bytes: (len(*fine) + len(*coarse)) * F64_BYTES,
+            flops: len(*fine),
+            launches: 1,
+        },
+    }
+}
+
+/// Estimates the cost of executing a whole module over buffers of the given
+/// lengths (one launch per stage).
+pub fn module_cost(module: &KernelModule, buffer_lens: &[usize]) -> KernelCost {
+    let mut total = KernelCost::default();
+    for stage in &module.stages {
+        let c = match stage {
+            KernelStage::Loop(l) => loop_cost(l, buffer_lens),
+            KernelStage::Opaque(op) => opaque_cost(op, buffer_lens),
+        };
+        total.add(c);
+    }
+    total
+}
+
+/// Model of JIT compilation time used to reproduce Figure 13.
+///
+/// Compilation cost grows with the size of the fused module: a fixed per-module
+/// cost (pass setup, lowering, codegen to PTX/host code) plus a per-operation
+/// cost. Compilation happens once per memoized window signature (Section 5.2),
+/// so an application pays it only during warmup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileTimeModel {
+    /// Fixed seconds per compiled module.
+    pub base: f64,
+    /// Seconds per loop-body operation in the module.
+    pub per_op: f64,
+    /// Seconds per stage (each stage lowers to a separate kernel).
+    pub per_stage: f64,
+}
+
+impl Default for CompileTimeModel {
+    fn default() -> Self {
+        CompileTimeModel {
+            base: 0.060,
+            per_op: 0.0018,
+            per_stage: 0.012,
+        }
+    }
+}
+
+impl CompileTimeModel {
+    /// Estimated seconds to JIT-compile `module`.
+    pub fn compile_time(&self, module: &KernelModule) -> f64 {
+        self.base + self.per_op * module.total_ops() as f64 + self.per_stage * module.num_stages() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::ir::{BufferId, IndexWidth};
+
+    fn add_kernel() -> LoopKernel {
+        let mut b = LoopBuilder::new("add", BufferId(2));
+        let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+        let s = b.add(x, y);
+        b.store(BufferId(2), s);
+        b.finish()
+    }
+
+    #[test]
+    fn loop_cost_counts_streams() {
+        let c = loop_cost(&add_kernel(), &[100, 100, 100]);
+        // 2 loads + 1 store = 3 streams of 100 elements.
+        assert_eq!(c.bytes, 3 * 100 * 8);
+        assert_eq!(c.flops, 100);
+        assert_eq!(c.launches, 1);
+    }
+
+    #[test]
+    fn module_cost_sums_stages() {
+        let mut m = KernelModule::new(3);
+        m.push_loop(add_kernel());
+        m.push_loop(add_kernel());
+        let c = module_cost(&m, &[100, 100, 100]);
+        assert_eq!(c.launches, 2);
+        assert_eq!(c.bytes, 2 * 3 * 100 * 8);
+    }
+
+    #[test]
+    fn fused_module_moves_fewer_bytes_than_unfused() {
+        // a + b -> c ; c + d -> e, where fusion + forwarding removes c.
+        use crate::ir::BufferRole;
+        use crate::passes::Pipeline;
+        let mut m = KernelModule::new(5);
+        m.set_role(BufferId(2), BufferRole::Local);
+        m.push_loop(add_kernel());
+        let mut b = LoopBuilder::new("add", BufferId(4));
+        let (x, y) = (b.load(BufferId(2)), b.load(BufferId(3)));
+        let s = b.add(x, y);
+        b.store(BufferId(4), s);
+        m.push_loop(b.finish());
+        let lens = [100usize, 100, 100, 100, 100];
+        let unfused = module_cost(&m, &lens);
+        let fused = module_cost(&Pipeline::default().run(m, &lens).module, &lens);
+        assert!(fused.bytes < unfused.bytes);
+        assert!(fused.launches < unfused.launches);
+        // Fused: 3 loads (a, b, d) + 1 store (e) = 4 streams vs 6 unfused.
+        assert_eq!(fused.bytes, 4 * 100 * 8);
+    }
+
+    #[test]
+    fn spmv_cost_reflects_index_width() {
+        let op32 = OpaqueOp::SpMvCsr {
+            pos: BufferId(0),
+            crd: BufferId(1),
+            vals: BufferId(2),
+            x: BufferId(3),
+            y: BufferId(4),
+            index_width: IndexWidth::U32,
+        };
+        let op64 = OpaqueOp::SpMvCsr {
+            pos: BufferId(0),
+            crd: BufferId(1),
+            vals: BufferId(2),
+            x: BufferId(3),
+            y: BufferId(4),
+            index_width: IndexWidth::U64,
+        };
+        let lens = [101usize, 500, 500, 100, 100];
+        assert!(opaque_cost(&op64, &lens).bytes > opaque_cost(&op32, &lens).bytes);
+        assert_eq!(opaque_cost(&op32, &lens).flops, 1000);
+    }
+
+    #[test]
+    fn gemv_cost_dominated_by_matrix() {
+        let op = OpaqueOp::Gemv {
+            a: BufferId(0),
+            x: BufferId(1),
+            y: BufferId(2),
+        };
+        let c = opaque_cost(&op, &[10_000, 100, 100]);
+        assert!(c.bytes >= 10_000 * 8);
+        assert_eq!(c.flops, 2 * 100 * 100);
+    }
+
+    #[test]
+    fn compile_time_grows_with_module_size() {
+        let model = CompileTimeModel::default();
+        let mut small = KernelModule::new(3);
+        small.push_loop(add_kernel());
+        let mut large = KernelModule::new(3);
+        for _ in 0..20 {
+            large.push_loop(add_kernel());
+        }
+        assert!(model.compile_time(&large) > model.compile_time(&small));
+        assert!(model.compile_time(&small) > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Generator functions: library-provided kernel bodies.
+//!
+//! To use Diffuse, library developers register a *generator function* per task
+//! kind that returns the kernel body for that task (Section 6.2). The dense
+//! and sparse libraries in this reproduction register their generators with a
+//! [`GeneratorRegistry`]; the Diffuse core invokes them when building the
+//! module for a fused task and when executing single tasks functionally.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ir::KernelModule;
+
+/// Identifies a task kind (one library operation such as `ADD` or `SPMV`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskKind(pub u32);
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task_kind({})", self.0)
+    }
+}
+
+/// Arguments passed to a generator function.
+///
+/// Buffer ids `0..buffer_lens.len()` refer to the task's store arguments in
+/// argument order; the generator may add task-local buffers beyond that range
+/// via [`KernelModule::add_local`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenArgs<'a> {
+    /// Element count of each store argument, in argument order.
+    pub buffer_lens: &'a [usize],
+    /// Scalar parameters of the task (e.g. the 0.2 in Figure 1).
+    pub scalars: &'a [f64],
+}
+
+/// A generator function: produces a kernel module describing one task kind's
+/// computation over its arguments.
+pub type GeneratorFn = Arc<dyn Fn(&GenArgs<'_>) -> KernelModule + Send + Sync>;
+
+/// Registry of generator functions, keyed by task kind.
+#[derive(Clone, Default)]
+pub struct GeneratorRegistry {
+    generators: HashMap<TaskKind, (String, GeneratorFn)>,
+    next_kind: u32,
+}
+
+impl std::fmt::Debug for GeneratorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<_> = self.generators.values().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        f.debug_struct("GeneratorRegistry")
+            .field("tasks", &names)
+            .finish()
+    }
+}
+
+impl GeneratorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a generator under a fresh task kind and returns the kind.
+    pub fn register(&mut self, name: impl Into<String>, generator: GeneratorFn) -> TaskKind {
+        let kind = TaskKind(self.next_kind);
+        self.next_kind += 1;
+        self.generators.insert(kind, (name.into(), generator));
+        kind
+    }
+
+    /// Registers a generator built from a plain function or closure.
+    pub fn register_fn<F>(&mut self, name: impl Into<String>, generator: F) -> TaskKind
+    where
+        F: Fn(&GenArgs<'_>) -> KernelModule + Send + Sync + 'static,
+    {
+        self.register(name, Arc::new(generator))
+    }
+
+    /// The human-readable name of a task kind, if registered.
+    pub fn name(&self, kind: TaskKind) -> Option<&str> {
+        self.generators.get(&kind).map(|(n, _)| n.as_str())
+    }
+
+    /// Whether a generator is registered for the kind.
+    pub fn contains(&self, kind: TaskKind) -> bool {
+        self.generators.contains_key(&kind)
+    }
+
+    /// Number of registered generators.
+    pub fn len(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.generators.is_empty()
+    }
+
+    /// Invokes the generator for `kind`, returning `None` if no generator is
+    /// registered.
+    pub fn generate(&self, kind: TaskKind, args: &GenArgs<'_>) -> Option<KernelModule> {
+        self.generators.get(&kind).map(|(_, g)| g(args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::ir::{BufferId, BufferRole};
+
+    fn add_generator(args: &GenArgs<'_>) -> KernelModule {
+        assert_eq!(args.buffer_lens.len(), 3);
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Output);
+        let mut b = LoopBuilder::new("add", BufferId(2));
+        let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+        let s = b.add(x, y);
+        b.store(BufferId(2), s);
+        m.push_loop(b.finish());
+        m
+    }
+
+    #[test]
+    fn register_and_generate() {
+        let mut reg = GeneratorRegistry::new();
+        assert!(reg.is_empty());
+        let kind = reg.register_fn("add", add_generator);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.contains(kind));
+        assert_eq!(reg.name(kind), Some("add"));
+        let args = GenArgs {
+            buffer_lens: &[4, 4, 4],
+            scalars: &[],
+        };
+        let module = reg.generate(kind, &args).expect("generator registered");
+        assert_eq!(module.num_loop_stages(), 1);
+        assert!(reg.generate(TaskKind(99), &args).is_none());
+    }
+
+    #[test]
+    fn kinds_are_unique() {
+        let mut reg = GeneratorRegistry::new();
+        let a = reg.register_fn("a", add_generator);
+        let b = reg.register_fn("b", add_generator);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let mut reg = GeneratorRegistry::new();
+        reg.register_fn("mult", add_generator);
+        let dbg = format!("{reg:?}");
+        assert!(dbg.contains("mult"));
+    }
+}

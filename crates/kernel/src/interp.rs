@@ -1,0 +1,453 @@
+//! Interpreter for kernel modules.
+//!
+//! The interpreter is the functional backend of the reproduction: it executes
+//! compiled kernel modules over real `f64` buffers on the host. Fused and
+//! unfused executions of the same program therefore produce comparable
+//! numerical results, which the integration tests rely on.
+
+use crate::ir::{
+    BinaryOp, BufferId, KernelModule, KernelStage, LoopKernel, LoopOp, OpaqueOp, UnaryOp, ValueId,
+};
+
+/// Errors produced by kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A buffer id referenced by the module is not present in the buffer set.
+    MissingBuffer(BufferId),
+    /// A scalar parameter index is out of range.
+    MissingParam(usize),
+    /// Two buffers accessed in the same loop have incompatible lengths.
+    LengthMismatch {
+        /// The loop's domain buffer.
+        domain: BufferId,
+        /// The offending buffer.
+        buffer: BufferId,
+    },
+    /// An SSA value was used before being defined.
+    UndefinedValue(ValueId),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingBuffer(b) => write!(f, "buffer {} not provided", b.0),
+            ExecError::MissingParam(i) => write!(f, "scalar parameter {i} not provided"),
+            ExecError::LengthMismatch { domain, buffer } => write!(
+                f,
+                "buffer {} is shorter than loop domain buffer {}",
+                buffer.0, domain.0
+            ),
+            ExecError::UndefinedValue(v) => write!(f, "value {} used before definition", v.0),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes kernel modules over host buffers.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter;
+
+impl Interpreter {
+    /// Creates an interpreter.
+    pub fn new() -> Self {
+        Interpreter
+    }
+
+    /// Executes `module` over `buffers` (indexed by [`BufferId`]) with the
+    /// given scalar parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the module references a buffer or parameter that is
+    /// not provided, if buffer lengths are inconsistent with a loop's domain,
+    /// or if the module is malformed (a value used before definition).
+    pub fn execute(
+        &self,
+        module: &KernelModule,
+        buffers: &mut [Vec<f64>],
+        scalars: &[f64],
+    ) -> Result<(), ExecError> {
+        for stage in &module.stages {
+            match stage {
+                KernelStage::Loop(l) => self.execute_loop(l, buffers, scalars)?,
+                KernelStage::Opaque(op) => self.execute_opaque(op, buffers)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn buffer_len(buffers: &[Vec<f64>], b: BufferId) -> Result<usize, ExecError> {
+        buffers
+            .get(b.0 as usize)
+            .map(Vec::len)
+            .ok_or(ExecError::MissingBuffer(b))
+    }
+
+    fn execute_loop(
+        &self,
+        l: &LoopKernel,
+        buffers: &mut [Vec<f64>],
+        scalars: &[f64],
+    ) -> Result<(), ExecError> {
+        let n = Self::buffer_len(buffers, l.domain)?;
+        // Validate lengths of every elementwise-accessed buffer up front.
+        for b in l.loaded_buffers().into_iter().chain(l.written_buffers()) {
+            let is_reduction_target = l.ops.iter().any(
+                |op| matches!(op, LoopOp::Reduce { buffer, .. } if *buffer == b),
+            );
+            let len = Self::buffer_len(buffers, b)?;
+            if !is_reduction_target && len < n {
+                return Err(ExecError::LengthMismatch {
+                    domain: l.domain,
+                    buffer: b,
+                });
+            }
+        }
+        for b in l.scalar_loaded_buffers() {
+            if Self::buffer_len(buffers, b)? == 0 {
+                return Err(ExecError::LengthMismatch {
+                    domain: l.domain,
+                    buffer: b,
+                });
+            }
+        }
+        let mut values = vec![f64::NAN; l.num_values()];
+        let mut defined = vec![false; l.num_values()];
+        for i in 0..n {
+            for op in &l.ops {
+                match op {
+                    LoopOp::Load { dst, buffer } => {
+                        values[dst.0 as usize] = buffers[buffer.0 as usize][i];
+                        defined[dst.0 as usize] = true;
+                    }
+                    LoopOp::LoadScalar { dst, buffer } => {
+                        values[dst.0 as usize] = buffers[buffer.0 as usize][0];
+                        defined[dst.0 as usize] = true;
+                    }
+                    LoopOp::Const { dst, value } => {
+                        values[dst.0 as usize] = *value;
+                        defined[dst.0 as usize] = true;
+                    }
+                    LoopOp::Param { dst, index } => {
+                        values[dst.0 as usize] =
+                            *scalars.get(*index).ok_or(ExecError::MissingParam(*index))?;
+                        defined[dst.0 as usize] = true;
+                    }
+                    LoopOp::Unary { dst, op, a } => {
+                        let a = Self::read_value(&values, &defined, *a)?;
+                        values[dst.0 as usize] = apply_unary(*op, a);
+                        defined[dst.0 as usize] = true;
+                    }
+                    LoopOp::Binary { dst, op, a, b } => {
+                        let a = Self::read_value(&values, &defined, *a)?;
+                        let b = Self::read_value(&values, &defined, *b)?;
+                        values[dst.0 as usize] = apply_binary(*op, a, b);
+                        defined[dst.0 as usize] = true;
+                    }
+                    LoopOp::Store { buffer, src } => {
+                        let v = Self::read_value(&values, &defined, *src)?;
+                        buffers[buffer.0 as usize][i] = v;
+                    }
+                    LoopOp::Reduce { buffer, op, src } => {
+                        let v = Self::read_value(&values, &defined, *src)?;
+                        let acc = buffers[buffer.0 as usize][0];
+                        buffers[buffer.0 as usize][0] = op.apply(acc, v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_value(values: &[f64], defined: &[bool], v: ValueId) -> Result<f64, ExecError> {
+        if !defined
+            .get(v.0 as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            return Err(ExecError::UndefinedValue(v));
+        }
+        Ok(values[v.0 as usize])
+    }
+
+    fn execute_opaque(&self, op: &OpaqueOp, buffers: &mut [Vec<f64>]) -> Result<(), ExecError> {
+        match op {
+            OpaqueOp::SpMvCsr {
+                pos,
+                crd,
+                vals,
+                x,
+                y,
+                ..
+            } => {
+                let rows = Self::buffer_len(buffers, *y)?;
+                Self::buffer_len(buffers, *pos)?;
+                Self::buffer_len(buffers, *crd)?;
+                Self::buffer_len(buffers, *vals)?;
+                Self::buffer_len(buffers, *x)?;
+                for r in 0..rows {
+                    let start = buffers[pos.0 as usize][r] as usize;
+                    let end = buffers[pos.0 as usize][r + 1] as usize;
+                    let mut acc = 0.0;
+                    for k in start..end {
+                        let c = buffers[crd.0 as usize][k] as usize;
+                        acc += buffers[vals.0 as usize][k] * buffers[x.0 as usize][c];
+                    }
+                    buffers[y.0 as usize][r] = acc;
+                }
+            }
+            OpaqueOp::Gemv { a, x, y } => {
+                let rows = Self::buffer_len(buffers, *y)?;
+                let cols = Self::buffer_len(buffers, *x)?;
+                Self::buffer_len(buffers, *a)?;
+                for r in 0..rows {
+                    let mut acc = 0.0;
+                    for c in 0..cols {
+                        acc += buffers[a.0 as usize][r * cols + c] * buffers[x.0 as usize][c];
+                    }
+                    buffers[y.0 as usize][r] = acc;
+                }
+            }
+            OpaqueOp::Restrict { fine, coarse } => {
+                let nc = Self::buffer_len(buffers, *coarse)?;
+                let nf = Self::buffer_len(buffers, *fine)?;
+                for i in 0..nc {
+                    let j = (2 * i).min(nf.saturating_sub(1));
+                    buffers[coarse.0 as usize][i] = buffers[fine.0 as usize][j];
+                }
+            }
+            OpaqueOp::Prolong { coarse, fine } => {
+                let nc = Self::buffer_len(buffers, *coarse)?;
+                let nf = Self::buffer_len(buffers, *fine)?;
+                for i in 0..nf {
+                    let c = (i / 2).min(nc.saturating_sub(1));
+                    if i % 2 == 0 {
+                        buffers[fine.0 as usize][i] = buffers[coarse.0 as usize][c];
+                    } else {
+                        let c2 = (c + 1).min(nc.saturating_sub(1));
+                        buffers[fine.0 as usize][i] =
+                            0.5 * (buffers[coarse.0 as usize][c] + buffers[coarse.0 as usize][c2]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn apply_unary(op: UnaryOp, a: f64) -> f64 {
+    match op {
+        UnaryOp::Neg => -a,
+        UnaryOp::Sqrt => a.sqrt(),
+        UnaryOp::Exp => a.exp(),
+        UnaryOp::Ln => a.ln(),
+        UnaryOp::Abs => a.abs(),
+        UnaryOp::Erf => erf(a),
+        UnaryOp::Recip => 1.0 / a,
+    }
+}
+
+fn apply_binary(op: BinaryOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Div => a / b,
+        BinaryOp::Max => a.max(b),
+        BinaryOp::Min => a.min(b),
+        BinaryOp::Pow => a.powf(b),
+    }
+}
+
+/// Abramowitz–Stegun approximation of the error function (maximum absolute
+/// error about 1.5e-7), sufficient for the Black-Scholes workload.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let a1 = 0.254829592;
+    let a2 = -0.284496736;
+    let a3 = 1.421413741;
+    let a4 = -1.453152027;
+    let a5 = 1.061405429;
+    let p = 0.3275911;
+    let t = 1.0 / (1.0 + p * x);
+    let y = 1.0 - (((((a5 * t + a4) * t) + a3) * t + a2) * t + a1) * t * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::ir::{BufferRole, IndexWidth, ReduceOp};
+
+    #[test]
+    fn elementwise_add_executes() {
+        let mut module = KernelModule::new(3);
+        module.set_role(BufferId(2), BufferRole::Output);
+        let mut b = LoopBuilder::new("add", BufferId(2));
+        let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+        let s = b.add(x, y);
+        b.store(BufferId(2), s);
+        module.push_loop(b.finish());
+        let mut bufs = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 0.0]];
+        Interpreter::new().execute(&module, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[2], vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn reduction_accumulates() {
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Reduction);
+        let mut b = LoopBuilder::new("sum", BufferId(0));
+        let x = b.load(BufferId(0));
+        b.reduce(BufferId(1), ReduceOp::Sum, x);
+        module.push_loop(b.finish());
+        let mut bufs = vec![vec![1.0, 2.0, 3.0], vec![0.0]];
+        Interpreter::new().execute(&module, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[1][0], 6.0);
+    }
+
+    #[test]
+    fn scalar_broadcast_load() {
+        let mut module = KernelModule::new(3);
+        let mut b = LoopBuilder::new("scale", BufferId(0));
+        let x = b.load(BufferId(0));
+        let s = b.load_scalar(BufferId(1));
+        let v = b.mul(x, s);
+        b.store(BufferId(2), v);
+        module.push_loop(b.finish());
+        let mut bufs = vec![vec![1.0, 2.0], vec![10.0], vec![0.0, 0.0]];
+        Interpreter::new().execute(&module, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[2], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn scalar_params_are_read() {
+        let mut module = KernelModule::new(2);
+        let mut b = LoopBuilder::new("scale", BufferId(0));
+        let x = b.load(BufferId(0));
+        let p = b.param(0);
+        let v = b.mul(x, p);
+        b.store(BufferId(1), v);
+        module.push_loop(b.finish());
+        let mut bufs = vec![vec![2.0], vec![0.0]];
+        Interpreter::new()
+            .execute(&module, &mut bufs, &[3.5])
+            .unwrap();
+        assert_eq!(bufs[1], vec![7.0]);
+        let err = Interpreter::new().execute(&module, &mut bufs, &[]);
+        assert_eq!(err, Err(ExecError::MissingParam(0)));
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        // 2x2 matrix [[1, 2], [0, 3]] in CSR.
+        let module = {
+            let mut m = KernelModule::new(5);
+            m.push_opaque(OpaqueOp::SpMvCsr {
+                pos: BufferId(0),
+                crd: BufferId(1),
+                vals: BufferId(2),
+                x: BufferId(3),
+                y: BufferId(4),
+                index_width: IndexWidth::U32,
+            });
+            m
+        };
+        let mut bufs = vec![
+            vec![0.0, 2.0, 3.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0],
+            vec![0.0, 0.0],
+        ];
+        Interpreter::new().execute(&module, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[4], vec![14.0, 15.0]);
+    }
+
+    #[test]
+    fn gemv_matches_reference() {
+        let module = {
+            let mut m = KernelModule::new(3);
+            m.push_opaque(OpaqueOp::Gemv {
+                a: BufferId(0),
+                x: BufferId(1),
+                y: BufferId(2),
+            });
+            m
+        };
+        let mut bufs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]];
+        Interpreter::new().execute(&module, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[2], vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn restrict_and_prolong_roundtrip_shape() {
+        let mut m = KernelModule::new(2);
+        m.push_opaque(OpaqueOp::Restrict {
+            fine: BufferId(0),
+            coarse: BufferId(1),
+        });
+        let mut bufs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![0.0, 0.0]];
+        Interpreter::new().execute(&m, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[1], vec![1.0, 3.0]);
+
+        let mut m = KernelModule::new(2);
+        m.push_opaque(OpaqueOp::Prolong {
+            coarse: BufferId(0),
+            fine: BufferId(1),
+        });
+        let mut bufs = vec![vec![1.0, 3.0], vec![0.0; 4]];
+        Interpreter::new().execute(&m, &mut bufs, &[]).unwrap();
+        assert_eq!(bufs[1], vec![1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn missing_buffer_is_an_error() {
+        let mut module = KernelModule::new(3);
+        let mut b = LoopBuilder::new("id", BufferId(2));
+        let x = b.load(BufferId(0));
+        b.store(BufferId(2), x);
+        module.push_loop(b.finish());
+        let mut bufs = vec![vec![1.0]];
+        let err = Interpreter::new().execute(&module, &mut bufs, &[]);
+        assert!(matches!(err, Err(ExecError::MissingBuffer(_))));
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let mut module = KernelModule::new(2);
+        let mut b = LoopBuilder::new("id", BufferId(0));
+        let x = b.load(BufferId(1));
+        b.store(BufferId(0), x);
+        module.push_loop(b.finish());
+        let mut bufs = vec![vec![0.0; 4], vec![0.0; 2]];
+        let err = Interpreter::new().execute(&module, &mut bufs, &[]);
+        assert!(matches!(err, Err(ExecError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn erf_is_accurate() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unary_and_binary_ops_evaluate() {
+        assert_eq!(apply_unary(UnaryOp::Neg, 2.0), -2.0);
+        assert_eq!(apply_unary(UnaryOp::Sqrt, 4.0), 2.0);
+        assert_eq!(apply_unary(UnaryOp::Abs, -3.0), 3.0);
+        assert_eq!(apply_unary(UnaryOp::Recip, 4.0), 0.25);
+        assert!((apply_unary(UnaryOp::Exp, 0.0) - 1.0).abs() < 1e-12);
+        assert!((apply_unary(UnaryOp::Ln, 1.0)).abs() < 1e-12);
+        assert_eq!(apply_binary(BinaryOp::Sub, 3.0, 1.0), 2.0);
+        assert_eq!(apply_binary(BinaryOp::Div, 6.0, 2.0), 3.0);
+        assert_eq!(apply_binary(BinaryOp::Max, 1.0, 2.0), 2.0);
+        assert_eq!(apply_binary(BinaryOp::Min, 1.0, 2.0), 1.0);
+        assert_eq!(apply_binary(BinaryOp::Pow, 2.0, 3.0), 8.0);
+    }
+}

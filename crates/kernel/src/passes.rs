@@ -1,0 +1,631 @@
+//! The kernel compilation pipeline.
+//!
+//! Mirrors the stages of Figure 8 in the paper: the fused module starts as the
+//! sequential composition of the constituent task bodies (Figure 8b), then
+//!
+//! 1. temporary distributed stores have already been demoted to
+//!    [`BufferRole::Local`] buffers by the task-fusion layer (Figure 8c),
+//! 2. adjacent loops with equal iteration domains are fused,
+//! 3. stores followed by loads of the same buffer inside a fused loop are
+//!    forwarded through registers,
+//! 4. stores to local buffers that are never read again are removed, and
+//!    local buffers with no remaining uses are eliminated entirely
+//!    (Figure 8d), and
+//! 5. the surviving loops are marked parallel for the GPU/OpenMP backend.
+//!
+//! Every stage can be disabled individually through [`PipelineConfig`] so the
+//! benchmark harness can run the ablations discussed in Section 7.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{BufferId, BufferRole, KernelModule, KernelStage, LoopKernel, LoopOp, ValueId};
+
+/// Configuration of the compilation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Fuse adjacent loops with equal iteration domains.
+    pub loop_fusion: bool,
+    /// Forward stored values to later loads within a fused loop.
+    pub store_forwarding: bool,
+    /// Remove dead stores to local buffers and eliminate unused locals.
+    pub eliminate_locals: bool,
+    /// Mark loops parallel.
+    pub parallelize: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            loop_fusion: true,
+            store_forwarding: true,
+            eliminate_locals: true,
+            parallelize: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration with every optimization disabled — the module is
+    /// executed exactly as composed (used for the unfused baseline and for
+    /// ablations).
+    pub fn disabled() -> Self {
+        PipelineConfig {
+            loop_fusion: false,
+            store_forwarding: false,
+            eliminate_locals: false,
+            parallelize: false,
+        }
+    }
+}
+
+/// The result of compiling a module.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The optimized module.
+    pub module: KernelModule,
+    /// Local buffers that were eliminated entirely (their allocations never
+    /// happen at execution time).
+    pub eliminated_locals: Vec<BufferId>,
+    /// Number of loop stages before optimization.
+    pub loops_before: usize,
+    /// Number of loop stages after optimization.
+    pub loops_after: usize,
+}
+
+impl CompiledKernel {
+    /// Whether a buffer was eliminated by the pipeline.
+    pub fn is_eliminated(&self, buffer: BufferId) -> bool {
+        self.eliminated_locals.contains(&buffer)
+    }
+}
+
+/// The kernel compilation pipeline. See the module documentation.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Runs the pipeline. `buffer_lens` gives the element count of every
+    /// buffer (indexed by [`BufferId`]); loop fusion uses it to prove two
+    /// loops share an iteration domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_lens` is shorter than the module's buffer table.
+    pub fn run(&self, module: KernelModule, buffer_lens: &[usize]) -> CompiledKernel {
+        assert!(
+            buffer_lens.len() >= module.num_buffers() as usize,
+            "buffer_lens has {} entries but module has {} buffers",
+            buffer_lens.len(),
+            module.num_buffers()
+        );
+        let loops_before = module.num_loop_stages();
+        let mut module = module;
+        if self.config.loop_fusion {
+            module = fuse_loops(module, buffer_lens);
+        }
+        if self.config.store_forwarding {
+            module = forward_stores(module);
+        }
+        let mut eliminated = Vec::new();
+        if self.config.eliminate_locals {
+            let (m, e) = eliminate_dead_locals(module, buffer_lens);
+            module = m;
+            eliminated = e;
+        }
+        if self.config.parallelize {
+            for stage in &mut module.stages {
+                if let KernelStage::Loop(l) = stage {
+                    l.parallel = true;
+                }
+            }
+        }
+        let loops_after = module.num_loop_stages();
+        CompiledKernel {
+            module,
+            eliminated_locals: eliminated,
+            loops_before,
+            loops_after,
+        }
+    }
+}
+
+/// Effect summary of one loop used for fusion legality.
+#[derive(Debug, Default)]
+struct LoopEffects {
+    elem_loads: HashSet<BufferId>,
+    scalar_loads: HashSet<BufferId>,
+    stores: HashSet<BufferId>,
+    reduces: HashSet<BufferId>,
+}
+
+fn effects(kernel: &LoopKernel) -> LoopEffects {
+    let mut e = LoopEffects::default();
+    for op in &kernel.ops {
+        match op {
+            LoopOp::Load { buffer, .. } => {
+                e.elem_loads.insert(*buffer);
+            }
+            LoopOp::LoadScalar { buffer, .. } => {
+                e.scalar_loads.insert(*buffer);
+            }
+            LoopOp::Store { buffer, .. } => {
+                e.stores.insert(*buffer);
+            }
+            LoopOp::Reduce { buffer, .. } => {
+                e.reduces.insert(*buffer);
+            }
+            _ => {}
+        }
+    }
+    e
+}
+
+/// Whether loop `b` may be merged after loop `a` into a single loop.
+///
+/// Elementwise producer/consumer pairs are always legal because corresponding
+/// iterations access the same element. Broadcast (scalar) reads of a value
+/// written or reduced by the earlier loop, and writes to a value the earlier
+/// loop reads as a broadcast, change observable semantics and block fusion —
+/// mirroring the reduction constraint at the task level.
+fn loops_fusible(a: &LoopEffects, b: &LoopEffects) -> bool {
+    // b must not broadcast-read anything a writes or reduces.
+    if b.scalar_loads
+        .iter()
+        .any(|s| a.stores.contains(s) || a.reduces.contains(s))
+    {
+        return false;
+    }
+    // b must not write anything a broadcast-reads.
+    if b.stores.iter().any(|s| a.scalar_loads.contains(s)) {
+        return false;
+    }
+    // Reduction accumulators may only be shared between reductions.
+    if b.reduces.iter().any(|s| {
+        a.stores.contains(s) || a.elem_loads.contains(s) || a.scalar_loads.contains(s)
+    }) {
+        return false;
+    }
+    if a.reduces
+        .iter()
+        .any(|s| b.stores.contains(s) || b.elem_loads.contains(s))
+    {
+        return false;
+    }
+    true
+}
+
+/// Concatenates the body of `b` after `a`, renumbering `b`'s SSA values.
+fn merge_loops(a: &LoopKernel, b: &LoopKernel) -> LoopKernel {
+    let offset = a.num_values() as u32;
+    let shift = |v: ValueId| ValueId(v.0 + offset);
+    let mut ops = a.ops.clone();
+    for op in &b.ops {
+        let shifted = match op.clone() {
+            LoopOp::Load { dst, buffer } => LoopOp::Load {
+                dst: shift(dst),
+                buffer,
+            },
+            LoopOp::LoadScalar { dst, buffer } => LoopOp::LoadScalar {
+                dst: shift(dst),
+                buffer,
+            },
+            LoopOp::Const { dst, value } => LoopOp::Const {
+                dst: shift(dst),
+                value,
+            },
+            LoopOp::Param { dst, index } => LoopOp::Param {
+                dst: shift(dst),
+                index,
+            },
+            LoopOp::Unary { dst, op, a } => LoopOp::Unary {
+                dst: shift(dst),
+                op,
+                a: shift(a),
+            },
+            LoopOp::Binary { dst, op, a, b } => LoopOp::Binary {
+                dst: shift(dst),
+                op,
+                a: shift(a),
+                b: shift(b),
+            },
+            LoopOp::Store { buffer, src } => LoopOp::Store {
+                buffer,
+                src: shift(src),
+            },
+            LoopOp::Reduce { buffer, op, src } => LoopOp::Reduce {
+                buffer,
+                op,
+                src: shift(src),
+            },
+        };
+        ops.push(shifted);
+    }
+    LoopKernel {
+        name: format!("{}+{}", a.name, b.name),
+        domain: a.domain,
+        ops,
+        parallel: false,
+    }
+}
+
+/// Greedily fuses adjacent loop stages with equal iteration domains.
+fn fuse_loops(module: KernelModule, buffer_lens: &[usize]) -> KernelModule {
+    let mut out = KernelModule {
+        stages: Vec::new(),
+        roles: module.roles.clone(),
+    };
+    for stage in module.stages {
+        match stage {
+            KernelStage::Opaque(op) => out.stages.push(KernelStage::Opaque(op)),
+            KernelStage::Loop(next) => {
+                let fused = if let Some(KernelStage::Loop(prev)) = out.stages.last() {
+                    let same_domain = buffer_lens[prev.domain.0 as usize]
+                        == buffer_lens[next.domain.0 as usize];
+                    if same_domain && loops_fusible(&effects(prev), &effects(&next)) {
+                        Some(merge_loops(prev, &next))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                match fused {
+                    Some(merged) => {
+                        out.stages.pop();
+                        out.stages.push(KernelStage::Loop(merged));
+                    }
+                    None => out.stages.push(KernelStage::Loop(next)),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forwards stored values to later elementwise loads of the same buffer within
+/// each loop, then removes ops whose results are no longer used.
+fn forward_stores(mut module: KernelModule) -> KernelModule {
+    for stage in &mut module.stages {
+        if let KernelStage::Loop(l) = stage {
+            // Map from buffer -> value most recently stored to it in this body.
+            let mut last_store: HashMap<BufferId, ValueId> = HashMap::new();
+            // Map from value -> replacement value.
+            let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+            let resolve = |v: ValueId, replace: &HashMap<ValueId, ValueId>| -> ValueId {
+                let mut v = v;
+                while let Some(&r) = replace.get(&v) {
+                    v = r;
+                }
+                v
+            };
+            let mut new_ops = Vec::with_capacity(l.ops.len());
+            for op in l.ops.drain(..) {
+                match op {
+                    LoopOp::Load { dst, buffer } => {
+                        if let Some(&stored) = last_store.get(&buffer) {
+                            replace.insert(dst, stored);
+                        } else {
+                            new_ops.push(LoopOp::Load { dst, buffer });
+                        }
+                    }
+                    LoopOp::LoadScalar { dst, buffer } => {
+                        new_ops.push(LoopOp::LoadScalar { dst, buffer });
+                    }
+                    LoopOp::Const { dst, value } => new_ops.push(LoopOp::Const { dst, value }),
+                    LoopOp::Param { dst, index } => new_ops.push(LoopOp::Param { dst, index }),
+                    LoopOp::Unary { dst, op, a } => new_ops.push(LoopOp::Unary {
+                        dst,
+                        op,
+                        a: resolve(a, &replace),
+                    }),
+                    LoopOp::Binary { dst, op, a, b } => new_ops.push(LoopOp::Binary {
+                        dst,
+                        op,
+                        a: resolve(a, &replace),
+                        b: resolve(b, &replace),
+                    }),
+                    LoopOp::Store { buffer, src } => {
+                        let src = resolve(src, &replace);
+                        last_store.insert(buffer, src);
+                        new_ops.push(LoopOp::Store { buffer, src });
+                    }
+                    LoopOp::Reduce { buffer, op, src } => new_ops.push(LoopOp::Reduce {
+                        buffer,
+                        op,
+                        src: resolve(src, &replace),
+                    }),
+                }
+            }
+            l.ops = new_ops;
+        }
+    }
+    module
+}
+
+/// Removes stores to local buffers that are never read anywhere in the module,
+/// removes value-producing ops whose results are unused, and reports local
+/// buffers with no remaining references as eliminated. Loop domains that refer
+/// to an otherwise-dead local are retargeted to another equal-length buffer
+/// used by the loop so the local can be eliminated.
+fn eliminate_dead_locals(
+    mut module: KernelModule,
+    buffer_lens: &[usize],
+) -> (KernelModule, Vec<BufferId>) {
+    // Collect buffers that are read anywhere (loops or opaque stages).
+    let mut read: HashSet<BufferId> = HashSet::new();
+    for stage in &module.stages {
+        match stage {
+            KernelStage::Loop(l) => {
+                read.extend(l.loaded_buffers());
+                read.extend(l.scalar_loaded_buffers());
+            }
+            KernelStage::Opaque(op) => read.extend(op.read_buffers()),
+        }
+    }
+    // Remove stores to local buffers that are never read.
+    for stage in &mut module.stages {
+        if let KernelStage::Loop(l) = stage {
+            l.ops.retain(|op| match op {
+                LoopOp::Store { buffer, .. } | LoopOp::Reduce { buffer, .. } => {
+                    module.roles[buffer.0 as usize] != BufferRole::Local || read.contains(buffer)
+                }
+                _ => true,
+            });
+        }
+    }
+    // Dead-code eliminate unused value-producing ops inside each loop.
+    for stage in &mut module.stages {
+        if let KernelStage::Loop(l) = stage {
+            loop {
+                let mut used: HashSet<ValueId> = HashSet::new();
+                for op in &l.ops {
+                    match op {
+                        LoopOp::Unary { a, .. } => {
+                            used.insert(*a);
+                        }
+                        LoopOp::Binary { a, b, .. } => {
+                            used.insert(*a);
+                            used.insert(*b);
+                        }
+                        LoopOp::Store { src, .. } | LoopOp::Reduce { src, .. } => {
+                            used.insert(*src);
+                        }
+                        _ => {}
+                    }
+                }
+                let before = l.ops.len();
+                l.ops.retain(|op| match op.dst() {
+                    Some(dst) => used.contains(&dst),
+                    None => true,
+                });
+                if l.ops.len() == before {
+                    break;
+                }
+            }
+        }
+    }
+    // Retarget loop domains that point at locals which carry no data accesses
+    // any more, so those locals can be eliminated entirely.
+    let mut data_referenced: HashSet<BufferId> = HashSet::new();
+    for stage in &module.stages {
+        match stage {
+            KernelStage::Loop(l) => {
+                data_referenced.extend(l.loaded_buffers());
+                data_referenced.extend(l.scalar_loaded_buffers());
+                data_referenced.extend(l.written_buffers());
+            }
+            KernelStage::Opaque(op) => {
+                data_referenced.extend(op.read_buffers());
+                data_referenced.extend(op.written_buffers());
+            }
+        }
+    }
+    for stage in &mut module.stages {
+        if let KernelStage::Loop(l) = stage {
+            let domain_is_dead_local = module.roles[l.domain.0 as usize] == BufferRole::Local
+                && !data_referenced.contains(&l.domain);
+            if domain_is_dead_local {
+                let domain_len = buffer_lens[l.domain.0 as usize];
+                let candidate = l
+                    .loaded_buffers()
+                    .into_iter()
+                    .chain(l.written_buffers())
+                    .find(|b| buffer_lens[b.0 as usize] == domain_len);
+                if let Some(b) = candidate {
+                    l.domain = b;
+                }
+            }
+        }
+    }
+    // Report locals with no remaining references at all.
+    let mut referenced: HashSet<BufferId> = HashSet::new();
+    for stage in &module.stages {
+        match stage {
+            KernelStage::Loop(l) => {
+                referenced.insert(l.domain);
+                referenced.extend(l.loaded_buffers());
+                referenced.extend(l.scalar_loaded_buffers());
+                referenced.extend(l.written_buffers());
+            }
+            KernelStage::Opaque(op) => {
+                referenced.extend(op.read_buffers());
+                referenced.extend(op.written_buffers());
+            }
+        }
+    }
+    let eliminated: Vec<BufferId> = (0..module.num_buffers())
+        .map(BufferId)
+        .filter(|b| module.roles[b.0 as usize] == BufferRole::Local && !referenced.contains(b))
+        .collect();
+    (module, eliminated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::interp::Interpreter;
+    use crate::ir::ReduceOp;
+
+    /// Builds the Figure 8 example: c = a + b; e = c + d with c local.
+    fn figure8_module() -> KernelModule {
+        let mut module = KernelModule::new(5);
+        module.set_role(BufferId(2), BufferRole::Local);
+        module.set_role(BufferId(4), BufferRole::Output);
+        let mut l1 = LoopBuilder::new("add", BufferId(2));
+        let (a, b) = (l1.load(BufferId(0)), l1.load(BufferId(1)));
+        let s = l1.add(a, b);
+        l1.store(BufferId(2), s);
+        module.push_loop(l1.finish());
+        let mut l2 = LoopBuilder::new("add", BufferId(4));
+        let (c, d) = (l2.load(BufferId(2)), l2.load(BufferId(3)));
+        let s = l2.add(c, d);
+        l2.store(BufferId(4), s);
+        module.push_loop(l2.finish());
+        module
+    }
+
+    #[test]
+    fn figure8_fuses_and_eliminates_temp() {
+        let compiled = Pipeline::default().run(figure8_module(), &[8, 8, 8, 8, 8]);
+        assert_eq!(compiled.loops_before, 2);
+        assert_eq!(compiled.loops_after, 1);
+        assert_eq!(compiled.eliminated_locals, vec![BufferId(2)]);
+        // The fused loop should not touch buffer 2 at all.
+        if let KernelStage::Loop(l) = &compiled.module.stages[0] {
+            assert!(!l.loaded_buffers().contains(&BufferId(2)));
+            assert!(!l.written_buffers().contains(&BufferId(2)));
+            assert!(l.parallel);
+        } else {
+            panic!("expected a loop stage");
+        }
+    }
+
+    #[test]
+    fn fused_execution_matches_unfused() {
+        let module = figure8_module();
+        let lens = [16usize, 16, 16, 16, 16];
+        let mut unfused_bufs: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..16).map(|j| (i * 16 + j) as f64 * 0.25).collect())
+            .collect();
+        let mut fused_bufs = unfused_bufs.clone();
+        Interpreter::new()
+            .execute(
+                &Pipeline::new(PipelineConfig::disabled())
+                    .run(module.clone(), &lens)
+                    .module,
+                &mut unfused_bufs,
+                &[],
+            )
+            .unwrap();
+        Interpreter::new()
+            .execute(
+                &Pipeline::default().run(module, &lens).module,
+                &mut fused_bufs,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(unfused_bufs[4], fused_bufs[4]);
+    }
+
+    #[test]
+    fn different_domains_do_not_fuse() {
+        let mut module = KernelModule::new(4);
+        let mut l1 = LoopBuilder::new("a", BufferId(1));
+        let x = l1.load(BufferId(0));
+        l1.store(BufferId(1), x);
+        module.push_loop(l1.finish());
+        let mut l2 = LoopBuilder::new("b", BufferId(3));
+        let x = l2.load(BufferId(2));
+        l2.store(BufferId(3), x);
+        module.push_loop(l2.finish());
+        // Buffers 0/1 have 8 elements; 2/3 have 4.
+        let compiled = Pipeline::default().run(module, &[8, 8, 4, 4]);
+        assert_eq!(compiled.loops_after, 2);
+    }
+
+    #[test]
+    fn scalar_read_of_reduction_blocks_loop_fusion() {
+        let mut module = KernelModule::new(3);
+        module.set_role(BufferId(1), BufferRole::Reduction);
+        // loop 1: reduce sum of a into s
+        let mut l1 = LoopBuilder::new("dot", BufferId(0));
+        let x = l1.load(BufferId(0));
+        l1.reduce(BufferId(1), ReduceOp::Sum, x);
+        module.push_loop(l1.finish());
+        // loop 2: out[i] = a[i] * s (broadcast read of the reduction)
+        let mut l2 = LoopBuilder::new("scale", BufferId(0));
+        let x = l2.load(BufferId(0));
+        let s = l2.load_scalar(BufferId(1));
+        let v = l2.mul(x, s);
+        l2.store(BufferId(2), v);
+        module.push_loop(l2.finish());
+        let compiled = Pipeline::default().run(module, &[8, 1, 8]);
+        assert_eq!(compiled.loops_after, 2, "must not fuse across a reduction");
+    }
+
+    #[test]
+    fn opaque_stage_breaks_fusion_runs() {
+        let mut module = KernelModule::new(4);
+        let mut l1 = LoopBuilder::new("a", BufferId(0));
+        let x = l1.load(BufferId(0));
+        l1.store(BufferId(3), x);
+        module.push_loop(l1.finish());
+        module.push_opaque(crate::ir::OpaqueOp::Gemv {
+            a: BufferId(1),
+            x: BufferId(0),
+            y: BufferId(2),
+        });
+        let mut l2 = LoopBuilder::new("b", BufferId(0));
+        let x = l2.load(BufferId(2));
+        l2.store(BufferId(3), x);
+        module.push_loop(l2.finish());
+        let compiled = Pipeline::default().run(module, &[8, 64, 8, 8]);
+        assert_eq!(compiled.loops_after, 2);
+        assert_eq!(compiled.module.num_stages(), 3);
+    }
+
+    #[test]
+    fn disabled_pipeline_is_identity_except_flags() {
+        let module = figure8_module();
+        let compiled = Pipeline::new(PipelineConfig::disabled()).run(module.clone(), &[4; 5]);
+        assert_eq!(compiled.module.stages.len(), module.stages.len());
+        assert!(compiled.eliminated_locals.is_empty());
+    }
+
+    #[test]
+    fn local_still_read_in_unfusible_loop_is_not_eliminated() {
+        // c = a + b (domain 8), then a reduction over c into s (domain 8 but
+        // reading c elementwise) is fusible, but if domains differ the local
+        // must survive.
+        let mut module = KernelModule::new(4);
+        module.set_role(BufferId(2), BufferRole::Local);
+        module.set_role(BufferId(3), BufferRole::Reduction);
+        let mut l1 = LoopBuilder::new("add", BufferId(0));
+        let (a, b) = (l1.load(BufferId(0)), l1.load(BufferId(1)));
+        let s = l1.add(a, b);
+        l1.store(BufferId(2), s);
+        module.push_loop(l1.finish());
+        let mut l2 = LoopBuilder::new("norm", BufferId(2));
+        let c = l2.load(BufferId(2));
+        let sq = l2.mul(c, c);
+        l2.reduce(BufferId(3), ReduceOp::Sum, sq);
+        module.push_loop(l2.finish());
+        // Different "lengths" prevent fusion, so the local must be kept.
+        let compiled = Pipeline::default().run(module, &[8, 8, 6, 1]);
+        assert!(compiled.eliminated_locals.is_empty());
+        assert_eq!(compiled.loops_after, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-GPU simulated clocks.
+
+use crate::{GpuId, SimTime};
+
+/// Tracks simulated time for every GPU in the machine.
+///
+/// Work issued to a GPU advances that GPU's clock; bulk-synchronous phases
+/// (index-task launches, collectives) advance every GPU to the maximum clock
+/// before adding the phase's time, which models the implicit barrier at task
+/// boundaries in a bulk-synchronous execution of data-parallel programs.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    times: Vec<SimTime>,
+}
+
+impl SimClock {
+    /// Creates a clock for `gpus` GPUs, all starting at time zero.
+    pub fn new(gpus: usize) -> Self {
+        SimClock {
+            times: vec![0.0; gpus.max(1)],
+        }
+    }
+
+    /// Number of GPUs tracked.
+    pub fn gpus(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Current simulated time of one GPU.
+    pub fn time_of(&self, gpu: GpuId) -> SimTime {
+        self.times[gpu.0]
+    }
+
+    /// The machine-wide simulated time: the maximum over all GPU clocks.
+    pub fn now(&self) -> SimTime {
+        self.times.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Advances a single GPU's clock by `dt` seconds.
+    pub fn advance(&mut self, gpu: GpuId, dt: SimTime) {
+        assert!(dt >= 0.0, "cannot advance time by a negative amount");
+        self.times[gpu.0] += dt;
+    }
+
+    /// Synchronizes all GPUs to the global maximum time (a barrier).
+    pub fn barrier(&mut self) {
+        let now = self.now();
+        for t in &mut self.times {
+            *t = now;
+        }
+    }
+
+    /// Models a bulk-synchronous phase: synchronizes all GPUs, then advances
+    /// every GPU by the per-GPU durations in `durations` (indexed by GPU).
+    /// GPUs not named keep the barrier time. Returns the new global time.
+    pub fn bulk_phase(&mut self, durations: &[(GpuId, SimTime)]) -> SimTime {
+        self.barrier();
+        for (gpu, dt) in durations {
+            self.advance(*gpu, *dt);
+        }
+        self.now()
+    }
+
+    /// Models a bulk-synchronous phase in which every GPU does the same amount
+    /// of work. Returns the new global time.
+    pub fn uniform_phase(&mut self, dt: SimTime) -> SimTime {
+        self.barrier();
+        for t in &mut self.times {
+            *t += dt;
+        }
+        self.now()
+    }
+
+    /// Resets every GPU's clock to zero.
+    pub fn reset(&mut self) {
+        for t in &mut self.times {
+            *t = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = SimClock::new(4);
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.time_of(GpuId(2)), 0.0);
+    }
+
+    #[test]
+    fn advance_single_gpu() {
+        let mut c = SimClock::new(2);
+        c.advance(GpuId(0), 1.5);
+        assert_eq!(c.time_of(GpuId(0)), 1.5);
+        assert_eq!(c.time_of(GpuId(1)), 0.0);
+        assert_eq!(c.now(), 1.5);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let mut c = SimClock::new(3);
+        c.advance(GpuId(1), 2.0);
+        c.barrier();
+        for g in 0..3 {
+            assert_eq!(c.time_of(GpuId(g)), 2.0);
+        }
+    }
+
+    #[test]
+    fn bulk_phase_takes_max() {
+        let mut c = SimClock::new(2);
+        let now = c.bulk_phase(&[(GpuId(0), 1.0), (GpuId(1), 3.0)]);
+        assert_eq!(now, 3.0);
+        let now = c.bulk_phase(&[(GpuId(0), 2.0)]);
+        assert_eq!(now, 5.0);
+    }
+
+    #[test]
+    fn uniform_phase_advances_all() {
+        let mut c = SimClock::new(4);
+        c.uniform_phase(0.5);
+        c.uniform_phase(0.25);
+        assert_eq!(c.now(), 0.75);
+        for g in 0..4 {
+            assert_eq!(c.time_of(GpuId(g)), 0.75);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_clocks() {
+        let mut c = SimClock::new(2);
+        c.uniform_phase(1.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_advance_panics() {
+        let mut c = SimClock::new(1);
+        c.advance(GpuId(0), -1.0);
+    }
+}

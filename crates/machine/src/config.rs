@@ -1,0 +1,150 @@
+//! Machine description used by the cost model.
+
+/// Description of the simulated distributed GPU machine.
+///
+/// The defaults in [`MachineConfig::a100_superpod`] approximate the NVIDIA
+/// A100 DGX SuperPOD used in the paper's evaluation (Section 7): 8 A100-80GB
+/// GPUs per node, NVLink/NVSwitch within a node, and 8 InfiniBand NICs per
+/// node between nodes.
+///
+/// All bandwidths are bytes/second and all latencies/overheads are seconds so
+/// the cost model never needs unit conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of nodes in the machine.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Achievable HBM streaming bandwidth per GPU (bytes/s).
+    pub gpu_bandwidth: f64,
+    /// Peak double-precision throughput per GPU (FLOP/s).
+    pub gpu_peak_flops: f64,
+    /// Device memory per GPU (bytes).
+    pub gpu_memory: f64,
+    /// Fixed overhead of launching one GPU kernel (seconds).
+    pub kernel_launch_overhead: f64,
+    /// Per-task overhead imposed by the task-based runtime (seconds).
+    ///
+    /// The paper cites Legion's minimum effective task granularity of roughly
+    /// 1 ms per task; a well-pipelined runtime hides part of it, so the
+    /// default charges a fraction of that per task on the critical path.
+    pub task_runtime_overhead: f64,
+    /// Per-task overhead of an explicitly parallel MPI library (seconds).
+    ///
+    /// Used by the PETSc-equivalent baseline, which does not pay dynamic
+    /// dependence-analysis costs.
+    pub mpi_call_overhead: f64,
+    /// Achievable NVLink/NVSwitch bandwidth between two GPUs in the same node
+    /// (bytes/s).
+    pub nvlink_bandwidth: f64,
+    /// Achievable network bandwidth between two GPUs on different nodes
+    /// (bytes/s, per GPU pair).
+    pub network_bandwidth: f64,
+    /// One-way network latency between nodes (seconds).
+    pub network_latency: f64,
+    /// Latency of an intra-node GPU-to-GPU copy (seconds).
+    pub nvlink_latency: f64,
+}
+
+impl MachineConfig {
+    /// A machine shaped like the paper's evaluation platform with the given
+    /// number of nodes (8 GPUs per node).
+    pub fn a100_superpod(nodes: usize) -> Self {
+        MachineConfig {
+            nodes: nodes.max(1),
+            gpus_per_node: 8,
+            // ~2.0 TB/s peak HBM2e, ~1.7 TB/s achievable on streaming kernels.
+            gpu_bandwidth: 1.7e12,
+            // 9.7 TFLOP/s FP64 (19.5 with tensor cores; plain FMA pipeline here).
+            gpu_peak_flops: 9.7e12,
+            gpu_memory: 80.0 * 1e9,
+            kernel_launch_overhead: 6e-6,
+            task_runtime_overhead: 350e-6,
+            mpi_call_overhead: 25e-6,
+            nvlink_bandwidth: 250e9,
+            network_bandwidth: 22e9,
+            network_latency: 4e-6,
+            nvlink_latency: 2e-6,
+        }
+    }
+
+    /// A single-node machine with the given number of GPUs, otherwise shaped
+    /// like [`MachineConfig::a100_superpod`]. Useful for small tests.
+    pub fn single_node(gpus: usize) -> Self {
+        MachineConfig {
+            nodes: 1,
+            gpus_per_node: gpus.max(1),
+            ..MachineConfig::a100_superpod(1)
+        }
+    }
+
+    /// A machine with exactly `gpus` GPUs arranged into nodes of at most 8,
+    /// mirroring how the paper scales from 1 to 128 GPUs.
+    pub fn with_gpus(gpus: usize) -> Self {
+        let gpus = gpus.max(1);
+        if gpus <= 8 {
+            Self::single_node(gpus)
+        } else {
+            assert!(
+                gpus % 8 == 0,
+                "multi-node configurations must use whole nodes of 8 GPUs, got {gpus}"
+            );
+            Self::a100_superpod(gpus / 8)
+        }
+    }
+
+    /// Total number of GPUs in the machine.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::a100_superpod(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superpod_gpu_count() {
+        assert_eq!(MachineConfig::a100_superpod(4).total_gpus(), 32);
+        assert_eq!(MachineConfig::a100_superpod(16).total_gpus(), 128);
+    }
+
+    #[test]
+    fn with_gpus_small_counts_are_single_node() {
+        for g in 1..=8 {
+            let c = MachineConfig::with_gpus(g);
+            assert_eq!(c.nodes, 1);
+            assert_eq!(c.total_gpus(), g);
+        }
+    }
+
+    #[test]
+    fn with_gpus_large_counts_use_whole_nodes() {
+        let c = MachineConfig::with_gpus(128);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.total_gpus(), 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_gpus_rejects_partial_nodes() {
+        let _ = MachineConfig::with_gpus(12);
+    }
+
+    #[test]
+    fn zero_nodes_clamped_to_one() {
+        assert_eq!(MachineConfig::a100_superpod(0).nodes, 1);
+        assert_eq!(MachineConfig::single_node(0).gpus_per_node, 1);
+    }
+
+    #[test]
+    fn default_is_one_node() {
+        assert_eq!(MachineConfig::default().total_gpus(), 8);
+    }
+}

@@ -1,0 +1,44 @@
+//! Simulated distributed GPU machine and analytic cost model.
+//!
+//! The paper evaluates Diffuse on an NVIDIA A100 DGX SuperPOD: nodes of 8 A100
+//! GPUs connected by NVLink/NVSwitch within a node and InfiniBand between
+//! nodes. This crate provides the stand-in for that hardware: a description of
+//! the machine ([`MachineConfig`]), a topology helper ([`Topology`]) mapping
+//! global GPU indices to nodes, an analytic cost model ([`CostModel`]) for
+//! kernels, kernel launches, task overheads and data transfers, a per-GPU
+//! simulated clock ([`SimClock`]), and a per-GPU memory tracker
+//! ([`MemoryTracker`]).
+//!
+//! All execution in this reproduction is *functional* (kernels run on real
+//! buffers on the host) while *performance* is simulated through this crate's
+//! cost model. Weak-scaling shapes in the paper are driven by bytes moved,
+//! kernel-launch counts, per-task runtime overhead and network traffic — all
+//! of which the model captures.
+//!
+//! # Example
+//!
+//! ```
+//! use machine::{MachineConfig, CostModel};
+//!
+//! let config = MachineConfig::a100_superpod(2); // 2 nodes x 8 GPUs
+//! assert_eq!(config.total_gpus(), 16);
+//! let cost = CostModel::new(config);
+//! // A kernel streaming 1 GiB on one GPU takes on the order of a millisecond.
+//! let t = cost.kernel_time(1 << 30, 0, 0);
+//! assert!(t > 0.0 && t < 0.1);
+//! ```
+
+pub mod clock;
+pub mod config;
+pub mod cost;
+pub mod memory;
+pub mod topology;
+
+pub use clock::SimClock;
+pub use config::MachineConfig;
+pub use cost::CostModel;
+pub use memory::MemoryTracker;
+pub use topology::{GpuId, NodeId, Topology};
+
+/// Seconds of simulated time. All cost-model results are expressed in seconds.
+pub type SimTime = f64;

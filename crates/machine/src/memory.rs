@@ -1,0 +1,146 @@
+//! Per-GPU device-memory accounting.
+
+use crate::GpuId;
+
+/// Tracks the number of bytes allocated on each GPU and the allocation
+/// high-water mark.
+///
+/// The paper's motivation for temporary-store elimination (Section 5.1) is
+/// that unfused task streams allocate distributed temporaries for every
+/// intermediate result. This tracker lets the reproduction report exactly how
+/// many bytes of distributed temporaries fusion removed.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    current: Vec<u64>,
+    peak: Vec<u64>,
+    total_allocated: u64,
+    allocation_count: u64,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker for `gpus` GPUs with nothing allocated.
+    pub fn new(gpus: usize) -> Self {
+        let gpus = gpus.max(1);
+        MemoryTracker {
+            current: vec![0; gpus],
+            peak: vec![0; gpus],
+            total_allocated: 0,
+            allocation_count: 0,
+        }
+    }
+
+    /// Records an allocation of `bytes` on GPU `gpu`.
+    pub fn allocate(&mut self, gpu: GpuId, bytes: u64) {
+        self.current[gpu.0] += bytes;
+        self.peak[gpu.0] = self.peak[gpu.0].max(self.current[gpu.0]);
+        self.total_allocated += bytes;
+        self.allocation_count += 1;
+    }
+
+    /// Records an allocation of `bytes_per_gpu` on every GPU (a distributed
+    /// allocation partitioned evenly across the machine).
+    pub fn allocate_distributed(&mut self, bytes_per_gpu: u64) {
+        for g in 0..self.current.len() {
+            self.allocate(GpuId(g), bytes_per_gpu);
+        }
+        // Distributed allocations count as one logical allocation.
+        self.allocation_count -= self.current.len() as u64;
+        self.allocation_count += 1;
+    }
+
+    /// Records a free of `bytes` on GPU `gpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bytes are freed than are currently allocated.
+    pub fn free(&mut self, gpu: GpuId, bytes: u64) {
+        assert!(
+            self.current[gpu.0] >= bytes,
+            "freeing {} bytes but only {} allocated on {}",
+            bytes,
+            self.current[gpu.0],
+            gpu
+        );
+        self.current[gpu.0] -= bytes;
+    }
+
+    /// Records a distributed free of `bytes_per_gpu` on every GPU.
+    pub fn free_distributed(&mut self, bytes_per_gpu: u64) {
+        for g in 0..self.current.len() {
+            self.free(GpuId(g), bytes_per_gpu);
+        }
+    }
+
+    /// Bytes currently allocated on one GPU.
+    pub fn current_bytes(&self, gpu: GpuId) -> u64 {
+        self.current[gpu.0]
+    }
+
+    /// High-water mark of allocated bytes on one GPU.
+    pub fn peak_bytes(&self, gpu: GpuId) -> u64 {
+        self.peak[gpu.0]
+    }
+
+    /// The largest per-GPU high-water mark across the machine.
+    pub fn max_peak_bytes(&self) -> u64 {
+        self.peak.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total bytes ever allocated across the whole machine.
+    pub fn total_allocated(&self) -> u64 {
+        self.total_allocated
+    }
+
+    /// Number of logical allocations recorded.
+    pub fn allocation_count(&self) -> u64 {
+        self.allocation_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free() {
+        let mut m = MemoryTracker::new(2);
+        m.allocate(GpuId(0), 100);
+        m.allocate(GpuId(0), 50);
+        assert_eq!(m.current_bytes(GpuId(0)), 150);
+        m.free(GpuId(0), 100);
+        assert_eq!(m.current_bytes(GpuId(0)), 50);
+        assert_eq!(m.peak_bytes(GpuId(0)), 150);
+        assert_eq!(m.current_bytes(GpuId(1)), 0);
+    }
+
+    #[test]
+    fn distributed_allocation_touches_every_gpu() {
+        let mut m = MemoryTracker::new(4);
+        m.allocate_distributed(1024);
+        for g in 0..4 {
+            assert_eq!(m.current_bytes(GpuId(g)), 1024);
+        }
+        assert_eq!(m.allocation_count(), 1);
+        assert_eq!(m.total_allocated(), 4096);
+        m.free_distributed(1024);
+        assert_eq!(m.current_bytes(GpuId(0)), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new(1);
+        m.allocate(GpuId(0), 10);
+        m.free(GpuId(0), 10);
+        m.allocate(GpuId(0), 5);
+        assert_eq!(m.peak_bytes(GpuId(0)), 10);
+        assert_eq!(m.max_peak_bytes(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_free_panics() {
+        let mut m = MemoryTracker::new(1);
+        m.allocate(GpuId(0), 10);
+        m.free(GpuId(0), 11);
+    }
+}

@@ -1,0 +1,110 @@
+//! Mapping between global GPU indices and nodes.
+
+use crate::MachineConfig;
+
+/// Identifier of a GPU in the machine, numbered globally from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub usize);
+
+/// Identifier of a node in the machine, numbered from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Answers locality questions about a [`MachineConfig`]: which node a GPU is
+/// on and whether two GPUs communicate over NVLink or the network.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    gpus_per_node: usize,
+    total_gpus: usize,
+}
+
+impl Topology {
+    /// Builds the topology for a machine configuration.
+    pub fn new(config: &MachineConfig) -> Self {
+        Topology {
+            gpus_per_node: config.gpus_per_node,
+            total_gpus: config.total_gpus(),
+        }
+    }
+
+    /// Total number of GPUs.
+    pub fn total_gpus(&self) -> usize {
+        self.total_gpus
+    }
+
+    /// Node that owns GPU `gpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range for the machine.
+    pub fn node_of(&self, gpu: GpuId) -> NodeId {
+        assert!(gpu.0 < self.total_gpus, "gpu {} out of range", gpu.0);
+        NodeId(gpu.0 / self.gpus_per_node)
+    }
+
+    /// Whether the two GPUs live on the same node (and therefore communicate
+    /// over NVLink rather than the network).
+    pub fn same_node(&self, a: GpuId, b: GpuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Iterator over all GPU ids in the machine.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> {
+        (0..self.total_gpus).map(GpuId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_assignment() {
+        let t = Topology::new(&MachineConfig::a100_superpod(2));
+        assert_eq!(t.node_of(GpuId(0)), NodeId(0));
+        assert_eq!(t.node_of(GpuId(7)), NodeId(0));
+        assert_eq!(t.node_of(GpuId(8)), NodeId(1));
+        assert_eq!(t.node_of(GpuId(15)), NodeId(1));
+    }
+
+    #[test]
+    fn same_node_checks() {
+        let t = Topology::new(&MachineConfig::a100_superpod(2));
+        assert!(t.same_node(GpuId(0), GpuId(7)));
+        assert!(!t.same_node(GpuId(7), GpuId(8)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_gpu_panics() {
+        let t = Topology::new(&MachineConfig::single_node(4));
+        let _ = t.node_of(GpuId(4));
+    }
+
+    #[test]
+    fn gpu_iterator_covers_machine() {
+        let t = Topology::new(&MachineConfig::a100_superpod(2));
+        let ids: Vec<_> = t.gpus().collect();
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0], GpuId(0));
+        assert_eq!(ids[15], GpuId(15));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(GpuId(3).to_string(), "gpu3");
+        assert_eq!(NodeId(2).to_string(), "node2");
+    }
+}

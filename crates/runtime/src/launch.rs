@@ -1,0 +1,114 @@
+//! Task launches: the runtime's unit of work.
+
+use ir::{Domain, Partition, Privilege};
+use kernel::KernelModule;
+
+use crate::region::RegionId;
+
+/// Which overhead class an operation pays.
+///
+/// Dynamic task-based runtimes pay per-task dependence-analysis and mapping
+/// costs (Legion's minimum effective task granularity); an explicitly parallel
+/// MPI library pays only a small per-call overhead. The PETSc-equivalent
+/// baseline uses [`OverheadClass::Mpi`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverheadClass {
+    /// Dynamic task runtime overhead (dependence analysis, mapping).
+    #[default]
+    TaskRuntime,
+    /// Explicitly parallel library overhead (an MPI call).
+    Mpi,
+    /// No per-operation overhead (used by ablations).
+    None,
+}
+
+/// One region requirement of a task launch: which region is accessed, through
+/// which partition, and with what privilege.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionRequirement {
+    /// The region accessed.
+    pub region: RegionId,
+    /// The partition through which each point task accesses the region.
+    pub partition: Partition,
+    /// The access privilege.
+    pub privilege: Privilege,
+}
+
+impl RegionRequirement {
+    /// Creates a region requirement.
+    pub fn new(region: RegionId, partition: Partition, privilege: Privilege) -> Self {
+        RegionRequirement {
+            region,
+            partition,
+            privilege,
+        }
+    }
+}
+
+/// An index-task launch: a group of point tasks over a launch domain, with one
+/// region requirement per kernel buffer argument.
+///
+/// Buffer `i` of `module` corresponds to `requirements[i]`; buffers beyond the
+/// requirement count are task-local temporaries whose per-point element counts
+/// are given by `local_buffer_lens`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskLaunch {
+    /// Human-readable name (used in profiles).
+    pub name: String,
+    /// The launch domain: one point per processor.
+    pub launch_domain: Domain,
+    /// Region requirements in kernel-buffer order.
+    pub requirements: Vec<RegionRequirement>,
+    /// The kernel module to execute.
+    pub module: KernelModule,
+    /// Scalar kernel parameters.
+    pub scalars: Vec<f64>,
+    /// Per-point element counts of the module's task-local buffers (ids
+    /// `requirements.len()..`).
+    pub local_buffer_lens: Vec<usize>,
+    /// Overhead class of this operation.
+    pub overhead: OverheadClass,
+}
+
+impl TaskLaunch {
+    /// Total number of kernel buffers (requirements plus locals).
+    pub fn num_buffers(&self) -> usize {
+        self.requirements.len() + self.local_buffer_lens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirement_construction() {
+        let r = RegionRequirement::new(RegionId(1), Partition::block(vec![4]), Privilege::Read);
+        assert_eq!(r.region, RegionId(1));
+        assert!(r.privilege.reads());
+    }
+
+    #[test]
+    fn launch_buffer_count() {
+        let launch = TaskLaunch {
+            name: "t".into(),
+            launch_domain: Domain::linear(2),
+            requirements: vec![RegionRequirement::new(
+                RegionId(0),
+                Partition::Replicate,
+                Privilege::Read,
+            )],
+            module: KernelModule::new(3),
+            scalars: vec![],
+            local_buffer_lens: vec![16, 16],
+            overhead: OverheadClass::TaskRuntime,
+        };
+        assert_eq!(launch.num_buffers(), 3);
+        assert_eq!(launch.overhead, OverheadClass::TaskRuntime);
+    }
+
+    #[test]
+    fn default_overhead_is_task_runtime() {
+        assert_eq!(OverheadClass::default(), OverheadClass::TaskRuntime);
+    }
+}

@@ -1,0 +1,102 @@
+//! Execution profile: what the runtime observed while executing launches.
+
+/// Counters accumulated across every launch executed by a [`crate::Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Profile {
+    /// Index tasks launched.
+    pub index_tasks: u64,
+    /// GPU kernels launched (one per module stage per index task).
+    pub kernel_launches: u64,
+    /// Bytes moved through GPU memory by kernels (per-GPU, on the critical
+    /// path).
+    pub kernel_bytes: u64,
+    /// Floating point operations executed (per-GPU, critical path).
+    pub kernel_flops: u64,
+    /// Bytes communicated between GPUs because data was accessed through a
+    /// partition other than the one it was produced with.
+    pub comm_bytes: u64,
+    /// Simulated seconds spent in communication.
+    pub comm_time: f64,
+    /// Simulated seconds spent in kernels (including launch overheads).
+    pub kernel_time: f64,
+    /// Simulated seconds of per-task runtime/MPI overhead.
+    pub overhead_time: f64,
+    /// Distributed allocations performed.
+    pub distributed_allocations: u64,
+    /// Bytes of distributed allocations performed.
+    pub distributed_allocation_bytes: u64,
+}
+
+impl Profile {
+    /// Total simulated seconds attributed to execution by this profile.
+    pub fn total_time(&self) -> f64 {
+        self.comm_time + self.kernel_time + self.overhead_time
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Profile::default();
+    }
+
+    /// The difference between two profiles (`self - earlier`), used to report
+    /// per-phase statistics.
+    pub fn since(&self, earlier: &Profile) -> Profile {
+        Profile {
+            index_tasks: self.index_tasks - earlier.index_tasks,
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            kernel_bytes: self.kernel_bytes - earlier.kernel_bytes,
+            kernel_flops: self.kernel_flops - earlier.kernel_flops,
+            comm_bytes: self.comm_bytes - earlier.comm_bytes,
+            comm_time: self.comm_time - earlier.comm_time,
+            kernel_time: self.kernel_time - earlier.kernel_time,
+            overhead_time: self.overhead_time - earlier.overhead_time,
+            distributed_allocations: self.distributed_allocations
+                - earlier.distributed_allocations,
+            distributed_allocation_bytes: self.distributed_allocation_bytes
+                - earlier.distributed_allocation_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_sums_components() {
+        let p = Profile {
+            comm_time: 1.0,
+            kernel_time: 2.0,
+            overhead_time: 0.5,
+            ..Profile::default()
+        };
+        assert_eq!(p.total_time(), 3.5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut p = Profile {
+            index_tasks: 5,
+            ..Profile::default()
+        };
+        p.reset();
+        assert_eq!(p, Profile::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = Profile {
+            index_tasks: 2,
+            kernel_launches: 3,
+            ..Profile::default()
+        };
+        let late = Profile {
+            index_tasks: 7,
+            kernel_launches: 10,
+            ..Profile::default()
+        };
+        let diff = late.since(&early);
+        assert_eq!(diff.index_tasks, 5);
+        assert_eq!(diff.kernel_launches, 7);
+    }
+}

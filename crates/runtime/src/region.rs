@@ -1,0 +1,199 @@
+//! Logical regions: the runtime's distributed arrays.
+
+use ir::Rect;
+
+/// Identifier of a logical region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u64);
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A logical region: shape metadata plus (optionally) materialized contents.
+///
+/// In functional executions the contents are held as a single row-major host
+/// buffer — distribution is modelled by the cost layer, not by physically
+/// splitting the data. In pure-simulation executions (`data == None`) only the
+/// metadata exists, which lets the benchmark harness model machine-scale
+/// problem sizes without allocating them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// The region's identifier.
+    pub id: RegionId,
+    /// Rectangular shape.
+    pub shape: Vec<u64>,
+    /// Row-major contents, when materialized.
+    pub data: Option<Vec<f64>>,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl Region {
+    /// Creates a region, materializing zero-initialized contents if
+    /// `materialize` is true.
+    pub fn new(id: RegionId, shape: Vec<u64>, name: impl Into<String>, materialize: bool) -> Self {
+        let volume: u64 = shape.iter().product();
+        Region {
+            id,
+            shape,
+            data: if materialize {
+                Some(vec![0.0; volume as usize])
+            } else {
+                None
+            },
+            name: name.into(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn volume(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Total size in bytes (f64 elements).
+    pub fn size_bytes(&self) -> u64 {
+        self.volume() * 8
+    }
+
+    /// Whether the region's contents are materialized.
+    pub fn is_materialized(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Copies the elements inside `rect` into a dense row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not materialized or the rect does not fit the
+    /// region's rank.
+    pub fn read_rect(&self, rect: &Rect) -> Vec<f64> {
+        let data = self.data.as_ref().expect("region is not materialized");
+        let mut out = Vec::with_capacity(rect.volume() as usize);
+        for idx in rect_indices(rect, &self.shape) {
+            out.push(data[idx]);
+        }
+        out
+    }
+
+    /// Writes a dense row-major buffer into the elements inside `rect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not materialized, the rect does not fit the
+    /// region's rank, or `values` has the wrong length.
+    pub fn write_rect(&mut self, rect: &Rect, values: &[f64]) {
+        assert_eq!(
+            values.len() as u64,
+            rect.volume(),
+            "value buffer length must equal the rect volume"
+        );
+        let shape = self.shape.clone();
+        let data = self.data.as_mut().expect("region is not materialized");
+        for (i, idx) in rect_indices(rect, &shape).enumerate() {
+            data[idx] = values[i];
+        }
+    }
+}
+
+/// Iterates the row-major linear indices of the elements of `rect` within an
+/// array of the given shape.
+///
+/// # Panics
+///
+/// Panics if the rect rank differs from the shape rank or the rect extends
+/// outside the shape.
+pub fn rect_indices<'a>(rect: &'a Rect, shape: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+    assert_eq!(rect.rank(), shape.len(), "rect rank must match region rank");
+    for d in 0..rect.rank() {
+        assert!(
+            rect.lo[d] >= 0 && rect.hi[d] <= shape[d] as i64,
+            "rect {rect} out of bounds for shape {shape:?}"
+        );
+    }
+    let strides: Vec<usize> = {
+        let mut s = vec![1usize; shape.len()];
+        for d in (0..shape.len().saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * shape[d + 1] as usize;
+        }
+        s
+    };
+    let volume = rect.volume() as usize;
+    let rect = rect.clone();
+    (0..volume).map(move |mut flat| {
+        let mut idx = 0usize;
+        for d in (0..rect.rank()).rev() {
+            let extent = (rect.hi[d] - rect.lo[d]) as usize;
+            let coord = rect.lo[d] as usize + (flat % extent.max(1));
+            flat /= extent.max(1);
+            idx += coord * strides[d];
+        }
+        idx
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_creation_and_metadata() {
+        let r = Region::new(RegionId(0), vec![4, 4], "grid", true);
+        assert_eq!(r.volume(), 16);
+        assert_eq!(r.size_bytes(), 128);
+        assert!(r.is_materialized());
+        let lazy = Region::new(RegionId(1), vec![1 << 20], "big", false);
+        assert!(!lazy.is_materialized());
+        assert_eq!(lazy.volume(), 1 << 20);
+    }
+
+    #[test]
+    fn rect_round_trip_1d() {
+        let mut r = Region::new(RegionId(0), vec![8], "v", true);
+        r.write_rect(&Rect::new(vec![2], vec![5]), &[1.0, 2.0, 3.0]);
+        assert_eq!(r.read_rect(&Rect::new(vec![2], vec![5])), vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.read_rect(&Rect::new(vec![0], vec![2])), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn rect_round_trip_2d_interior() {
+        let mut r = Region::new(RegionId(0), vec![4, 4], "grid", true);
+        // Write the 2x2 interior block starting at (1,1).
+        let rect = Rect::new(vec![1, 1], vec![3, 3]);
+        r.write_rect(&rect, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.read_rect(&rect), vec![1.0, 2.0, 3.0, 4.0]);
+        // Check row-major placement: element (1,2) is linear index 6.
+        assert_eq!(r.data.as_ref().unwrap()[6], 2.0);
+        assert_eq!(r.data.as_ref().unwrap()[9], 3.0);
+    }
+
+    #[test]
+    fn rect_indices_row_major_order() {
+        let rect = Rect::new(vec![1, 0], vec![3, 2]);
+        let idx: Vec<usize> = rect_indices(&rect, &[4, 3]).collect();
+        assert_eq!(idx, vec![3, 4, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_rect_panics() {
+        let r = Region::new(RegionId(0), vec![4], "v", true);
+        let _ = r.read_rect(&Rect::new(vec![2], vec![6]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unmaterialized_read_panics() {
+        let r = Region::new(RegionId(0), vec![4], "v", false);
+        let _ = r.read_rect(&Rect::new(vec![0], vec![2]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_write_panics() {
+        let mut r = Region::new(RegionId(0), vec![4], "v", true);
+        r.write_rect(&Rect::new(vec![0], vec![2]), &[1.0]);
+    }
+}

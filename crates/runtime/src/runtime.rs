@@ -1,0 +1,709 @@
+//! The runtime proper: region management, coherence, cost accounting and
+//! functional execution.
+
+use std::collections::HashMap;
+
+use ir::{Partition, Rect};
+use kernel::{cost as kcost, ExecError, Interpreter, KernelModule};
+use machine::{CostModel, MachineConfig, MemoryTracker, SimClock};
+
+use crate::launch::{OverheadClass, TaskLaunch};
+use crate::profile::Profile;
+use crate::region::{Region, RegionId};
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Whether regions hold real data and kernels actually execute. Disable
+    /// for machine-scale performance simulations where the data would not fit
+    /// in host memory.
+    pub materialize_data: bool,
+}
+
+impl RuntimeConfig {
+    /// A runtime that executes kernels on real data (tests, examples).
+    pub fn functional(machine: MachineConfig) -> Self {
+        RuntimeConfig {
+            machine,
+            materialize_data: true,
+        }
+    }
+
+    /// A runtime that only simulates performance (benchmark harness at
+    /// machine-scale problem sizes).
+    pub fn simulation_only(machine: MachineConfig) -> Self {
+        RuntimeConfig {
+            machine,
+            materialize_data: false,
+        }
+    }
+}
+
+/// Errors surfaced by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A launch referenced a region that does not exist (or was freed).
+    UnknownRegion(RegionId),
+    /// The kernel interpreter failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnknownRegion(r) => write!(f, "unknown region {r}"),
+            RuntimeError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ExecError> for RuntimeError {
+    fn from(e: ExecError) -> Self {
+        RuntimeError::Exec(e)
+    }
+}
+
+/// Coherence state of a region: how its current contents are distributed.
+#[derive(Debug, Clone, PartialEq)]
+enum Validity {
+    /// Never written since allocation (zero everywhere, valid everywhere).
+    Uninitialized,
+    /// Every GPU holds a valid copy of the full region.
+    Full,
+    /// The region was last written through this partition; each GPU holds the
+    /// sub-store that partition assigns to it.
+    Partitioned(Partition),
+    /// The region holds pending reduction contributions that must be combined
+    /// before the next read.
+    Reduced,
+}
+
+/// The Legion-style runtime: owns regions, tracks coherence, charges costs on
+/// the simulated clock and (optionally) executes kernels functionally.
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    cost: CostModel,
+    clock: SimClock,
+    memory: MemoryTracker,
+    regions: HashMap<RegionId, Region>,
+    validity: HashMap<RegionId, Validity>,
+    profile: Profile,
+    next_region: u64,
+    interp: Interpreter,
+}
+
+impl Runtime {
+    /// Creates a runtime over the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let gpus = config.machine.total_gpus();
+        let cost = CostModel::new(config.machine.clone());
+        Runtime {
+            config,
+            cost,
+            clock: SimClock::new(gpus),
+            memory: MemoryTracker::new(gpus),
+            regions: HashMap::new(),
+            validity: HashMap::new(),
+            profile: Profile::default(),
+            next_region: 0,
+            interp: Interpreter::new(),
+        }
+    }
+
+    /// Number of GPUs in the simulated machine.
+    pub fn gpus(&self) -> usize {
+        self.cost.config().total_gpus()
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Whether regions hold real data.
+    pub fn is_functional(&self) -> bool {
+        self.config.materialize_data
+    }
+
+    /// Allocates a distributed region of the given shape.
+    pub fn allocate_region(&mut self, shape: Vec<u64>, name: impl Into<String>) -> RegionId {
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        let region = Region::new(id, shape, name, self.config.materialize_data);
+        let bytes_per_gpu = region.size_bytes() / self.gpus() as u64;
+        self.memory.allocate_distributed(bytes_per_gpu.max(1));
+        self.profile.distributed_allocations += 1;
+        self.profile.distributed_allocation_bytes += region.size_bytes();
+        self.validity.insert(id, Validity::Uninitialized);
+        self.regions.insert(id, region);
+        id
+    }
+
+    /// Frees a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region does not exist.
+    pub fn free_region(&mut self, id: RegionId) -> Result<(), RuntimeError> {
+        let region = self
+            .regions
+            .remove(&id)
+            .ok_or(RuntimeError::UnknownRegion(id))?;
+        let bytes_per_gpu = region.size_bytes() / self.gpus() as u64;
+        self.memory.free_distributed(bytes_per_gpu.max(1));
+        self.validity.remove(&id);
+        Ok(())
+    }
+
+    /// Fills every element of a region with a value, charging one streaming
+    /// write pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region does not exist.
+    pub fn fill(&mut self, id: RegionId, value: f64) -> Result<(), RuntimeError> {
+        let gpus = self.gpus() as u64;
+        let region = self
+            .regions
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownRegion(id))?;
+        if let Some(data) = region.data.as_mut() {
+            data.fill(value);
+        }
+        let bytes_per_gpu = region.size_bytes() / gpus;
+        let t = self.cost.task_overhead()
+            + self.cost.launch_time()
+            + self.cost.kernel_time(bytes_per_gpu, 0, 0);
+        self.clock.uniform_phase(t);
+        self.profile.index_tasks += 1;
+        self.profile.kernel_launches += 1;
+        self.profile.kernel_time += self.cost.launch_time() + self.cost.kernel_time(bytes_per_gpu, 0, 0);
+        self.profile.overhead_time += self.cost.task_overhead();
+        self.profile.kernel_bytes += bytes_per_gpu;
+        self.validity.insert(id, Validity::Full);
+        Ok(())
+    }
+
+    /// Overwrites a region's contents with the given row-major data (host
+    /// initialization; no simulated cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the region does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the region volume.
+    pub fn write_region_data(&mut self, id: RegionId, data: Vec<f64>) -> Result<(), RuntimeError> {
+        let region = self
+            .regions
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownRegion(id))?;
+        assert_eq!(
+            data.len() as u64,
+            region.volume(),
+            "data length must match region volume"
+        );
+        if region.is_materialized() {
+            region.data = Some(data);
+        }
+        self.validity.insert(id, Validity::Full);
+        Ok(())
+    }
+
+    /// The contents of a region, if it exists and is materialized.
+    pub fn region_data(&self, id: RegionId) -> Option<&[f64]> {
+        self.regions.get(&id).and_then(|r| r.data.as_deref())
+    }
+
+    /// The shape of a region, if it exists.
+    pub fn region_shape(&self, id: RegionId) -> Option<&[u64]> {
+        self.regions.get(&id).map(|r| r.shape.as_slice())
+    }
+
+    /// Current simulated time in seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Accumulated execution profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Memory tracker (peak distributed allocations and so on).
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Resets the simulated clock and the profile (used to exclude warmup
+    /// iterations from steady-state measurements, as the paper does).
+    pub fn reset_timing(&mut self) {
+        self.clock.reset();
+        self.profile.reset();
+    }
+
+    /// Executes an index-task launch: charges overheads, coherence traffic and
+    /// kernel time on the simulated clock and, in functional mode, runs the
+    /// kernels against the region data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a requirement references an unknown region or the
+    /// kernel interpreter fails.
+    pub fn execute(&mut self, launch: &TaskLaunch) -> Result<(), RuntimeError> {
+        for req in &launch.requirements {
+            if !self.regions.contains_key(&req.region) {
+                return Err(RuntimeError::UnknownRegion(req.region));
+            }
+        }
+        // 1. Per-operation overhead.
+        let overhead = match launch.overhead {
+            OverheadClass::TaskRuntime => self.cost.task_overhead(),
+            OverheadClass::Mpi => self.cost.mpi_overhead(),
+            OverheadClass::None => 0.0,
+        };
+        // 2. Coherence: communication required to read data through a
+        // partition other than the one it was produced with.
+        let comm_time = self.charge_communication(launch);
+        // 3. Update validity from this launch's writes and reductions.
+        self.update_validity(launch);
+        // 4. Kernel cost on the critical-path GPU.
+        let kernel_time = self.charge_kernels(launch);
+        // 5. Advance the bulk-synchronous clock.
+        self.clock.uniform_phase(overhead + comm_time + kernel_time);
+        self.profile.index_tasks += 1;
+        self.profile.overhead_time += overhead;
+        // 6. Functional execution.
+        if self.config.materialize_data {
+            self.execute_functional(launch)?;
+        }
+        Ok(())
+    }
+
+    /// Computes and charges the communication needed before `launch` can read
+    /// its requirements. Returns the simulated seconds of communication.
+    fn charge_communication(&mut self, launch: &TaskLaunch) -> f64 {
+        let mut total_time = 0.0;
+        for req in &launch.requirements {
+            if !req.privilege.reads() {
+                continue;
+            }
+            let region = &self.regions[&req.region];
+            let validity = self
+                .validity
+                .get(&req.region)
+                .cloned()
+                .unwrap_or(Validity::Uninitialized);
+            match validity {
+                Validity::Uninitialized | Validity::Full => {}
+                Validity::Reduced => {
+                    // Combine pending reduction contributions (tiny payloads,
+                    // latency bound).
+                    let t = self.cost.allreduce_time(8);
+                    total_time += t;
+                    self.profile.comm_bytes += 8 * self.gpus() as u64;
+                    self.validity.insert(req.region, Validity::Full);
+                }
+                Validity::Partitioned(valid_part) => {
+                    if valid_part == req.partition {
+                        continue;
+                    }
+                    // Per-point deficit: bytes each point task needs that its
+                    // GPU does not already hold.
+                    let mut max_deficit: u64 = 0;
+                    let mut total_deficit: u64 = 0;
+                    for p in launch.launch_domain.points() {
+                        let want = req.partition.sub_store_bounds(&region.shape, &p);
+                        let have = valid_part.sub_store_bounds(&region.shape, &p);
+                        let overlap = want.intersect(&have).volume();
+                        let deficit = (want.volume() - overlap) * 8;
+                        max_deficit = max_deficit.max(deficit);
+                        total_deficit += deficit;
+                    }
+                    if total_deficit == 0 {
+                        continue;
+                    }
+                    let t = if req.partition.is_replicate() {
+                        self.cost.allgather_time(region.size_bytes())
+                    } else {
+                        self.cost
+                            .halo_exchange_time(max_deficit, self.cost.off_node_boundary_fraction())
+                    };
+                    total_time += t;
+                    self.profile.comm_bytes += total_deficit;
+                }
+            }
+        }
+        self.profile.comm_time += total_time;
+        total_time
+    }
+
+    /// Updates region validity according to the launch's writes/reductions.
+    fn update_validity(&mut self, launch: &TaskLaunch) {
+        for req in &launch.requirements {
+            if req.privilege.reduces() {
+                self.validity.insert(req.region, Validity::Reduced);
+            } else if req.privilege.writes() {
+                let v = if req.partition.may_alias_across_points() {
+                    // A replicated write leaves every GPU with the full value.
+                    Validity::Full
+                } else {
+                    Validity::Partitioned(req.partition.clone())
+                };
+                self.validity.insert(req.region, v);
+            }
+        }
+    }
+
+    /// Charges kernel execution time for the launch. Returns the simulated
+    /// seconds on the critical-path GPU.
+    fn charge_kernels(&mut self, launch: &TaskLaunch) -> f64 {
+        let points: Vec<Vec<i64>> = launch.launch_domain.points().collect();
+        let domain_size = launch.launch_domain.size().max(1);
+        let mut worst_time = 0.0f64;
+        let mut worst_cost = kcost::KernelCost::default();
+        for p in &points {
+            let mut lens: Vec<usize> = launch
+                .requirements
+                .iter()
+                .map(|req| {
+                    let shape = &self.regions[&req.region].shape;
+                    req.partition.sub_store_bounds(shape, p).volume() as usize
+                })
+                .collect();
+            for &full in &launch.local_buffer_lens {
+                let per_point = if full <= 1 {
+                    full
+                } else {
+                    (full as u64).div_ceil(domain_size) as usize
+                };
+                lens.push(per_point.max(1));
+            }
+            let c = kcost::module_cost(&launch.module, &lens);
+            let t = self.cost.kernel_time(c.bytes, c.flops, 0)
+                + c.launches as f64 * self.cost.launch_time();
+            if t > worst_time {
+                worst_time = t;
+                worst_cost = c;
+            }
+        }
+        self.profile.kernel_launches += worst_cost.launches;
+        self.profile.kernel_bytes += worst_cost.bytes;
+        self.profile.kernel_flops += worst_cost.flops;
+        self.profile.kernel_time += worst_time;
+        worst_time
+    }
+
+    /// The union (bounding box) of the sub-stores a requirement accesses over
+    /// the launch domain.
+    fn access_rect(&self, launch: &TaskLaunch, req_idx: usize) -> Rect {
+        let req = &launch.requirements[req_idx];
+        let shape = &self.regions[&req.region].shape;
+        let mut acc: Option<Rect> = None;
+        for p in launch.launch_domain.points() {
+            let r = req.partition.sub_store_bounds(shape, &p);
+            if r.is_empty() {
+                continue;
+            }
+            acc = Some(match acc {
+                None => r,
+                Some(prev) => Rect::new(
+                    prev.lo
+                        .iter()
+                        .zip(&r.lo)
+                        .map(|(&a, &b)| a.min(b))
+                        .collect(),
+                    prev.hi
+                        .iter()
+                        .zip(&r.hi)
+                        .map(|(&a, &b)| a.max(b))
+                        .collect(),
+                ),
+            });
+        }
+        acc.unwrap_or_else(|| Rect::empty(shape.len()))
+    }
+
+    /// Runs the launch's kernel module against real region data. Stages are
+    /// executed one at a time with copy-in/copy-out around each stage so that
+    /// aliasing views of the same region stay coherent through the parent
+    /// region between stages.
+    fn execute_functional(&mut self, launch: &TaskLaunch) -> Result<(), RuntimeError> {
+        let num_reqs = launch.requirements.len();
+        let access_rects: Vec<Rect> = (0..num_reqs)
+            .map(|i| self.access_rect(launch, i))
+            .collect();
+        // Task-local buffers persist across stages.
+        let mut locals: Vec<Vec<f64>> = launch
+            .local_buffer_lens
+            .iter()
+            .map(|&len| vec![0.0; len])
+            .collect();
+        for stage in &launch.module.stages {
+            let stage_module = KernelModule {
+                stages: vec![stage.clone()],
+                roles: launch.module.roles.clone(),
+            };
+            // Copy-in.
+            let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(launch.num_buffers());
+            for (i, req) in launch.requirements.iter().enumerate() {
+                let region = &self.regions[&req.region];
+                buffers.push(region.read_rect(&access_rects[i]));
+            }
+            for local in &locals {
+                buffers.push(local.clone());
+            }
+            // Execute.
+            self.interp
+                .execute(&stage_module, &mut buffers, &launch.scalars)?;
+            // Copy-out written requirements and persist locals.
+            for (i, req) in launch.requirements.iter().enumerate() {
+                if req.privilege.writes() || req.privilege.reduces() {
+                    let region = self.regions.get_mut(&req.region).unwrap();
+                    region.write_rect(&access_rects[i], &buffers[i]);
+                }
+            }
+            for (j, local) in locals.iter_mut().enumerate() {
+                *local = std::mem::take(&mut buffers[num_reqs + j]);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::RegionRequirement;
+    use ir::{Domain, Privilege};
+    use kernel::{BufferId, BufferRole, LoopBuilder};
+
+    fn functional_runtime(gpus: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::functional(MachineConfig::with_gpus(gpus)))
+    }
+
+    fn scale_module(factor: f64) -> KernelModule {
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("scale", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let c = lb.constant(factor);
+        let v = lb.mul(x, c);
+        lb.store(BufferId(1), v);
+        module.push_loop(lb.finish());
+        module
+    }
+
+    fn scale_launch(a: RegionId, b: RegionId, gpus: u64, n: u64) -> TaskLaunch {
+        TaskLaunch {
+            name: "scale".into(),
+            launch_domain: Domain::linear(gpus),
+            requirements: vec![
+                RegionRequirement::new(a, Partition::block(vec![n / gpus]), Privilege::Read),
+                RegionRequirement::new(b, Partition::block(vec![n / gpus]), Privilege::Write),
+            ],
+            module: scale_module(3.0),
+            scalars: vec![],
+            local_buffer_lens: vec![],
+            overhead: OverheadClass::TaskRuntime,
+        }
+    }
+
+    #[test]
+    fn allocate_fill_free() {
+        let mut rt = functional_runtime(4);
+        let r = rt.allocate_region(vec![32], "v");
+        assert_eq!(rt.region_shape(r), Some(&[32u64][..]));
+        rt.fill(r, 7.0).unwrap();
+        assert!(rt.region_data(r).unwrap().iter().all(|&x| x == 7.0));
+        assert_eq!(rt.profile().distributed_allocations, 1);
+        rt.free_region(r).unwrap();
+        assert!(rt.region_data(r).is_none());
+        assert_eq!(rt.free_region(r), Err(RuntimeError::UnknownRegion(r)));
+    }
+
+    #[test]
+    fn execute_runs_kernel_and_charges_time() {
+        let mut rt = functional_runtime(4);
+        let a = rt.allocate_region(vec![32], "a");
+        let b = rt.allocate_region(vec![32], "b");
+        rt.fill(a, 2.0).unwrap();
+        let before = rt.elapsed();
+        rt.execute(&scale_launch(a, b, 4, 32)).unwrap();
+        assert!(rt.elapsed() > before);
+        assert_eq!(rt.region_data(b).unwrap(), vec![6.0; 32].as_slice());
+        assert_eq!(rt.profile().index_tasks, 2); // fill + scale
+        assert!(rt.profile().kernel_launches >= 2);
+        assert_eq!(rt.profile().comm_bytes, 0, "same partition: no communication");
+    }
+
+    #[test]
+    fn reading_through_a_different_partition_charges_communication() {
+        let mut rt = functional_runtime(4);
+        let a = rt.allocate_region(vec![32], "a");
+        let b = rt.allocate_region(vec![32], "b");
+        let c = rt.allocate_region(vec![32], "c");
+        rt.fill(a, 1.0).unwrap();
+        // Write b tiled by blocks of 8.
+        rt.execute(&scale_launch(a, b, 4, 32)).unwrap();
+        // Read b through a shifted tiling -> halo exchange.
+        let shifted = Partition::tiling(vec![8], vec![1], ir::Projection::Identity);
+        let launch = TaskLaunch {
+            name: "shifted_read".into(),
+            launch_domain: Domain::linear(4),
+            requirements: vec![
+                RegionRequirement::new(b, shifted, Privilege::Read),
+                RegionRequirement::new(c, Partition::block(vec![8]), Privilege::Write),
+            ],
+            module: scale_module(1.0),
+            scalars: vec![],
+            local_buffer_lens: vec![],
+            overhead: OverheadClass::TaskRuntime,
+        };
+        rt.execute(&launch).unwrap();
+        assert!(rt.profile().comm_bytes > 0);
+        assert!(rt.profile().comm_time > 0.0);
+    }
+
+    #[test]
+    fn replicated_read_after_tiled_write_charges_allgather() {
+        let mut rt = functional_runtime(8);
+        let a = rt.allocate_region(vec![64], "a");
+        let b = rt.allocate_region(vec![64], "b");
+        let out = rt.allocate_region(vec![64], "out");
+        rt.fill(a, 1.0).unwrap();
+        rt.execute(&scale_launch(a, b, 8, 64)).unwrap();
+        let comm_before = rt.profile().comm_bytes;
+        let launch = TaskLaunch {
+            name: "gather_read".into(),
+            launch_domain: Domain::linear(8),
+            requirements: vec![
+                RegionRequirement::new(b, Partition::Replicate, Privilege::Read),
+                RegionRequirement::new(out, Partition::block(vec![8]), Privilege::Write),
+            ],
+            module: scale_module(1.0),
+            scalars: vec![],
+            local_buffer_lens: vec![],
+            overhead: OverheadClass::TaskRuntime,
+        };
+        rt.execute(&launch).unwrap();
+        let comm = rt.profile().comm_bytes - comm_before;
+        // Each GPU misses 7/8 of the 512-byte region.
+        assert_eq!(comm, 8 * (512 - 64));
+    }
+
+    #[test]
+    fn mpi_overhead_is_cheaper_than_task_overhead() {
+        let mut measure = |class: OverheadClass| {
+            let mut rt = functional_runtime(4);
+            let a = rt.allocate_region(vec![32], "a");
+            let b = rt.allocate_region(vec![32], "b");
+            rt.fill(a, 1.0).unwrap();
+            rt.reset_timing();
+            let mut launch = scale_launch(a, b, 4, 32);
+            launch.overhead = class;
+            rt.execute(&launch).unwrap();
+            rt.elapsed()
+        };
+        let task = measure(OverheadClass::TaskRuntime);
+        let mpi = measure(OverheadClass::Mpi);
+        let none = measure(OverheadClass::None);
+        assert!(task > mpi && mpi > none);
+    }
+
+    #[test]
+    fn reset_timing_clears_clock_and_profile() {
+        let mut rt = functional_runtime(2);
+        let a = rt.allocate_region(vec![16], "a");
+        rt.fill(a, 1.0).unwrap();
+        assert!(rt.elapsed() > 0.0);
+        rt.reset_timing();
+        assert_eq!(rt.elapsed(), 0.0);
+        assert_eq!(rt.profile().index_tasks, 0);
+    }
+
+    #[test]
+    fn unknown_region_in_launch_is_an_error() {
+        let mut rt = functional_runtime(2);
+        let launch = TaskLaunch {
+            name: "bad".into(),
+            launch_domain: Domain::linear(2),
+            requirements: vec![RegionRequirement::new(
+                RegionId(99),
+                Partition::Replicate,
+                Privilege::Read,
+            )],
+            module: KernelModule::new(1),
+            scalars: vec![],
+            local_buffer_lens: vec![],
+            overhead: OverheadClass::TaskRuntime,
+        };
+        assert_eq!(
+            rt.execute(&launch),
+            Err(RuntimeError::UnknownRegion(RegionId(99)))
+        );
+    }
+
+    #[test]
+    fn simulation_only_mode_skips_data() {
+        let mut rt = Runtime::new(RuntimeConfig::simulation_only(MachineConfig::with_gpus(8)));
+        assert!(!rt.is_functional());
+        let a = rt.allocate_region(vec![1 << 24], "big_a");
+        let b = rt.allocate_region(vec![1 << 24], "big_b");
+        rt.fill(a, 1.0).unwrap();
+        rt.execute(&scale_launch(a, b, 8, 1 << 24)).unwrap();
+        assert!(rt.region_data(b).is_none());
+        assert!(rt.elapsed() > 0.0);
+        assert!(rt.profile().kernel_bytes > 0);
+    }
+
+    #[test]
+    fn aliasing_views_stay_coherent_between_stages() {
+        // Stage 1 writes the left half of a region through one view; stage 2
+        // reads the same elements through the parent view and copies them to
+        // another region. The copy must observe the stage-1 write.
+        let mut rt = functional_runtime(2);
+        let grid = rt.allocate_region(vec![8], "grid");
+        let out = rt.allocate_region(vec![8], "out");
+        rt.fill(grid, 1.0).unwrap();
+
+        let mut module = KernelModule::new(3);
+        module.set_role(BufferId(0), BufferRole::InOut);
+        module.set_role(BufferId(2), BufferRole::Output);
+        // Stage 1: grid_left[i] = 5.0 (view buffer 1 is read to define the domain).
+        let mut s1 = LoopBuilder::new("write_left", BufferId(1));
+        let c = s1.constant(5.0);
+        s1.store(BufferId(1), c);
+        module.push_loop(s1.finish());
+        // Stage 2: out[i] = grid[i] over the full region.
+        let mut s2 = LoopBuilder::new("copy", BufferId(0));
+        let x = s2.load(BufferId(0));
+        s2.store(BufferId(2), x);
+        module.push_loop(s2.finish());
+
+        let left = Partition::block(vec![2]); // covers [0,4) over 2 points
+        let launch = TaskLaunch {
+            name: "aliasing".into(),
+            launch_domain: Domain::linear(2),
+            requirements: vec![
+                RegionRequirement::new(grid, Partition::block(vec![4]), Privilege::ReadWrite),
+                RegionRequirement::new(grid, left, Privilege::ReadWrite),
+                RegionRequirement::new(out, Partition::block(vec![4]), Privilege::Write),
+            ],
+            module,
+            scalars: vec![],
+            local_buffer_lens: vec![],
+            overhead: OverheadClass::TaskRuntime,
+        };
+        rt.execute(&launch).unwrap();
+        let out_data = rt.region_data(out).unwrap();
+        assert_eq!(&out_data[..4], &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(&out_data[4..], &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the 5-point stencil of Figure 1.
+//!
+//! Runs the motivating example of the paper — a cuPyNumeric-style stencil over
+//! aliasing views of a distributed grid — once with Diffuse's task and kernel
+//! fusion and once without, and prints what fusion did to the task stream.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dense::DenseContext;
+use diffuse::{Context, DiffuseConfig};
+use machine::MachineConfig;
+
+fn stencil(fused: bool) {
+    let machine = MachineConfig::single_node(4);
+    let config = if fused {
+        DiffuseConfig::fused(machine)
+    } else {
+        DiffuseConfig::unfused(machine)
+    };
+    let np = DenseContext::new(Context::new(config));
+
+    let n = 64u64;
+    let grid = np.random(&[n + 2, n + 2], 42);
+    // Aliasing views of the distributed grid array (Figure 1a).
+    let center = grid.slice_2d(1..n + 1, 1..n + 1);
+    let north = grid.slice_2d(0..n, 1..n + 1);
+    let south = grid.slice_2d(2..n + 2, 1..n + 1);
+    let east = grid.slice_2d(1..n + 1, 2..n + 2);
+    let west = grid.slice_2d(1..n + 1, 0..n);
+
+    for _ in 0..10 {
+        let avg = center.add(&north).add(&east).add(&west).add(&south);
+        let work = avg.scalar_mul(0.2);
+        center.assign(&work);
+    }
+    np.flush();
+
+    let stats = np.context().stats();
+    let label = if fused { "with Diffuse" } else { "without Diffuse" };
+    println!(
+        "{label:>18}: {} tasks submitted, {} launched ({} fused tasks), simulated time {:.3} ms",
+        stats.tasks_submitted,
+        stats.tasks_launched,
+        stats.fused_tasks,
+        np.context().elapsed() * 1e3
+    );
+    println!(
+        "{:>18}  checksum of the interior: {:.6}",
+        "",
+        center.sum().scalar_value().unwrap()
+    );
+}
+
+fn main() {
+    println!("5-point stencil on a 4-GPU machine (Figure 1 of the paper)\n");
+    stencil(false);
+    stencil(true);
+    println!(
+        "\nThe checksums match: fusion changes the schedule, not the values.\n\
+         The fused run launches one FUSED_ADD_MULT task per iteration plus the\n\
+         copy back into the aliasing center view, which cannot fuse (Section 2)."
+    );
+}

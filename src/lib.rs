@@ -1,0 +1,27 @@
+//! Umbrella crate for the Diffuse reproduction workspace.
+//!
+//! This crate re-exports every workspace crate under one name so integration
+//! tests and the root-level examples can reach the whole system through a
+//! single dependency. See the individual crates for the real functionality:
+//!
+//! * [`machine`] — simulated distributed GPU machine and cost model.
+//! * [`kernel`] — kernel IR, JIT compilation pipeline and interpreter.
+//! * [`ir`] — Diffuse's scale-free intermediate representation.
+//! * [`runtime`] — Legion-style task runtime the IR lowers to.
+//! * [`fusion`] — distributed task fusion, temporary elimination, memoization.
+//! * [`diffuse`] — the Diffuse middle layer tying the above together.
+//! * [`dense`] — cuPyNumeric-equivalent distributed dense array library.
+//! * [`sparse`] — Legate-Sparse-equivalent distributed CSR library.
+//! * [`petsc`] — explicitly parallel hand-fused baseline (PETSc stand-in).
+//! * [`apps`] — the seven benchmark applications from the paper.
+
+pub use apps;
+pub use dense;
+pub use diffuse;
+pub use fusion;
+pub use ir;
+pub use kernel;
+pub use machine;
+pub use petsc;
+pub use runtime;
+pub use sparse;

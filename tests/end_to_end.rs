@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: applications built on the dense and sparse
+//! libraries, run through Diffuse onto the Legion-style runtime, must produce
+//! identical results with and without fusion, while fusion reduces the number
+//! of launched tasks and the simulated execution time.
+
+use apps::Mode;
+
+#[test]
+fn every_application_is_correct_under_fusion() {
+    // (name, fused checksum, unfused checksum, fused launches, unfused tasks)
+    let cases: Vec<(&str, apps::BenchmarkResult, apps::BenchmarkResult)> = vec![
+        (
+            "black_scholes",
+            apps::black_scholes::run(Mode::Fused, 4, 64, 2, true),
+            apps::black_scholes::run(Mode::Unfused, 4, 64, 2, true),
+        ),
+        (
+            "jacobi",
+            apps::jacobi::run(Mode::Fused, 4, 64, 3, true),
+            apps::jacobi::run(Mode::Unfused, 4, 64, 3, true),
+        ),
+        (
+            "cg",
+            apps::cg::run(Mode::Fused, 4, 64, 8, true),
+            apps::cg::run(Mode::Unfused, 4, 64, 8, true),
+        ),
+        (
+            "bicgstab",
+            apps::bicgstab::run(Mode::Fused, 4, 64, 6, true),
+            apps::bicgstab::run(Mode::Unfused, 4, 64, 6, true),
+        ),
+        (
+            "gmg",
+            apps::gmg::run(Mode::Fused, 4, 32, 3, true),
+            apps::gmg::run(Mode::Unfused, 4, 32, 3, true),
+        ),
+        (
+            "cfd",
+            apps::cfd::run(Mode::Fused, 4, 8, 3, true),
+            apps::cfd::run(Mode::Unfused, 4, 8, 3, true),
+        ),
+        (
+            "torchswe",
+            apps::torchswe::run(Mode::Fused, 4, 8, 3, true),
+            apps::torchswe::run(Mode::Unfused, 4, 8, 3, true),
+        ),
+    ];
+    for (name, fused, unfused) in cases {
+        let (a, b) = (fused.checksum.unwrap(), unfused.checksum.unwrap());
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "{name}: fused checksum {a} differs from unfused {b}"
+        );
+        assert!(
+            fused.launches_per_iteration <= unfused.tasks_per_iteration,
+            "{name}: fusion must not increase the launch count"
+        );
+    }
+}
+
+#[test]
+fn fusion_improves_or_preserves_simulated_performance() {
+    // At machine-scale problem sizes (simulation only), the fused variant must
+    // be at least as fast as the unfused variant for every application, and
+    // strictly faster for the fusion-heavy ones.
+    let fusion_heavy: Vec<(&str, f64, f64)> = vec![
+        (
+            "black_scholes",
+            apps::black_scholes::run(Mode::Fused, 8, 1 << 24, 5, false).throughput,
+            apps::black_scholes::run(Mode::Unfused, 8, 1 << 24, 5, false).throughput,
+        ),
+        (
+            "cfd",
+            apps::cfd::run(Mode::Fused, 8, 1 << 14, 5, false).throughput,
+            apps::cfd::run(Mode::Unfused, 8, 1 << 14, 5, false).throughput,
+        ),
+        (
+            "torchswe",
+            apps::torchswe::run(Mode::Fused, 8, 1 << 14, 5, false).throughput,
+            apps::torchswe::run(Mode::Unfused, 8, 1 << 14, 5, false).throughput,
+        ),
+        (
+            "gmg",
+            apps::gmg::run(Mode::Fused, 8, 1 << 22, 5, false).throughput,
+            apps::gmg::run(Mode::Unfused, 8, 1 << 22, 5, false).throughput,
+        ),
+    ];
+    for (name, fused, unfused) in fusion_heavy {
+        assert!(
+            fused > unfused,
+            "{name}: fused throughput {fused} should exceed unfused {unfused}"
+        );
+    }
+    // Jacobi has nothing to fuse: Diffuse must not slow it down appreciably.
+    let fused = apps::jacobi::run(Mode::Fused, 8, 1 << 28, 5, false).throughput;
+    let unfused = apps::jacobi::run(Mode::Unfused, 8, 1 << 28, 5, false).throughput;
+    assert!(fused >= unfused * 0.9, "jacobi: {fused} vs {unfused}");
+}
+
+#[test]
+fn solvers_match_the_petsc_baseline_functionally() {
+    let cg_diffuse = apps::cg::run(Mode::Fused, 2, 128, 30, true);
+    let cg_petsc = apps::cg::run(Mode::Petsc, 2, 128, 30, true);
+    assert!(cg_diffuse.checksum.unwrap() < 1e-6);
+    assert!(cg_petsc.checksum.unwrap() < 1e-6);
+
+    let bi_diffuse = apps::bicgstab::run(Mode::Fused, 2, 128, 25, true);
+    let bi_petsc = apps::bicgstab::run(Mode::Petsc, 2, 128, 25, true);
+    assert!(bi_diffuse.checksum.unwrap() < 1e-6);
+    assert!(bi_petsc.checksum.unwrap() < 1e-6);
+}
+
+#[test]
+fn weak_scaling_throughput_is_roughly_flat_for_black_scholes() {
+    // Per-GPU throughput should not collapse as the machine grows (Figure 10a
+    // is flat for the fused configuration).
+    let small = apps::black_scholes::run(Mode::Fused, 1, 1 << 22, 5, false).throughput;
+    let large = apps::black_scholes::run(Mode::Fused, 64, 1 << 22, 5, false).throughput;
+    assert!(
+        large > small * 0.5,
+        "fused Black-Scholes throughput collapsed: {small} -> {large}"
+    );
+}
+
+#[test]
+fn diffuse_umbrella_crate_re_exports_everything() {
+    // The root crate exposes the whole stack under one name.
+    let config = diffuse_repro::machine::MachineConfig::with_gpus(8);
+    assert_eq!(config.total_gpus(), 8);
+    let _ = diffuse_repro::ir::Partition::block(vec![8]);
+    let _ = diffuse_repro::kernel::KernelModule::new(1);
+}
