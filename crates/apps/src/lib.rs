@@ -17,6 +17,22 @@
 //! | [`gmg`] | Geometric multigrid solver | 12a |
 //! | [`cfd`] | Navier-Stokes channel flow | 12b |
 //! | [`torchswe`] | TorchSWE shallow-water solver | 12c |
+//!
+//! # Example
+//!
+//! ```
+//! use apps::{black_scholes, Mode};
+//!
+//! // Simulate one GPU pricing 4096 options for two iterations (no real
+//! // arithmetic — `functional = false` measures launches and simulated time).
+//! let fused = black_scholes::run(Mode::Fused, 1, 4096, 2, false);
+//! let unfused = black_scholes::run(Mode::Unfused, 1, 4096, 2, false);
+//! assert!(fused.throughput > 0.0);
+//! assert!(
+//!     fused.launches_per_iteration < unfused.launches_per_iteration,
+//!     "fusion must reduce the number of task launches"
+//! );
+//! ```
 
 pub mod bicgstab;
 pub mod black_scholes;

@@ -15,6 +15,14 @@
 //! The Criterion benches in `benches/` measure the *wall-clock* cost of the
 //! analyses themselves (fusion constraint checking, canonicalization, kernel
 //! compilation), demonstrating the scale-free property of the IR.
+//!
+//! # Example
+//!
+//! ```
+//! // Headline speedups are reported as geometric means over benchmarks.
+//! let speedups = [2.0, 8.0];
+//! assert!((bench::geomean(&speedups) - 4.0).abs() < 1e-12);
+//! ```
 
 use apps::{BenchmarkResult, Mode};
 

@@ -12,6 +12,23 @@
 //!
 //! The two solvers the evaluation needs — Conjugate Gradient and BiCGSTAB —
 //! are provided as [`PetscSolver::cg`] and [`PetscSolver::bicgstab`].
+//!
+//! # Example
+//!
+//! ```
+//! use machine::MachineConfig;
+//! use petsc::PetscSolver;
+//!
+//! // A functional run (real arithmetic) of CG on an 8×8 Poisson grid.
+//! let mut solver = PetscSolver::new(MachineConfig::single_node(4), true);
+//! let a = solver.poisson_2d(8); // 64 unknowns
+//! let b = solver.vector(64, 1.0);
+//! let x = solver.vector(64, 0.0);
+//! let result = solver.cg(&a, b, x, 10);
+//! assert_eq!(result.iterations, 10);
+//! assert!(result.elapsed > 0.0, "simulated time advances");
+//! assert!(result.residual.unwrap().is_finite());
+//! ```
 
 use ir::{Domain, Partition, Privilege};
 use kernel::{

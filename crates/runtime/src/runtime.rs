@@ -600,7 +600,7 @@ mod tests {
 
     #[test]
     fn mpi_overhead_is_cheaper_than_task_overhead() {
-        let mut measure = |class: OverheadClass| {
+        let measure = |class: OverheadClass| {
             let mut rt = functional_runtime(4);
             let a = rt.allocate_region(vec![32], "a");
             let b = rt.allocate_region(vec![32], "b");

@@ -14,6 +14,18 @@
 //! * [`sparse`] — Legate-Sparse-equivalent distributed CSR library.
 //! * [`petsc`] — explicitly parallel hand-fused baseline (PETSc stand-in).
 //! * [`apps`] — the seven benchmark applications from the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use diffuse_repro::apps::{jacobi, Mode};
+//!
+//! // Everything is reachable through the umbrella: simulate two Jacobi
+//! // iterations on a single GPU with a 64×64 matrix.
+//! let result = jacobi::run(Mode::Fused, 1, 1 << 12, 2, false);
+//! assert_eq!(result.gpus, 1);
+//! assert!(result.throughput > 0.0);
+//! ```
 
 pub use apps;
 pub use dense;

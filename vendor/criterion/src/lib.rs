@@ -1,0 +1,279 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a small benchmark harness with Criterion's API shape: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurements are real
+//! wall-clock medians over adaptively sized batches; there is no statistical
+//! analysis, plotting, or saved baselines. Output is one line per benchmark:
+//!
+//! ```text
+//! fusible_prefix/window/32    time:  14.2 µs/iter  (211 iters, 3 samples)
+//! ```
+//!
+//! Swap this crate for the real `criterion` in `[workspace.dependencies]`
+//! once the build environment can reach a registry — the call sites compile
+//! unchanged.
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default().with_measurement_time_ms(5);
+//! c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in the measured closure across all iterations.
+    elapsed: Duration,
+    /// Number of iterations executed.
+    iters: u64,
+    /// Number of measurement samples taken.
+    samples: u64,
+    /// Wall-clock budget for the measurement phase.
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Self {
+        Bencher { elapsed: Duration::ZERO, iters: 0, samples: 0, measurement_time }
+    }
+
+    /// Calls `routine` repeatedly, recording total wall-clock time.
+    ///
+    /// Runs a short calibration pass, then sizes batches so the whole
+    /// measurement stays within the harness's time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: one untimed warmup call, then time a single call.
+        std::hint::black_box(routine());
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.measurement_time;
+        let total_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let samples = total_iters.min(5).max(1);
+        let batch = (total_iters / samples).max(1);
+
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed += t.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = samples * batch;
+        self.samples = samples;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.1} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let per_iter = if b.iters == 0 { Duration::ZERO } else { b.elapsed / b.iters as u32 };
+    println!(
+        "{:<44} time: {:>10}/iter  ({} iters, {} samples)",
+        name,
+        format_duration(per_iter),
+        b.iters,
+        b.samples
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    /// Per-group override of the criterion-wide measurement budget.
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// stand-in derives its sample count from the time budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement time for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        self.measurement_time.unwrap_or(self.criterion.measurement_time)
+    }
+
+    /// Benchmarks `routine` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut routine = routine;
+        let mut bencher = Bencher::new(self.budget());
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.name), &bencher);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: R) -> &mut Self {
+        let mut bencher = Bencher::new(self.budget());
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Ends the group. (The stand-in reports eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep default runs fast: the workspace's benches exist to show
+        // scaling shape, and CI runs them with `--no-run` anyway.
+        let ms = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion { measurement_time: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget, in milliseconds.
+    pub fn with_measurement_time_ms(mut self, ms: u64) -> Self {
+        self.measurement_time = Duration::from_millis(ms);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), measurement_time: None }
+    }
+
+    /// Benchmarks a single named routine.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement_time);
+        routine(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` passes
+            // `--test`. Filters and other Criterion CLI flags are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert!(b.iters > 0);
+        // Two calibration calls plus the measured iterations.
+        assert_eq!(calls, b.iters + 2);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default().with_measurement_time_ms(1);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(2))
+            .bench_with_input(BenchmarkId::new("n", 4), &4u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        group.finish();
+    }
+
+    #[test]
+    fn group_measurement_time_overrides_default() {
+        let mut c = Criterion::default().with_measurement_time_ms(500);
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(1));
+        assert_eq!(group.budget(), Duration::from_millis(1));
+        let t0 = Instant::now();
+        group.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        // The 1 ms group budget, not the 500 ms default, bounds the run.
+        assert!(t0.elapsed() < Duration::from_millis(400));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).name, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a tiny, deterministic implementation of the `rand` API surface that the
+//! `dense` and `apps` crates consume: [`rngs::StdRng`], [`SeedableRng`] and
+//! [`Rng::gen`]. The generator is SplitMix64, which is plenty for seeding
+//! benchmark inputs; it makes no cryptographic claims and, unlike the real
+//! `rand`, guarantees a stable value stream across versions — handy for
+//! golden benchmark trajectories.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(42);
+//! let mut b = StdRng::seed_from_u64(42);
+//! let xs: Vec<f64> = (0..4).map(|_| a.gen::<f64>()).collect();
+//! let ys: Vec<f64> = (0..4).map(|_| b.gen::<f64>()).collect();
+//! assert_eq!(xs, ys);
+//! assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+//! ```
+
+/// A type that can be produced by [`Rng::gen`].
+///
+/// Mirrors the role of `rand::distributions::Standard` sampling without the
+/// distribution machinery: each implementor defines how to map a raw `u64`
+/// draw to a uniformly distributed value.
+pub trait Standard: Sized {
+    /// Maps one 64-bit draw from the generator to a sample.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn from_u64(raw: u64) -> Self {
+        raw as usize
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits, like `rand`'s `Standard`.
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Core random-number-generator trait: anything that can emit raw `u64`s.
+pub trait RngCore {
+    /// Returns the next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a uniformly sampled value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Returns a value uniformly distributed in `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators (only [`StdRng`] is provided).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// The real `StdRng` is a ChaCha block cipher; SplitMix64 keeps the
+    /// vendored crate dependency-free while passing every statistical need of
+    /// benchmark-input generation.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix the seed so small seeds (0, 1, 7, 42...) do not produce
+            // correlated early outputs.
+            let mut rng = StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "sample {x} outside [0, 1)");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn mean_of_uniform_samples_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..17);
+            assert!((5..17).contains(&v));
+        }
+    }
+}
