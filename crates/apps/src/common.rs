@@ -1,7 +1,7 @@
 //! Shared benchmark plumbing: modes, measurement and result records.
 
 use dense::DenseContext;
-use diffuse::{Context, DiffuseConfig};
+use diffuse::{Context, DiffuseConfig, ExecutorKind};
 use machine::MachineConfig;
 
 /// Which variant of an application to run.
@@ -72,7 +72,24 @@ impl BenchmarkResult {
 }
 
 /// Creates the dense library over a Diffuse context configured for `mode`.
+///
+/// The runtime executor follows the `DIFFUSE_EXECUTOR` environment variable
+/// (serial when unset); use [`dense_context_with_executor`] to pick one
+/// explicitly.
 pub fn dense_context(mode: Mode, gpus: usize, functional: bool) -> DenseContext {
+    dense_context_with_executor(mode, gpus, functional, ExecutorKind::from_env())
+}
+
+/// Creates the dense library over a Diffuse context configured for `mode`,
+/// running functional kernel work on an explicitly chosen executor — the
+/// thread-safe alternative to setting `DIFFUSE_EXECUTOR` for callers that
+/// build their own workloads.
+pub fn dense_context_with_executor(
+    mode: Mode,
+    gpus: usize,
+    functional: bool,
+    executor: ExecutorKind,
+) -> DenseContext {
     let machine = MachineConfig::with_gpus(gpus);
     let mut config = match mode {
         Mode::Fused => DiffuseConfig::fused(machine),
@@ -80,6 +97,7 @@ pub fn dense_context(mode: Mode, gpus: usize, functional: bool) -> DenseContext 
         // Diffuse's optimizations.
         Mode::Unfused | Mode::ManuallyFused | Mode::Petsc => DiffuseConfig::unfused(machine),
     };
+    config = config.with_executor(executor);
     if !functional {
         config = config.simulation_only();
     }
@@ -177,5 +195,16 @@ mod tests {
         assert!(dense_context(Mode::Fused, 2, true).context().config().enable_task_fusion);
         assert!(!dense_context(Mode::Unfused, 2, true).context().config().enable_task_fusion);
         assert!(!dense_context(Mode::Petsc, 2, false).context().config().materialize_data);
+    }
+
+    #[test]
+    fn explicit_executor_choice_reaches_the_config() {
+        let ws = ExecutorKind::WorkStealing { workers: Some(2) };
+        let np = dense_context_with_executor(Mode::Fused, 2, true, ws);
+        assert_eq!(np.context().config().executor, ws);
+        // And the workload still runs correctly on it.
+        let a = np.ones(&[16]);
+        let b = np.ones(&[16]);
+        assert_eq!(a.add(&b).to_vec().unwrap(), vec![2.0; 16]);
     }
 }

@@ -1,0 +1,85 @@
+//! Compares *host wall-clock* time of functional runs under the serial and
+//! work-stealing executors (see `docs/RUNTIME.md` and `docs/BENCHMARKS.md`).
+//!
+//! Unlike the fig* binaries, which report *simulated* time (identical under
+//! both executors by construction), this binary measures how long the host
+//! actually takes to execute the kernels of a functional run. The unfused
+//! configurations emit many small launches whose dependency graph has real
+//! width — exactly the launch streams the work-stealing executor overlaps.
+//!
+//! Run with `cargo run --release --bin executor_compare`.
+
+use std::time::Instant;
+
+use apps::Mode;
+
+/// Wall-clocks one functional app run under the given `DIFFUSE_EXECUTOR`
+/// setting, returning (wall seconds, simulated seconds, checksum).
+///
+/// The env var is the only executor knob that reaches the unmodified
+/// `apps::*::run` entry points (their signatures carry no executor, by
+/// design — application code is executor-agnostic). Flipping it here is
+/// safe: each run's runtime (and its worker pool) is dropped and joined
+/// before the next flip, so no other thread exists while we mutate the
+/// environment. Code that builds its own workload should prefer
+/// `apps::common::dense_context_with_executor`.
+fn timed<F>(executor: &str, run: F) -> (f64, f64, Option<f64>)
+where
+    F: Fn() -> apps::BenchmarkResult,
+{
+    std::env::set_var("DIFFUSE_EXECUTOR", executor);
+    let start = Instant::now();
+    let result = run();
+    let wall = start.elapsed().as_secs_f64();
+    std::env::remove_var("DIFFUSE_EXECUTOR");
+    (wall, result.elapsed, result.checksum)
+}
+
+fn compare<F>(name: &str, run: F)
+where
+    F: Fn() -> apps::BenchmarkResult,
+{
+    let (serial_wall, serial_sim, serial_sum) = timed("serial", &run);
+    let (parallel_wall, parallel_sim, parallel_sum) = timed("parallel", &run);
+    assert_eq!(
+        serial_sim, parallel_sim,
+        "simulated time must not depend on the executor"
+    );
+    match (serial_sum, parallel_sum) {
+        (Some(a), Some(b)) => assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "checksums diverged: serial {a} vs parallel {b}"
+        ),
+        _ => {}
+    }
+    println!(
+        "{name:<28}{serial_wall:>14.3}{parallel_wall:>14.3}{:>10.2}x",
+        serial_wall / parallel_wall.max(1e-9)
+    );
+}
+
+fn main() {
+    let gpus = 8;
+    let per_gpu = 1u64 << 13;
+    let iters = 4;
+    println!("=== Serial vs work-stealing executor: functional-run wall-clock ===");
+    println!("({gpus} simulated GPUs, {per_gpu} elements/GPU, {iters} iterations; host seconds, lower is better)");
+    println!(
+        "{:<28}{:>14}{:>14}{:>10}",
+        "Workload", "serial (s)", "parallel (s)", "speedup"
+    );
+    compare("Black-Scholes (unfused)", || {
+        apps::black_scholes::run(Mode::Unfused, gpus, per_gpu, iters, true)
+    });
+    compare("Black-Scholes (fused)", || {
+        apps::black_scholes::run(Mode::Fused, gpus, per_gpu, iters, true)
+    });
+    compare("Jacobi (unfused)", || {
+        apps::jacobi::run(Mode::Unfused, gpus, per_gpu, iters, true)
+    });
+    compare("CG (unfused)", || {
+        apps::cg::run(Mode::Unfused, gpus, per_gpu, iters, true)
+    });
+    println!("\nSimulated time and functional checksums are identical under both");
+    println!("executors; only the host wall-clock differs.");
+}

@@ -11,6 +11,8 @@
 //! * `fig13_warmup`     — warmup/compilation times and breakeven (Figure 13)
 //! * `summary`          — headline geometric-mean speedups (Section 7)
 //! * `ablation`         — task-fusion-only and no-memoization ablations
+//! * `executor_compare` — host wall-clock of functional runs under the serial
+//!   vs work-stealing runtime executor (docs/RUNTIME.md)
 //!
 //! The Criterion benches in `benches/` measure the *wall-clock* cost of the
 //! analyses themselves (fusion constraint checking, canonicalization, kernel

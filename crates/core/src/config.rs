@@ -1,6 +1,7 @@
 //! Configuration of the Diffuse middle layer.
 
 use machine::MachineConfig;
+use runtime::ExecutorKind;
 
 /// Configuration of a [`crate::Context`].
 ///
@@ -30,6 +31,10 @@ pub struct DiffuseConfig {
     pub initial_window_size: usize,
     /// Maximum task-window size.
     pub max_window_size: usize,
+    /// Which runtime executor runs functional kernel work (defaults to
+    /// [`ExecutorKind::from_env`], i.e. the `DIFFUSE_EXECUTOR` environment
+    /// variable; serial when unset).
+    pub executor: ExecutorKind,
 }
 
 impl DiffuseConfig {
@@ -44,6 +49,7 @@ impl DiffuseConfig {
             enable_memoization: true,
             initial_window_size: 5,
             max_window_size: 70,
+            executor: ExecutorKind::from_env(),
         }
     }
 
@@ -87,6 +93,13 @@ impl DiffuseConfig {
         self.enable_memoization = false;
         self
     }
+
+    /// Overrides the runtime executor (e.g. to force the work-stealing
+    /// executor for a functional run regardless of `DIFFUSE_EXECUTOR`).
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
 }
 
 impl Default for DiffuseConfig {
@@ -124,5 +137,12 @@ mod tests {
     #[test]
     fn default_is_fused() {
         assert!(DiffuseConfig::default().enable_task_fusion);
+    }
+
+    #[test]
+    fn executor_override() {
+        let c = DiffuseConfig::fused(MachineConfig::single_node(2))
+            .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
+        assert_eq!(c.executor, ExecutorKind::WorkStealing { workers: Some(2) });
     }
 }

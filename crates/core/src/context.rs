@@ -468,7 +468,7 @@ impl Context {
     /// Creates a context over the given configuration.
     pub fn new(config: DiffuseConfig) -> Self {
         let runtime_config = if config.materialize_data {
-            RuntimeConfig::functional(config.machine.clone())
+            RuntimeConfig::functional(config.machine.clone()).with_executor(config.executor)
         } else {
             RuntimeConfig::simulation_only(config.machine.clone())
         };
@@ -564,12 +564,20 @@ impl Context {
     }
 
     /// Reads back a store's contents (functional mode only). Flushes pending
-    /// tasks first.
+    /// tasks (and any in-flight parallel launches) first.
     pub fn read_store(&self, store: &StoreHandle) -> Option<Vec<f64>> {
         self.flush();
         let mut inner = self.inner.borrow_mut();
         let region = inner.ensure_region(store.id);
-        inner.runtime.region_data(region).map(|d| d.to_vec())
+        // Surface deferred launch errors here, with a clear panic site,
+        // rather than letting region_data stash them: context-generated
+        // kernels failing is a bug, not a recoverable condition. After this
+        // succeeds, region_data's internal flush is a no-op.
+        inner
+            .runtime
+            .flush_launches()
+            .expect("deferred launch failed");
+        inner.runtime.region_data(region)
     }
 
     /// Reads element 0 of a store as a scalar (functional mode only).

@@ -69,3 +69,6 @@ pub use config::DiffuseConfig;
 pub use context::Context;
 pub use handle::StoreHandle;
 pub use stats::ExecutionStats;
+// Re-exported so applications can pick a runtime executor without depending
+// on the `runtime` crate directly.
+pub use runtime::ExecutorKind;

@@ -105,9 +105,10 @@ impl PetscSolver {
         r
     }
 
-    /// Reads a vector back (functional mode only).
-    pub fn vector_data(&self, v: RegionId) -> Option<Vec<f64>> {
-        self.rt.region_data(v).map(|d| d.to_vec())
+    /// Reads a vector back (functional mode only), synchronizing with any
+    /// outstanding launches first.
+    pub fn vector_data(&mut self, v: RegionId) -> Option<Vec<f64>> {
+        self.rt.region_data(v)
     }
 
     /// Builds the 5-point Poisson matrix of an `n x n` grid in CSR form with

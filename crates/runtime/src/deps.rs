@@ -1,0 +1,191 @@
+//! Dependency tracking between task launches.
+//!
+//! The parallel executor may only overlap launches that do not conflict. Two
+//! launches conflict when they touch the same region and at least one of them
+//! writes (or reduces) it — the classic read-after-write, write-after-read and
+//! write-after-write hazards. The [`DepTracker`] derives these hazards from
+//! each launch's region read/write sets *in program order*, producing for each
+//! new launch the set of earlier launches it must wait for.
+//!
+//! Tracking is at region granularity: two launches writing disjoint
+//! rectangles of the same region are conservatively ordered. This is sound
+//! (never reorders a conflict) and cheap — the analysis is O(accesses), not
+//! O(points), which keeps submission on the critical path fast.
+
+use std::collections::HashMap;
+
+use crate::region::RegionId;
+
+/// How one launch accesses one region, summarized for dependency analysis.
+///
+/// A launch's full access list is derived from its
+/// [`RegionRequirement`](crate::RegionRequirement)s: `reads` covers the
+/// `Read`/`ReadWrite` privileges, `writes` covers `Write`/`ReadWrite` and —
+/// conservatively — `Reduce` (reduction reordering is not modelled).
+///
+/// # Example
+///
+/// ```
+/// use runtime::{AccessSummary, RegionId};
+///
+/// let a = AccessSummary { region: RegionId(0), reads: true, writes: false };
+/// assert!(a.reads && !a.writes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// The region accessed.
+    pub region: RegionId,
+    /// Whether the launch reads the region's previous contents.
+    pub reads: bool,
+    /// Whether the launch writes (or reduces into) the region.
+    pub writes: bool,
+}
+
+/// Derives launch-ordering dependencies from region read/write sets.
+///
+/// Launches are identified by caller-chosen monotonically increasing ids
+/// (the parallel executor uses its task counter). For every region the
+/// tracker remembers the last writer and the readers since that write;
+/// [`DepTracker::record`] returns the ids the new launch depends on:
+///
+/// * a **read** depends on the region's last writer (RAW);
+/// * a **write** depends on the last writer (WAW) *and* every reader since
+///   (WAR), and then becomes the new last writer, clearing the reader set.
+///
+/// # Example
+///
+/// ```
+/// use runtime::{AccessSummary, DepTracker, RegionId};
+///
+/// let mut deps = DepTracker::default();
+/// let r = RegionId(0);
+/// let w = |writes: bool| AccessSummary { region: r, reads: !writes, writes };
+/// assert_eq!(deps.record(0, &[w(true)]), vec![]);     // first write: no deps
+/// assert_eq!(deps.record(1, &[w(false)]), vec![0]);   // read-after-write
+/// assert_eq!(deps.record(2, &[w(false)]), vec![0]);   // independent reader
+/// assert_eq!(deps.record(3, &[w(true)]), vec![0, 1, 2]); // write waits for all
+/// ```
+#[derive(Debug, Default)]
+pub struct DepTracker {
+    last_writer: HashMap<RegionId, u64>,
+    readers: HashMap<RegionId, Vec<u64>>,
+}
+
+impl DepTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        DepTracker::default()
+    }
+
+    /// Records launch `id`'s accesses and returns the ids of the earlier
+    /// launches it must be ordered after (sorted, deduplicated, never
+    /// containing `id` itself).
+    pub fn record(&mut self, id: u64, accesses: &[AccessSummary]) -> Vec<u64> {
+        let mut deps: Vec<u64> = Vec::new();
+        for access in accesses {
+            if access.reads || access.writes {
+                if let Some(&w) = self.last_writer.get(&access.region) {
+                    deps.push(w);
+                }
+            }
+            if access.writes {
+                if let Some(readers) = self.readers.get(&access.region) {
+                    deps.extend(readers.iter().copied());
+                }
+            }
+        }
+        // Apply state updates after collecting deps so that a launch touching
+        // the same region through several requirements does not depend on
+        // itself.
+        for access in accesses {
+            if access.writes {
+                self.last_writer.insert(access.region, id);
+                self.readers.remove(&access.region);
+            }
+        }
+        for access in accesses {
+            // A read-only access registers as a reader unless this same launch
+            // also writes the region (then it is already the last writer and
+            // internal ordering covers the read).
+            if access.reads
+                && !access.writes
+                && self.last_writer.get(&access.region) != Some(&id)
+            {
+                self.readers.entry(access.region).or_default().push(id);
+            }
+        }
+        deps.retain(|&d| d != id);
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// Forgets all recorded history (used after an executor flush, when every
+    /// outstanding launch has completed).
+    pub fn reset(&mut self) {
+        self.last_writer.clear();
+        self.readers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(region: u64, reads: bool, writes: bool) -> AccessSummary {
+        AccessSummary {
+            region: RegionId(region),
+            reads,
+            writes,
+        }
+    }
+
+    #[test]
+    fn independent_regions_have_no_deps() {
+        let mut t = DepTracker::new();
+        assert!(t.record(0, &[acc(0, false, true)]).is_empty());
+        assert!(t.record(1, &[acc(1, false, true)]).is_empty());
+        assert!(t.record(2, &[acc(2, true, false), acc(3, false, true)]).is_empty());
+    }
+
+    #[test]
+    fn raw_war_waw_hazards_are_ordered() {
+        let mut t = DepTracker::new();
+        t.record(0, &[acc(0, false, true)]);
+        // RAW: read of region 0 sees writer 0.
+        assert_eq!(t.record(1, &[acc(0, true, false)]), vec![0]);
+        // WAW + WAR: next write waits for writer 0 and reader 1.
+        assert_eq!(t.record(2, &[acc(0, false, true)]), vec![0, 1]);
+        // RAW against the new writer only.
+        assert_eq!(t.record(3, &[acc(0, true, false)]), vec![2]);
+    }
+
+    #[test]
+    fn concurrent_readers_do_not_depend_on_each_other() {
+        let mut t = DepTracker::new();
+        t.record(0, &[acc(0, false, true)]);
+        assert_eq!(t.record(1, &[acc(0, true, false)]), vec![0]);
+        assert_eq!(t.record(2, &[acc(0, true, false)]), vec![0]);
+        assert_eq!(t.record(3, &[acc(0, true, false)]), vec![0]);
+    }
+
+    #[test]
+    fn read_write_same_region_in_one_launch_has_no_self_dep() {
+        let mut t = DepTracker::new();
+        t.record(0, &[acc(0, false, true)]);
+        // Launch 1 reads region 0 through one requirement and writes it
+        // through another (aliasing views).
+        let deps = t.record(1, &[acc(0, true, false), acc(0, false, true)]);
+        assert_eq!(deps, vec![0]);
+        // The next reader depends on launch 1, the new last writer.
+        assert_eq!(t.record(2, &[acc(0, true, false)]), vec![1]);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut t = DepTracker::new();
+        t.record(0, &[acc(0, false, true)]);
+        t.reset();
+        assert!(t.record(1, &[acc(0, true, true)]).is_empty());
+    }
+}

@@ -1,0 +1,843 @@
+//! Executors: how the runtime runs functional kernel work.
+//!
+//! Cost accounting (simulated clock, coherence, profile counters) is always
+//! performed eagerly and sequentially by [`crate::Runtime`] — it is cheap and
+//! inherently program-ordered. What an [`Executor`] schedules is the
+//! *functional* work of each launch: interpreting the kernel module over real
+//! region data, which dominates the wall-clock time of functional runs.
+//!
+//! Two executors are provided:
+//!
+//! * [`SerialExecutor`] runs each launch's work immediately on the submitting
+//!   thread, exactly as the pre-executor runtime did. It is the determinism
+//!   baseline the equivalence tests compare against.
+//! * [`WorkStealingExecutor`] spawns one worker per simulated GPU (capped at
+//!   the host's available parallelism). Submitted launches enter a
+//!   dependency graph built by [`crate::DepTracker`]; launches whose hazards
+//!   are satisfied are pushed onto per-worker deques. A worker pops its own
+//!   deque LIFO and steals FIFO from its siblings when empty, so independent
+//!   launches overlap while conflicting launches retain program order.
+//!
+//! Both executors defer errors to [`Executor::flush`]. For error-free batches
+//! the two are observably identical: same region contents, and simulated time
+//! never depends on the executor (accounting stays on the submitting thread);
+//! only the host wall-clock differs. When a batch errors, both poison it and
+//! surface the first error at flush, but *which* launches unordered with the
+//! failing one already completed is executor- and timing-dependent — treat
+//! region contents after a failed flush as unspecified (see
+//! `docs/RUNTIME.md`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ir::{Privilege, Rect};
+use kernel::{Interpreter, KernelModule};
+
+use crate::deps::{AccessSummary, DepTracker};
+use crate::region::{RegionHandle, RegionId};
+use crate::runtime::RuntimeError;
+
+/// Which executor a [`crate::Runtime`] uses for functional work.
+///
+/// The kind can also be chosen through the `DIFFUSE_EXECUTOR` environment
+/// variable (see [`ExecutorKind::from_env`]), which is how the CI matrix and
+/// the benchmark binaries force one executor for a whole process.
+///
+/// # Example
+///
+/// ```
+/// use runtime::ExecutorKind;
+///
+/// assert_eq!(ExecutorKind::default(), ExecutorKind::Serial);
+/// let parallel = ExecutorKind::WorkStealing { workers: Some(4) };
+/// assert_ne!(parallel, ExecutorKind::Serial);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Run functional work inline on the submitting thread (deterministic
+    /// baseline; the default).
+    Serial,
+    /// Run functional work on a work-stealing pool.
+    WorkStealing {
+        /// Worker count; `None` means one worker per simulated GPU, capped at
+        /// the host's available parallelism.
+        workers: Option<usize>,
+    },
+}
+
+impl Default for ExecutorKind {
+    fn default() -> Self {
+        ExecutorKind::Serial
+    }
+}
+
+impl ExecutorKind {
+    /// Reads the executor choice from the `DIFFUSE_EXECUTOR` environment
+    /// variable: `parallel`, `work-stealing` or `ws` select
+    /// [`ExecutorKind::WorkStealing`]; anything else (or the variable being
+    /// unset) selects [`ExecutorKind::Serial`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use runtime::ExecutorKind;
+    ///
+    /// // With DIFFUSE_EXECUTOR unset this is the serial default.
+    /// let kind = ExecutorKind::from_env();
+    /// assert!(matches!(kind, ExecutorKind::Serial | ExecutorKind::WorkStealing { .. }));
+    /// ```
+    pub fn from_env() -> Self {
+        match std::env::var("DIFFUSE_EXECUTOR").as_deref() {
+            Ok("parallel") | Ok("work-stealing") | Ok("ws") => {
+                ExecutorKind::WorkStealing { workers: None }
+            }
+            Ok("serial") | Ok("") | Err(_) => ExecutorKind::Serial,
+            Ok(other) => {
+                // A typo silently running the wrong leg would invalidate any
+                // serial-vs-parallel comparison; warn once, then default.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                let other = other.to_string();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: unrecognized DIFFUSE_EXECUTOR value {other:?} \
+                         (expected \"serial\", \"parallel\", \"work-stealing\" or \"ws\"); \
+                         using the serial executor"
+                    );
+                });
+                ExecutorKind::Serial
+            }
+        }
+    }
+
+    /// The number of workers this kind uses on a machine with `gpus` simulated
+    /// GPUs (1 for the serial executor).
+    pub fn worker_count(&self, gpus: usize) -> usize {
+        match self {
+            ExecutorKind::Serial => 1,
+            ExecutorKind::WorkStealing { workers: Some(n) } => (*n).max(1),
+            ExecutorKind::WorkStealing { workers: None } => {
+                let host = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                gpus.clamp(1, host)
+            }
+        }
+    }
+}
+
+/// One buffer of a launch's functional work: a region handle, the rectangle
+/// the launch accesses, and the access privilege.
+#[derive(Debug, Clone)]
+pub struct BufferAccess {
+    /// The region accessed.
+    pub region: RegionId,
+    /// Shared handle to the region's data.
+    pub handle: RegionHandle,
+    /// The bounding box of the sub-stores the launch touches.
+    pub rect: Rect,
+    /// The access privilege.
+    pub privilege: Privilege,
+}
+
+impl BufferAccess {
+    /// This access summarized for dependency tracking (reductions count as
+    /// writes).
+    pub fn summary(&self) -> AccessSummary {
+        AccessSummary {
+            region: self.region,
+            reads: self.privilege.reads(),
+            writes: self.privilege.writes() || self.privilege.reduces(),
+        }
+    }
+}
+
+/// A borrowed description of one launch's functional work, as handed to
+/// [`Executor::submit`]. The module, scalars and local-buffer sizes borrow
+/// the launch (so the serial executor runs with zero copies); only the
+/// resolved region accesses are owned, since handles are cheap `Arc` clones.
+///
+/// A parallel executor converts the request to an owned [`FunctionalWork`]
+/// with [`WorkRequest::into_owned_work`] before shipping it to a worker.
+#[derive(Debug)]
+pub struct WorkRequest<'a> {
+    /// Launch name (for diagnostics).
+    pub name: &'a str,
+    /// The kernel module to interpret.
+    pub module: &'a KernelModule,
+    /// Scalar kernel parameters.
+    pub scalars: &'a [f64],
+    /// Element counts of the task-local buffers following the region buffers.
+    pub local_buffer_lens: &'a [usize],
+    /// Region buffers in kernel-buffer order.
+    pub accesses: Vec<BufferAccess>,
+}
+
+impl WorkRequest<'_> {
+    /// Clones the borrowed parts (and moves the owned accesses) into a
+    /// self-contained [`FunctionalWork`] that can cross threads.
+    pub fn into_owned_work(self) -> FunctionalWork {
+        FunctionalWork {
+            name: self.name.to_string(),
+            module: self.module.clone(),
+            scalars: self.scalars.to_vec(),
+            local_buffer_lens: self.local_buffer_lens.to_vec(),
+            accesses: self.accesses,
+        }
+    }
+}
+
+/// The functional portion of one task launch, self-contained so it can run on
+/// any worker thread: the compiled module, its scalars, the region buffers it
+/// accesses and the sizes of its task-local temporaries.
+#[derive(Debug, Clone)]
+pub struct FunctionalWork {
+    /// Launch name (for diagnostics).
+    pub name: String,
+    /// The kernel module to interpret.
+    pub module: KernelModule,
+    /// Scalar kernel parameters.
+    pub scalars: Vec<f64>,
+    /// Region buffers in kernel-buffer order.
+    pub accesses: Vec<BufferAccess>,
+    /// Element counts of the task-local buffers following the region buffers.
+    pub local_buffer_lens: Vec<usize>,
+}
+
+impl FunctionalWork {
+    /// Views this owned work as a [`WorkRequest`] borrowing everything but
+    /// the accesses (used by tests to reach [`Executor::submit`]).
+    pub fn as_request(&self) -> WorkRequest<'_> {
+        WorkRequest {
+            name: &self.name,
+            module: &self.module,
+            scalars: &self.scalars,
+            local_buffer_lens: &self.local_buffer_lens,
+            accesses: self.accesses.clone(),
+        }
+    }
+}
+
+/// Runs one launch's functional work to completion on the calling thread.
+/// All parts are borrowed, so both the serial inline path and the worker
+/// path execute without copying the work description.
+///
+/// Stages execute one at a time with copy-in/copy-out around each stage so
+/// that aliasing views of the same region stay coherent through the parent
+/// region between stages (the same protocol the serial runtime always used).
+pub(crate) fn run_functional(
+    interp: &Interpreter,
+    module: &KernelModule,
+    scalars: &[f64],
+    local_buffer_lens: &[usize],
+    accesses: &[BufferAccess],
+) -> Result<(), RuntimeError> {
+    let num_reqs = accesses.len();
+    let mut locals: Vec<Vec<f64>> = local_buffer_lens
+        .iter()
+        .map(|&len| vec![0.0; len])
+        .collect();
+    for stage in &module.stages {
+        let stage_module = KernelModule {
+            stages: vec![stage.clone()],
+            roles: module.roles.clone(),
+        };
+        // Copy-in.
+        let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(num_reqs + locals.len());
+        for access in accesses {
+            buffers.push(access.handle.read_rect(&access.rect));
+        }
+        for local in &locals {
+            buffers.push(local.clone());
+        }
+        // Execute.
+        interp.execute(&stage_module, &mut buffers, scalars)?;
+        // Copy-out written requirements and persist locals.
+        for (i, access) in accesses.iter().enumerate() {
+            if access.privilege.writes() || access.privilege.reduces() {
+                access.handle.write_rect(&access.rect, &buffers[i]);
+            }
+        }
+        for (j, local) in locals.iter_mut().enumerate() {
+            *local = std::mem::take(&mut buffers[num_reqs + j]);
+        }
+    }
+    Ok(())
+}
+
+/// Schedules the functional work of task launches.
+///
+/// Implementations must preserve program order between conflicting launches
+/// (same region, at least one writer) and may freely overlap independent
+/// ones. Errors are deferred: [`Executor::submit`] never fails, and the first
+/// error of a batch is returned by the next [`Executor::flush`]. An error
+/// poisons the batch — launches ordered after the failing one are skipped;
+/// whether launches *unordered* with it completed is executor-dependent, so
+/// region contents after a failed flush are unspecified.
+///
+/// # Example
+///
+/// ```
+/// use runtime::{Runtime, RuntimeConfig, ExecutorKind};
+/// use machine::MachineConfig;
+///
+/// // Executors are chosen through RuntimeConfig rather than constructed
+/// // directly; the runtime reports which one it is using.
+/// let config = RuntimeConfig::functional(MachineConfig::with_gpus(4))
+///     .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
+/// let rt = Runtime::new(config);
+/// assert_eq!(rt.executor_kind(), ExecutorKind::WorkStealing { workers: Some(2) });
+/// ```
+pub trait Executor: std::fmt::Debug + Send {
+    /// The kind this executor implements.
+    fn kind(&self) -> ExecutorKind;
+
+    /// Enqueues one launch's functional work. Hazard ordering against earlier
+    /// submissions is the executor's responsibility. The request borrows the
+    /// launch; an executor that defers execution clones what it keeps
+    /// ([`WorkRequest::into_owned_work`]).
+    fn submit(&mut self, work: WorkRequest<'_>);
+
+    /// Blocks until every submitted launch has completed, returning the first
+    /// deferred error (if any) and resetting for the next batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuntimeError`] raised by any launch since the last
+    /// flush.
+    fn flush(&mut self) -> Result<(), RuntimeError>;
+}
+
+/// The deterministic baseline executor: runs each launch inline at submit
+/// time on the calling thread.
+///
+/// # Example
+///
+/// ```
+/// use runtime::{ExecutorKind, SerialExecutor, Executor};
+///
+/// let ex = SerialExecutor::new();
+/// assert_eq!(ex.kind(), ExecutorKind::Serial);
+/// ```
+#[derive(Debug, Default)]
+pub struct SerialExecutor {
+    interp: Interpreter,
+    error: Option<RuntimeError>,
+}
+
+impl SerialExecutor {
+    /// Creates a serial executor.
+    pub fn new() -> Self {
+        SerialExecutor::default()
+    }
+}
+
+impl Drop for SerialExecutor {
+    fn drop(&mut self) {
+        if let Some(e) = self.error.take() {
+            eprintln!("warning: discarding deferred launch error at executor shutdown: {e}");
+        }
+    }
+}
+
+impl Executor for SerialExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Serial
+    }
+
+    fn submit(&mut self, work: WorkRequest<'_>) {
+        if self.error.is_some() {
+            return; // batch poisoned: skip, like the parallel executor does
+        }
+        // Runs inline from the borrowed request: no clones on this path.
+        // Panics are caught for parity with the worker pool: both executors
+        // report a dying launch as RuntimeError::Panicked at flush.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_functional(
+                &self.interp,
+                work.module,
+                work.scalars,
+                work.local_buffer_lens,
+                &work.accesses,
+            )
+        }))
+        .unwrap_or_else(|payload| Err(RuntimeError::Panicked(panic_message(&payload))));
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), RuntimeError> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A node of the in-flight dependency graph.
+#[derive(Debug)]
+struct TaskNode {
+    /// The work to run; taken by the executing worker.
+    work: Option<FunctionalWork>,
+    /// Unfinished launches this one waits for.
+    unmet: usize,
+    /// Launches waiting for this one.
+    dependents: Vec<u64>,
+}
+
+/// Scheduler state shared between the submitting thread and the workers.
+#[derive(Debug)]
+struct SchedState {
+    /// In-flight launches by id (removed on completion).
+    tasks: HashMap<u64, TaskNode>,
+    /// Per-worker ready deques (own end: back/LIFO; steal end: front/FIFO).
+    queues: Vec<VecDeque<u64>>,
+    /// Launches submitted but not yet completed.
+    pending: usize,
+    /// First deferred error of the current batch.
+    error: Option<RuntimeError>,
+    /// Set once at drop; workers exit when they run dry.
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<SchedState>,
+    /// Signals workers that a queue gained work (or shutdown began).
+    work_cv: Condvar,
+    /// Signals waiters (flush, backpressured submit) that `pending` dropped.
+    done_cv: Condvar,
+    /// Submission backpressure: `submit` blocks while `pending` is at this
+    /// bound, so the in-flight window (and the memory its region handles keep
+    /// alive) stays bounded no matter how far ahead the submitting thread
+    /// runs.
+    max_pending: usize,
+}
+
+/// The parallel executor: a pool of workers (one per simulated GPU, capped at
+/// host parallelism) over per-worker deques with stealing.
+///
+/// Submission happens on the runtime's thread: the launch's region accesses
+/// run through a [`DepTracker`]; if any hazard is outstanding the launch
+/// parks in the graph, otherwise it is pushed onto a deque. A worker that
+/// completes a launch decrements its dependents and pushes the newly-ready
+/// ones onto its *own* deque (work-first scheduling), stealing from siblings
+/// when it runs dry.
+///
+/// Region contents after a flush are identical to the serial executor's by
+/// construction — conflicting launches are ordered, independent launches
+/// touch disjoint data — which the `executor_equivalence` proptest suite
+/// verifies.
+///
+/// # Example
+///
+/// ```
+/// use runtime::{Executor, ExecutorKind, WorkStealingExecutor};
+///
+/// let mut pool = WorkStealingExecutor::new(2);
+/// assert_eq!(pool.workers(), 2);
+/// pool.flush().unwrap(); // nothing submitted: trivially complete
+/// ```
+pub struct WorkStealingExecutor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    tracker: DepTracker,
+    next_task: u64,
+    requested: Option<usize>,
+}
+
+impl std::fmt::Debug for WorkStealingExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingExecutor")
+            .field("workers", &self.workers.len())
+            .field("next_task", &self.next_task)
+            .finish()
+    }
+}
+
+impl WorkStealingExecutor {
+    /// Spawns a pool with `workers` workers (at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self::with_requested(workers.max(1), Some(workers.max(1)))
+    }
+
+    /// Spawns a pool for a machine with `gpus` simulated GPUs: one worker per
+    /// GPU, capped at the host's available parallelism.
+    pub fn for_gpus(gpus: usize) -> Self {
+        let kind = ExecutorKind::WorkStealing { workers: None };
+        Self::with_requested(kind.worker_count(gpus), None)
+    }
+
+    fn with_requested(workers: usize, requested: Option<usize>) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                tasks: HashMap::new(),
+                queues: vec![VecDeque::new(); workers],
+                pending: 0,
+                error: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            max_pending: (workers * 4).max(16),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("diffuse-worker-{id}"))
+                    .spawn(move || worker_loop(id, &shared))
+                    .expect("failed to spawn executor worker")
+            })
+            .collect();
+        WorkStealingExecutor {
+            shared,
+            workers: handles,
+            tracker: DepTracker::new(),
+            next_task: 0,
+            requested,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Executor for WorkStealingExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::WorkStealing {
+            workers: self.requested,
+        }
+    }
+
+    fn submit(&mut self, work: WorkRequest<'_>) {
+        let id = self.next_task;
+        self.next_task += 1;
+        let summaries: Vec<AccessSummary> = work.accesses.iter().map(BufferAccess::summary).collect();
+        let deps = self.tracker.record(id, &summaries);
+        // Crossing to a worker thread requires ownership.
+        let work = work.into_owned_work();
+        let mut state = self.shared.state.lock().unwrap();
+        // Backpressure: never run more than max_pending launches ahead of the
+        // workers, bounding the memory the in-flight window keeps alive.
+        while state.pending >= self.shared.max_pending {
+            state = self.shared.done_cv.wait(state).unwrap();
+        }
+        // Hazards against launches that already completed are satisfied.
+        let mut unmet = 0;
+        for dep in deps {
+            if let Some(node) = state.tasks.get_mut(&dep) {
+                node.dependents.push(id);
+                unmet += 1;
+            }
+        }
+        state.pending += 1;
+        state.tasks.insert(
+            id,
+            TaskNode {
+                work: Some(work),
+                unmet,
+                dependents: Vec::new(),
+            },
+        );
+        if unmet == 0 {
+            let q = (id % state.queues.len() as u64) as usize;
+            state.queues[q].push_back(id);
+            drop(state);
+            self.shared.work_cv.notify_one();
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), RuntimeError> {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.pending > 0 {
+            state = self.shared.done_cv.wait(state).unwrap();
+        }
+        self.tracker.reset();
+        match state.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WorkStealingExecutor {
+    fn drop(&mut self) {
+        // Complete outstanding work so region contents are final, then stop.
+        // An error here has no caller left to reach — don't lose it silently.
+        if let Err(e) = self.flush() {
+            eprintln!("warning: discarding deferred launch error at executor shutdown: {e}");
+        }
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Pops a ready launch for worker `id`: its own deque from the back (LIFO,
+/// cache-warm continuations) or a sibling's from the front (FIFO steal).
+fn pop_ready(state: &mut SchedState, id: usize) -> Option<u64> {
+    if let Some(task) = state.queues[id].pop_back() {
+        return Some(task);
+    }
+    let n = state.queues.len();
+    for k in 1..n {
+        if let Some(task) = state.queues[(id + k) % n].pop_front() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn worker_loop(id: usize, shared: &Shared) {
+    let interp = Interpreter::new();
+    let mut state = shared.state.lock().unwrap();
+    loop {
+        if let Some(task) = pop_ready(&mut state, id) {
+            let work = state
+                .tasks
+                .get_mut(&task)
+                .and_then(|node| node.work.take())
+                .expect("ready task must have unexecuted work");
+            let poisoned = state.error.is_some();
+            drop(state);
+            // The heavy part runs without any scheduler lock held. Panics are
+            // caught so a dying launch cannot leak `pending` and deadlock
+            // every later flush; they surface as RuntimeError::Panicked.
+            let result = if poisoned {
+                Ok(())
+            } else {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_functional(
+                        &interp,
+                        &work.module,
+                        &work.scalars,
+                        &work.local_buffer_lens,
+                        &work.accesses,
+                    )
+                }))
+                .unwrap_or_else(|payload| Err(RuntimeError::Panicked(panic_message(&payload))))
+            };
+            state = shared.state.lock().unwrap();
+            if let Err(e) = result {
+                state.error.get_or_insert(e);
+            }
+            let node = state.tasks.remove(&task).expect("completed task present");
+            let mut freed = 0;
+            for dep in node.dependents {
+                let dependent = state
+                    .tasks
+                    .get_mut(&dep)
+                    .expect("dependent of running task present");
+                dependent.unmet -= 1;
+                if dependent.unmet == 0 {
+                    state.queues[id].push_back(dep);
+                    freed += 1;
+                }
+            }
+            // This worker immediately takes one freed launch itself; wake
+            // siblings for the rest so they can steal.
+            if freed > 1 {
+                shared.work_cv.notify_all();
+            }
+            state.pending -= 1;
+            // Wakes both flushers (waiting for 0) and backpressured
+            // submitters (waiting to drop below the bound).
+            shared.done_cv.notify_all();
+        } else if state.shutdown {
+            return;
+        } else {
+            state = shared.work_cv.wait(state).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use kernel::{BufferId, BufferRole, LoopBuilder};
+
+    fn handle(id: u64, n: u64, value: f64) -> RegionHandle {
+        let h = RegionHandle::new(Region::new(RegionId(id), vec![n], "r", true));
+        h.fill(value);
+        h
+    }
+
+    /// out[i] = in[i] * factor
+    fn scale_work(src: &RegionHandle, dst: &RegionHandle, n: u64, factor: f64) -> FunctionalWork {
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("scale", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let c = lb.constant(factor);
+        let v = lb.mul(x, c);
+        lb.store(BufferId(1), v);
+        module.push_loop(lb.finish());
+        let rect = Rect::new(vec![0], vec![n as i64]);
+        FunctionalWork {
+            name: "scale".into(),
+            module,
+            scalars: vec![],
+            accesses: vec![
+                BufferAccess {
+                    region: RegionId(100),
+                    handle: src.clone(),
+                    rect: rect.clone(),
+                    privilege: Privilege::Read,
+                },
+                BufferAccess {
+                    region: RegionId(101),
+                    handle: dst.clone(),
+                    rect,
+                    privilege: Privilege::Write,
+                },
+            ],
+            local_buffer_lens: vec![],
+        }
+    }
+
+    #[test]
+    fn serial_executor_runs_inline() {
+        let (a, b) = (handle(0, 16, 2.0), handle(1, 16, 0.0));
+        let mut ex = SerialExecutor::new();
+        let w = scale_work(&a, &b, 16, 3.0);
+        ex.submit(w.as_request());
+        // Inline execution: visible even before flush.
+        assert_eq!(b.data().unwrap(), vec![6.0; 16]);
+        ex.flush().unwrap();
+    }
+
+    #[test]
+    fn work_stealing_executor_completes_a_chain() {
+        let (a, b, c) = (handle(0, 64, 1.0), handle(1, 64, 0.0), handle(2, 64, 0.0));
+        let mut ex = WorkStealingExecutor::new(4);
+        assert_eq!(ex.workers(), 4);
+        let mut w1 = scale_work(&a, &b, 64, 2.0);
+        w1.accesses[0].region = RegionId(0);
+        w1.accesses[1].region = RegionId(1);
+        let mut w2 = scale_work(&b, &c, 64, 5.0);
+        w2.accesses[0].region = RegionId(1);
+        w2.accesses[1].region = RegionId(2);
+        ex.submit(w1.as_request());
+        ex.submit(w2.as_request()); // RAW on region 1: must see b = 2.0
+        ex.flush().unwrap();
+        assert_eq!(c.data().unwrap(), vec![10.0; 64]);
+    }
+
+    #[test]
+    fn work_stealing_executor_overlaps_independent_launches() {
+        let n = 256u64;
+        let sources: Vec<RegionHandle> = (0..8).map(|i| handle(i, n, i as f64)).collect();
+        let sinks: Vec<RegionHandle> = (8..16).map(|i| handle(i, n, 0.0)).collect();
+        let mut ex = WorkStealingExecutor::new(4);
+        for (i, (src, dst)) in sources.iter().zip(&sinks).enumerate() {
+            let mut w = scale_work(src, dst, n, 2.0);
+            w.accesses[0].region = RegionId(i as u64);
+            w.accesses[1].region = RegionId(8 + i as u64);
+            ex.submit(w.as_request());
+        }
+        ex.flush().unwrap();
+        for (i, dst) in sinks.iter().enumerate() {
+            assert_eq!(dst.data().unwrap(), vec![2.0 * i as f64; n as usize]);
+        }
+    }
+
+    #[test]
+    fn errors_defer_to_flush_and_poison_the_batch() {
+        let (a, b) = (handle(0, 16, 1.0), handle(1, 16, 0.0));
+        for mut ex in [
+            Box::new(SerialExecutor::new()) as Box<dyn Executor>,
+            Box::new(WorkStealingExecutor::new(2)) as Box<dyn Executor>,
+        ] {
+            // A module reading scalar parameter 0 without providing scalars:
+            // fails with MissingParam at execution time.
+            let mut bad = scale_work(&a, &b, 16, 1.0);
+            let mut lb = LoopBuilder::new("bad", BufferId(0));
+            let x = lb.load(BufferId(0));
+            let p = lb.param(0);
+            let v = lb.mul(x, p);
+            lb.store(BufferId(1), v);
+            let mut module = KernelModule::new(2);
+            module.set_role(BufferId(1), BufferRole::Output);
+            module.push_loop(lb.finish());
+            bad.module = module;
+            ex.submit(bad.as_request());
+            // Writes the same region as `bad` (WAW), so it is ordered after it
+            // under both executors and must be skipped once the batch poisons.
+            let good = scale_work(&a, &b, 16, 7.0);
+            ex.submit(good.as_request());
+            assert!(ex.flush().is_err(), "{:?} must defer the error", ex.kind());
+            // The batch was poisoned: the good launch was skipped.
+            assert_eq!(b.data().unwrap(), vec![0.0; 16]);
+            // The next batch starts clean.
+            let retry = scale_work(&a, &b, 16, 7.0);
+            ex.submit(retry.as_request());
+            ex.flush().unwrap();
+            assert_eq!(b.data().unwrap(), vec![7.0; 16]);
+            b.fill(0.0);
+        }
+    }
+
+    #[test]
+    fn panicking_launch_surfaces_as_error_instead_of_deadlocking() {
+        let (a, b) = (handle(0, 16, 1.0), handle(1, 16, 0.0));
+        for mut ex in [
+            Box::new(SerialExecutor::new()) as Box<dyn Executor>,
+            Box::new(WorkStealingExecutor::new(2)) as Box<dyn Executor>,
+        ] {
+            // An access rect that lies outside the region: read_rect panics.
+            let mut bad = scale_work(&a, &b, 16, 1.0);
+            bad.accesses[0].rect = Rect::new(vec![0], vec![64]);
+            ex.submit(bad.as_request());
+            // Without the worker panic guard this flush would hang forever.
+            match ex.flush() {
+                Err(RuntimeError::Panicked(_)) => {}
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+            // The executor stays usable for the next batch.
+            let retry = scale_work(&a, &b, 16, 4.0);
+            ex.submit(retry.as_request());
+            ex.flush().unwrap();
+            assert_eq!(b.data().unwrap(), vec![4.0; 16]);
+            b.fill(0.0);
+        }
+    }
+
+    #[test]
+    fn flush_on_empty_executor_is_ok() {
+        let mut ex = WorkStealingExecutor::for_gpus(4);
+        ex.flush().unwrap();
+        ex.flush().unwrap();
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(ExecutorKind::Serial.worker_count(8), 1);
+        assert_eq!(
+            ExecutorKind::WorkStealing { workers: Some(3) }.worker_count(8),
+            3
+        );
+        let auto = ExecutorKind::WorkStealing { workers: None }.worker_count(8);
+        assert!(auto >= 1 && auto <= 8);
+    }
+}

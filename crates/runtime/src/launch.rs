@@ -11,6 +11,15 @@ use crate::region::RegionId;
 /// costs (Legion's minimum effective task granularity); an explicitly parallel
 /// MPI library pays only a small per-call overhead. The PETSc-equivalent
 /// baseline uses [`OverheadClass::Mpi`].
+///
+/// # Example
+///
+/// ```
+/// use runtime::OverheadClass;
+///
+/// assert_eq!(OverheadClass::default(), OverheadClass::TaskRuntime);
+/// assert_ne!(OverheadClass::Mpi, OverheadClass::None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OverheadClass {
     /// Dynamic task runtime overhead (dependence analysis, mapping).
@@ -24,6 +33,16 @@ pub enum OverheadClass {
 
 /// One region requirement of a task launch: which region is accessed, through
 /// which partition, and with what privilege.
+///
+/// # Example
+///
+/// ```
+/// use ir::{Partition, Privilege};
+/// use runtime::{RegionId, RegionRequirement};
+///
+/// let req = RegionRequirement::new(RegionId(0), Partition::block(vec![8]), Privilege::Read);
+/// assert!(req.privilege.reads() && !req.privilege.writes());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegionRequirement {
     /// The region accessed.
@@ -51,6 +70,29 @@ impl RegionRequirement {
 /// Buffer `i` of `module` corresponds to `requirements[i]`; buffers beyond the
 /// requirement count are task-local temporaries whose per-point element counts
 /// are given by `local_buffer_lens`.
+///
+/// # Example
+///
+/// ```
+/// use ir::{Domain, Partition, Privilege};
+/// use kernel::KernelModule;
+/// use runtime::{OverheadClass, RegionId, RegionRequirement, TaskLaunch};
+///
+/// let launch = TaskLaunch {
+///     name: "demo".into(),
+///     launch_domain: Domain::linear(4),
+///     requirements: vec![RegionRequirement::new(
+///         RegionId(0),
+///         Partition::block(vec![8]),
+///         Privilege::Read,
+///     )],
+///     module: KernelModule::new(2),
+///     scalars: vec![1.5],
+///     local_buffer_lens: vec![32],
+///     overhead: OverheadClass::TaskRuntime,
+/// };
+/// assert_eq!(launch.num_buffers(), 2); // one requirement + one local
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskLaunch {
     /// Human-readable name (used in profiles).

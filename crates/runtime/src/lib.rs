@@ -15,6 +15,13 @@
 //! which is exactly the scale-aware representation the paper's scale-free IR
 //! avoids for its fusion analysis (Section 4.4).
 //!
+//! Functional kernel work is scheduled by an [`Executor`]: the default
+//! [`SerialExecutor`] runs launches inline, while the
+//! [`WorkStealingExecutor`] (one worker per simulated GPU) overlaps
+//! independent launches and orders conflicting ones through their region
+//! read/write sets, mirroring how the paper's runtime overlaps task launches
+//! across GPUs. See `docs/RUNTIME.md` for the architecture.
+//!
 //! # Example
 //!
 //! ```
@@ -55,13 +62,20 @@
 //! assert!(rt.elapsed() > 0.0);
 //! ```
 
+pub mod deps;
+pub mod executor;
 pub mod launch;
 pub mod profile;
 pub mod region;
 #[allow(clippy::module_inception)]
 pub mod runtime;
 
+pub use deps::{AccessSummary, DepTracker};
+pub use executor::{
+    BufferAccess, Executor, ExecutorKind, FunctionalWork, SerialExecutor, WorkRequest,
+    WorkStealingExecutor,
+};
 pub use launch::{OverheadClass, RegionRequirement, TaskLaunch};
 pub use profile::Profile;
-pub use region::{Region, RegionId};
+pub use region::{Region, RegionHandle, RegionId};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError};

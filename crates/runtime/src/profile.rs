@@ -1,6 +1,24 @@
 //! Execution profile: what the runtime observed while executing launches.
 
 /// Counters accumulated across every launch executed by a [`crate::Runtime`].
+///
+/// Counters are filled in eagerly at submission time (with the cost
+/// accounting), so they never depend on which executor runs the functional
+/// work.
+///
+/// # Example
+///
+/// ```
+/// use runtime::Profile;
+///
+/// let mut p = Profile { comm_time: 1.0, kernel_time: 2.0, ..Profile::default() };
+/// assert_eq!(p.total_time(), 3.0);
+/// let earlier = p;
+/// p.kernel_time += 4.0;
+/// assert_eq!(p.since(&earlier).kernel_time, 4.0);
+/// p.reset();
+/// assert_eq!(p, Profile::default());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Profile {
     /// Index tasks launched.

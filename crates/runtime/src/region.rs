@@ -1,8 +1,29 @@
 //! Logical regions: the runtime's distributed arrays.
+//!
+//! A [`Region`] is the plain data holder. The runtime and its executors never
+//! share `Region`s directly; they share [`RegionHandle`]s, which put the data
+//! behind an interior-mutability-safe lock while keeping the immutable
+//! metadata (shape, name) lock-free to read. Executor workers running on
+//! different threads lock individual regions only for the duration of a
+//! copy-in or copy-out, so launches touching disjoint regions proceed fully in
+//! parallel (see `docs/RUNTIME.md`).
+
+use std::sync::{Arc, RwLock};
 
 use ir::Rect;
 
 /// Identifier of a logical region.
+///
+/// Ids are allocated monotonically by [`crate::Runtime`] and never reused,
+/// which is what makes freeing a region safe while launches are in flight.
+///
+/// # Example
+///
+/// ```
+/// use runtime::RegionId;
+///
+/// assert_eq!(RegionId(7).to_string(), "R7");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegionId(pub u64);
 
@@ -19,6 +40,18 @@ impl std::fmt::Display for RegionId {
 /// splitting the data. In pure-simulation executions (`data == None`) only the
 /// metadata exists, which lets the benchmark harness model machine-scale
 /// problem sizes without allocating them.
+///
+/// # Example
+///
+/// ```
+/// use ir::Rect;
+/// use runtime::{Region, RegionId};
+///
+/// let mut r = Region::new(RegionId(0), vec![4, 4], "grid", true);
+/// assert_eq!((r.volume(), r.size_bytes()), (16, 128));
+/// r.write_rect(&Rect::new(vec![0, 0], vec![1, 4]), &[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(r.read_rect(&Rect::new(vec![0, 1], vec![1, 3])), vec![2.0, 3.0]);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Region {
     /// The region's identifier.
@@ -98,8 +131,147 @@ impl Region {
     }
 }
 
+/// A shared, thread-safe handle to a [`Region`].
+///
+/// The handle caches the region's immutable metadata (shape and name) outside
+/// the lock, so cost accounting and dependency analysis never contend with
+/// executor workers; only the mutable contents live behind the [`RwLock`].
+/// Cloning a handle is cheap and yields another reference to the same region.
+///
+/// Concurrent readers share the lock; a writer takes it exclusively. The
+/// executor's dependency tracking (see [`crate::deps`]) already serializes
+/// conflicting launches, so in practice the lock is only ever contended by
+/// launches that access disjoint rectangles of the same region.
+///
+/// # Example
+///
+/// ```
+/// use runtime::{Region, RegionHandle, RegionId};
+/// use ir::Rect;
+///
+/// let handle = RegionHandle::new(Region::new(RegionId(0), vec![8], "v", true));
+/// let clone = handle.clone(); // same underlying region
+/// clone.write_rect(&Rect::new(vec![0], vec![2]), &[1.0, 2.0]);
+/// assert_eq!(handle.read_rect(&Rect::new(vec![0], vec![2])), vec![1.0, 2.0]);
+/// assert_eq!(handle.shape(), &[8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionHandle {
+    /// Immutable metadata, shared so `Clone` is a pure refcount bump.
+    meta: Arc<RegionMeta>,
+    cell: Arc<RwLock<Region>>,
+}
+
+#[derive(Debug)]
+struct RegionMeta {
+    shape: Vec<u64>,
+    name: String,
+}
+
+impl RegionHandle {
+    /// Wraps a region in a shared handle.
+    pub fn new(region: Region) -> Self {
+        RegionHandle {
+            meta: Arc::new(RegionMeta {
+                shape: region.shape.clone(),
+                name: region.name.clone(),
+            }),
+            cell: Arc::new(RwLock::new(region)),
+        }
+    }
+
+    /// The region's shape (immutable for the region's lifetime; lock-free).
+    pub fn shape(&self) -> &[u64] {
+        &self.meta.shape
+    }
+
+    /// The region's human-readable name (lock-free).
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Number of elements.
+    pub fn volume(&self) -> u64 {
+        self.meta.shape.iter().product()
+    }
+
+    /// Total size in bytes (f64 elements).
+    pub fn size_bytes(&self) -> u64 {
+        self.volume() * 8
+    }
+
+    /// Whether the region's contents are materialized.
+    pub fn is_materialized(&self) -> bool {
+        self.cell.read().unwrap().is_materialized()
+    }
+
+    /// Copies the elements inside `rect` into a dense row-major buffer,
+    /// holding the read lock only for the duration of the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not materialized or the rect does not fit.
+    pub fn read_rect(&self, rect: &Rect) -> Vec<f64> {
+        self.cell.read().unwrap().read_rect(rect)
+    }
+
+    /// Writes a dense row-major buffer into the elements inside `rect`,
+    /// holding the write lock only for the duration of the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not materialized, the rect does not fit, or
+    /// `values` has the wrong length.
+    pub fn write_rect(&self, rect: &Rect, values: &[f64]) {
+        self.cell.write().unwrap().write_rect(rect, values);
+    }
+
+    /// Fills every materialized element with `value` (no-op when the region is
+    /// not materialized).
+    pub fn fill(&self, value: f64) {
+        if let Some(data) = self.cell.write().unwrap().data.as_mut() {
+            data.fill(value);
+        }
+    }
+
+    /// A copy of the region's full contents, when materialized.
+    pub fn data(&self) -> Option<Vec<f64>> {
+        self.cell.read().unwrap().data.clone()
+    }
+
+    /// Overwrites the full contents (no-op when not materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the region volume.
+    pub fn write_data(&self, data: Vec<f64>) {
+        // Validate before taking the lock: a panic while holding the write
+        // guard would poison the RwLock and break every later access.
+        assert_eq!(
+            data.len() as u64,
+            self.volume(),
+            "data length must match region volume"
+        );
+        let mut region = self.cell.write().unwrap();
+        if region.is_materialized() {
+            region.data = Some(data);
+        }
+    }
+}
+
 /// Iterates the row-major linear indices of the elements of `rect` within an
 /// array of the given shape.
+///
+/// # Example
+///
+/// ```
+/// use ir::Rect;
+/// use runtime::region::rect_indices;
+///
+/// let rect = Rect::new(vec![1, 0], vec![3, 2]);
+/// let idx: Vec<usize> = rect_indices(&rect, &[4, 3]).collect();
+/// assert_eq!(idx, vec![3, 4, 6, 7]);
+/// ```
 ///
 /// # Panics
 ///
@@ -195,5 +367,34 @@ mod tests {
     fn wrong_length_write_panics() {
         let mut r = Region::new(RegionId(0), vec![4], "v", true);
         r.write_rect(&Rect::new(vec![0], vec![2]), &[1.0]);
+    }
+
+    #[test]
+    fn handle_shares_one_region_across_clones() {
+        let h = RegionHandle::new(Region::new(RegionId(3), vec![2, 3], "grid", true));
+        assert_eq!(h.shape(), &[2, 3]);
+        assert_eq!(h.name(), "grid");
+        assert_eq!(h.volume(), 6);
+        assert_eq!(h.size_bytes(), 48);
+        let other = h.clone();
+        other.fill(4.0);
+        assert_eq!(h.data().unwrap(), vec![4.0; 6]);
+        other.write_data(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(h.read_rect(&Rect::new(vec![1, 0], vec![2, 3])), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn unmaterialized_handle_has_no_data() {
+        let h = RegionHandle::new(Region::new(RegionId(0), vec![16], "lazy", false));
+        assert!(!h.is_materialized());
+        assert!(h.data().is_none());
+        h.fill(1.0); // no-op, must not panic
+        assert!(h.data().is_none());
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RegionHandle>();
     }
 }

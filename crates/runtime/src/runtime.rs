@@ -1,17 +1,43 @@
 //! The runtime proper: region management, coherence, cost accounting and
 //! functional execution.
+//!
+//! The runtime splits every [`TaskLaunch`] into two halves:
+//!
+//! 1. **Accounting** — per-task overhead, coherence traffic and kernel cost on
+//!    the simulated clock, plus region-validity updates. This half is cheap,
+//!    inherently program-ordered, and always runs eagerly on the submitting
+//!    thread, so simulated time is identical under every executor.
+//! 2. **Functional execution** — interpreting the kernel over real region
+//!    data. This half dominates functional-mode wall-clock time and is handed
+//!    to the configured [`Executor`], which may overlap independent launches
+//!    across worker threads (see `docs/RUNTIME.md`).
 
 use std::collections::HashMap;
 
 use ir::{Partition, Rect};
-use kernel::{cost as kcost, ExecError, Interpreter, KernelModule};
+use kernel::{cost as kcost, ExecError};
 use machine::{CostModel, MachineConfig, MemoryTracker, SimClock};
 
+use crate::executor::{
+    BufferAccess, Executor, ExecutorKind, SerialExecutor, WorkRequest, WorkStealingExecutor,
+};
 use crate::launch::{OverheadClass, TaskLaunch};
 use crate::profile::Profile;
-use crate::region::{Region, RegionId};
+use crate::region::{Region, RegionHandle, RegionId};
 
 /// Configuration of a [`Runtime`].
+///
+/// # Example
+///
+/// ```
+/// use machine::MachineConfig;
+/// use runtime::{ExecutorKind, RuntimeConfig};
+///
+/// let config = RuntimeConfig::functional(MachineConfig::with_gpus(4))
+///     .with_executor(ExecutorKind::WorkStealing { workers: None });
+/// assert!(config.materialize_data);
+/// assert_ne!(config.executor, ExecutorKind::Serial);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// The simulated machine.
@@ -20,14 +46,21 @@ pub struct RuntimeConfig {
     /// for machine-scale performance simulations where the data would not fit
     /// in host memory.
     pub materialize_data: bool,
+    /// Which executor runs functional kernel work. Ignored (always serial)
+    /// when `materialize_data` is false, since there is no functional work to
+    /// parallelize.
+    pub executor: ExecutorKind,
 }
 
 impl RuntimeConfig {
-    /// A runtime that executes kernels on real data (tests, examples).
+    /// A runtime that executes kernels on real data (tests, examples). The
+    /// executor defaults to [`ExecutorKind::from_env`], so setting
+    /// `DIFFUSE_EXECUTOR=parallel` switches a whole process over.
     pub fn functional(machine: MachineConfig) -> Self {
         RuntimeConfig {
             machine,
             materialize_data: true,
+            executor: ExecutorKind::from_env(),
         }
     }
 
@@ -37,17 +70,51 @@ impl RuntimeConfig {
         RuntimeConfig {
             machine,
             materialize_data: false,
+            executor: ExecutorKind::Serial,
         }
+    }
+
+    /// Overrides the executor choice.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
     }
 }
 
 /// Errors surfaced by the runtime.
+///
+/// The enum implements [`std::error::Error`], so callers can propagate it
+/// with `?` into a `Box<dyn Error>`:
+///
+/// ```
+/// use machine::MachineConfig;
+/// use runtime::{Runtime, RuntimeConfig};
+///
+/// fn demo() -> Result<(), Box<dyn std::error::Error>> {
+///     let mut rt = Runtime::new(RuntimeConfig::functional(MachineConfig::with_gpus(2)));
+///     let r = rt.allocate_region(vec![8], "v");
+///     rt.fill(r, 1.0)?;
+///     rt.free_region(r)?;
+///     Ok(())
+/// }
+/// demo().unwrap();
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// A launch referenced a region that does not exist (or was freed).
+    /// Raised eagerly at submission time.
     UnknownRegion(RegionId),
-    /// The kernel interpreter failed.
+    /// The kernel interpreter failed while executing a launch's functional
+    /// work. Deferred under *every* executor (the serial one included):
+    /// [`Runtime::execute`] returns `Ok` and the error surfaces at the next
+    /// flush ([`Runtime::flush_launches`], [`Runtime::execute_batch`] or any
+    /// data-touching operation), with the remaining launches of the batch
+    /// skipped.
     Exec(ExecError),
+    /// A launch's functional work panicked on an executor worker (e.g. an
+    /// out-of-bounds access the interpreter does not guard). Deferred like
+    /// [`RuntimeError::Exec`]; the payload is the panic message.
+    Panicked(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -55,11 +122,19 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::UnknownRegion(r) => write!(f, "unknown region {r}"),
             RuntimeError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+            RuntimeError::Panicked(msg) => write!(f, "launch panicked on a worker: {msg}"),
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::UnknownRegion(_) | RuntimeError::Panicked(_) => None,
+            RuntimeError::Exec(e) => Some(e),
+        }
+    }
+}
 
 impl From<ExecError> for RuntimeError {
     fn from(e: ExecError) -> Self {
@@ -84,17 +159,44 @@ enum Validity {
 
 /// The Legion-style runtime: owns regions, tracks coherence, charges costs on
 /// the simulated clock and (optionally) executes kernels functionally.
+///
+/// # Example
+///
+/// ```
+/// use machine::MachineConfig;
+/// use runtime::{Runtime, RuntimeConfig};
+///
+/// let mut rt = Runtime::new(RuntimeConfig::functional(MachineConfig::with_gpus(2)));
+/// let r = rt.allocate_region(vec![16], "v");
+/// rt.fill(r, 3.0).unwrap();
+/// assert_eq!(rt.region_data(r).unwrap(), vec![3.0; 16]);
+/// assert!(rt.elapsed() > 0.0);
+/// ```
 #[derive(Debug)]
 pub struct Runtime {
     config: RuntimeConfig,
     cost: CostModel,
     clock: SimClock,
     memory: MemoryTracker,
-    regions: HashMap<RegionId, Region>,
+    regions: HashMap<RegionId, RegionHandle>,
     validity: HashMap<RegionId, Validity>,
     profile: Profile,
     next_region: u64,
-    interp: Interpreter,
+    executor: Box<dyn Executor>,
+    /// An error returned by an internal flush (e.g. inside [`Runtime::region_data`])
+    /// that could not be surfaced through that call's signature; re-raised by
+    /// the next fallible operation.
+    deferred_error: Option<RuntimeError>,
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // A stashed launch error with no fallible call left to re-raise it
+        // must not vanish silently (the executors warn about their own).
+        if let Some(e) = self.deferred_error.take() {
+            eprintln!("warning: discarding deferred launch error at runtime shutdown: {e}");
+        }
+    }
 }
 
 impl Runtime {
@@ -102,6 +204,15 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Self {
         let gpus = config.machine.total_gpus();
         let cost = CostModel::new(config.machine.clone());
+        // Simulation-only runs produce no functional work, so a thread pool
+        // would only burn resources: always execute serially there.
+        let executor: Box<dyn Executor> = match (config.executor, config.materialize_data) {
+            (ExecutorKind::WorkStealing { workers }, true) => Box::new(match workers {
+                Some(n) => WorkStealingExecutor::new(n),
+                None => WorkStealingExecutor::for_gpus(gpus),
+            }),
+            _ => Box::new(SerialExecutor::new()),
+        };
         Runtime {
             config,
             cost,
@@ -111,7 +222,8 @@ impl Runtime {
             validity: HashMap::new(),
             profile: Profile::default(),
             next_region: 0,
-            interp: Interpreter::new(),
+            executor,
+            deferred_error: None,
         }
     }
 
@@ -130,52 +242,73 @@ impl Runtime {
         self.config.materialize_data
     }
 
+    /// The kind of executor running functional work. Note that simulation-only
+    /// runtimes always execute serially regardless of the configured kind.
+    pub fn executor_kind(&self) -> ExecutorKind {
+        self.executor.kind()
+    }
+
     /// Allocates a distributed region of the given shape.
     pub fn allocate_region(&mut self, shape: Vec<u64>, name: impl Into<String>) -> RegionId {
         let id = RegionId(self.next_region);
         self.next_region += 1;
         let region = Region::new(id, shape, name, self.config.materialize_data);
-        let bytes_per_gpu = region.size_bytes() / self.gpus() as u64;
+        let handle = RegionHandle::new(region);
+        let bytes_per_gpu = handle.size_bytes() / self.gpus() as u64;
         self.memory.allocate_distributed(bytes_per_gpu.max(1));
         self.profile.distributed_allocations += 1;
-        self.profile.distributed_allocation_bytes += region.size_bytes();
+        self.profile.distributed_allocation_bytes += handle.size_bytes();
         self.validity.insert(id, Validity::Uninitialized);
-        self.regions.insert(id, region);
+        self.regions.insert(id, handle);
         id
     }
 
     /// Frees a region.
     ///
+    /// This does *not* synchronize with outstanding launches: in-flight work
+    /// holds its own [`RegionHandle`]s, which keep the data alive until it
+    /// completes, and region ids are never reused — so freeing is safe while
+    /// the executor is still draining (and keeps independent launches
+    /// overlapping across window boundaries).
+    ///
     /// # Errors
     ///
-    /// Returns an error if the region does not exist.
+    /// Returns an error if the region does not exist. Deliberately *not* a
+    /// re-raise point for deferred launch errors: freeing is cleanup whose
+    /// `Result` callers routinely discard, so a stashed error stays pending
+    /// for the next [`Runtime::execute`], [`Runtime::fill`],
+    /// [`Runtime::write_region_data`] or [`Runtime::flush_launches`] — calls
+    /// whose errors are actually handled.
     pub fn free_region(&mut self, id: RegionId) -> Result<(), RuntimeError> {
-        let region = self
+        let handle = self
             .regions
             .remove(&id)
             .ok_or(RuntimeError::UnknownRegion(id))?;
-        let bytes_per_gpu = region.size_bytes() / self.gpus() as u64;
+        let bytes_per_gpu = handle.size_bytes() / self.gpus() as u64;
         self.memory.free_distributed(bytes_per_gpu.max(1));
         self.validity.remove(&id);
         Ok(())
     }
 
     /// Fills every element of a region with a value, charging one streaming
-    /// write pass.
+    /// write pass. Flushes outstanding launches first.
     ///
     /// # Errors
     ///
-    /// Returns an error if the region does not exist.
+    /// Returns an error if the region does not exist, or re-raises a deferred
+    /// launch error.
     pub fn fill(&mut self, id: RegionId, value: f64) -> Result<(), RuntimeError> {
-        let gpus = self.gpus() as u64;
-        let region = self
+        // Handle clones are cheap (Arc), and taking one up front keeps the
+        // borrow clear of the flush below.
+        let handle = self
             .regions
-            .get_mut(&id)
-            .ok_or(RuntimeError::UnknownRegion(id))?;
-        if let Some(data) = region.data.as_mut() {
-            data.fill(value);
-        }
-        let bytes_per_gpu = region.size_bytes() / gpus;
+            .get(&id)
+            .ok_or(RuntimeError::UnknownRegion(id))?
+            .clone();
+        self.flush_launches()?;
+        let gpus = self.gpus() as u64;
+        handle.fill(value);
+        let bytes_per_gpu = handle.size_bytes() / gpus;
         let t = self.cost.task_overhead()
             + self.cost.launch_time()
             + self.cost.kernel_time(bytes_per_gpu, 0, 0);
@@ -190,43 +323,51 @@ impl Runtime {
     }
 
     /// Overwrites a region's contents with the given row-major data (host
-    /// initialization; no simulated cost).
+    /// initialization; no simulated cost). Flushes outstanding launches first.
     ///
     /// # Errors
     ///
-    /// Returns an error if the region does not exist.
+    /// Returns an error if the region does not exist, or re-raises a deferred
+    /// launch error.
     ///
     /// # Panics
     ///
     /// Panics if the data length does not match the region volume.
     pub fn write_region_data(&mut self, id: RegionId, data: Vec<f64>) -> Result<(), RuntimeError> {
-        let region = self
+        let handle = self
             .regions
-            .get_mut(&id)
-            .ok_or(RuntimeError::UnknownRegion(id))?;
-        assert_eq!(
-            data.len() as u64,
-            region.volume(),
-            "data length must match region volume"
-        );
-        if region.is_materialized() {
-            region.data = Some(data);
-        }
+            .get(&id)
+            .ok_or(RuntimeError::UnknownRegion(id))?
+            .clone();
+        self.flush_launches()?;
+        handle.write_data(data); // asserts the length matches the volume
         self.validity.insert(id, Validity::Full);
         Ok(())
     }
 
-    /// The contents of a region, if it exists and is materialized.
-    pub fn region_data(&self, id: RegionId) -> Option<&[f64]> {
-        self.regions.get(&id).and_then(|r| r.data.as_deref())
+    /// The contents of a region, if it exists and is materialized. Flushes
+    /// outstanding launches first so the data reflects every submitted launch.
+    ///
+    /// If a deferred launch error is pending, the data cannot be trusted:
+    /// this returns `None` and the error is stashed, to be re-raised by the
+    /// next fallible operation ([`Runtime::execute`], [`Runtime::fill`],
+    /// [`Runtime::flush_launches`], …).
+    pub fn region_data(&mut self, id: RegionId) -> Option<Vec<f64>> {
+        if let Err(e) = self.flush_launches() {
+            self.deferred_error = Some(e);
+            return None;
+        }
+        self.regions.get(&id).and_then(|h| h.data())
     }
 
-    /// The shape of a region, if it exists.
+    /// The shape of a region, if it exists (metadata only — never blocks on
+    /// outstanding launches).
     pub fn region_shape(&self, id: RegionId) -> Option<&[u64]> {
-        self.regions.get(&id).map(|r| r.shape.as_slice())
+        self.regions.get(&id).map(|h| h.shape())
     }
 
-    /// Current simulated time in seconds.
+    /// Current simulated time in seconds. Accounting is eager, so this does
+    /// not depend on outstanding functional work.
     pub fn elapsed(&self) -> f64 {
         self.clock.now()
     }
@@ -249,14 +390,21 @@ impl Runtime {
     }
 
     /// Executes an index-task launch: charges overheads, coherence traffic and
-    /// kernel time on the simulated clock and, in functional mode, runs the
-    /// kernels against the region data.
+    /// kernel time on the simulated clock eagerly and, in functional mode,
+    /// hands the kernel work to the executor. Under a parallel executor the
+    /// functional work may still be in flight when this returns; call
+    /// [`Runtime::flush_launches`] (or read data, which flushes implicitly)
+    /// to synchronize.
     ///
     /// # Errors
     ///
-    /// Returns an error if a requirement references an unknown region or the
-    /// kernel interpreter fails.
+    /// Returns an error if a requirement references an unknown region, or
+    /// re-raises a deferred error from an earlier launch. Interpreter errors
+    /// of this launch itself surface at the next flush.
     pub fn execute(&mut self, launch: &TaskLaunch) -> Result<(), RuntimeError> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
         for req in &launch.requirements {
             if !self.regions.contains_key(&req.region) {
                 return Err(RuntimeError::UnknownRegion(req.region));
@@ -279,11 +427,109 @@ impl Runtime {
         self.clock.uniform_phase(overhead + comm_time + kernel_time);
         self.profile.index_tasks += 1;
         self.profile.overhead_time += overhead;
-        // 6. Functional execution.
+        // 6. Functional execution, scheduled by the executor.
         if self.config.materialize_data {
-            self.execute_functional(launch)?;
+            let work = self.work_request(launch);
+            self.executor.submit(work);
         }
         Ok(())
+    }
+
+    /// Executes a batch of launches and waits for all of them: independent
+    /// launches overlap under a parallel executor, conflicting ones retain
+    /// program order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by any launch in the batch (earlier
+    /// deferred errors are re-raised first).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use machine::MachineConfig;
+    /// use runtime::{Runtime, RuntimeConfig, ExecutorKind, TaskLaunch, RegionRequirement, OverheadClass};
+    /// use ir::{Domain, Partition, Privilege};
+    /// use kernel::{KernelModule, LoopBuilder, BufferId, BufferRole};
+    ///
+    /// let config = RuntimeConfig::functional(MachineConfig::with_gpus(2))
+    ///     .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
+    /// let mut rt = Runtime::new(config);
+    /// let a = rt.allocate_region(vec![8], "a");
+    /// let b = rt.allocate_region(vec![8], "b");
+    /// let c = rt.allocate_region(vec![8], "c");
+    /// rt.fill(a, 2.0).unwrap();
+    ///
+    /// let scale = |src, dst| {
+    ///     let mut module = KernelModule::new(2);
+    ///     module.set_role(BufferId(1), BufferRole::Output);
+    ///     let mut lb = LoopBuilder::new("scale", BufferId(0));
+    ///     let x = lb.load(BufferId(0));
+    ///     let k = lb.constant(3.0);
+    ///     let v = lb.mul(x, k);
+    ///     lb.store(BufferId(1), v);
+    ///     module.push_loop(lb.finish());
+    ///     TaskLaunch {
+    ///         name: "scale".into(),
+    ///         launch_domain: Domain::linear(2),
+    ///         requirements: vec![
+    ///             RegionRequirement::new(src, Partition::block(vec![4]), Privilege::Read),
+    ///             RegionRequirement::new(dst, Partition::block(vec![4]), Privilege::Write),
+    ///         ],
+    ///         module,
+    ///         scalars: vec![],
+    ///         local_buffer_lens: vec![],
+    ///         overhead: OverheadClass::TaskRuntime,
+    ///     }
+    /// };
+    /// // b and c are independent: the parallel executor overlaps them.
+    /// rt.execute_batch(&[scale(a, b), scale(a, c)]).unwrap();
+    /// assert_eq!(rt.region_data(b).unwrap(), vec![6.0; 8]);
+    /// assert_eq!(rt.region_data(c).unwrap(), vec![6.0; 8]);
+    /// ```
+    pub fn execute_batch(&mut self, launches: &[TaskLaunch]) -> Result<(), RuntimeError> {
+        for launch in launches {
+            self.execute(launch)?;
+        }
+        self.flush_launches()
+    }
+
+    /// Waits for every submitted launch's functional work to complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred error raised since the last flush.
+    pub fn flush_launches(&mut self) -> Result<(), RuntimeError> {
+        if let Some(e) = self.deferred_error.take() {
+            // Drain the executor too so the next batch starts clean.
+            let _ = self.executor.flush();
+            return Err(e);
+        }
+        self.executor.flush()
+    }
+
+    /// Packages the functional half of a launch for the executor. The request
+    /// borrows the launch (zero-copy on the serial path); only resolved
+    /// handles and rects are owned.
+    fn work_request<'a>(&self, launch: &'a TaskLaunch) -> WorkRequest<'a> {
+        let accesses: Vec<BufferAccess> = launch
+            .requirements
+            .iter()
+            .enumerate()
+            .map(|(i, req)| BufferAccess {
+                region: req.region,
+                handle: self.regions[&req.region].clone(),
+                rect: self.access_rect(launch, i),
+                privilege: req.privilege,
+            })
+            .collect();
+        WorkRequest {
+            name: &launch.name,
+            module: &launch.module,
+            scalars: &launch.scalars,
+            local_buffer_lens: &launch.local_buffer_lens,
+            accesses,
+        }
     }
 
     /// Computes and charges the communication needed before `launch` can read
@@ -319,8 +565,8 @@ impl Runtime {
                     let mut max_deficit: u64 = 0;
                     let mut total_deficit: u64 = 0;
                     for p in launch.launch_domain.points() {
-                        let want = req.partition.sub_store_bounds(&region.shape, &p);
-                        let have = valid_part.sub_store_bounds(&region.shape, &p);
+                        let want = req.partition.sub_store_bounds(region.shape(), &p);
+                        let have = valid_part.sub_store_bounds(region.shape(), &p);
                         let overlap = want.intersect(&have).volume();
                         let deficit = (want.volume() - overlap) * 8;
                         max_deficit = max_deficit.max(deficit);
@@ -373,7 +619,7 @@ impl Runtime {
                 .requirements
                 .iter()
                 .map(|req| {
-                    let shape = &self.regions[&req.region].shape;
+                    let shape = self.regions[&req.region].shape();
                     req.partition.sub_store_bounds(shape, p).volume() as usize
                 })
                 .collect();
@@ -404,7 +650,7 @@ impl Runtime {
     /// the launch domain.
     fn access_rect(&self, launch: &TaskLaunch, req_idx: usize) -> Rect {
         let req = &launch.requirements[req_idx];
-        let shape = &self.regions[&req.region].shape;
+        let shape = self.regions[&req.region].shape();
         let mut acc: Option<Rect> = None;
         for p in launch.launch_domain.points() {
             let r = req.partition.sub_store_bounds(shape, &p);
@@ -429,52 +675,6 @@ impl Runtime {
         }
         acc.unwrap_or_else(|| Rect::empty(shape.len()))
     }
-
-    /// Runs the launch's kernel module against real region data. Stages are
-    /// executed one at a time with copy-in/copy-out around each stage so that
-    /// aliasing views of the same region stay coherent through the parent
-    /// region between stages.
-    fn execute_functional(&mut self, launch: &TaskLaunch) -> Result<(), RuntimeError> {
-        let num_reqs = launch.requirements.len();
-        let access_rects: Vec<Rect> = (0..num_reqs)
-            .map(|i| self.access_rect(launch, i))
-            .collect();
-        // Task-local buffers persist across stages.
-        let mut locals: Vec<Vec<f64>> = launch
-            .local_buffer_lens
-            .iter()
-            .map(|&len| vec![0.0; len])
-            .collect();
-        for stage in &launch.module.stages {
-            let stage_module = KernelModule {
-                stages: vec![stage.clone()],
-                roles: launch.module.roles.clone(),
-            };
-            // Copy-in.
-            let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(launch.num_buffers());
-            for (i, req) in launch.requirements.iter().enumerate() {
-                let region = &self.regions[&req.region];
-                buffers.push(region.read_rect(&access_rects[i]));
-            }
-            for local in &locals {
-                buffers.push(local.clone());
-            }
-            // Execute.
-            self.interp
-                .execute(&stage_module, &mut buffers, &launch.scalars)?;
-            // Copy-out written requirements and persist locals.
-            for (i, req) in launch.requirements.iter().enumerate() {
-                if req.privilege.writes() || req.privilege.reduces() {
-                    let region = self.regions.get_mut(&req.region).unwrap();
-                    region.write_rect(&access_rects[i], &buffers[i]);
-                }
-            }
-            for (j, local) in locals.iter_mut().enumerate() {
-                *local = std::mem::take(&mut buffers[num_reqs + j]);
-            }
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -482,10 +682,13 @@ mod tests {
     use super::*;
     use crate::launch::RegionRequirement;
     use ir::{Domain, Privilege};
-    use kernel::{BufferId, BufferRole, LoopBuilder};
+    use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder};
 
     fn functional_runtime(gpus: usize) -> Runtime {
-        Runtime::new(RuntimeConfig::functional(MachineConfig::with_gpus(gpus)))
+        Runtime::new(
+            RuntimeConfig::functional(MachineConfig::with_gpus(gpus))
+                .with_executor(ExecutorKind::Serial),
+        )
     }
 
     fn scale_module(factor: f64) -> KernelModule {
@@ -537,7 +740,7 @@ mod tests {
         let before = rt.elapsed();
         rt.execute(&scale_launch(a, b, 4, 32)).unwrap();
         assert!(rt.elapsed() > before);
-        assert_eq!(rt.region_data(b).unwrap(), vec![6.0; 32].as_slice());
+        assert_eq!(rt.region_data(b).unwrap(), vec![6.0; 32]);
         assert_eq!(rt.profile().index_tasks, 2); // fill + scale
         assert!(rt.profile().kernel_launches >= 2);
         assert_eq!(rt.profile().comm_bytes, 0, "same partition: no communication");
@@ -664,6 +867,14 @@ mod tests {
     }
 
     #[test]
+    fn simulation_only_ignores_parallel_executor_choice() {
+        let config = RuntimeConfig::simulation_only(MachineConfig::with_gpus(4))
+            .with_executor(ExecutorKind::WorkStealing { workers: Some(4) });
+        let rt = Runtime::new(config);
+        assert_eq!(rt.executor_kind(), ExecutorKind::Serial);
+    }
+
+    #[test]
     fn aliasing_views_stay_coherent_between_stages() {
         // Stage 1 writes the left half of a region through one view; stage 2
         // reads the same elements through the parent view and copies them to
@@ -705,5 +916,86 @@ mod tests {
         let out_data = rt.region_data(out).unwrap();
         assert_eq!(&out_data[..4], &[5.0, 5.0, 5.0, 5.0]);
         assert_eq!(&out_data[4..], &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_on_a_chain() {
+        let run = |kind: ExecutorKind| {
+            let config =
+                RuntimeConfig::functional(MachineConfig::with_gpus(4)).with_executor(kind);
+            let mut rt = Runtime::new(config);
+            let a = rt.allocate_region(vec![32], "a");
+            let b = rt.allocate_region(vec![32], "b");
+            let c = rt.allocate_region(vec![32], "c");
+            rt.fill(a, 2.0).unwrap();
+            rt.execute_batch(&[scale_launch(a, b, 4, 32), scale_launch(b, c, 4, 32)])
+                .unwrap();
+            (rt.region_data(c).unwrap(), rt.elapsed())
+        };
+        let (serial_data, serial_time) = run(ExecutorKind::Serial);
+        let (parallel_data, parallel_time) =
+            run(ExecutorKind::WorkStealing { workers: Some(4) });
+        assert_eq!(serial_data, parallel_data);
+        assert_eq!(
+            serial_time, parallel_time,
+            "simulated time must not depend on the executor"
+        );
+        assert_eq!(serial_data, vec![18.0; 32]);
+    }
+
+    #[test]
+    fn deferred_interpreter_error_surfaces_at_flush() {
+        let config = RuntimeConfig::functional(MachineConfig::with_gpus(2))
+            .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
+        let mut rt = Runtime::new(config);
+        let a = rt.allocate_region(vec![8], "a");
+        let b = rt.allocate_region(vec![8], "b");
+        rt.fill(a, 1.0).unwrap();
+        // A module reading scalar parameter 0 that the launch does not provide.
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("bad", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let p = lb.param(0);
+        let v = lb.mul(x, p);
+        lb.store(BufferId(1), v);
+        module.push_loop(lb.finish());
+        let mut launch = scale_launch(a, b, 2, 8);
+        launch.module = module;
+        assert!(rt.execute(&launch).is_ok(), "submit succeeds; error defers");
+        let err = rt.flush_launches().unwrap_err();
+        assert!(matches!(err, RuntimeError::Exec(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        // The batch is drained: the next flush is clean.
+        rt.flush_launches().unwrap();
+    }
+
+    #[test]
+    fn poisoned_batch_data_reads_return_none_and_stash_the_error() {
+        let config = RuntimeConfig::functional(MachineConfig::with_gpus(2))
+            .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
+        let mut rt = Runtime::new(config);
+        let a = rt.allocate_region(vec![8], "a");
+        let b = rt.allocate_region(vec![8], "b");
+        rt.fill(a, 1.0).unwrap();
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("bad", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let p = lb.param(0); // no scalars provided: MissingParam at run time
+        let v = lb.mul(x, p);
+        lb.store(BufferId(1), v);
+        module.push_loop(lb.finish());
+        let mut launch = scale_launch(a, b, 2, 8);
+        launch.module = module;
+        rt.execute(&launch).unwrap();
+        // The data of the poisoned batch must not be observable...
+        assert_eq!(rt.region_data(b), None);
+        // ...and the stashed error resurfaces at the next fallible call.
+        let err = rt.flush_launches().unwrap_err();
+        assert!(matches!(err, RuntimeError::Exec(_)));
+        // After which the runtime is clean again.
+        rt.flush_launches().unwrap();
+        assert!(rt.region_data(b).is_some());
     }
 }
