@@ -1,7 +1,7 @@
 //! Shared benchmark plumbing: modes, measurement and result records.
 
 use dense::DenseContext;
-use diffuse::{Context, DiffuseConfig, ExecutorKind};
+use diffuse::{BackendKind, Context, DiffuseConfig, ExecutorKind};
 use machine::MachineConfig;
 
 /// Which variant of an application to run.
@@ -83,12 +83,28 @@ pub fn dense_context(mode: Mode, gpus: usize, functional: bool) -> DenseContext 
 /// Creates the dense library over a Diffuse context configured for `mode`,
 /// running functional kernel work on an explicitly chosen executor — the
 /// thread-safe alternative to setting `DIFFUSE_EXECUTOR` for callers that
-/// build their own workloads.
+/// build their own workloads. The kernel backend still follows
+/// `DIFFUSE_BACKEND`; use [`dense_context_configured`] to pin both axes.
 pub fn dense_context_with_executor(
     mode: Mode,
     gpus: usize,
     functional: bool,
     executor: ExecutorKind,
+) -> DenseContext {
+    dense_context_configured(mode, gpus, functional, executor, BackendKind::from_env())
+}
+
+/// Creates the dense library over a Diffuse context configured for `mode`
+/// with both execution axes pinned: which executor schedules functional
+/// kernel work, and which kernel backend compiles fused modules. This is the
+/// thread-safe way to run interp-vs-closure (or serial-vs-parallel)
+/// comparisons in one process.
+pub fn dense_context_configured(
+    mode: Mode,
+    gpus: usize,
+    functional: bool,
+    executor: ExecutorKind,
+    backend: BackendKind,
 ) -> DenseContext {
     let machine = MachineConfig::with_gpus(gpus);
     let mut config = match mode {
@@ -97,7 +113,7 @@ pub fn dense_context_with_executor(
         // Diffuse's optimizations.
         Mode::Unfused | Mode::ManuallyFused | Mode::Petsc => DiffuseConfig::unfused(machine),
     };
-    config = config.with_executor(executor);
+    config = config.with_executor(executor).with_backend(backend);
     if !functional {
         config = config.simulation_only();
     }
@@ -195,6 +211,21 @@ mod tests {
         assert!(dense_context(Mode::Fused, 2, true).context().config().enable_task_fusion);
         assert!(!dense_context(Mode::Unfused, 2, true).context().config().enable_task_fusion);
         assert!(!dense_context(Mode::Petsc, 2, false).context().config().materialize_data);
+    }
+
+    #[test]
+    fn explicit_backend_choice_reaches_the_config() {
+        let np = dense_context_configured(
+            Mode::Fused,
+            2,
+            true,
+            ExecutorKind::Serial,
+            BackendKind::Closure,
+        );
+        assert_eq!(np.context().config().backend, BackendKind::Closure);
+        let a = np.ones(&[16]);
+        let b = np.ones(&[16]);
+        assert_eq!(a.add(&b).to_vec().unwrap(), vec![2.0; 16]);
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn black_scholes_like(np: &DenseContext, n: u64, iters: u64) -> (f64, f64, u64) 
 }
 
 fn main() {
+    bench::print_execution_axes();
     let gpus = 8;
     let n = (1u64 << 22) * gpus as u64;
     let iters = 20;

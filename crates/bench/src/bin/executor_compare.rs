@@ -1,11 +1,20 @@
-//! Compares *host wall-clock* time of functional runs under the serial and
-//! work-stealing executors (see `docs/RUNTIME.md` and `docs/BENCHMARKS.md`).
+//! Compares *host wall-clock* time of functional runs across the full
+//! executor × kernel-backend matrix (see `docs/RUNTIME.md`,
+//! `docs/BACKENDS.md` and `docs/BENCHMARKS.md`).
 //!
 //! Unlike the fig* binaries, which report *simulated* time (identical under
-//! both executors by construction), this binary measures how long the host
-//! actually takes to execute the kernels of a functional run. The unfused
-//! configurations emit many small launches whose dependency graph has real
-//! width — exactly the launch streams the work-stealing executor overlaps.
+//! every executor and backend by construction), this binary measures how long
+//! the host actually takes to execute the kernels of a functional run, under
+//! each of the four (executor, backend) combinations:
+//!
+//! * `serial` / `parallel` — whether independent launches overlap across
+//!   worker threads (the DAG-width axis), and
+//! * `interp` / `closure` — whether kernels are tree-walked per element or
+//!   pre-lowered by the JIT-closure backend (the steady-state axis).
+//!
+//! The binary *asserts* the two invariants every combination must satisfy —
+//! identical simulated time and identical functional checksums — so the CI
+//! step that runs it doubles as an end-to-end invariance test.
 //!
 //! Run with `cargo run --release --bin executor_compare`.
 
@@ -13,25 +22,36 @@ use std::time::Instant;
 
 use apps::Mode;
 
-/// Wall-clocks one functional app run under the given `DIFFUSE_EXECUTOR`
-/// setting, returning (wall seconds, simulated seconds, checksum).
+/// The four measured combinations, as (executor, backend) env values.
+const MATRIX: [(&str, &str); 4] = [
+    ("serial", "interp"),
+    ("serial", "closure"),
+    ("parallel", "interp"),
+    ("parallel", "closure"),
+];
+
+/// Wall-clocks one functional app run under the given `DIFFUSE_EXECUTOR` /
+/// `DIFFUSE_BACKEND` setting, returning (wall seconds, simulated seconds,
+/// checksum).
 ///
-/// The env var is the only executor knob that reaches the unmodified
-/// `apps::*::run` entry points (their signatures carry no executor, by
-/// design — application code is executor-agnostic). Flipping it here is
-/// safe: each run's runtime (and its worker pool) is dropped and joined
-/// before the next flip, so no other thread exists while we mutate the
-/// environment. Code that builds its own workload should prefer
-/// `apps::common::dense_context_with_executor`.
-fn timed<F>(executor: &str, run: F) -> (f64, f64, Option<f64>)
+/// The env vars are the only knobs that reach the unmodified `apps::*::run`
+/// entry points (their signatures carry neither axis, by design — application
+/// code is executor- and backend-agnostic). Flipping them here is safe: each
+/// run's runtime (and its worker pool) is dropped and joined before the next
+/// flip, so no other thread exists while we mutate the environment. Code that
+/// builds its own workloads should prefer
+/// `apps::common::dense_context_configured`.
+fn timed<F>(executor: &str, backend: &str, run: F) -> (f64, f64, Option<f64>)
 where
     F: Fn() -> apps::BenchmarkResult,
 {
     std::env::set_var("DIFFUSE_EXECUTOR", executor);
+    std::env::set_var("DIFFUSE_BACKEND", backend);
     let start = Instant::now();
     let result = run();
     let wall = start.elapsed().as_secs_f64();
     std::env::remove_var("DIFFUSE_EXECUTOR");
+    std::env::remove_var("DIFFUSE_BACKEND");
     (wall, result.elapsed, result.checksum)
 }
 
@@ -39,22 +59,27 @@ fn compare<F>(name: &str, run: F)
 where
     F: Fn() -> apps::BenchmarkResult,
 {
-    let (serial_wall, serial_sim, serial_sum) = timed("serial", &run);
-    let (parallel_wall, parallel_sim, parallel_sum) = timed("parallel", &run);
-    assert_eq!(
-        serial_sim, parallel_sim,
-        "simulated time must not depend on the executor"
-    );
-    match (serial_sum, parallel_sum) {
-        (Some(a), Some(b)) => assert!(
-            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
-            "checksums diverged: serial {a} vs parallel {b}"
-        ),
-        _ => {}
+    let mut walls = Vec::new();
+    let (baseline_wall, baseline_sim, baseline_sum) = timed("serial", "interp", &run);
+    walls.push(baseline_wall);
+    for (executor, backend) in &MATRIX[1..] {
+        let (wall, sim, sum) = timed(executor, backend, &run);
+        assert_eq!(
+            baseline_sim, sim,
+            "{name}: simulated time must not depend on {executor}/{backend}"
+        );
+        match (baseline_sum, sum) {
+            (Some(a), Some(b)) => assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "{name}: checksums diverged under {executor}/{backend}: {a} vs {b}"
+            ),
+            _ => {}
+        }
+        walls.push(wall);
     }
     println!(
-        "{name:<28}{serial_wall:>14.3}{parallel_wall:>14.3}{:>10.2}x",
-        serial_wall / parallel_wall.max(1e-9)
+        "{name:<28}{:>14.3}{:>15.3}{:>16.3}{:>17.3}",
+        walls[0], walls[1], walls[2], walls[3]
     );
 }
 
@@ -62,11 +87,13 @@ fn main() {
     let gpus = 8;
     let per_gpu = 1u64 << 13;
     let iters = 4;
-    println!("=== Serial vs work-stealing executor: functional-run wall-clock ===");
-    println!("({gpus} simulated GPUs, {per_gpu} elements/GPU, {iters} iterations; host seconds, lower is better)");
+    println!("=== Executor × backend matrix: functional-run wall-clock ===");
     println!(
-        "{:<28}{:>14}{:>14}{:>10}",
-        "Workload", "serial (s)", "parallel (s)", "speedup"
+        "({gpus} simulated GPUs, {per_gpu} elements/GPU, {iters} iterations; host seconds, lower is better)"
+    );
+    println!(
+        "{:<28}{:>14}{:>15}{:>16}{:>17}",
+        "Workload", "serial/interp", "serial/closure", "parallel/interp", "parallel/closure"
     );
     compare("Black-Scholes (unfused)", || {
         apps::black_scholes::run(Mode::Unfused, gpus, per_gpu, iters, true)
@@ -80,6 +107,11 @@ fn main() {
     compare("CG (unfused)", || {
         apps::cg::run(Mode::Unfused, gpus, per_gpu, iters, true)
     });
-    println!("\nSimulated time and functional checksums are identical under both");
-    println!("executors; only the host wall-clock differs.");
+    compare("CG (fused)", || {
+        apps::cg::run(Mode::Fused, gpus, per_gpu, iters, true)
+    });
+    println!("\nSimulated time and functional checksums are identical across the");
+    println!("whole matrix (asserted above); only the host wall-clock differs.");
+    println!("Serial-vs-parallel wins scale with host cores and DAG width; the");
+    println!("closure backend's win shows on elementwise-heavy fused windows.");
 }

@@ -4,6 +4,7 @@
 use apps::Mode;
 
 fn main() {
+    bench::print_execution_axes();
     let gpus = 8;
     let iters = 10;
     println!("=== Figure 9: tasks per iteration (8 GPUs, simulation only) ===");

@@ -4,6 +4,7 @@ use apps::Mode;
 use bench::{print_weak_scaling, sweep, GPU_COUNTS};
 
 fn main() {
+    bench::print_execution_axes();
     let iters = 10;
     let bs = |mode, gpus| apps::black_scholes::run(mode, gpus, 1 << 27, iters, false);
     let series = vec![

@@ -4,6 +4,7 @@ use apps::Mode;
 use bench::{print_weak_scaling, sweep, GPU_COUNTS};
 
 fn main() {
+    bench::print_execution_axes();
     let iters = 10;
     let per_gpu = 1u64 << 19;
     let cg = |mode, gpus| apps::cg::run(mode, gpus, per_gpu, iters, false);

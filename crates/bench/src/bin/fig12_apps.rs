@@ -4,6 +4,7 @@ use apps::Mode;
 use bench::{print_weak_scaling, sweep, GPU_COUNTS};
 
 fn main() {
+    bench::print_execution_axes();
     let iters = 10;
     let gmg = |mode, gpus| apps::gmg::run(mode, gpus, 1 << 26, iters, false);
     let series = vec![

@@ -4,6 +4,7 @@
 use apps::Mode;
 
 fn main() {
+    bench::print_execution_axes();
     let gpus = 8;
     let iters = 10;
     println!("=== Figure 13: warmup times on 8 GPUs ===");

@@ -1,0 +1,364 @@
+//! Times the interpreter vs JIT-closure kernel backend on the fused CG and
+//! Jacobi windows and records the trajectory in `BENCH_kernel_backends.json`
+//! (schema in `docs/BENCHMARKS.md`).
+//!
+//! The windows are built exactly the way `diffuse::Context` builds them: the
+//! constituent task bodies are composed in program order and pushed through
+//! `kernel::Pipeline::default()`, so the measured artifact is the real fused
+//! loop nest, not a synthetic microbenchmark. For each backend the binary
+//! reports
+//!
+//! * **ns_per_element** — steady-state execution wall-clock divided by
+//!   elements processed (the quantity memoized execution pays per iteration),
+//! * **compile_ns** — one-time host cost of `KernelBackend::compile` (the
+//!   quantity memoization amortizes).
+//!
+//! Absolute nanoseconds are machine-dependent, so the regression gate runs on
+//! the machine-independent **speedup ratio** (interp ÷ closure per-element
+//! time): `kernel_backends --check` re-measures and fails if the current
+//! speedup regressed more than 20% against the checked-in baseline, or if
+//! the closure backend is no longer faster than the interpreter at all.
+//!
+//! ```sh
+//! cargo run --release --bin kernel_backends            # rewrite the baseline
+//! cargo run --release --bin kernel_backends -- --check # CI regression gate
+//! ```
+
+use std::time::Instant;
+
+use kernel::{
+    BackendKind, BufferId, BufferRole, CompiledKernel, KernelBackend, KernelModule, LoopBuilder,
+    Pipeline,
+};
+
+/// Elements per buffer in the measured windows.
+const N: usize = 1 << 15;
+
+/// Allowed speedup regression in percent before `--check` fails
+/// (`KERNEL_BACKENDS_TOLERANCE` overrides; raise it once when migrating the
+/// baseline to different CI hardware, then re-record and lower it back).
+fn tolerance_pct() -> f64 {
+    std::env::var("KERNEL_BACKENDS_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0)
+}
+/// Path of the recorded trajectory, relative to the workspace root.
+const BENCH_FILE: &str = "BENCH_kernel_backends.json";
+
+/// Measurement window in milliseconds (`KERNEL_BACKENDS_MS` overrides).
+/// `--check` runs double-length windows: the regression verdict deserves
+/// more stability than a baseline refresh.
+fn measure_ms() -> u64 {
+    let base = std::env::var("KERNEL_BACKENDS_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    if std::env::args().any(|a| a == "--check") {
+        base * 2
+    } else {
+        base
+    }
+}
+
+/// The fused CG vector window: x += alpha*p; r -= alpha*q; rs += r*r;
+/// p = r + beta*p — the four vector updates between SpMVs that Diffuse fuses
+/// into one launch (buffers: 0=x, 1=p, 2=q, 3=r, 4=rs; scalars: alpha, beta).
+fn cg_window() -> (KernelModule, Vec<Vec<f64>>, Vec<f64>) {
+    let mut m = KernelModule::new(5);
+    m.set_role(BufferId(0), BufferRole::InOut);
+    m.set_role(BufferId(1), BufferRole::InOut);
+    m.set_role(BufferId(3), BufferRole::InOut);
+    m.set_role(BufferId(4), BufferRole::Reduction);
+
+    let mut axpy_x = LoopBuilder::new("axpy_x", BufferId(0));
+    let p = axpy_x.load(BufferId(1));
+    let x = axpy_x.load(BufferId(0));
+    let alpha = axpy_x.param(0);
+    let ap = axpy_x.mul(alpha, p);
+    let xv = axpy_x.add(x, ap);
+    axpy_x.store(BufferId(0), xv);
+    m.push_loop(axpy_x.finish());
+
+    let mut axpy_r = LoopBuilder::new("axpy_r", BufferId(3));
+    let q = axpy_r.load(BufferId(2));
+    let r = axpy_r.load(BufferId(3));
+    let alpha = axpy_r.param(0);
+    let nalpha = axpy_r.unary(kernel::UnaryOp::Neg, alpha);
+    let aq = axpy_r.mul(nalpha, q);
+    let rv = axpy_r.add(r, aq);
+    axpy_r.store(BufferId(3), rv);
+    m.push_loop(axpy_r.finish());
+
+    let mut dot = LoopBuilder::new("dot_rr", BufferId(3));
+    let r = dot.load(BufferId(3));
+    let rr = dot.mul(r, r);
+    dot.reduce(BufferId(4), kernel::ReduceOp::Sum, rr);
+    m.push_loop(dot.finish());
+
+    let mut aypx = LoopBuilder::new("aypx_p", BufferId(1));
+    let r = aypx.load(BufferId(3));
+    let p = aypx.load(BufferId(1));
+    let beta = aypx.param(1);
+    let bp = aypx.mul(beta, p);
+    let pv = aypx.add(r, bp);
+    aypx.store(BufferId(1), pv);
+    m.push_loop(aypx.finish());
+
+    let lens = [N, N, N, N, 1];
+    let fused = Pipeline::default().run(m, &lens).module;
+    let buffers: Vec<Vec<f64>> = (0..4)
+        .map(|b| (0..N).map(|i| 1.0 + (b as f64) * 0.25 + (i % 97) as f64 * 1e-3).collect())
+        .chain(std::iter::once(vec![0.0]))
+        .collect();
+    (fused, buffers, vec![1.0e-3, 0.5])
+}
+
+/// The fused Jacobi correction window: residual = b - ax;
+/// correction = residual/diag; x += correction — the elementwise tail after
+/// the GEMV, with both temporaries demoted to locals and forwarded away
+/// (buffers: 0=b, 1=ax, 2=x, 3=residual(local), 4=correction(local);
+/// scalar: 1/diag).
+fn jacobi_window() -> (KernelModule, Vec<Vec<f64>>, Vec<f64>) {
+    let mut m = KernelModule::new(5);
+    m.set_role(BufferId(2), BufferRole::InOut);
+    m.set_role(BufferId(3), BufferRole::Local);
+    m.set_role(BufferId(4), BufferRole::Local);
+
+    let mut sub = LoopBuilder::new("residual", BufferId(0));
+    let b = sub.load(BufferId(0));
+    let ax = sub.load(BufferId(1));
+    let res = sub.binary(kernel::BinaryOp::Sub, b, ax);
+    sub.store(BufferId(3), res);
+    m.push_loop(sub.finish());
+
+    let mut scale = LoopBuilder::new("correction", BufferId(3));
+    let res = scale.load(BufferId(3));
+    let inv = scale.param(0);
+    let cor = scale.mul(res, inv);
+    scale.store(BufferId(4), cor);
+    m.push_loop(scale.finish());
+
+    let mut add = LoopBuilder::new("update", BufferId(2));
+    let x = add.load(BufferId(2));
+    let cor = add.load(BufferId(4));
+    let xv = add.add(x, cor);
+    add.store(BufferId(2), xv);
+    m.push_loop(add.finish());
+
+    let lens = [N; 5];
+    let fused = Pipeline::default().run(m, &lens).module;
+    let buffers: Vec<Vec<f64>> = (0..5)
+        .map(|b| (0..N).map(|i| 1.0 + (b as f64) * 0.125 + (i % 53) as f64 * 1e-3).collect())
+        .collect();
+    (fused, buffers, vec![1.0 / 64.0])
+}
+
+/// Steady-state per-element execution time in nanoseconds.
+fn time_execute(kernel: &dyn CompiledKernel, buffers: &mut [Vec<f64>], scalars: &[f64]) -> f64 {
+    // Warm up once (page in buffers, populate caches).
+    kernel.execute(buffers, scalars).expect("kernel failed");
+    let budget = std::time::Duration::from_millis(measure_ms());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        kernel.execute(buffers, scalars).expect("kernel failed");
+        iters += 1;
+    }
+    let total_ns = start.elapsed().as_nanos() as f64;
+    total_ns / (iters as f64 * N as f64)
+}
+
+/// Mean one-time compilation cost in nanoseconds.
+fn time_compile(backend: &dyn KernelBackend, module: &KernelModule) -> f64 {
+    let budget = std::time::Duration::from_millis(measure_ms() / 4);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        let _ = backend.compile(module).expect("compile failed");
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Today's date as YYYY-MM-DD (days-since-epoch civil conversion; no chrono
+/// in the offline environment).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut days = (secs / 86_400) as i64;
+    days += 719_468;
+    let era = days.div_euclid(146_097);
+    let doe = days.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+struct WindowResult {
+    window: &'static str,
+    interp_ns: f64,
+    closure_ns: f64,
+    interp_compile_ns: f64,
+    closure_compile_ns: f64,
+}
+
+impl WindowResult {
+    fn speedup(&self) -> f64 {
+        self.interp_ns / self.closure_ns.max(1e-9)
+    }
+}
+
+fn measure_window(
+    window: &'static str,
+    build: fn() -> (KernelModule, Vec<Vec<f64>>, Vec<f64>),
+) -> WindowResult {
+    let (module, buffers, scalars) = build();
+    let mut result = WindowResult {
+        window,
+        interp_ns: 0.0,
+        closure_ns: 0.0,
+        interp_compile_ns: 0.0,
+        closure_compile_ns: 0.0,
+    };
+    for kind in [BackendKind::Interp, BackendKind::Closure] {
+        let backend = kind.backend();
+        let compile_ns = time_compile(backend.as_ref(), &module);
+        let compiled = backend.compile(&module).expect("compile failed");
+        let mut bufs = buffers.clone();
+        let ns = time_execute(compiled.as_ref(), &mut bufs, &scalars);
+        match kind {
+            BackendKind::Interp => {
+                result.interp_ns = ns;
+                result.interp_compile_ns = compile_ns;
+            }
+            BackendKind::Closure => {
+                result.closure_ns = ns;
+                result.closure_compile_ns = compile_ns;
+            }
+        }
+    }
+    result
+}
+
+fn json_lines(results: &[WindowResult]) -> String {
+    let date = today();
+    let mut out = String::new();
+    for r in results {
+        for (backend, ns, compile_ns) in [
+            ("interp", r.interp_ns, r.interp_compile_ns),
+            ("closure", r.closure_ns, r.closure_compile_ns),
+        ] {
+            out.push_str(&format!(
+                "{{\"bench\":\"kernel_backends/{}/{}\",\"backend\":\"{}\",\"ns_per_element\":{:.3},\"compile_ns\":{:.0},\"elements\":{},\"date\":\"{}\"}}\n",
+                r.window, backend, backend, ns, compile_ns, N, date
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"bench\":\"kernel_backends/{}/speedup\",\"speedup\":{:.3},\"date\":\"{}\"}}\n",
+            r.window,
+            r.speedup(),
+            date
+        ));
+    }
+    out
+}
+
+/// Extracts `"bench":"...", ... "speedup":<float>` pairs from the recorded
+/// JSON lines (flat schema; no JSON dependency in the offline environment).
+fn parse_speedups(contents: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in contents.lines() {
+        let Some(bench_at) = line.find("\"bench\":\"") else { continue };
+        let rest = &line[bench_at + 9..];
+        let Some(end) = rest.find('"') else { continue };
+        let bench = &rest[..end];
+        let Some(speedup_at) = line.find("\"speedup\":") else { continue };
+        let tail = &line[speedup_at + 10..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((bench.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!("=== Kernel backends: interpreter vs JIT closures (wall-clock) ===");
+    println!("({N} elements/buffer, {} ms windows)\n", measure_ms());
+    println!(
+        "{:<10}{:>16}{:>16}{:>10}{:>18}{:>18}",
+        "Window", "interp ns/elem", "closure ns/elem", "speedup", "interp compile", "closure compile"
+    );
+    let results = [
+        measure_window("cg", cg_window),
+        measure_window("jacobi", jacobi_window),
+    ];
+    for r in &results {
+        println!(
+            "{:<10}{:>16.2}{:>16.2}{:>9.2}x{:>15.0} ns{:>15.0} ns",
+            r.window,
+            r.interp_ns,
+            r.closure_ns,
+            r.speedup(),
+            r.interp_compile_ns,
+            r.closure_compile_ns
+        );
+    }
+    println!();
+
+    for r in &results {
+        assert!(
+            r.speedup() > 1.0,
+            "{}: closure backend must beat the interpreter per element \
+             (interp {:.2} ns vs closure {:.2} ns)",
+            r.window,
+            r.interp_ns,
+            r.closure_ns
+        );
+    }
+
+    if check {
+        let baseline = std::fs::read_to_string(BENCH_FILE)
+            .unwrap_or_else(|e| panic!("--check needs a checked-in {BENCH_FILE}: {e}"));
+        let recorded = parse_speedups(&baseline);
+        assert!(!recorded.is_empty(), "no speedup entries in {BENCH_FILE}");
+        let mut failed = false;
+        let tolerance = tolerance_pct();
+        for r in &results {
+            let key = format!("kernel_backends/{}/speedup", r.window);
+            // Multiple runs append; the last recorded entry is the baseline.
+            let Some((_, base)) = recorded.iter().rev().find(|(b, _)| *b == key) else {
+                println!("warning: no baseline entry for {key}; skipping");
+                continue;
+            };
+            let current = r.speedup();
+            let floor = base * (1.0 - tolerance / 100.0);
+            let verdict = if current < floor { failed = true; "REGRESSED" } else { "ok" };
+            println!("{key}: baseline {base:.2}x, current {current:.2}x, floor {floor:.2}x — {verdict}");
+        }
+        assert!(
+            !failed,
+            "closure-backend speedup regressed >{tolerance}% vs {BENCH_FILE}; if this \
+             run is on different hardware than the baseline, re-record it there \
+             (`cargo run --release --bin kernel_backends`) or raise \
+             KERNEL_BACKENDS_TOLERANCE for the migration"
+        );
+        println!("\ncheck passed: speedups within {tolerance}% of the recorded baseline.");
+    } else {
+        std::fs::write(BENCH_FILE, json_lines(&results))
+            .unwrap_or_else(|e| panic!("cannot write {BENCH_FILE}: {e}"));
+        println!("recorded {BENCH_FILE}");
+    }
+}

@@ -5,6 +5,7 @@ use apps::Mode;
 use bench::{geomean, GPU_COUNTS_SHORT};
 
 fn main() {
+    bench::print_execution_axes();
     let iters = 10;
     let mut vs_unfused = Vec::new();
     let mut vs_petsc = Vec::new();

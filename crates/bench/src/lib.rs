@@ -31,6 +31,25 @@ use apps::{BenchmarkResult, Mode};
 /// The GPU counts of the paper's weak-scaling studies.
 pub const GPU_COUNTS: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
+/// Prints the process-wide execution axes (runtime executor and kernel
+/// backend, as resolved from `DIFFUSE_EXECUTOR`/`DIFFUSE_BACKEND`) so every
+/// recorded table states the configuration it was measured under. Simulated
+/// time is invariant across both axes; this line is how a reader of two
+/// pasted tables knows they are comparable.
+pub fn print_execution_axes() {
+    let executor = match diffuse::ExecutorKind::from_env() {
+        diffuse::ExecutorKind::Serial => "serial".to_string(),
+        diffuse::ExecutorKind::WorkStealing { workers: None } => "work-stealing".to_string(),
+        diffuse::ExecutorKind::WorkStealing { workers: Some(n) } => {
+            format!("work-stealing({n})")
+        }
+    };
+    println!(
+        "(executor: {executor}, kernel backend: {}; simulated time is invariant across both)",
+        diffuse::BackendKind::from_env().id()
+    );
+}
+
 /// A smaller sweep for quick checks.
 pub const GPU_COUNTS_SHORT: &[usize] = &[1, 8, 32, 128];
 

@@ -1,5 +1,6 @@
 //! Configuration of the Diffuse middle layer.
 
+use kernel::BackendKind;
 use machine::MachineConfig;
 use runtime::ExecutorKind;
 
@@ -35,6 +36,12 @@ pub struct DiffuseConfig {
     /// [`ExecutorKind::from_env`], i.e. the `DIFFUSE_EXECUTOR` environment
     /// variable; serial when unset).
     pub executor: ExecutorKind,
+    /// Which kernel backend compiles fused modules into executable artifacts
+    /// (defaults to [`BackendKind::from_env`], i.e. the `DIFFUSE_BACKEND`
+    /// environment variable; the interpreter when unset). Simulated time is
+    /// backend-invariant except through the compile-time model; see
+    /// `docs/BACKENDS.md`.
+    pub backend: BackendKind,
 }
 
 impl DiffuseConfig {
@@ -50,6 +57,7 @@ impl DiffuseConfig {
             initial_window_size: 5,
             max_window_size: 70,
             executor: ExecutorKind::from_env(),
+            backend: BackendKind::from_env(),
         }
     }
 
@@ -100,6 +108,13 @@ impl DiffuseConfig {
         self.executor = executor;
         self
     }
+
+    /// Overrides the kernel backend (e.g. to force the JIT-closure backend
+    /// regardless of `DIFFUSE_BACKEND`).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for DiffuseConfig {
@@ -144,5 +159,12 @@ mod tests {
         let c = DiffuseConfig::fused(MachineConfig::single_node(2))
             .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
         assert_eq!(c.executor, ExecutorKind::WorkStealing { workers: Some(2) });
+    }
+
+    #[test]
+    fn backend_override() {
+        let c = DiffuseConfig::fused(MachineConfig::single_node(2))
+            .with_backend(BackendKind::Closure);
+        assert_eq!(c.backend, BackendKind::Closure);
     }
 }

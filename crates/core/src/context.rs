@@ -3,14 +3,15 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use fusion::{
     find_fusible_prefix, temporary_stores, AdaptiveWindow, CanonicalWindow, FusedTask, MemoCache,
 };
 use ir::{Domain, IndexTask, Partition, StoreArg, StoreId, TaskId, TaskWindow};
 use kernel::{
-    BufferId, BufferRole, CompileTimeModel, GenArgs, GeneratorRegistry, KernelModule, Pipeline,
-    PipelineConfig, TaskKind,
+    BufferId, BufferRole, CompileTimeModel, CompiledKernel, GenArgs, GeneratorRegistry,
+    KernelBackend, KernelModule, Pipeline, PipelineConfig, TaskKind,
 };
 use runtime::{OverheadClass, Profile, RegionId, RegionRequirement, Runtime, RuntimeConfig, TaskLaunch};
 
@@ -29,11 +30,30 @@ struct StoreMeta {
     app_refs: u64,
 }
 
-/// Cached analysis + compilation result for one canonical window.
+/// Memoization key: the canonical window plus the id of the backend that
+/// compiled the artifact. Two backends never share compiled kernels.
+type MemoKey = (CanonicalWindow, &'static str);
+
+/// Cached analysis + compilation result for one (canonical window, backend).
 #[derive(Debug, Clone)]
 struct MemoEntry {
     prefix_len: usize,
-    module: Option<KernelModule>,
+    compiled: CompiledArtifact,
+}
+
+/// A backend-compiled fused kernel plus the buffer layout it was compiled
+/// under. The layout — which fused args were demoted to task-local
+/// temporaries (this fixes both the requirement/local split and the buffer
+/// permutation) and how many generator locals follow — depends on store
+/// liveness, which the canonical window does not capture. It is therefore
+/// recomputed per launch and the artifact is reused only when it matches:
+/// a kernel compiled with an eliminated temporary can never be resurrected
+/// for a window where that store is live and must be written.
+#[derive(Debug, Clone)]
+struct CompiledArtifact {
+    kernel: Arc<dyn CompiledKernel>,
+    is_temp: Vec<bool>,
+    num_generator_locals: usize,
 }
 
 /// Internal, mutable state of a [`Context`]. Exposed to the crate so that
@@ -45,7 +65,8 @@ pub struct ContextInner {
     registry: GeneratorRegistry,
     window: TaskWindow,
     adaptive: AdaptiveWindow,
-    memo: MemoCache<MemoEntry>,
+    memo: MemoCache<MemoEntry, MemoKey>,
+    backend: Arc<dyn KernelBackend>,
     compile_model: CompileTimeModel,
     stats: ExecutionStats,
     stores: HashMap<StoreId, StoreMeta>,
@@ -150,7 +171,25 @@ impl ContextInner {
             .unwrap_or_else(|| panic!("no generator registered for task kind {}", task.kind))
     }
 
-    /// Launches a single task without fusion.
+    /// Compiles a module into a launchable artifact. Simulation-only
+    /// contexts never run functional work — the artifact is only priced
+    /// through its module — so they skip real backend lowering and wrap
+    /// with the interpreter regardless of the configured backend, whose
+    /// `compile_cost` hook still prices the simulated JIT for the clock.
+    fn compile_artifact(&self, module: &KernelModule) -> Arc<dyn CompiledKernel> {
+        if self.config.materialize_data {
+            self.backend
+                .compile(module)
+                .expect("kernel compilation failed")
+        } else {
+            kernel::compile_interp(module.clone())
+        }
+    }
+
+    /// Launches a single task without fusion. The module is compiled through
+    /// the configured backend but charges no simulated compile time: the
+    /// unfused baseline models a library of pre-compiled per-task kernels
+    /// (only fused windows pay the JIT, as in the paper).
     fn launch_unfused(&mut self, task: IndexTask) {
         let module = self.generate_task_module(&task);
         let mut local_lens = Vec::new();
@@ -176,7 +215,7 @@ impl ContextInner {
             name: task.name.clone(),
             launch_domain: task.launch_domain.clone(),
             requirements,
-            module,
+            kernel: self.compile_artifact(&module),
             scalars: task.scalars.clone(),
             local_buffer_lens: local_lens,
             overhead: OverheadClass::TaskRuntime,
@@ -185,8 +224,22 @@ impl ContextInner {
         self.stats.tasks_launched += 1;
     }
 
-    /// Composes, optimizes and launches a fused task built from `prefix`.
-    fn launch_fused(&mut self, prefix: Vec<IndexTask>, cached_module: Option<KernelModule>) {
+    /// Composes, optimizes, compiles (or reuses a memoized compiled
+    /// artifact) and launches a fused task built from `prefix`.
+    ///
+    /// On a memoization hit the backend is not consulted at all — the cached
+    /// `Arc<dyn CompiledKernel>` is launched directly and no compile time is
+    /// charged. On a miss the fused module is composed, optimized, remapped
+    /// into launch layout and compiled by the configured backend, which
+    /// prices the one-time work via [`KernelBackend::compile_cost`]; the
+    /// artifact is then memoized under `memo_key`.
+    fn launch_fused(
+        &mut self,
+        prefix: Vec<IndexTask>,
+        cached: Option<CompiledArtifact>,
+        memo_key: Option<MemoKey>,
+        prefix_len: usize,
+    ) {
         let shapes = self.store_shapes();
         let pending: Vec<IndexTask> = self.window.tasks().to_vec();
         let fused = FusedTask::build(prefix);
@@ -207,46 +260,85 @@ impl ContextInner {
             .iter()
             .map(|(s, p, _)| self.access_volume(*s, p, domain))
             .collect();
+        let max_vol = arg_volumes.iter().copied().max().unwrap_or(1);
 
-        // Build or reuse the compiled module (buffer ids = fused arg order,
-        // then generator locals).
-        let (module, generator_local_lens) = match cached_module {
-            Some(m) => {
-                let extra = (m.num_buffers() as usize).saturating_sub(fused.args.len());
-                let max_vol = arg_volumes.iter().copied().max().unwrap_or(1);
-                (m, vec![max_vol; extra])
+        // Launch buffer layout: non-temporary args first (they become region
+        // requirements), then temporary args (task-local buffers), then
+        // generator-introduced locals.
+        let build_remap = |num_generator_locals: usize| -> Vec<BufferId> {
+            let mut remap = vec![BufferId(0); fused.args.len() + num_generator_locals];
+            let mut next = 0u32;
+            for (i, _) in fused.args.iter().enumerate() {
+                if !is_temp[i] {
+                    remap[i] = BufferId(next);
+                    next += 1;
+                }
             }
-            None => self.compose_and_compile(&fused, &is_temp, &arg_volumes, &temps),
+            for (i, _) in fused.args.iter().enumerate() {
+                if is_temp[i] {
+                    remap[i] = BufferId(next);
+                    next += 1;
+                }
+            }
+            for j in 0..num_generator_locals {
+                remap[fused.args.len() + j] = BufferId(next);
+                next += 1;
+            }
+            remap
         };
 
-        // Reorder buffers so non-temporary args come first (they become region
-        // requirements) and temporaries follow (task-local buffers), with
-        // generator locals at the end.
-        let mut remap: Vec<BufferId> = vec![BufferId(0); module.num_buffers() as usize];
+        let (kernel, generator_local_lens) = match cached {
+            // Memoization hit with a matching layout: skip composition and
+            // backend compilation entirely. Matching `is_temp` implies a
+            // matching remap (the remap is a pure function of it), and —
+            // unlike comparing remaps — also catches a changed
+            // requirement/local split that leaves the permutation intact.
+            Some(art) if art.is_temp == is_temp => {
+                let lens = vec![max_vol; art.num_generator_locals];
+                (art.kernel, lens)
+            }
+            // Miss (or a liveness drift, which recompiles conservatively).
+            _ => {
+                let (module, gen_lens) =
+                    self.compose_and_optimize(&fused, &is_temp, &arg_volumes);
+                let remap = build_remap(gen_lens.len());
+                let module = module.remap_buffers(&remap);
+                let kernel = self.compile_artifact(&module);
+                if let Some(key) = memo_key {
+                    // Fresh miss or liveness drift: (re)memoize so the next
+                    // isomorphic window hits with the current layout.
+                    self.memo.insert(
+                        key,
+                        MemoEntry {
+                            prefix_len,
+                            compiled: CompiledArtifact {
+                                kernel: Arc::clone(&kernel),
+                                is_temp: is_temp.clone(),
+                                num_generator_locals: gen_lens.len(),
+                            },
+                        },
+                    );
+                }
+                (kernel, gen_lens)
+            }
+        };
+
         let mut requirements = Vec::new();
-        let mut next = 0u32;
+        let mut local_lens = Vec::new();
         for (i, (store, part, priv_)) in fused.args.iter().enumerate() {
             if !is_temp[i] {
                 let region = self.ensure_region(*store);
                 requirements.push(RegionRequirement::new(region, part.clone(), *priv_));
-                remap[i] = BufferId(next);
-                next += 1;
             }
         }
-        let mut local_lens = Vec::new();
         for (i, _) in fused.args.iter().enumerate() {
             if is_temp[i] {
-                remap[i] = BufferId(next);
-                next += 1;
                 local_lens.push(arg_volumes[i].max(1));
             }
         }
-        for (j, &len) in generator_local_lens.iter().enumerate() {
-            remap[fused.args.len() + j] = BufferId(next);
-            next += 1;
+        for &len in &generator_local_lens {
             local_lens.push(len.max(1));
         }
-        let module = module.remap_buffers(&remap);
 
         // Statistics for temporaries whose distributed allocation never
         // happened.
@@ -268,7 +360,7 @@ impl ContextInner {
             name: fused.name.clone(),
             launch_domain: fused.launch_domain.clone(),
             requirements,
-            module,
+            kernel,
             scalars,
             local_buffer_lens: local_lens,
             overhead: OverheadClass::TaskRuntime,
@@ -283,13 +375,14 @@ impl ContextInner {
     /// Generates every constituent task's kernel, composes them in program
     /// order, and runs the optimization pipeline. Returns the optimized module
     /// (buffer ids: fused args then generator locals) and the lengths of the
-    /// generator-introduced locals. Charges JIT compilation time.
-    fn compose_and_compile(
+    /// generator-introduced locals. Charges JIT compilation time through the
+    /// backend's cost hook (priced from the composed, pre-optimization module
+    /// — the backend lowers the whole pipeline input).
+    fn compose_and_optimize(
         &mut self,
         fused: &FusedTask,
         is_temp: &[bool],
         arg_volumes: &[usize],
-        _temps: &HashSet<StoreId>,
     ) -> (KernelModule, Vec<usize>) {
         let mut module = KernelModule::new(fused.args.len() as u32);
         for (i, (_, _, priv_)) in fused.args.iter().enumerate() {
@@ -332,8 +425,8 @@ impl ContextInner {
             let remapped = body.remap_buffers(&map);
             module.append(remapped);
         }
-        // Charge JIT time for the composed module.
-        self.stats.compile_time += self.compile_model.compile_time(&module);
+        // Charge JIT time for the composed module through the backend's hook.
+        self.stats.compile_time += self.backend.compile_cost(&module, &self.compile_model);
         self.stats.compilations += 1;
 
         // Buffer lengths for the pipeline: fused arg volumes then locals.
@@ -364,92 +457,45 @@ impl ContextInner {
             }
             let window_len = self.window.len();
             let shapes = self.store_shapes();
-            let (prefix_len, cached_module) = if self.config.enable_memoization {
-                let key = CanonicalWindow::new(self.window.tasks(), &shapes);
-                match self.memo.get(&key) {
+            // The key is kept after lookup so that any recompilation —
+            // including a layout drift on a hit — can (re)memoize its
+            // artifact instead of leaving a stale entry behind.
+            let memo_key = if self.config.enable_memoization {
+                Some((
+                    CanonicalWindow::new(self.window.tasks(), &shapes),
+                    self.backend.id(),
+                ))
+            } else {
+                None
+            };
+            let (prefix_len, cached) = match &memo_key {
+                Some(key) => match self.memo.get(key) {
                     Some(entry) => {
                         self.stats.memo_hits += 1;
-                        (entry.prefix_len, entry.module.clone())
+                        (entry.prefix_len, Some(entry.compiled.clone()))
                     }
                     None => {
                         self.stats.memo_misses += 1;
                         let len = find_fusible_prefix(self.window.tasks()).max(1);
                         (len, None)
                     }
-                }
-            } else {
-                (find_fusible_prefix(self.window.tasks()).max(1), None)
+                },
+                None => (find_fusible_prefix(self.window.tasks()).max(1), None),
             };
             let prefix_len = prefix_len.min(self.window.len()).max(1);
-            let need_memo_insert =
-                self.config.enable_memoization && cached_module.is_none();
-            let memo_key = if need_memo_insert {
-                Some(CanonicalWindow::new(self.window.tasks(), &shapes))
-            } else {
-                None
-            };
             let prefix = self.window.drain_prefix(prefix_len);
             if prefix_len == 1 && !self.config.enable_kernel_fusion {
                 // A singleton prefix with no kernel-level optimization is just
                 // an unfused launch.
                 self.launch_unfused(prefix.into_iter().next().unwrap());
-            } else if cached_module.is_some() {
-                self.launch_fused(prefix, cached_module);
             } else {
-                // Compile fresh and memoize the result.
-                let before_compilations = self.stats.compilations;
-                self.launch_fused_and_memoize(prefix, memo_key, prefix_len);
-                let _ = before_compilations;
+                self.launch_fused(prefix, cached, memo_key, prefix_len);
             }
             self.adaptive.record(window_len, prefix_len);
         }
         self.stats.windows_flushed += 1;
         self.stats.current_window_size = self.adaptive.size() as u64;
         self.sweep_dead_stores();
-    }
-
-    fn launch_fused_and_memoize(
-        &mut self,
-        prefix: Vec<IndexTask>,
-        memo_key: Option<CanonicalWindow>,
-        prefix_len: usize,
-    ) {
-        // Compose and compile inside launch_fused; capture the module by
-        // recompiling through the same path would double-charge, so instead we
-        // build the fused task here, compile once, and hand the module over.
-        let shapes = self.store_shapes();
-        let pending: Vec<IndexTask> = self.window.tasks().to_vec();
-        let fused_probe = FusedTask::build(prefix.clone());
-        let temps: HashSet<StoreId> = if self.config.enable_temp_elimination {
-            let stores = &self.stores;
-            temporary_stores(&fused_probe.tasks, &pending, &shapes, |s| {
-                stores.get(&s).map(|m| m.app_refs > 0).unwrap_or(false)
-            })
-        } else {
-            HashSet::new()
-        };
-        let is_temp: Vec<bool> = fused_probe
-            .args
-            .iter()
-            .map(|(s, _, _)| temps.contains(s))
-            .collect();
-        let arg_volumes: Vec<usize> = fused_probe
-            .args
-            .iter()
-            .map(|(s, p, _)| self.access_volume(*s, p, &fused_probe.launch_domain))
-            .collect();
-        let (module, _locals) =
-            self.compose_and_compile(&fused_probe, &is_temp, &arg_volumes, &temps);
-        if let Some(key) = memo_key {
-            self.memo.insert(
-                key,
-                MemoEntry {
-                    prefix_len,
-                    module: Some(module.clone()),
-                },
-            );
-        }
-        self.launch_fused(prefix, Some(module));
     }
 }
 
@@ -468,9 +514,11 @@ impl Context {
     /// Creates a context over the given configuration.
     pub fn new(config: DiffuseConfig) -> Self {
         let runtime_config = if config.materialize_data {
-            RuntimeConfig::functional(config.machine.clone()).with_executor(config.executor)
+            RuntimeConfig::functional(config.machine.clone())
+                .with_executor(config.executor)
+                .with_backend(config.backend)
         } else {
-            RuntimeConfig::simulation_only(config.machine.clone())
+            RuntimeConfig::simulation_only(config.machine.clone()).with_backend(config.backend)
         };
         let inner = ContextInner {
             adaptive: AdaptiveWindow::new(
@@ -481,6 +529,7 @@ impl Context {
             registry: GeneratorRegistry::new(),
             window: TaskWindow::new(),
             memo: MemoCache::new(),
+            backend: config.backend.backend(),
             compile_model: CompileTimeModel::default(),
             stats: ExecutionStats::default(),
             stores: HashMap::new(),
@@ -641,8 +690,9 @@ impl Context {
 
     /// Execution statistics accumulated so far.
     pub fn stats(&self) -> ExecutionStats {
-        let mut stats = self.inner.borrow().stats;
-        stats.current_window_size = self.inner.borrow().adaptive.size() as u64;
+        let inner = self.inner.borrow();
+        let mut stats = inner.stats;
+        stats.current_window_size = inner.adaptive.size() as u64;
         stats
     }
 
@@ -911,6 +961,112 @@ mod tests {
             fused < unfused,
             "fused {fused} should be faster than unfused {unfused}"
         );
+    }
+
+    #[test]
+    fn layout_drift_rememoizes_instead_of_recompiling_forever() {
+        // Three isomorphic windows; between the first and the rest, the
+        // output store's liveness changes (held handle vs dropped temp), so
+        // the cached buffer layout drifts. The drift recompiles once and
+        // must *replace* the memo entry, so the third window hits and skips
+        // compilation again.
+        let ctx = ctx_with_gpus(2);
+        let add = register_add(&ctx);
+        let n = 16u64;
+        let p = block(n, 2);
+        let a = ctx.create_store(vec![n], "a");
+        ctx.fill(&a, 1.0);
+        let submit_pair = |t: &StoreHandle, u: &StoreHandle| {
+            let ew = |x: ir::StoreId, y: ir::StoreId, o: ir::StoreId| {
+                vec![
+                    StoreArg::new(x, p.clone(), Privilege::Read),
+                    StoreArg::new(y, p.clone(), Privilege::Read),
+                    StoreArg::new(o, p.clone(), Privilege::Write),
+                ]
+            };
+            ctx.submit(add, "add", ew(a.id(), a.id(), t.id()), vec![]);
+            ctx.submit(add, "add", ew(t.id(), a.id(), u.id()), vec![]);
+        };
+        // Window 1: intermediate store kept live across the flush -> not a
+        // temporary -> it becomes a region requirement in the layout.
+        let t1 = ctx.create_store(vec![n], "t");
+        let u1 = ctx.create_store(vec![n], "u");
+        submit_pair(&t1, &u1);
+        ctx.flush();
+        assert_eq!(ctx.stats().compilations, 1);
+        // Windows 2 and 3: the intermediate is dropped before the flush ->
+        // demoted to a task-local -> different layout than the cached one.
+        for expected_compilations in [2, 2] {
+            let t = ctx.create_store(vec![n], "t");
+            let u = ctx.create_store(vec![n], "u");
+            submit_pair(&t, &u);
+            drop(t);
+            drop(u);
+            ctx.flush();
+            assert_eq!(
+                ctx.stats().compilations, expected_compilations,
+                "drift must recompile exactly once, then hit again"
+            );
+        }
+        assert!(ctx.stats().memo_hits >= 2);
+        drop((t1, u1));
+    }
+
+    #[test]
+    fn backends_agree_numerically_and_memoize_separately() {
+        use kernel::BackendKind;
+        let run = |backend: BackendKind| {
+            let ctx = Context::new(
+                DiffuseConfig::fused(MachineConfig::with_gpus(4)).with_backend(backend),
+            );
+            let add = register_add(&ctx);
+            let scale = register_scale(&ctx);
+            let n = 48u64;
+            let p = block(n, 4);
+            let a = ctx.create_store(vec![n], "a");
+            let out = ctx.create_store(vec![n], "out");
+            ctx.write_store(&a, (0..n).map(|i| i as f64 * 0.25).collect());
+            for _ in 0..2 {
+                let t = ctx.create_store(vec![n], "t");
+                ctx.submit(
+                    add,
+                    "add",
+                    vec![
+                        StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                        StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                        StoreArg::new(t.id(), p.clone(), Privilege::Write),
+                    ],
+                    vec![],
+                );
+                ctx.submit(
+                    scale,
+                    "scale",
+                    vec![
+                        StoreArg::new(t.id(), p.clone(), Privilege::Read),
+                        StoreArg::new(out.id(), p.clone(), Privilege::Write),
+                    ],
+                    vec![1.5],
+                );
+                drop(t);
+                ctx.flush();
+            }
+            (ctx.read_store(&out).unwrap(), ctx.elapsed(), ctx.stats())
+        };
+        let (interp_data, interp_time, interp_stats) = run(BackendKind::Interp);
+        let (closure_data, closure_time, closure_stats) = run(BackendKind::Closure);
+        assert_eq!(interp_data, closure_data, "backends must agree bitwise");
+        assert_eq!(
+            interp_time, closure_time,
+            "simulated time is backend-invariant (compile time is accounted \
+             in stats, not on the clock)"
+        );
+        // Both backends compile once and hit the memo on the second window.
+        assert_eq!(interp_stats.compilations, 1);
+        assert_eq!(closure_stats.compilations, 1, "memo hit must skip backend compilation");
+        assert!(closure_stats.memo_hits >= 1);
+        // The closure backend's one-time cost is priced above the interpreter
+        // calibration through the compile_cost hook.
+        assert!(closure_stats.compile_time > interp_stats.compile_time);
     }
 
     #[test]

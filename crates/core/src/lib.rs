@@ -69,6 +69,7 @@ pub use config::DiffuseConfig;
 pub use context::Context;
 pub use handle::StoreHandle;
 pub use stats::ExecutionStats;
-// Re-exported so applications can pick a runtime executor without depending
-// on the `runtime` crate directly.
+// Re-exported so applications can pick a runtime executor or kernel backend
+// without depending on the `runtime`/`kernel` crates directly.
+pub use kernel::BackendKind;
 pub use runtime::ExecutorKind;

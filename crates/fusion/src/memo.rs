@@ -87,15 +87,23 @@ impl CanonicalWindow {
     }
 }
 
-/// A memoization cache keyed by canonical windows, with hit/miss statistics.
+/// A memoization cache with hit/miss statistics.
+///
+/// Keyed by [`CanonicalWindow`] by default; the key type is generic so the
+/// Diffuse layer can widen it — e.g. to `(CanonicalWindow, backend id)` so
+/// that compiled kernel artifacts are never shared between execution
+/// backends.
 #[derive(Debug, Clone)]
-pub struct MemoCache<V> {
-    entries: HashMap<CanonicalWindow, V>,
+pub struct MemoCache<V, K = CanonicalWindow>
+where
+    K: Eq + Hash,
+{
+    entries: HashMap<K, V>,
     hits: u64,
     misses: u64,
 }
 
-impl<V> Default for MemoCache<V> {
+impl<V, K: Eq + Hash> Default for MemoCache<V, K> {
     fn default() -> Self {
         MemoCache {
             entries: HashMap::new(),
@@ -105,14 +113,14 @@ impl<V> Default for MemoCache<V> {
     }
 }
 
-impl<V> MemoCache<V> {
+impl<V, K: Eq + Hash> MemoCache<V, K> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up a canonical window, recording a hit or miss.
-    pub fn get(&mut self, key: &CanonicalWindow) -> Option<&V> {
+    /// Looks up a key, recording a hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.entries.get(key) {
             Some(v) => {
                 self.hits += 1;
@@ -125,8 +133,8 @@ impl<V> MemoCache<V> {
         }
     }
 
-    /// Inserts an analysis result under a canonical window.
-    pub fn insert(&mut self, key: CanonicalWindow, value: V) {
+    /// Inserts an analysis result under a key.
+    pub fn insert(&mut self, key: K, value: V) {
         self.entries.insert(key, value);
     }
 
@@ -237,5 +245,19 @@ mod tests {
     #[should_panic]
     fn missing_shape_panics() {
         let _ = CanonicalWindow::new(&[rw_task(0, 0, 1)], &HashMap::new());
+    }
+
+    #[test]
+    fn widened_keys_separate_backends() {
+        let shapes = shapes(&[1, 2]);
+        let w = CanonicalWindow::new(&[rw_task(0, 1, 2)], &shapes);
+        let mut cache: MemoCache<usize, (CanonicalWindow, &'static str)> = MemoCache::new();
+        cache.insert((w.clone(), "interp"), 1);
+        assert_eq!(cache.get(&(w.clone(), "interp")), Some(&1));
+        assert_eq!(
+            cache.get(&(w, "closure")),
+            None,
+            "artifacts must not be shared across backends"
+        );
     }
 }

@@ -69,19 +69,28 @@ impl Interpreter {
         scalars: &[f64],
     ) -> Result<(), ExecError> {
         for stage in &module.stages {
-            match stage {
-                KernelStage::Loop(l) => self.execute_loop(l, buffers, scalars)?,
-                KernelStage::Opaque(op) => self.execute_opaque(op, buffers)?,
-            }
+            self.execute_stage(stage, buffers, scalars)?;
         }
         Ok(())
     }
 
-    fn buffer_len(buffers: &[Vec<f64>], b: BufferId) -> Result<usize, ExecError> {
-        buffers
-            .get(b.0 as usize)
-            .map(Vec::len)
-            .ok_or(ExecError::MissingBuffer(b))
+    /// Executes one stage of a module. The runtime's copy-in/copy-out
+    /// coherence protocol runs stages one at a time, so backends expose
+    /// stage-granular execution; this is the interpreter's implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Interpreter::execute`], restricted to one stage.
+    pub fn execute_stage(
+        &self,
+        stage: &KernelStage,
+        buffers: &mut [Vec<f64>],
+        scalars: &[f64],
+    ) -> Result<(), ExecError> {
+        match stage {
+            KernelStage::Loop(l) => self.execute_loop(l, buffers, scalars),
+            KernelStage::Opaque(op) => run_opaque(op, buffers),
+        }
     }
 
     fn execute_loop(
@@ -90,13 +99,13 @@ impl Interpreter {
         buffers: &mut [Vec<f64>],
         scalars: &[f64],
     ) -> Result<(), ExecError> {
-        let n = Self::buffer_len(buffers, l.domain)?;
+        let n = buffer_len(buffers, l.domain)?;
         // Validate lengths of every elementwise-accessed buffer up front.
         for b in l.loaded_buffers().into_iter().chain(l.written_buffers()) {
             let is_reduction_target = l.ops.iter().any(
                 |op| matches!(op, LoopOp::Reduce { buffer, .. } if *buffer == b),
             );
-            let len = Self::buffer_len(buffers, b)?;
+            let len = buffer_len(buffers, b)?;
             if !is_reduction_target && len < n {
                 return Err(ExecError::LengthMismatch {
                     domain: l.domain,
@@ -105,7 +114,7 @@ impl Interpreter {
             }
         }
         for b in l.scalar_loaded_buffers() {
-            if Self::buffer_len(buffers, b)? == 0 {
+            if buffer_len(buffers, b)? == 0 {
                 return Err(ExecError::LengthMismatch {
                     domain: l.domain,
                     buffer: b,
@@ -171,7 +180,22 @@ impl Interpreter {
         Ok(values[v.0 as usize])
     }
 
-    fn execute_opaque(&self, op: &OpaqueOp, buffers: &mut [Vec<f64>]) -> Result<(), ExecError> {
+}
+
+/// Length of a buffer, or [`ExecError::MissingBuffer`] if it is not provided.
+pub(crate) fn buffer_len(buffers: &[Vec<f64>], b: BufferId) -> Result<usize, ExecError> {
+    buffers
+        .get(b.0 as usize)
+        .map(Vec::len)
+        .ok_or(ExecError::MissingBuffer(b))
+}
+
+/// Executes one opaque builtin over host buffers. Shared by every backend —
+/// opaque stages dispatch once per stage (their inner loops are already native
+/// Rust), so there is nothing for a compiling backend to specialize and all
+/// backends are bitwise-identical on them by construction.
+pub(crate) fn run_opaque(op: &OpaqueOp, buffers: &mut [Vec<f64>]) -> Result<(), ExecError> {
+    {
         match op {
             OpaqueOp::SpMvCsr {
                 pos,
@@ -181,11 +205,11 @@ impl Interpreter {
                 y,
                 ..
             } => {
-                let rows = Self::buffer_len(buffers, *y)?;
-                Self::buffer_len(buffers, *pos)?;
-                Self::buffer_len(buffers, *crd)?;
-                Self::buffer_len(buffers, *vals)?;
-                Self::buffer_len(buffers, *x)?;
+                let rows = buffer_len(buffers, *y)?;
+                buffer_len(buffers, *pos)?;
+                buffer_len(buffers, *crd)?;
+                buffer_len(buffers, *vals)?;
+                buffer_len(buffers, *x)?;
                 for r in 0..rows {
                     let start = buffers[pos.0 as usize][r] as usize;
                     let end = buffers[pos.0 as usize][r + 1] as usize;
@@ -198,9 +222,9 @@ impl Interpreter {
                 }
             }
             OpaqueOp::Gemv { a, x, y } => {
-                let rows = Self::buffer_len(buffers, *y)?;
-                let cols = Self::buffer_len(buffers, *x)?;
-                Self::buffer_len(buffers, *a)?;
+                let rows = buffer_len(buffers, *y)?;
+                let cols = buffer_len(buffers, *x)?;
+                buffer_len(buffers, *a)?;
                 for r in 0..rows {
                     let mut acc = 0.0;
                     for c in 0..cols {
@@ -210,16 +234,16 @@ impl Interpreter {
                 }
             }
             OpaqueOp::Restrict { fine, coarse } => {
-                let nc = Self::buffer_len(buffers, *coarse)?;
-                let nf = Self::buffer_len(buffers, *fine)?;
+                let nc = buffer_len(buffers, *coarse)?;
+                let nf = buffer_len(buffers, *fine)?;
                 for i in 0..nc {
                     let j = (2 * i).min(nf.saturating_sub(1));
                     buffers[coarse.0 as usize][i] = buffers[fine.0 as usize][j];
                 }
             }
             OpaqueOp::Prolong { coarse, fine } => {
-                let nc = Self::buffer_len(buffers, *coarse)?;
-                let nf = Self::buffer_len(buffers, *fine)?;
+                let nc = buffer_len(buffers, *coarse)?;
+                let nf = buffer_len(buffers, *fine)?;
                 for i in 0..nf {
                     let c = (i / 2).min(nc.saturating_sub(1));
                     if i % 2 == 0 {
@@ -236,28 +260,41 @@ impl Interpreter {
     }
 }
 
-fn apply_unary(op: UnaryOp, a: f64) -> f64 {
+/// Resolves a unary operator to its host function. Every backend evaluates
+/// ops through these resolvers, so backends agree bitwise by construction:
+/// the interpreter calls the resolved function per element, the closure
+/// backend binds it once at compile time.
+pub(crate) fn unary_fn(op: UnaryOp) -> fn(f64) -> f64 {
     match op {
-        UnaryOp::Neg => -a,
-        UnaryOp::Sqrt => a.sqrt(),
-        UnaryOp::Exp => a.exp(),
-        UnaryOp::Ln => a.ln(),
-        UnaryOp::Abs => a.abs(),
-        UnaryOp::Erf => erf(a),
-        UnaryOp::Recip => 1.0 / a,
+        UnaryOp::Neg => |a| -a,
+        UnaryOp::Sqrt => f64::sqrt,
+        UnaryOp::Exp => f64::exp,
+        UnaryOp::Ln => f64::ln,
+        UnaryOp::Abs => f64::abs,
+        UnaryOp::Erf => erf,
+        UnaryOp::Recip => |a| 1.0 / a,
     }
 }
 
-fn apply_binary(op: BinaryOp, a: f64, b: f64) -> f64 {
+/// Resolves a binary operator to its host function (see [`unary_fn`]).
+pub(crate) fn binary_fn(op: BinaryOp) -> fn(f64, f64) -> f64 {
     match op {
-        BinaryOp::Add => a + b,
-        BinaryOp::Sub => a - b,
-        BinaryOp::Mul => a * b,
-        BinaryOp::Div => a / b,
-        BinaryOp::Max => a.max(b),
-        BinaryOp::Min => a.min(b),
-        BinaryOp::Pow => a.powf(b),
+        BinaryOp::Add => |a, b| a + b,
+        BinaryOp::Sub => |a, b| a - b,
+        BinaryOp::Mul => |a, b| a * b,
+        BinaryOp::Div => |a, b| a / b,
+        BinaryOp::Max => f64::max,
+        BinaryOp::Min => f64::min,
+        BinaryOp::Pow => f64::powf,
     }
+}
+
+fn apply_unary(op: UnaryOp, a: f64) -> f64 {
+    unary_fn(op)(a)
+}
+
+fn apply_binary(op: BinaryOp, a: f64, b: f64) -> f64 {
+    binary_fn(op)(a, b)
 }
 
 /// Abramowitz–Stegun approximation of the error function (maximum absolute

@@ -18,6 +18,13 @@
 //! and kernel-launch counts for the simulated machine, plus a compile-time
 //! model for reproducing Figure 13.
 //!
+//! Execution itself goes through the [`backend`] API: a [`KernelBackend`]
+//! compiles an optimized module into a shareable [`CompiledKernel`] artifact.
+//! The default [`InterpBackend`] wraps the interpreter; the
+//! [`ClosureBackend`] lowers loop nests to pre-resolved composed closures (a
+//! real JIT shape with one-time cost and faster steady state). See
+//! `docs/BACKENDS.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -49,14 +56,18 @@
 //! assert_eq!(bufs[4], vec![6.0; 4]);
 //! ```
 
+pub mod backend;
 pub mod builder;
+pub mod closure;
 pub mod cost;
 pub mod generator;
 pub mod interp;
 pub mod ir;
 pub mod passes;
 
+pub use backend::{compile_interp, BackendKind, CompiledKernel, InterpBackend, KernelBackend};
 pub use builder::LoopBuilder;
+pub use closure::ClosureBackend;
 pub use cost::{CompileTimeModel, KernelCost};
 pub use generator::{GenArgs, GeneratorFn, GeneratorRegistry, TaskKind};
 pub use interp::{ExecError, Interpreter};
@@ -64,4 +75,4 @@ pub use ir::{
     BinaryOp, BufferId, BufferRole, IndexWidth, KernelModule, KernelStage, LoopKernel, LoopOp,
     OpaqueOp, ReduceOp, UnaryOp, ValueId,
 };
-pub use passes::{CompiledKernel, Pipeline, PipelineConfig};
+pub use passes::{Pipeline, PipelineConfig, PipelineResult};

@@ -60,7 +60,7 @@ impl PipelineConfig {
 
 /// The result of compiling a module.
 #[derive(Debug, Clone)]
-pub struct CompiledKernel {
+pub struct PipelineResult {
     /// The optimized module.
     pub module: KernelModule,
     /// Local buffers that were eliminated entirely (their allocations never
@@ -72,7 +72,7 @@ pub struct CompiledKernel {
     pub loops_after: usize,
 }
 
-impl CompiledKernel {
+impl PipelineResult {
     /// Whether a buffer was eliminated by the pipeline.
     pub fn is_eliminated(&self, buffer: BufferId) -> bool {
         self.eliminated_locals.contains(&buffer)
@@ -103,7 +103,7 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if `buffer_lens` is shorter than the module's buffer table.
-    pub fn run(&self, module: KernelModule, buffer_lens: &[usize]) -> CompiledKernel {
+    pub fn run(&self, module: KernelModule, buffer_lens: &[usize]) -> PipelineResult {
         assert!(
             buffer_lens.len() >= module.num_buffers() as usize,
             "buffer_lens has {} entries but module has {} buffers",
@@ -132,7 +132,7 @@ impl Pipeline {
             }
         }
         let loops_after = module.num_loop_stages();
-        CompiledKernel {
+        PipelineResult {
             module,
             eliminated_locals: eliminated,
             loops_before,

@@ -3,8 +3,11 @@
 //! Cost accounting (simulated clock, coherence, profile counters) is always
 //! performed eagerly and sequentially by [`crate::Runtime`] — it is cheap and
 //! inherently program-ordered. What an [`Executor`] schedules is the
-//! *functional* work of each launch: interpreting the kernel module over real
-//! region data, which dominates the wall-clock time of functional runs.
+//! *functional* work of each launch: executing the launch's compiled kernel
+//! (an `Arc<dyn CompiledKernel>` produced by whichever `kernel::KernelBackend`
+//! is configured) over real region data, which dominates the wall-clock time
+//! of functional runs. Executors are backend-agnostic: they run whatever
+//! artifact the launch carries.
 //!
 //! Two executors are provided:
 //!
@@ -32,7 +35,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ir::{Privilege, Rect};
-use kernel::{Interpreter, KernelModule};
+use kernel::CompiledKernel;
 
 use crate::deps::{AccessSummary, DepTracker};
 use crate::region::{RegionHandle, RegionId};
@@ -153,7 +156,7 @@ impl BufferAccess {
 }
 
 /// A borrowed description of one launch's functional work, as handed to
-/// [`Executor::submit`]. The module, scalars and local-buffer sizes borrow
+/// [`Executor::submit`]. The kernel, scalars and local-buffer sizes borrow
 /// the launch (so the serial executor runs with zero copies); only the
 /// resolved region accesses are owned, since handles are cheap `Arc` clones.
 ///
@@ -163,8 +166,8 @@ impl BufferAccess {
 pub struct WorkRequest<'a> {
     /// Launch name (for diagnostics).
     pub name: &'a str,
-    /// The kernel module to interpret.
-    pub module: &'a KernelModule,
+    /// The compiled kernel to execute.
+    pub kernel: &'a Arc<dyn CompiledKernel>,
     /// Scalar kernel parameters.
     pub scalars: &'a [f64],
     /// Element counts of the task-local buffers following the region buffers.
@@ -179,7 +182,7 @@ impl WorkRequest<'_> {
     pub fn into_owned_work(self) -> FunctionalWork {
         FunctionalWork {
             name: self.name.to_string(),
-            module: self.module.clone(),
+            kernel: Arc::clone(self.kernel),
             scalars: self.scalars.to_vec(),
             local_buffer_lens: self.local_buffer_lens.to_vec(),
             accesses: self.accesses,
@@ -188,14 +191,15 @@ impl WorkRequest<'_> {
 }
 
 /// The functional portion of one task launch, self-contained so it can run on
-/// any worker thread: the compiled module, its scalars, the region buffers it
-/// accesses and the sizes of its task-local temporaries.
+/// any worker thread: the compiled kernel (a cheap `Arc` clone — backends
+/// compile once, workers share the artifact), its scalars, the region buffers
+/// it accesses and the sizes of its task-local temporaries.
 #[derive(Debug, Clone)]
 pub struct FunctionalWork {
     /// Launch name (for diagnostics).
     pub name: String,
-    /// The kernel module to interpret.
-    pub module: KernelModule,
+    /// The compiled kernel to execute.
+    pub kernel: Arc<dyn CompiledKernel>,
     /// Scalar kernel parameters.
     pub scalars: Vec<f64>,
     /// Region buffers in kernel-buffer order.
@@ -210,7 +214,7 @@ impl FunctionalWork {
     pub fn as_request(&self) -> WorkRequest<'_> {
         WorkRequest {
             name: &self.name,
-            module: &self.module,
+            kernel: &self.kernel,
             scalars: &self.scalars,
             local_buffer_lens: &self.local_buffer_lens,
             accesses: self.accesses.clone(),
@@ -226,8 +230,7 @@ impl FunctionalWork {
 /// that aliasing views of the same region stay coherent through the parent
 /// region between stages (the same protocol the serial runtime always used).
 pub(crate) fn run_functional(
-    interp: &Interpreter,
-    module: &KernelModule,
+    kernel: &dyn CompiledKernel,
     scalars: &[f64],
     local_buffer_lens: &[usize],
     accesses: &[BufferAccess],
@@ -237,11 +240,7 @@ pub(crate) fn run_functional(
         .iter()
         .map(|&len| vec![0.0; len])
         .collect();
-    for stage in &module.stages {
-        let stage_module = KernelModule {
-            stages: vec![stage.clone()],
-            roles: module.roles.clone(),
-        };
+    for stage in 0..kernel.module().num_stages() {
         // Copy-in.
         let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(num_reqs + locals.len());
         for access in accesses {
@@ -251,7 +250,7 @@ pub(crate) fn run_functional(
             buffers.push(local.clone());
         }
         // Execute.
-        interp.execute(&stage_module, &mut buffers, scalars)?;
+        kernel.execute_stage(stage, &mut buffers, scalars)?;
         // Copy-out written requirements and persist locals.
         for (i, access) in accesses.iter().enumerate() {
             if access.privilege.writes() || access.privilege.reduces() {
@@ -321,7 +320,6 @@ pub trait Executor: std::fmt::Debug + Send {
 /// ```
 #[derive(Debug, Default)]
 pub struct SerialExecutor {
-    interp: Interpreter,
     error: Option<RuntimeError>,
 }
 
@@ -354,8 +352,7 @@ impl Executor for SerialExecutor {
         // report a dying launch as RuntimeError::Panicked at flush.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_functional(
-                &self.interp,
-                work.module,
+                work.kernel.as_ref(),
                 work.scalars,
                 work.local_buffer_lens,
                 &work.accesses,
@@ -609,7 +606,6 @@ fn pop_ready(state: &mut SchedState, id: usize) -> Option<u64> {
 }
 
 fn worker_loop(id: usize, shared: &Shared) {
-    let interp = Interpreter::new();
     let mut state = shared.state.lock().unwrap();
     loop {
         if let Some(task) = pop_ready(&mut state, id) {
@@ -628,8 +624,7 @@ fn worker_loop(id: usize, shared: &Shared) {
             } else {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     run_functional(
-                        &interp,
-                        &work.module,
+                        work.kernel.as_ref(),
                         &work.scalars,
                         &work.local_buffer_lens,
                         &work.accesses,
@@ -675,7 +670,7 @@ fn worker_loop(id: usize, shared: &Shared) {
 mod tests {
     use super::*;
     use crate::region::Region;
-    use kernel::{BufferId, BufferRole, LoopBuilder};
+    use kernel::{compile_interp, BufferId, BufferRole, KernelModule, LoopBuilder};
 
     fn handle(id: u64, n: u64, value: f64) -> RegionHandle {
         let h = RegionHandle::new(Region::new(RegionId(id), vec![n], "r", true));
@@ -696,7 +691,7 @@ mod tests {
         let rect = Rect::new(vec![0], vec![n as i64]);
         FunctionalWork {
             name: "scale".into(),
-            module,
+            kernel: compile_interp(module),
             scalars: vec![],
             accesses: vec![
                 BufferAccess {
@@ -780,7 +775,7 @@ mod tests {
             let mut module = KernelModule::new(2);
             module.set_role(BufferId(1), BufferRole::Output);
             module.push_loop(lb.finish());
-            bad.module = module;
+            bad.kernel = compile_interp(module);
             ex.submit(bad.as_request());
             // Writes the same region as `bad` (WAW), so it is ordered after it
             // under both executors and must be skipped once the batch poisons.

@@ -1,7 +1,9 @@
 //! Task launches: the runtime's unit of work.
 
+use std::sync::Arc;
+
 use ir::{Domain, Partition, Privilege};
-use kernel::KernelModule;
+use kernel::CompiledKernel;
 
 use crate::region::RegionId;
 
@@ -67,15 +69,23 @@ impl RegionRequirement {
 /// An index-task launch: a group of point tasks over a launch domain, with one
 /// region requirement per kernel buffer argument.
 ///
-/// Buffer `i` of `module` corresponds to `requirements[i]`; buffers beyond the
-/// requirement count are task-local temporaries whose per-point element counts
-/// are given by `local_buffer_lens`.
+/// The launch carries a **compiled** kernel (an `Arc<dyn CompiledKernel>`
+/// produced by a [`kernel::KernelBackend`]), not a raw module: compilation
+/// happens once — at the Diffuse layer on a memoization miss, or via
+/// [`crate::Runtime::compile`] for hand-built launches — and the artifact is
+/// shared by every executor worker that runs the launch. The runtime layer is
+/// thereby backend-agnostic; which backend compiled the kernel changes host
+/// wall-clock only, never simulated time or results.
+///
+/// Buffer `i` of the kernel's module corresponds to `requirements[i]`;
+/// buffers beyond the requirement count are task-local temporaries whose
+/// per-point element counts are given by `local_buffer_lens`.
 ///
 /// # Example
 ///
 /// ```
 /// use ir::{Domain, Partition, Privilege};
-/// use kernel::KernelModule;
+/// use kernel::{compile_interp, KernelModule};
 /// use runtime::{OverheadClass, RegionId, RegionRequirement, TaskLaunch};
 ///
 /// let launch = TaskLaunch {
@@ -86,14 +96,14 @@ impl RegionRequirement {
 ///         Partition::block(vec![8]),
 ///         Privilege::Read,
 ///     )],
-///     module: KernelModule::new(2),
+///     kernel: compile_interp(KernelModule::new(2)),
 ///     scalars: vec![1.5],
 ///     local_buffer_lens: vec![32],
 ///     overhead: OverheadClass::TaskRuntime,
 /// };
 /// assert_eq!(launch.num_buffers(), 2); // one requirement + one local
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TaskLaunch {
     /// Human-readable name (used in profiles).
     pub name: String,
@@ -101,8 +111,8 @@ pub struct TaskLaunch {
     pub launch_domain: Domain,
     /// Region requirements in kernel-buffer order.
     pub requirements: Vec<RegionRequirement>,
-    /// The kernel module to execute.
-    pub module: KernelModule,
+    /// The compiled kernel to execute (shared, backend-produced artifact).
+    pub kernel: Arc<dyn CompiledKernel>,
     /// Scalar kernel parameters.
     pub scalars: Vec<f64>,
     /// Per-point element counts of the module's task-local buffers (ids
@@ -122,6 +132,7 @@ impl TaskLaunch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kernel::{compile_interp, KernelModule};
 
     #[test]
     fn requirement_construction() {
@@ -140,13 +151,14 @@ mod tests {
                 Partition::Replicate,
                 Privilege::Read,
             )],
-            module: KernelModule::new(3),
+            kernel: compile_interp(KernelModule::new(3)),
             scalars: vec![],
             local_buffer_lens: vec![16, 16],
             overhead: OverheadClass::TaskRuntime,
         };
         assert_eq!(launch.num_buffers(), 3);
         assert_eq!(launch.overhead, OverheadClass::TaskRuntime);
+        assert_eq!(launch.kernel.backend_id(), "interp");
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! [`WorkStealingExecutor`] (one worker per simulated GPU) overlaps
 //! independent launches and orders conflicting ones through their region
 //! read/write sets, mirroring how the paper's runtime overlaps task launches
-//! across GPUs. See `docs/RUNTIME.md` for the architecture.
+//! across GPUs. Launches carry *compiled* kernels (`Arc<dyn CompiledKernel>`
+//! artifacts produced by a [`kernel::KernelBackend`] — see
+//! [`Runtime::compile`] and `docs/BACKENDS.md`), so the executor layer is
+//! backend-agnostic. See `docs/RUNTIME.md` for the architecture.
 //!
 //! # Example
 //!
@@ -52,7 +55,7 @@
 //!         RegionRequirement::new(a, Partition::block(vec![4]), Privilege::Read),
 //!         RegionRequirement::new(b, Partition::block(vec![4]), Privilege::Write),
 //!     ],
-//!     module,
+//!     kernel: rt.compile(&module).unwrap(),
 //!     scalars: vec![],
 //!     local_buffer_lens: vec![],
 //!     overhead: OverheadClass::TaskRuntime,

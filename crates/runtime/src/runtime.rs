@@ -14,8 +14,10 @@
 
 use std::collections::HashMap;
 
+use std::sync::Arc;
+
 use ir::{Partition, Rect};
-use kernel::{cost as kcost, ExecError};
+use kernel::{cost as kcost, BackendKind, CompiledKernel, ExecError, KernelBackend, KernelModule};
 use machine::{CostModel, MachineConfig, MemoryTracker, SimClock};
 
 use crate::executor::{
@@ -50,6 +52,11 @@ pub struct RuntimeConfig {
     /// when `materialize_data` is false, since there is no functional work to
     /// parallelize.
     pub executor: ExecutorKind,
+    /// Which kernel backend [`Runtime::compile`] uses for launches compiled
+    /// at the runtime layer (the PETSc baseline, tests, hand-built
+    /// workloads). Diffuse-layer launches arrive pre-compiled by the
+    /// context's own backend and are unaffected.
+    pub backend: BackendKind,
 }
 
 impl RuntimeConfig {
@@ -61,6 +68,7 @@ impl RuntimeConfig {
             machine,
             materialize_data: true,
             executor: ExecutorKind::from_env(),
+            backend: BackendKind::from_env(),
         }
     }
 
@@ -71,12 +79,19 @@ impl RuntimeConfig {
             machine,
             materialize_data: false,
             executor: ExecutorKind::Serial,
+            backend: BackendKind::from_env(),
         }
     }
 
     /// Overrides the executor choice.
     pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Overrides the kernel backend used by [`Runtime::compile`].
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -183,6 +198,7 @@ pub struct Runtime {
     profile: Profile,
     next_region: u64,
     executor: Box<dyn Executor>,
+    backend: Arc<dyn KernelBackend>,
     /// An error returned by an internal flush (e.g. inside [`Runtime::region_data`])
     /// that could not be surfaced through that call's signature; re-raised by
     /// the next fallible operation.
@@ -213,6 +229,7 @@ impl Runtime {
             }),
             _ => Box::new(SerialExecutor::new()),
         };
+        let backend = config.backend.backend();
         Runtime {
             config,
             cost,
@@ -223,6 +240,7 @@ impl Runtime {
             profile: Profile::default(),
             next_region: 0,
             executor,
+            backend,
             deferred_error: None,
         }
     }
@@ -246,6 +264,34 @@ impl Runtime {
     /// runtimes always execute serially regardless of the configured kind.
     pub fn executor_kind(&self) -> ExecutorKind {
         self.executor.kind()
+    }
+
+    /// The kernel backend [`Runtime::compile`] uses.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.config.backend
+    }
+
+    /// Compiles a kernel module with the runtime's configured backend,
+    /// producing the [`CompiledKernel`] payload a [`TaskLaunch`] carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Exec`] if the backend rejects the module as
+    /// malformed (modules built with [`kernel::LoopBuilder`] always compile).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use machine::MachineConfig;
+    /// use runtime::{Runtime, RuntimeConfig};
+    /// use kernel::KernelModule;
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::functional(MachineConfig::with_gpus(2)));
+    /// let kernel = rt.compile(&KernelModule::new(1)).unwrap();
+    /// assert_eq!(kernel.backend_id(), rt.backend_kind().id());
+    /// ```
+    pub fn compile(&self, module: &KernelModule) -> Result<Arc<dyn CompiledKernel>, RuntimeError> {
+        self.backend.compile(module).map_err(RuntimeError::Exec)
     }
 
     /// Allocates a distributed region of the given shape.
@@ -450,7 +496,7 @@ impl Runtime {
     /// use machine::MachineConfig;
     /// use runtime::{Runtime, RuntimeConfig, ExecutorKind, TaskLaunch, RegionRequirement, OverheadClass};
     /// use ir::{Domain, Partition, Privilege};
-    /// use kernel::{KernelModule, LoopBuilder, BufferId, BufferRole};
+    /// use kernel::{compile_interp, KernelModule, LoopBuilder, BufferId, BufferRole};
     ///
     /// let config = RuntimeConfig::functional(MachineConfig::with_gpus(2))
     ///     .with_executor(ExecutorKind::WorkStealing { workers: Some(2) });
@@ -476,7 +522,7 @@ impl Runtime {
     ///             RegionRequirement::new(src, Partition::block(vec![4]), Privilege::Read),
     ///             RegionRequirement::new(dst, Partition::block(vec![4]), Privilege::Write),
     ///         ],
-    ///         module,
+    ///         kernel: compile_interp(module),
     ///         scalars: vec![],
     ///         local_buffer_lens: vec![],
     ///         overhead: OverheadClass::TaskRuntime,
@@ -525,7 +571,7 @@ impl Runtime {
             .collect();
         WorkRequest {
             name: &launch.name,
-            module: &launch.module,
+            kernel: &launch.kernel,
             scalars: &launch.scalars,
             local_buffer_lens: &launch.local_buffer_lens,
             accesses,
@@ -631,7 +677,7 @@ impl Runtime {
                 };
                 lens.push(per_point.max(1));
             }
-            let c = kcost::module_cost(&launch.module, &lens);
+            let c = kcost::module_cost(launch.kernel.module(), &lens);
             let t = self.cost.kernel_time(c.bytes, c.flops, 0)
                 + c.launches as f64 * self.cost.launch_time();
             if t > worst_time {
@@ -682,7 +728,7 @@ mod tests {
     use super::*;
     use crate::launch::RegionRequirement;
     use ir::{Domain, Privilege};
-    use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder};
+    use kernel::{compile_interp, BufferId, BufferRole, KernelModule, LoopBuilder};
 
     fn functional_runtime(gpus: usize) -> Runtime {
         Runtime::new(
@@ -711,7 +757,7 @@ mod tests {
                 RegionRequirement::new(a, Partition::block(vec![n / gpus]), Privilege::Read),
                 RegionRequirement::new(b, Partition::block(vec![n / gpus]), Privilege::Write),
             ],
-            module: scale_module(3.0),
+            kernel: compile_interp(scale_module(3.0)),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -764,7 +810,7 @@ mod tests {
                 RegionRequirement::new(b, shifted, Privilege::Read),
                 RegionRequirement::new(c, Partition::block(vec![8]), Privilege::Write),
             ],
-            module: scale_module(1.0),
+            kernel: compile_interp(scale_module(1.0)),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -790,7 +836,7 @@ mod tests {
                 RegionRequirement::new(b, Partition::Replicate, Privilege::Read),
                 RegionRequirement::new(out, Partition::block(vec![8]), Privilege::Write),
             ],
-            module: scale_module(1.0),
+            kernel: compile_interp(scale_module(1.0)),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -842,7 +888,7 @@ mod tests {
                 Partition::Replicate,
                 Privilege::Read,
             )],
-            module: KernelModule::new(1),
+            kernel: compile_interp(KernelModule::new(1)),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -907,7 +953,7 @@ mod tests {
                 RegionRequirement::new(grid, left, Privilege::ReadWrite),
                 RegionRequirement::new(out, Partition::block(vec![4]), Privilege::Write),
             ],
-            module,
+            kernel: compile_interp(module),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -961,7 +1007,7 @@ mod tests {
         lb.store(BufferId(1), v);
         module.push_loop(lb.finish());
         let mut launch = scale_launch(a, b, 2, 8);
-        launch.module = module;
+        launch.kernel = compile_interp(module);
         assert!(rt.execute(&launch).is_ok(), "submit succeeds; error defers");
         let err = rt.flush_launches().unwrap_err();
         assert!(matches!(err, RuntimeError::Exec(_)));
@@ -987,7 +1033,7 @@ mod tests {
         lb.store(BufferId(1), v);
         module.push_loop(lb.finish());
         let mut launch = scale_launch(a, b, 2, 8);
-        launch.module = module;
+        launch.kernel = compile_interp(module);
         rt.execute(&launch).unwrap();
         // The data of the poisoned batch must not be observable...
         assert_eq!(rt.region_data(b), None);

@@ -1,16 +1,21 @@
-//! Executor equivalence: the work-stealing executor must produce exactly the
-//! region contents the serial executor produces, for any program.
+//! Executor and backend equivalence: every (executor, kernel backend)
+//! combination must produce exactly the region contents the serial
+//! interpreter baseline produces, for any program.
 //!
-//! The property test drives both executors with the same randomly generated
-//! launch DAG — launches pick random source/destination regions, so the
-//! generated programs contain every hazard class (RAW chains, WAR, WAW,
-//! concurrent readers, aliasing read+write of one region) at random widths.
-//! Determinism holds because conflicting launches retain program order and
-//! each launch's arithmetic is itself deterministic, so the comparison is
-//! exact (`==` on `f64` buffers, no tolerance).
+//! The property test drives all four combinations (serial/parallel ×
+//! interp/closure) with the same randomly generated launch DAG — launches
+//! pick random source/destination regions, so the generated programs contain
+//! every hazard class (RAW chains, WAR, WAW, concurrent readers, aliasing
+//! read+write of one region) at random widths. Determinism holds because
+//! conflicting launches retain program order and each launch's arithmetic is
+//! itself deterministic (backends evaluate ops through the same resolved
+//! functions), so the comparison is exact (`==` on `f64` buffers, no
+//! tolerance). Simulated time must also be invariant across the whole
+//! matrix — accounting is eager and priced from the module, never from the
+//! backend artifact.
 
 use ir::{Domain, Partition, Privilege};
-use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder};
+use kernel::{BackendKind, BufferId, BufferRole, KernelModule, LoopBuilder};
 use machine::MachineConfig;
 use proptest::prelude::*;
 use runtime::{
@@ -57,7 +62,7 @@ fn accumulate_module() -> KernelModule {
     m
 }
 
-fn launch_for(op: &Op, regions: &[runtime::RegionId], gpus: u64, n: u64) -> TaskLaunch {
+fn launch_for(op: &Op, regions: &[runtime::RegionId], gpus: u64, n: u64, rt: &Runtime) -> TaskLaunch {
     let block = Partition::block(vec![n.div_ceil(gpus)]);
     if op.accumulate {
         TaskLaunch {
@@ -67,7 +72,7 @@ fn launch_for(op: &Op, regions: &[runtime::RegionId], gpus: u64, n: u64) -> Task
                 RegionRequirement::new(regions[op.src_a as usize], block.clone(), Privilege::Read),
                 RegionRequirement::new(regions[op.dst as usize], block, Privilege::ReadWrite),
             ],
-            module: accumulate_module(),
+            kernel: rt.compile(&accumulate_module()).unwrap(),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -81,7 +86,7 @@ fn launch_for(op: &Op, regions: &[runtime::RegionId], gpus: u64, n: u64) -> Task
                 RegionRequirement::new(regions[op.src_b as usize], block.clone(), Privilege::Read),
                 RegionRequirement::new(regions[op.dst as usize], block, Privilege::Write),
             ],
-            module: combine_module(),
+            kernel: rt.compile(&combine_module()).unwrap(),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -91,9 +96,16 @@ fn launch_for(op: &Op, regions: &[runtime::RegionId], gpus: u64, n: u64) -> Task
 
 /// Runs the op sequence on a fresh runtime and returns every region's final
 /// contents plus the simulated time.
-fn run_program(ops: &[Op], gpus: u64, n: u64, executor: ExecutorKind) -> (Vec<Vec<f64>>, f64) {
-    let config =
-        RuntimeConfig::functional(MachineConfig::with_gpus(gpus as usize)).with_executor(executor);
+fn run_program(
+    ops: &[Op],
+    gpus: u64,
+    n: u64,
+    executor: ExecutorKind,
+    backend: BackendKind,
+) -> (Vec<Vec<f64>>, f64) {
+    let config = RuntimeConfig::functional(MachineConfig::with_gpus(gpus as usize))
+        .with_executor(executor)
+        .with_backend(backend);
     let mut rt = Runtime::new(config);
     let regions: Vec<runtime::RegionId> = (0..REGIONS)
         .map(|i| rt.allocate_region(vec![n], format!("r{i}")))
@@ -105,7 +117,7 @@ fn run_program(ops: &[Op], gpus: u64, n: u64, executor: ExecutorKind) -> (Vec<Ve
     }
     let launches: Vec<TaskLaunch> = ops
         .iter()
-        .map(|op| launch_for(op, &regions, gpus, n))
+        .map(|op| launch_for(op, &regions, gpus, n, &rt))
         .collect();
     rt.execute_batch(&launches).unwrap();
     let data = regions
@@ -119,9 +131,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random launch DAGs produce identical region contents (and identical
-    /// simulated time) under the serial and work-stealing executors.
+    /// simulated time) under every executor × backend combination.
     #[test]
-    fn random_dags_are_executor_invariant(
+    fn random_dags_are_executor_and_backend_invariant(
         raw_ops in prop::collection::vec(
             (0u64..REGIONS, 0u64..REGIONS, 0u64..REGIONS, 0u64..4),
             2..16,
@@ -138,11 +150,21 @@ proptest! {
             })
             .collect();
         let n = 16 * gpus;
-        let (serial, serial_time) = run_program(&ops, gpus, n, ExecutorKind::Serial);
-        let (parallel, parallel_time) =
-            run_program(&ops, gpus, n, ExecutorKind::WorkStealing { workers: Some(4) });
-        prop_assert_eq!(&serial, &parallel, "ops: {:?}", ops);
-        prop_assert_eq!(serial_time, parallel_time);
+        let (baseline, baseline_time) =
+            run_program(&ops, gpus, n, ExecutorKind::Serial, BackendKind::Interp);
+        for backend in [BackendKind::Interp, BackendKind::Closure] {
+            for executor in [
+                ExecutorKind::Serial,
+                ExecutorKind::WorkStealing { workers: Some(4) },
+            ] {
+                let (data, time) = run_program(&ops, gpus, n, executor, backend);
+                prop_assert_eq!(
+                    &baseline, &data,
+                    "{:?}/{:?} diverged; ops: {:?}", executor, backend, ops
+                );
+                prop_assert_eq!(baseline_time, time);
+            }
+        }
     }
 }
 
@@ -174,7 +196,7 @@ fn write_after_read_on_a_shared_region_retains_program_order() {
                 RegionRequirement::new(shared, block.clone(), Privilege::Read),
                 RegionRequirement::new(copy, block.clone(), Privilege::Write),
             ],
-            module: combine_module(),
+            kernel: rt.compile(&combine_module()).unwrap(),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -188,7 +210,7 @@ fn write_after_read_on_a_shared_region_retains_program_order() {
                 RegionRequirement::new(two, block.clone(), Privilege::Read),
                 RegionRequirement::new(shared, block, Privilege::Write),
             ],
-            module: combine_module(),
+            kernel: rt.compile(&combine_module()).unwrap(),
             scalars: vec![],
             local_buffer_lens: vec![],
             overhead: OverheadClass::TaskRuntime,
@@ -205,7 +227,8 @@ fn write_after_read_on_a_shared_region_retains_program_order() {
     }
 }
 
-/// Read-after-write chains stay ordered through several hops.
+/// Read-after-write chains stay ordered through several hops, under both
+/// backends.
 #[test]
 fn raw_chain_retains_program_order() {
     let gpus = 4u64;
@@ -216,7 +239,15 @@ fn raw_chain_retains_program_order() {
         Op { src_a: 2, src_b: 2, dst: 3, accumulate: false }, // r3 = f(r2)
         Op { src_a: 3, src_b: 3, dst: 4, accumulate: true },  // r4 += r3
     ];
-    let (serial, _) = run_program(&ops, gpus, n, ExecutorKind::Serial);
-    let (parallel, _) = run_program(&ops, gpus, n, ExecutorKind::WorkStealing { workers: Some(4) });
-    assert_eq!(serial, parallel);
+    let (serial, _) = run_program(&ops, gpus, n, ExecutorKind::Serial, BackendKind::Interp);
+    for backend in [BackendKind::Interp, BackendKind::Closure] {
+        let (parallel, _) = run_program(
+            &ops,
+            gpus,
+            n,
+            ExecutorKind::WorkStealing { workers: Some(4) },
+            backend,
+        );
+        assert_eq!(serial, parallel, "{backend:?}");
+    }
 }
