@@ -8,7 +8,7 @@
 
 use dense::{DArray, DenseContext};
 use diffuse::StoreHandle;
-use ir::{Partition, Privilege, StoreArg};
+use ir::{Partition, PartitionId, Privilege, StoreArg};
 use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskKind};
 use machine::MachineConfig;
 use petsc::PetscSolver;
@@ -98,8 +98,10 @@ fn cg_iteration_manual(
     let alpha = state.rs_old.div(&p_ap);
     let xn = np.zeros(&[state.x.len()]);
     let rn = np.zeros(&[state.r.len()]);
-    let arg = |arr: &StoreHandle, pr: Privilege, part: Partition| StoreArg::new(arr.id(), part, pr);
-    let block = state.x.partition();
+    // Intern the two partitions once; every argument then carries a Copy id.
+    let arg =
+        |arr: &StoreHandle, pr: Privilege, part: PartitionId| StoreArg::new(arr.id(), part, pr);
+    let block = PartitionId::intern(&state.x.partition());
     np.context().submit(
         update,
         "cg_fused_update",
@@ -108,7 +110,11 @@ fn cg_iteration_manual(
             arg(state.r.handle(), Privilege::Read, block.clone()),
             arg(state.p.handle(), Privilege::Read, block.clone()),
             arg(q.handle(), Privilege::Read, block.clone()),
-            arg(alpha.handle(), Privilege::Read, Partition::Replicate),
+            arg(
+                alpha.handle(),
+                Privilege::Read,
+                PartitionId::intern(&Partition::Replicate),
+            ),
             arg(xn.handle(), Privilege::Write, block.clone()),
             arg(rn.handle(), Privilege::Write, block),
         ],

@@ -2,14 +2,16 @@
 //!
 //! These measure real wall-clock time (not simulated time) of the scale-free
 //! analyses: finding fusible prefixes, canonicalizing windows for memoization,
-//! and replaying memoized decisions.
+//! and replaying memoized decisions — including the fingerprint-first probe
+//! that the steady-state (all-hits) path uses, which performs no allocation
+//! and no canonicalization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fusion::{find_fusible_prefix, CanonicalWindow, MemoCache};
-use ir::{Domain, IndexTask, Partition, Privilege, StoreArg, StoreId, TaskId};
-use std::collections::HashMap;
+use fusion::{find_fusible_prefix, fusible_segments, CanonicalWindow, MemoCache};
+use ir::{Domain, IndexTask, Partition, Privilege, StoreArg, StoreId, TaskId, TaskWindow};
 
 /// A chain of fusible elementwise tasks: t_i reads store i and writes i+1.
+/// Shapes are stamped the way the Diffuse context stamps them at submit time.
 fn elementwise_chain(len: usize, launch_points: u64) -> Vec<IndexTask> {
     let block = Partition::block(vec![64]);
     (0..len)
@@ -20,17 +22,15 @@ fn elementwise_chain(len: usize, launch_points: u64) -> Vec<IndexTask> {
                 "ew",
                 Domain::linear(launch_points),
                 vec![
-                    StoreArg::new(StoreId(i as u64), block.clone(), Privilege::Read),
-                    StoreArg::new(StoreId(i as u64 + 1), block.clone(), Privilege::Write),
+                    StoreArg::new(StoreId(i as u64), block.clone(), Privilege::Read)
+                        .with_shape(vec![4096u64]),
+                    StoreArg::new(StoreId(i as u64 + 1), block.clone(), Privilege::Write)
+                        .with_shape(vec![4096u64]),
                 ],
                 vec![],
             )
         })
         .collect()
-}
-
-fn shapes(n: u64) -> HashMap<StoreId, Vec<u64>> {
-    (0..n).map(|i| (StoreId(i), vec![4096])).collect()
 }
 
 fn bench_prefix_search(c: &mut Criterion) {
@@ -57,19 +57,42 @@ fn bench_scale_freedom(c: &mut Criterion) {
     group.finish();
 }
 
+/// One-pass segmentation of a whole window vs. the window length.
+fn bench_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusible_segments");
+    for window in [32usize, 128] {
+        let tasks = elementwise_chain(window, 8);
+        group.bench_with_input(BenchmarkId::new("window", window), &tasks, |b, tasks| {
+            b.iter(|| fusible_segments(std::hint::black_box(tasks)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_canonicalization_and_memo(c: &mut Criterion) {
     let tasks = elementwise_chain(32, 8);
-    let shapes = shapes(64);
     c.bench_function("canonicalize_window_32", |b| {
-        b.iter(|| CanonicalWindow::new(std::hint::black_box(&tasks), &shapes))
+        b.iter(|| CanonicalWindow::new(std::hint::black_box(&tasks)))
     });
-    let key = CanonicalWindow::new(&tasks, &shapes);
+    let key = CanonicalWindow::new(&tasks);
     let mut cache: MemoCache<usize> = MemoCache::new();
     cache.insert(key.clone(), 32);
-    c.bench_function("memo_hit_vs_reanalysis", |b| {
+    // The slow reference path: build a canonical key, then look it up.
+    c.bench_function("memo_hit_full_key_32", |b| {
         b.iter(|| {
-            let key = CanonicalWindow::new(std::hint::black_box(&tasks), &shapes);
+            let key = CanonicalWindow::new(std::hint::black_box(&tasks));
             cache.get(&key).copied().unwrap_or_else(|| find_fusible_prefix(&tasks))
+        })
+    });
+    // The fast path Diffuse actually runs per flush: probe by the window's
+    // incrementally maintained fingerprint — no allocation, no key build.
+    let window: TaskWindow = tasks.iter().cloned().collect();
+    c.bench_function("memo_hit_fingerprint_probe_32", |b| {
+        b.iter(|| {
+            cache
+                .probe(std::hint::black_box(&window))
+                .copied()
+                .unwrap_or_else(|| find_fusible_prefix(window.tasks()))
         })
     });
 }
@@ -78,6 +101,7 @@ criterion_group!(
     benches,
     bench_prefix_search,
     bench_scale_freedom,
+    bench_segments,
     bench_canonicalization_and_memo
 );
 criterion_main!(benches);

@@ -1,0 +1,323 @@
+//! Measures the wall-clock cost of Diffuse's dynamic trace analysis per
+//! submitted task — the runtime-overhead story of the paper's §5.2/Figure 7 —
+//! and records the trajectory in `BENCH_analysis_overhead.json` (schema in
+//! `docs/BENCHMARKS.md`).
+//!
+//! The binary replays a CG-style trace (two alternating fused vector windows
+//! over persistent stores, one with a reduction tail) through a
+//! simulation-only `diffuse::Context` and reports nanoseconds of host time
+//! per task for two regimes:
+//!
+//! * **cold** — every window is a memoization miss: the analysis runs the
+//!   fusible-prefix segmentation, canonicalizes the window, composes and
+//!   optimizes the fused kernel and compiles it (fresh context per sample).
+//! * **warm** — every window is a memoization hit: the fingerprint-first
+//!   probe replays the memoized decision and launches the cached artifact;
+//!   no canonical key is built and no compilation happens.
+//!
+//! The machine-independent quantity is the **cold/warm ratio** — how much of
+//! the analysis cost memoization amortizes away. `--check` re-measures and
+//! fails if the ratio drops below the hard floor of 5× or regresses more
+//! than the tolerance against the checked-in baseline.
+//!
+//! ```sh
+//! cargo run --release --bin analysis_overhead            # rewrite the baseline
+//! cargo run --release --bin analysis_overhead -- --check # CI regression gate
+//! ```
+
+use std::time::Instant;
+
+use bench::JsonValue;
+use diffuse::{Context, DiffuseConfig, StoreHandle};
+use ir::{Partition, PartitionId, Privilege, StoreArg};
+use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskKind};
+use machine::MachineConfig;
+
+/// Elements per store (simulation-only: sizes only feed the cost model).
+const N: u64 = 1 << 20;
+/// Simulated GPUs (launch-domain points).
+const GPUS: usize = 8;
+/// Warm-path hits the gate must never fall below, as a multiple of the cold
+/// path's per-task cost.
+const HARD_FLOOR: f64 = 5.0;
+/// Path of the recorded trajectory, relative to the workspace root.
+const TOPIC: &str = "analysis_overhead";
+
+/// Measurement window in milliseconds (`ANALYSIS_OVERHEAD_MS` overrides).
+/// `--check` runs double-length windows for a steadier verdict.
+fn measure_ms() -> u64 {
+    let base = std::env::var("ANALYSIS_OVERHEAD_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    if std::env::args().any(|a| a == "--check") {
+        base * 2
+    } else {
+        base
+    }
+}
+
+/// Allowed ratio regression in percent before `--check` fails
+/// (`ANALYSIS_OVERHEAD_TOLERANCE` overrides).
+fn tolerance_pct() -> f64 {
+    std::env::var("ANALYSIS_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0)
+}
+
+/// The registered task kinds of the replayed trace.
+struct Kinds {
+    add: TaskKind,
+    scale: TaskKind,
+    dot: TaskKind,
+}
+
+/// Length of the elementwise-chain window (models the long fused vector
+/// sequences the adaptive window accumulates in steady state).
+const CHAIN: usize = 24;
+
+/// The persistent stores the trace runs over (CG reuses its vectors across
+/// iterations, so successive windows are isomorphic and the warm path is
+/// all hits).
+struct Stores {
+    x: StoreHandle,
+    p: StoreHandle,
+    t: StoreHandle,
+    q: StoreHandle,
+    s: StoreHandle,
+    rs: StoreHandle,
+    chain: Vec<StoreHandle>,
+    block: PartitionId,
+    replicate: PartitionId,
+}
+
+fn register_kinds(ctx: &Context) -> Kinds {
+    let add = ctx.register_generator("add", |_args| {
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Output);
+        let mut b = LoopBuilder::new("add", BufferId(2));
+        let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+        let s = b.add(x, y);
+        b.store(BufferId(2), s);
+        m.push_loop(b.finish());
+        m
+    });
+    let scale = ctx.register_generator("scale", |_args| {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Output);
+        let mut b = LoopBuilder::new("scale", BufferId(1));
+        let x = b.load(BufferId(0));
+        let a = b.param(0);
+        let v = b.mul(x, a);
+        b.store(BufferId(1), v);
+        m.push_loop(b.finish());
+        m
+    });
+    let dot = ctx.register_generator("dot", |_args| {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Reduction);
+        let mut b = LoopBuilder::new("dot", BufferId(0));
+        let x = b.load(BufferId(0));
+        let xx = b.mul(x, x);
+        b.reduce(BufferId(1), kernel::ReduceOp::Sum, xx);
+        m.push_loop(b.finish());
+        m
+    });
+    Kinds { add, scale, dot }
+}
+
+fn make_stores(ctx: &Context) -> Stores {
+    Stores {
+        x: ctx.create_store(vec![N], "x"),
+        p: ctx.create_store(vec![N], "p"),
+        t: ctx.create_store(vec![N], "t"),
+        q: ctx.create_store(vec![N], "q"),
+        s: ctx.create_store(vec![N], "s"),
+        rs: ctx.create_store(vec![1], "rs"),
+        chain: (0..=CHAIN)
+            .map(|i| ctx.create_store(vec![N], &format!("c{i}")))
+            .collect(),
+        block: PartitionId::intern(&Partition::block(vec![N.div_ceil(GPUS as u64)])),
+        replicate: PartitionId::intern(&Partition::Replicate),
+    }
+}
+
+fn fresh_context() -> (Context, Kinds, Stores) {
+    // Buffer the whole chain window before analyzing (the adaptive policy
+    // would get there on its own; pinning it keeps samples uniform).
+    let config = DiffuseConfig::fused(MachineConfig::with_gpus(GPUS))
+        .simulation_only()
+        .with_window(32, 70);
+    let ctx = Context::new(config);
+    let kinds = register_kinds(&ctx);
+    let stores = make_stores(&ctx);
+    (ctx, kinds, stores)
+}
+
+/// One "iteration" of the CG-style trace: a 4-task vector window with a
+/// reduction tail plus a 3-task Jacobi-style correction window — 7 tasks,
+/// two distinct window shapes, flushed like a solver would flush per
+/// iteration. Returns the number of tasks submitted.
+fn run_iteration(ctx: &Context, kinds: &Kinds, st: &Stores) -> u64 {
+    let ew = |a: &StoreHandle, b: &StoreHandle, o: &StoreHandle| {
+        vec![
+            StoreArg::new(a.id(), st.block, Privilege::Read),
+            StoreArg::new(b.id(), st.block, Privilege::Read),
+            StoreArg::new(o.id(), st.block, Privilege::Write),
+        ]
+    };
+    // Window 1: t = x + p; q = alpha * t; s = q + x; rs += s . s
+    ctx.submit(kinds.add, "add_xp", ew(&st.x, &st.p, &st.t), vec![]);
+    ctx.submit(
+        kinds.scale,
+        "scale_t",
+        vec![
+            StoreArg::new(st.t.id(), st.block, Privilege::Read),
+            StoreArg::new(st.q.id(), st.block, Privilege::Write),
+        ],
+        vec![1.0e-3],
+    );
+    ctx.submit(kinds.add, "add_qx", ew(&st.q, &st.x, &st.s), vec![]);
+    ctx.submit(
+        kinds.dot,
+        "dot_ss",
+        vec![
+            StoreArg::new(st.s.id(), st.block, Privilege::Read),
+            StoreArg::new(
+                st.rs.id(),
+                st.replicate,
+                Privilege::Reduce(ir::ReductionOp::Sum),
+            ),
+        ],
+        vec![],
+    );
+    ctx.flush();
+    // Window 2: t = p + s; q = beta * t; x' = q + p (Jacobi-style tail).
+    ctx.submit(kinds.add, "add_ps", ew(&st.p, &st.s, &st.t), vec![]);
+    ctx.submit(
+        kinds.scale,
+        "scale_t2",
+        vec![
+            StoreArg::new(st.t.id(), st.block, Privilege::Read),
+            StoreArg::new(st.q.id(), st.block, Privilege::Write),
+        ],
+        vec![0.5],
+    );
+    ctx.submit(kinds.add, "add_qp", ew(&st.q, &st.p, &st.x), vec![]);
+    ctx.flush();
+    // Window 3: a long fully-fusible elementwise chain, the shape the
+    // adaptive window converges to on elementwise-heavy traces.
+    for i in 0..CHAIN {
+        ctx.submit(
+            kinds.add,
+            "chain",
+            ew(&st.chain[i], &st.p, &st.chain[i + 1]),
+            vec![],
+        );
+    }
+    ctx.flush();
+    7 + CHAIN as u64
+}
+
+/// Cold path: a fresh context per sample, timing the first (all-miss)
+/// iteration only. Returns ns per task.
+fn measure_cold() -> f64 {
+    let budget = std::time::Duration::from_millis(measure_ms());
+    let mut elapsed_ns = 0.0f64;
+    let mut tasks = 0u64;
+    let wall = Instant::now();
+    while wall.elapsed() < budget || tasks == 0 {
+        let (ctx, kinds, stores) = fresh_context();
+        let t0 = Instant::now();
+        tasks += run_iteration(&ctx, &kinds, &stores);
+        elapsed_ns += t0.elapsed().as_nanos() as f64;
+        let stats = ctx.stats();
+        assert_eq!(stats.memo_hits, 0, "cold path must be all misses");
+        assert!(stats.memo_misses >= 3);
+    }
+    elapsed_ns / tasks as f64
+}
+
+/// Warm path: one context, memo populated, timing all-hit iterations.
+/// Returns ns per task.
+fn measure_warm() -> f64 {
+    let (ctx, kinds, stores) = fresh_context();
+    // Populate the memo (and let the adaptive window settle).
+    for _ in 0..3 {
+        run_iteration(&ctx, &kinds, &stores);
+    }
+    let before = ctx.stats();
+    let budget = std::time::Duration::from_millis(measure_ms());
+    let mut tasks = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < budget || tasks == 0 {
+        tasks += run_iteration(&ctx, &kinds, &stores);
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    let delta = ctx.stats().since(&before);
+    assert_eq!(delta.memo_misses, 0, "warm path must be all hits");
+    assert_eq!(delta.compilations, 0, "warm path must not compile");
+    assert!(delta.memo_hits >= 2);
+    elapsed_ns / tasks as f64
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!("=== Analysis overhead: memo-miss (cold) vs memo-hit (warm) ns/task ===");
+    bench::print_execution_axes();
+    println!(
+        "({} simulated GPUs, {} elements/store, {} ms windows, simulation-only)\n",
+        GPUS,
+        N,
+        measure_ms()
+    );
+    let cold = measure_cold();
+    let warm = measure_warm();
+    let ratio = cold / warm.max(1e-9);
+    println!("{:<28}{:>14.0} ns/task", "cold (all misses)", cold);
+    println!("{:<28}{:>14.0} ns/task", "warm (all hits)", warm);
+    println!("{:<28}{:>13.1}x\n", "cold/warm ratio", ratio);
+
+    assert!(
+        ratio >= HARD_FLOOR,
+        "memoized (warm) analysis must be at least {HARD_FLOOR}x cheaper per task \
+         than the miss path (cold {cold:.0} ns vs warm {warm:.0} ns = {ratio:.1}x)"
+    );
+
+    if check {
+        let path = format!("BENCH_{TOPIC}.json");
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check needs a checked-in {path}: {e}"));
+        let base = bench::parse_metric(&baseline, "analysis_overhead/ratio", "ratio")
+            .unwrap_or_else(|| panic!("no ratio entry in {path}"));
+        let tolerance = tolerance_pct();
+        let floor = (base * (1.0 - tolerance / 100.0)).max(HARD_FLOOR);
+        println!(
+            "baseline {base:.1}x, current {ratio:.1}x, floor {floor:.1}x — {}",
+            if ratio < floor { "REGRESSED" } else { "ok" }
+        );
+        assert!(
+            ratio >= floor,
+            "analysis-overhead amortization regressed >{tolerance}% vs {path}; \
+             re-record the baseline (`cargo run --release --bin analysis_overhead`) \
+             if this run is on different hardware, or raise ANALYSIS_OVERHEAD_TOLERANCE \
+             for the migration"
+        );
+        println!("\ncheck passed: ratio within {tolerance}% of the recorded baseline.");
+    } else {
+        let lines = vec![
+            bench::json_line(
+                "analysis_overhead/cold",
+                &[("ns_per_task", JsonValue::Num(cold))],
+            ),
+            bench::json_line(
+                "analysis_overhead/warm",
+                &[("ns_per_task", JsonValue::Num(warm))],
+            ),
+            bench::json_line("analysis_overhead/ratio", &[("ratio", JsonValue::Num(ratio))]),
+        ];
+        let path = bench::write_bench_file(TOPIC, &lines);
+        println!("recorded {path}");
+    }
+}

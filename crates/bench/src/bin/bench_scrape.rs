@@ -1,0 +1,42 @@
+//! Scrapes the vendored criterion stub's report lines into a `BENCH_*.json`
+//! trajectory (docs/BENCHMARKS.md), closing the ROADMAP item that previously
+//! left the analysis benches unrecorded.
+//!
+//! The stub prints one deterministic line per benchmark
+//! (`name    time:  14.2 µs/iter  (...)`); pipe any bench run through this
+//! binary with a topic name:
+//!
+//! ```sh
+//! cargo bench --bench fusion_benches | cargo run --release --bin bench_scrape -- fusion
+//! # wrote BENCH_fusion.json
+//! ```
+//!
+//! Every scraped entry is recorded as
+//! `{"bench":"<name>","ns_per_iter":<ns>,"date":"YYYY-MM-DD"}` via the shared
+//! helpers in `crates/bench/src/lib.rs` — the same schema and writer the
+//! dedicated recorder binaries use.
+
+use std::io::Read;
+
+use bench::JsonValue;
+
+fn main() {
+    let topic = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| panic!("usage: bench_scrape <topic>  (reads criterion output on stdin)"));
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .expect("cannot read stdin");
+    let entries = bench::scrape_criterion(&input);
+    assert!(
+        !entries.is_empty(),
+        "no criterion report lines found on stdin; pipe `cargo bench` output through this binary"
+    );
+    let lines: Vec<String> = entries
+        .iter()
+        .map(|(name, ns)| bench::json_line(name, &[("ns_per_iter", JsonValue::Num(*ns))]))
+        .collect();
+    let path = bench::write_bench_file(&topic, &lines);
+    println!("wrote {path} ({} entries)", entries.len());
+}

@@ -181,27 +181,6 @@ fn time_compile(backend: &dyn KernelBackend, module: &KernelModule) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
-/// Today's date as YYYY-MM-DD (days-since-epoch civil conversion; no chrono
-/// in the offline environment).
-fn today() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let mut days = (secs / 86_400) as i64;
-    days += 719_468;
-    let era = days.div_euclid(146_097);
-    let doe = days.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
-
 struct WindowResult {
     window: &'static str,
     interp_ns: f64,
@@ -248,47 +227,30 @@ fn measure_window(
     result
 }
 
-fn json_lines(results: &[WindowResult]) -> String {
-    let date = today();
-    let mut out = String::new();
+/// Records the measured windows through the shared `BENCH_*.json` helpers
+/// (`crates/bench/src/lib.rs`).
+fn json_lines(results: &[WindowResult]) -> Vec<String> {
+    use bench::JsonValue;
+    let mut out = Vec::new();
     for r in results {
         for (backend, ns, compile_ns) in [
             ("interp", r.interp_ns, r.interp_compile_ns),
             ("closure", r.closure_ns, r.closure_compile_ns),
         ] {
-            out.push_str(&format!(
-                "{{\"bench\":\"kernel_backends/{}/{}\",\"backend\":\"{}\",\"ns_per_element\":{:.3},\"compile_ns\":{:.0},\"elements\":{},\"date\":\"{}\"}}\n",
-                r.window, backend, backend, ns, compile_ns, N, date
+            out.push(bench::json_line(
+                &format!("kernel_backends/{}/{}", r.window, backend),
+                &[
+                    ("backend", JsonValue::Str(backend.to_string())),
+                    ("ns_per_element", JsonValue::Num(ns)),
+                    ("compile_ns", JsonValue::Num(compile_ns)),
+                    ("elements", JsonValue::Int(N as u64)),
+                ],
             ));
         }
-        out.push_str(&format!(
-            "{{\"bench\":\"kernel_backends/{}/speedup\",\"speedup\":{:.3},\"date\":\"{}\"}}\n",
-            r.window,
-            r.speedup(),
-            date
+        out.push(bench::json_line(
+            &format!("kernel_backends/{}/speedup", r.window),
+            &[("speedup", JsonValue::Num(r.speedup()))],
         ));
-    }
-    out
-}
-
-/// Extracts `"bench":"...", ... "speedup":<float>` pairs from the recorded
-/// JSON lines (flat schema; no JSON dependency in the offline environment).
-fn parse_speedups(contents: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in contents.lines() {
-        let Some(bench_at) = line.find("\"bench\":\"") else { continue };
-        let rest = &line[bench_at + 9..];
-        let Some(end) = rest.find('"') else { continue };
-        let bench = &rest[..end];
-        let Some(speedup_at) = line.find("\"speedup\":") else { continue };
-        let tail = &line[speedup_at + 10..];
-        let num: String = tail
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        if let Ok(v) = num.parse::<f64>() {
-            out.push((bench.to_string(), v));
-        }
     }
     out
 }
@@ -332,22 +294,24 @@ fn main() {
     if check {
         let baseline = std::fs::read_to_string(BENCH_FILE)
             .unwrap_or_else(|e| panic!("--check needs a checked-in {BENCH_FILE}: {e}"));
-        let recorded = parse_speedups(&baseline);
-        assert!(!recorded.is_empty(), "no speedup entries in {BENCH_FILE}");
         let mut failed = false;
+        let mut any = false;
         let tolerance = tolerance_pct();
         for r in &results {
             let key = format!("kernel_backends/{}/speedup", r.window);
-            // Multiple runs append; the last recorded entry is the baseline.
-            let Some((_, base)) = recorded.iter().rev().find(|(b, _)| *b == key) else {
+            // The writer replaces the file; parse_metric tolerates
+            // hand-appended history by taking the last entry.
+            let Some(base) = bench::parse_metric(&baseline, &key, "speedup") else {
                 println!("warning: no baseline entry for {key}; skipping");
                 continue;
             };
+            any = true;
             let current = r.speedup();
             let floor = base * (1.0 - tolerance / 100.0);
             let verdict = if current < floor { failed = true; "REGRESSED" } else { "ok" };
             println!("{key}: baseline {base:.2}x, current {current:.2}x, floor {floor:.2}x — {verdict}");
         }
+        assert!(any, "no speedup entries in {BENCH_FILE}");
         assert!(
             !failed,
             "closure-backend speedup regressed >{tolerance}% vs {BENCH_FILE}; if this \
@@ -357,8 +321,7 @@ fn main() {
         );
         println!("\ncheck passed: speedups within {tolerance}% of the recorded baseline.");
     } else {
-        std::fs::write(BENCH_FILE, json_lines(&results))
-            .unwrap_or_else(|e| panic!("cannot write {BENCH_FILE}: {e}"));
-        println!("recorded {BENCH_FILE}");
+        let path = bench::write_bench_file("kernel_backends", &json_lines(&results));
+        println!("recorded {path}");
     }
 }

@@ -107,6 +107,162 @@ where
     (mode, results)
 }
 
+// ---------------------------------------------------------------------------
+// Shared `BENCH_*.json` trajectory recording (docs/BENCHMARKS.md).
+//
+// Every recorder — the dedicated binaries (`kernel_backends`,
+// `analysis_overhead`) and the criterion-output scraper (`bench_scrape`) —
+// goes through these helpers, so the JSON-lines schema and date stamping
+// live in exactly one place.
+// ---------------------------------------------------------------------------
+
+/// One field of a recorded benchmark entry.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A floating-point metric, formatted with three decimals.
+    Num(f64),
+    /// An integer metric.
+    Int(u64),
+    /// A string label.
+    Str(String),
+}
+
+/// Formats one JSON line of a `BENCH_*.json` trajectory:
+/// `{"bench":"<name>",<fields...>,"date":"YYYY-MM-DD"}`.
+///
+/// # Example
+///
+/// ```
+/// let line = bench::json_line(
+///     "demo/speedup",
+///     &[("speedup", bench::JsonValue::Num(2.0))],
+/// );
+/// assert!(line.starts_with("{\"bench\":\"demo/speedup\",\"speedup\":2.000,"));
+/// assert!(line.contains("\"date\":\""));
+/// ```
+pub fn json_line(bench: &str, fields: &[(&str, JsonValue)]) -> String {
+    let mut out = format!("{{\"bench\":\"{bench}\"");
+    for (key, value) in fields {
+        match value {
+            JsonValue::Num(v) => out.push_str(&format!(",\"{key}\":{v:.3}")),
+            JsonValue::Int(v) => out.push_str(&format!(",\"{key}\":{v}")),
+            JsonValue::Str(v) => out.push_str(&format!(",\"{key}\":\"{v}\"")),
+        }
+    }
+    out.push_str(&format!(",\"date\":\"{}\"}}", today()));
+    out
+}
+
+/// Writes a recorded trajectory (one JSON line per entry) to
+/// `BENCH_<topic>.json` in the current directory, replacing any previous
+/// recording. Panics (with the path) if the file cannot be written, matching
+/// the recorder binaries' fail-loud convention.
+pub fn write_bench_file(topic: &str, lines: &[String]) -> String {
+    let path = format!("BENCH_{topic}.json");
+    let mut contents = lines.join("\n");
+    if !contents.is_empty() {
+        contents.push('\n');
+    }
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    path
+}
+
+/// Extracts the last recorded value of `field` for `bench` from a
+/// `BENCH_*.json` trajectory (flat JSON-lines schema; no JSON dependency in
+/// the offline environment). [`write_bench_file`] replaces the file on each
+/// run, but trajectories may be appended by hand (or by older recorders),
+/// so the last matching entry wins.
+///
+/// # Example
+///
+/// ```
+/// let contents = "{\"bench\":\"w/speedup\",\"speedup\":1.5}\n\
+///                 {\"bench\":\"w/speedup\",\"speedup\":2.5}\n";
+/// assert_eq!(bench::parse_metric(contents, "w/speedup", "speedup"), Some(2.5));
+/// assert_eq!(bench::parse_metric(contents, "other", "speedup"), None);
+/// ```
+pub fn parse_metric(contents: &str, bench: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"bench\":\"{bench}\"");
+    let field_key = format!("\"{field}\":");
+    contents
+        .lines()
+        .rev()
+        .find(|line| line.contains(&needle))
+        .and_then(|line| {
+            let at = line.find(&field_key)?;
+            let tail = &line[at + field_key.len()..];
+            let num: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            num.parse().ok()
+        })
+}
+
+/// Parses the vendored criterion stub's report lines
+/// (`name    time:  14.2 µs/iter  (...)`) into `(benchmark name,
+/// nanoseconds per iteration)` pairs, ready to record via [`json_line`].
+///
+/// # Example
+///
+/// ```
+/// let out = "fusible_prefix/window/32    time:   14.2 µs/iter  (211 iters, 3 samples)\n";
+/// let parsed = bench::scrape_criterion(out);
+/// assert_eq!(parsed, vec![("fusible_prefix/window/32".to_string(), 14_200.0)]);
+/// ```
+pub fn scrape_criterion(output: &str) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    for line in output.lines() {
+        let Some((name, rest)) = line.split_once("time:") else {
+            continue;
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        let Some((value, _)) = rest.split_once("/iter") else {
+            continue;
+        };
+        let value = value.trim();
+        let Some((num, unit)) = value.split_once(char::is_whitespace) else {
+            continue;
+        };
+        let Ok(num) = num.trim().parse::<f64>() else {
+            continue;
+        };
+        let scale = match unit.trim() {
+            "ns" => 1.0,
+            "µs" | "us" => 1e3,
+            "ms" => 1e6,
+            "s" => 1e9,
+            _ => continue,
+        };
+        entries.push((name.to_string(), num * scale));
+    }
+    entries
+}
+
+/// Today's date as YYYY-MM-DD (days-since-epoch civil conversion; no chrono
+/// in the offline environment).
+pub fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut days = (secs / 86_400) as i64;
+    days += 719_468;
+    let era = days.div_euclid(146_097);
+    let doe = days.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +283,53 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].gpus, 1);
         assert_eq!(results[1].gpus, 2);
+    }
+
+    #[test]
+    fn json_line_schema() {
+        let line = json_line(
+            "kernel_backends/cg/interp",
+            &[
+                ("backend", JsonValue::Str("interp".into())),
+                ("ns_per_element", JsonValue::Num(50.637)),
+                ("elements", JsonValue::Int(32768)),
+            ],
+        );
+        assert!(line.starts_with(
+            "{\"bench\":\"kernel_backends/cg/interp\",\"backend\":\"interp\",\
+             \"ns_per_element\":50.637,\"elements\":32768,\"date\":\""
+        ));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn parse_metric_takes_the_last_entry() {
+        let contents = "{\"bench\":\"a/x\",\"v\":1.0}\n{\"bench\":\"a/x\",\"v\":3.5}\n";
+        assert_eq!(parse_metric(contents, "a/x", "v"), Some(3.5));
+        assert_eq!(parse_metric(contents, "a/x", "w"), None);
+        assert_eq!(parse_metric(contents, "b/x", "v"), None);
+    }
+
+    #[test]
+    fn scrape_criterion_units() {
+        let out = "\
+a/b    time:     250.0 ns/iter  (1 iters, 1 samples)
+c      time:      1.5 ms/iter  (2 iters, 1 samples)
+noise line without timing
+d      time:      2.000 s/iter  (1 iters, 1 samples)
+";
+        let parsed = scrape_criterion(out);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0], ("a/b".to_string(), 250.0));
+        assert_eq!(parsed[1], ("c".to_string(), 1.5e6));
+        assert_eq!(parsed[2], ("d".to_string(), 2.0e9));
+    }
+
+    #[test]
+    fn today_is_iso_formatted() {
+        let d = today();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
     }
 }

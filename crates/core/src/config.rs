@@ -28,6 +28,11 @@ pub struct DiffuseConfig {
     pub enable_temp_elimination: bool,
     /// Memoize analysis and compilation over isomorphic windows.
     pub enable_memoization: bool,
+    /// Maximum number of (canonical window, compiled artifact) entries the
+    /// memoization cache retains; least-recently-used entries are evicted
+    /// beyond this. `usize::MAX` disables the bound. Defaults to
+    /// [`DiffuseConfig::DEFAULT_MEMO_CAPACITY`].
+    pub memo_capacity: usize,
     /// Initial task-window size.
     pub initial_window_size: usize,
     /// Maximum task-window size.
@@ -45,6 +50,12 @@ pub struct DiffuseConfig {
 }
 
 impl DiffuseConfig {
+    /// Default bound on resident memoization entries. Generous for real
+    /// applications (CG needs a handful of window shapes) while keeping a
+    /// long-running service from accumulating a compiled artifact for every
+    /// window shape it has ever seen.
+    pub const DEFAULT_MEMO_CAPACITY: usize = 1024;
+
     /// Full Diffuse with functional execution.
     pub fn fused(machine: MachineConfig) -> Self {
         DiffuseConfig {
@@ -54,6 +65,7 @@ impl DiffuseConfig {
             enable_kernel_fusion: true,
             enable_temp_elimination: true,
             enable_memoization: true,
+            memo_capacity: Self::DEFAULT_MEMO_CAPACITY,
             initial_window_size: 5,
             max_window_size: 70,
             executor: ExecutorKind::from_env(),
@@ -99,6 +111,18 @@ impl DiffuseConfig {
     /// Disables memoization (ablation).
     pub fn without_memoization(mut self) -> Self {
         self.enable_memoization = false;
+        self
+    }
+
+    /// Bounds the memoization cache to `capacity` resident entries (LRU
+    /// eviction beyond it). Pass `usize::MAX` for an unbounded cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "memo capacity must be at least 1");
+        self.memo_capacity = capacity;
         self
     }
 
@@ -152,6 +176,22 @@ mod tests {
     #[test]
     fn default_is_fused() {
         assert!(DiffuseConfig::default().enable_task_fusion);
+        assert_eq!(
+            DiffuseConfig::default().memo_capacity,
+            DiffuseConfig::DEFAULT_MEMO_CAPACITY
+        );
+    }
+
+    #[test]
+    fn memo_capacity_override() {
+        let c = DiffuseConfig::fused(MachineConfig::single_node(2)).with_memo_capacity(7);
+        assert_eq!(c.memo_capacity, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_memo_capacity_panics() {
+        let _ = DiffuseConfig::fused(MachineConfig::single_node(2)).with_memo_capacity(0);
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The Diffuse context: task window management, fusion, JIT and lowering.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
 use fusion::{
-    find_fusible_prefix, temporary_stores, AdaptiveWindow, CanonicalWindow, FusedTask, MemoCache,
+    fusible_segments, temporary_stores, AdaptiveWindow, CanonicalWindow, FusedTask, MemoCache,
 };
-use ir::{Domain, IndexTask, Partition, StoreArg, StoreId, TaskId, TaskWindow};
+use ir::{
+    Domain, IndexTask, Partition, PartitionId, Privilege, ShapeId, StoreArg, StoreId, TaskId,
+    TaskWindow,
+};
 use kernel::{
     BufferId, BufferRole, CompileTimeModel, CompiledKernel, GenArgs, GeneratorRegistry,
     KernelBackend, KernelModule, Pipeline, PipelineConfig, TaskKind,
@@ -22,7 +25,9 @@ use crate::stats::ExecutionStats;
 /// Metadata Diffuse keeps per store.
 #[derive(Debug, Clone)]
 struct StoreMeta {
-    shape: Vec<u64>,
+    /// Interned shape; stamped onto every submitted argument so the fusion
+    /// analyses never consult a side shape map.
+    shape: ShapeId,
     name: String,
     /// Region backing the store, allocated lazily on first non-temporary use.
     region: Option<RegionId>,
@@ -30,28 +35,47 @@ struct StoreMeta {
     app_refs: u64,
 }
 
-/// Memoization key: the canonical window plus the id of the backend that
-/// compiled the artifact. Two backends never share compiled kernels.
-type MemoKey = (CanonicalWindow, &'static str);
-
-/// Cached analysis + compilation result for one (canonical window, backend).
+/// Cached analysis + compilation result for one canonical window. Each
+/// context owns one cache created for its configured backend, so artifacts
+/// are keyed by (canonical window, backend) by construction. The compiled
+/// artifact is shared behind an `Arc` so a memoization hit clones a pointer,
+/// not a buffer layout.
 #[derive(Debug, Clone)]
 struct MemoEntry {
     prefix_len: usize,
-    compiled: CompiledArtifact,
+    compiled: Arc<CompiledArtifact>,
 }
 
-/// A backend-compiled fused kernel plus the buffer layout it was compiled
-/// under. The layout — which fused args were demoted to task-local
-/// temporaries (this fixes both the requirement/local split and the buffer
-/// permutation) and how many generator locals follow — depends on store
-/// liveness, which the canonical window does not capture. It is therefore
-/// recomputed per launch and the artifact is reused only when it matches:
-/// a kernel compiled with an eliminated temporary can never be resurrected
-/// for a window where that store is live and must be written.
+/// A backend-compiled fused kernel plus the complete **launch skeleton** it
+/// was compiled under: everything a memoization hit needs to relaunch the
+/// fused window without rebuilding the fused task — the merged arguments in
+/// *canonical* store numbering (instantiated against the concrete window via
+/// [`TaskWindow::canonical_store`]), their access volumes (a function of the
+/// canonical window: shapes and partitions are part of the key), the fused
+/// name and the buffer layout.
+///
+/// The layout — which fused args were demoted to task-local temporaries
+/// (this fixes both the requirement/local split and the buffer permutation)
+/// and how many generator locals follow — depends on store liveness, which
+/// the canonical window does not capture. It is therefore recomputed per
+/// launch and the artifact is reused only when it matches: a kernel compiled
+/// with an eliminated temporary can never be resurrected for a window where
+/// that store is live and must be written.
 #[derive(Debug, Clone)]
 struct CompiledArtifact {
     kernel: Arc<dyn CompiledKernel>,
+    /// Fused name (`fused[a+b+...]`) of the window that was memoized. Task
+    /// names are not part of the canonical key, so an isomorphic window
+    /// with different task names relaunches under this name — profiles and
+    /// diagnostics show the memoized window's name, which identifies the
+    /// structure (and the kernel actually run) rather than the instance.
+    name: String,
+    /// Merged fused args as (canonical store index, partition, privilege).
+    args: Vec<(u32, PartitionId, Privilege)>,
+    /// Per-arg access volume over the launch domain.
+    arg_volumes: Vec<usize>,
+    /// Largest arg volume (sizes generator-introduced locals).
+    max_vol: usize,
     is_temp: Vec<bool>,
     num_generator_locals: usize,
 }
@@ -65,7 +89,7 @@ pub struct ContextInner {
     registry: GeneratorRegistry,
     window: TaskWindow,
     adaptive: AdaptiveWindow,
-    memo: MemoCache<MemoEntry, MemoKey>,
+    memo: MemoCache<MemoEntry>,
     backend: Arc<dyn KernelBackend>,
     compile_model: CompileTimeModel,
     stats: ExecutionStats,
@@ -87,17 +111,10 @@ impl ContextInner {
         }
     }
 
-    fn store_shapes(&self) -> HashMap<StoreId, Vec<u64>> {
-        self.stores
-            .iter()
-            .map(|(id, m)| (*id, m.shape.clone()))
-            .collect()
-    }
-
     /// Number of elements a (store, partition) argument touches over a launch
     /// domain: the volume of the bounding box of its sub-stores.
     fn access_volume(&self, store: StoreId, partition: &Partition, domain: &Domain) -> usize {
-        let shape = &self.stores[&store].shape;
+        let shape: &[u64] = &self.stores[&store].shape;
         match partition {
             Partition::Replicate => shape.iter().product::<u64>() as usize,
             Partition::Tiling { .. } => {
@@ -128,7 +145,7 @@ impl ContextInner {
         }
         let region = self
             .runtime
-            .allocate_region(meta.shape.clone(), meta.name.clone());
+            .allocate_region(meta.shape.to_vec(), meta.name.clone());
         self.stores.get_mut(&store).unwrap().region = Some(region);
         region
     }
@@ -208,7 +225,7 @@ impl ContextInner {
             .iter()
             .map(|a| {
                 let region = self.ensure_region(a.store);
-                RegionRequirement::new(region, a.partition.clone(), a.privilege)
+                RegionRequirement::new(region, a.partition, a.privilege)
             })
             .collect();
         let launch = TaskLaunch {
@@ -225,32 +242,74 @@ impl ContextInner {
     }
 
     /// Composes, optimizes, compiles (or reuses a memoized compiled
-    /// artifact) and launches a fused task built from `prefix`.
+    /// artifact) and launches a fused task built from the first `prefix_len`
+    /// buffered tasks.
     ///
     /// On a memoization hit the backend is not consulted at all — the cached
     /// `Arc<dyn CompiledKernel>` is launched directly and no compile time is
     /// charged. On a miss the fused module is composed, optimized, remapped
     /// into launch layout and compiled by the configured backend, which
     /// prices the one-time work via [`KernelBackend::compile_cost`]; the
-    /// artifact is then memoized under `memo_key`.
+    /// artifact is then memoized under `memo_key` (the canonical form of the
+    /// whole window at probe time).
     fn launch_fused(
         &mut self,
-        prefix: Vec<IndexTask>,
-        cached: Option<CompiledArtifact>,
-        memo_key: Option<MemoKey>,
         prefix_len: usize,
+        cached: Option<Arc<CompiledArtifact>>,
+        memo_key: Option<CanonicalWindow>,
     ) {
-        let shapes = self.store_shapes();
-        let pending: Vec<IndexTask> = self.window.tasks().to_vec();
-        let fused = FusedTask::build(prefix);
+        // Liveness (which fused args become task-local temporaries) is the
+        // only launch input the canonical window does not determine, so it
+        // is recomputed per launch — over borrowed window slices, before
+        // anything is drained or built.
+        let (prefix_slice, pending) = self.window.tasks().split_at(prefix_len);
         let temps: HashSet<StoreId> = if self.config.enable_temp_elimination {
             let stores = &self.stores;
-            temporary_stores(&fused.tasks, &pending, &shapes, |s| {
+            temporary_stores(prefix_slice, pending, |s| {
                 stores.get(&s).map(|m| m.app_refs > 0).unwrap_or(false)
             })
         } else {
             HashSet::new()
         };
+
+        if let Some(art) = &cached {
+            // Layout check: the cached artifact was compiled under a
+            // particular temporary split; relaunch it directly only if the
+            // current liveness agrees. The artifact's canonical indices were
+            // assigned over the prefix, which is a prefix of the whole
+            // window's first-occurrence numbering, so they resolve through
+            // the window's numbering unchanged.
+            let layout_matches = art
+                .args
+                .iter()
+                .zip(&art.is_temp)
+                .all(|((ci, _, _), &was_temp)| {
+                    let store = self
+                        .window
+                        .canonical_store(*ci as usize)
+                        .expect("cached entry verified against this window");
+                    temps.contains(&store) == was_temp
+                });
+            if layout_matches {
+                let art = Arc::clone(art);
+                self.launch_from_skeleton(prefix_len, &art);
+                return;
+            }
+        }
+
+        // Miss, or a liveness drift on a hit — which recompiles
+        // conservatively and re-memoizes. The fast path skipped key
+        // construction, so a drift rebuilds the probed window's key here
+        // (drift is rare; the steady state never pays this).
+        let memo_key = memo_key.or_else(|| {
+            if cached.is_some() && self.config.enable_memoization {
+                Some(CanonicalWindow::new(self.window.tasks()))
+            } else {
+                None
+            }
+        });
+        let prefix = self.window.drain_prefix(prefix_len);
+        let fused = FusedTask::build(prefix);
 
         // Which fused args are temporaries (become task-local buffers).
         let is_temp: Vec<bool> = fused.args.iter().map(|(s, _, _)| temps.contains(s)).collect();
@@ -287,48 +346,52 @@ impl ContextInner {
             remap
         };
 
-        let (kernel, generator_local_lens) = match cached {
-            // Memoization hit with a matching layout: skip composition and
-            // backend compilation entirely. Matching `is_temp` implies a
-            // matching remap (the remap is a pure function of it), and —
-            // unlike comparing remaps — also catches a changed
-            // requirement/local split that leaves the permutation intact.
-            Some(art) if art.is_temp == is_temp => {
-                let lens = vec![max_vol; art.num_generator_locals];
-                (art.kernel, lens)
-            }
-            // Miss (or a liveness drift, which recompiles conservatively).
-            _ => {
-                let (module, gen_lens) =
-                    self.compose_and_optimize(&fused, &is_temp, &arg_volumes);
-                let remap = build_remap(gen_lens.len());
-                let module = module.remap_buffers(&remap);
-                let kernel = self.compile_artifact(&module);
-                if let Some(key) = memo_key {
-                    // Fresh miss or liveness drift: (re)memoize so the next
-                    // isomorphic window hits with the current layout.
-                    self.memo.insert(
-                        key,
-                        MemoEntry {
-                            prefix_len,
-                            compiled: CompiledArtifact {
-                                kernel: Arc::clone(&kernel),
-                                is_temp: is_temp.clone(),
-                                num_generator_locals: gen_lens.len(),
-                            },
-                        },
-                    );
+        let (module, generator_local_lens) =
+            self.compose_and_optimize(&fused, &is_temp, &arg_volumes);
+        let remap = build_remap(generator_local_lens.len());
+        let module = module.remap_buffers(&remap);
+        let kernel = self.compile_artifact(&module);
+        if let Some(key) = memo_key {
+            // (Re)memoize the complete launch skeleton so the next
+            // isomorphic window relaunches without rebuilding any of it.
+            // Canonical indices are assigned by first occurrence across the
+            // prefix (a prefix of the window numbering the probe verifies
+            // against).
+            let mut canon: HashMap<StoreId, u32> = HashMap::new();
+            for t in &fused.tasks {
+                for a in &t.args {
+                    let next = canon.len() as u32;
+                    canon.entry(a.store).or_insert(next);
                 }
-                (kernel, gen_lens)
             }
-        };
+            let canonical_args: Vec<(u32, PartitionId, Privilege)> = fused
+                .args
+                .iter()
+                .map(|(s, p, pr)| (canon[s], *p, *pr))
+                .collect();
+            self.memo.insert(
+                key,
+                MemoEntry {
+                    prefix_len,
+                    compiled: Arc::new(CompiledArtifact {
+                        kernel: Arc::clone(&kernel),
+                        name: fused.name.clone(),
+                        args: canonical_args,
+                        arg_volumes: arg_volumes.clone(),
+                        max_vol,
+                        is_temp: is_temp.clone(),
+                        num_generator_locals: generator_local_lens.len(),
+                    }),
+                },
+            );
+        }
 
         let mut requirements = Vec::new();
         let mut local_lens = Vec::new();
         for (i, (store, part, priv_)) in fused.args.iter().enumerate() {
             if !is_temp[i] {
                 let region = self.ensure_region(*store);
-                requirements.push(RegionRequirement::new(region, part.clone(), *priv_));
+                requirements.push(RegionRequirement::new(region, *part, *priv_));
             }
         }
         for (i, _) in fused.args.iter().enumerate() {
@@ -368,6 +431,68 @@ impl ContextInner {
         self.runtime.execute(&launch).expect("fused launch failed");
         self.stats.tasks_launched += 1;
         if fused.len() > 1 {
+            self.stats.fused_tasks += 1;
+        }
+    }
+
+    /// The memoization-hit fast path: instantiates a cached launch skeleton
+    /// against the current window's concrete stores. No fused task is built,
+    /// no access volumes are computed and no name is assembled — the only
+    /// per-launch work is resolving canonical indices to store ids, ensuring
+    /// backing regions and gathering scalars.
+    fn launch_from_skeleton(&mut self, prefix_len: usize, art: &CompiledArtifact) {
+        let prefix = &self.window.tasks()[..prefix_len];
+        let launch_domain = prefix[0].launch_domain.clone();
+        let scalars: Vec<f64> = prefix
+            .iter()
+            .flat_map(|t| t.scalars.iter().copied())
+            .collect();
+        // Resolve the skeleton's canonical store indices against this window
+        // before draining (draining renumbers the remaining suffix).
+        let arg_stores: Vec<StoreId> = art
+            .args
+            .iter()
+            .map(|(ci, _, _)| {
+                self.window
+                    .canonical_store(*ci as usize)
+                    .expect("cached entry verified against this window")
+            })
+            .collect();
+        drop(self.window.drain_prefix(prefix_len));
+
+        let mut requirements = Vec::with_capacity(art.args.len());
+        let mut local_lens = Vec::new();
+        for (i, ((_, part, priv_), store)) in art.args.iter().zip(&arg_stores).enumerate() {
+            if !art.is_temp[i] {
+                let region = self.ensure_region(*store);
+                requirements.push(RegionRequirement::new(region, *part, *priv_));
+            }
+        }
+        for (i, store) in arg_stores.iter().enumerate() {
+            if art.is_temp[i] {
+                local_lens.push(art.arg_volumes[i].max(1));
+                self.stats.temporaries_eliminated += 1;
+                if self.stores[store].region.is_none() {
+                    self.stats.distributed_allocations_avoided += 1;
+                }
+            }
+        }
+        for _ in 0..art.num_generator_locals {
+            local_lens.push(art.max_vol.max(1));
+        }
+
+        let launch = TaskLaunch {
+            name: art.name.clone(),
+            launch_domain,
+            requirements,
+            kernel: Arc::clone(&art.kernel),
+            scalars,
+            local_buffer_lens: local_lens,
+            overhead: OverheadClass::TaskRuntime,
+        };
+        self.runtime.execute(&launch).expect("fused launch failed");
+        self.stats.tasks_launched += 1;
+        if prefix_len > 1 {
             self.stats.fused_tasks += 1;
         }
     }
@@ -448,7 +573,30 @@ impl ContextInner {
 
     /// Processes the entire buffered window: repeatedly extract a fusible
     /// prefix (or a single task) and launch it.
+    ///
+    /// The hot path is allocation-free up to the launch itself: the memo
+    /// lookup probes by the window's incrementally maintained fingerprint
+    /// (no `CanonicalWindow` is built on a hit), and on misses the fusible
+    /// segmentation of the whole window is computed **once** and consumed
+    /// front to back, so draining a prefix never re-checks the untouched
+    /// suffix.
     fn process_window(&mut self) {
+        /// Front segment of the window, computing the one-pass segmentation
+        /// lazily on first (miss-path) use.
+        fn front_segment(
+            segments: &mut VecDeque<usize>,
+            valid: &mut bool,
+            window: &TaskWindow,
+        ) -> usize {
+            if !*valid {
+                *segments = fusible_segments(window.tasks()).into();
+                *valid = true;
+            }
+            segments.front().copied().unwrap_or(1)
+        }
+
+        let mut segments: VecDeque<usize> = VecDeque::new();
+        let mut segments_valid = false;
         while !self.window.is_empty() {
             if !self.config.enable_task_fusion {
                 let task = self.window.drain_prefix(1).pop().unwrap();
@@ -456,40 +604,44 @@ impl ContextInner {
                 continue;
             }
             let window_len = self.window.len();
-            let shapes = self.store_shapes();
-            // The key is kept after lookup so that any recompilation —
-            // including a layout drift on a hit — can (re)memoize its
-            // artifact instead of leaving a stale entry behind.
-            let memo_key = if self.config.enable_memoization {
-                Some((
-                    CanonicalWindow::new(self.window.tasks(), &shapes),
-                    self.backend.id(),
-                ))
-            } else {
-                None
-            };
-            let (prefix_len, cached) = match &memo_key {
-                Some(key) => match self.memo.get(key) {
+            // Fingerprint-first memo probe; a full canonical key is built
+            // only on a miss (to insert after compilation).
+            let (prefix_len, cached, memo_key) = if self.config.enable_memoization {
+                match self.memo.probe(&self.window) {
                     Some(entry) => {
                         self.stats.memo_hits += 1;
-                        (entry.prefix_len, Some(entry.compiled.clone()))
+                        (entry.prefix_len, Some(Arc::clone(&entry.compiled)), None)
                     }
                     None => {
                         self.stats.memo_misses += 1;
-                        let len = find_fusible_prefix(self.window.tasks()).max(1);
-                        (len, None)
+                        let len =
+                            front_segment(&mut segments, &mut segments_valid, &self.window);
+                        (len, None, Some(CanonicalWindow::new(self.window.tasks())))
                     }
-                },
-                None => (find_fusible_prefix(self.window.tasks()).max(1), None),
+                }
+            } else {
+                let len = front_segment(&mut segments, &mut segments_valid, &self.window);
+                (len, None, None)
             };
-            let prefix_len = prefix_len.min(self.window.len()).max(1);
-            let prefix = self.window.drain_prefix(prefix_len);
+            let prefix_len = prefix_len.min(window_len).max(1);
+            // Keep the cached segmentation aligned with the drain. A memoized
+            // prefix length always equals the front segment (the memoized
+            // decision is a function of the canonical window), but guard by
+            // invalidating on any disagreement rather than assuming it.
+            if segments_valid {
+                if segments.front() == Some(&prefix_len) {
+                    segments.pop_front();
+                } else {
+                    segments_valid = false;
+                }
+            }
             if prefix_len == 1 && !self.config.enable_kernel_fusion {
                 // A singleton prefix with no kernel-level optimization is just
                 // an unfused launch.
-                self.launch_unfused(prefix.into_iter().next().unwrap());
+                let task = self.window.drain_prefix(1).pop().unwrap();
+                self.launch_unfused(task);
             } else {
-                self.launch_fused(prefix, cached, memo_key, prefix_len);
+                self.launch_fused(prefix_len, cached, memo_key);
             }
             self.adaptive.record(window_len, prefix_len);
         }
@@ -528,7 +680,7 @@ impl Context {
             runtime: Runtime::new(runtime_config),
             registry: GeneratorRegistry::new(),
             window: TaskWindow::new(),
-            memo: MemoCache::new(),
+            memo: MemoCache::with_capacity_limit(config.memo_capacity.max(1)),
             backend: config.backend.backend(),
             compile_model: CompileTimeModel::default(),
             stats: ExecutionStats::default(),
@@ -574,7 +726,7 @@ impl Context {
         inner.stores.insert(
             id,
             StoreMeta {
-                shape: shape.clone(),
+                shape: ShapeId::intern(&shape),
                 name: name.to_string(),
                 region: None,
                 app_refs: 1,
@@ -671,7 +823,17 @@ impl Context {
         id
     }
 
-    fn submit_task_locked(&self, inner: &mut ContextInner, task: IndexTask) {
+    fn submit_task_locked(&self, inner: &mut ContextInner, mut task: IndexTask) {
+        // Stamp every argument with its store's interned shape: from here on
+        // the analyses (fingerprinting, canonicalization, temporary
+        // elimination) read shapes straight off the arguments.
+        for arg in &mut task.args {
+            let meta = inner
+                .stores
+                .get(&arg.store)
+                .unwrap_or_else(|| panic!("submit references unknown store {}", arg.store));
+            arg.shape = meta.shape;
+        }
         inner.stats.tasks_submitted += 1;
         inner.window.push(task);
         if inner.window.len() >= inner.adaptive.size() {
@@ -693,6 +855,7 @@ impl Context {
         let inner = self.inner.borrow();
         let mut stats = inner.stats;
         stats.current_window_size = inner.adaptive.size() as u64;
+        stats.memo_evictions = inner.memo.evictions();
         stats
     }
 

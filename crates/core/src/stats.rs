@@ -21,6 +21,9 @@ pub struct ExecutionStats {
     pub memo_hits: u64,
     /// Memoization cache misses.
     pub memo_misses: u64,
+    /// Memoization entries evicted to stay within the configured capacity
+    /// (`DiffuseConfig::memo_capacity`).
+    pub memo_evictions: u64,
     /// Temporary stores demoted to task-local allocations (Definition 4).
     pub temporaries_eliminated: u64,
     /// Distributed allocations that were never performed because the store
@@ -43,6 +46,7 @@ impl ExecutionStats {
             compile_time: self.compile_time - earlier.compile_time,
             memo_hits: self.memo_hits - earlier.memo_hits,
             memo_misses: self.memo_misses - earlier.memo_misses,
+            memo_evictions: self.memo_evictions - earlier.memo_evictions,
             temporaries_eliminated: self.temporaries_eliminated - earlier.temporaries_eliminated,
             distributed_allocations_avoided: self.distributed_allocations_avoided
                 - earlier.distributed_allocations_avoided,

@@ -3,7 +3,7 @@
 use std::ops::Range;
 
 use diffuse::StoreHandle;
-use ir::{Partition, Privilege, Projection, ReductionOp, StoreArg};
+use ir::{Partition, PartitionId, Privilege, Projection, ReductionOp, StoreArg};
 use kernel::TaskKind;
 
 use crate::context::DenseContext;
@@ -20,6 +20,8 @@ pub struct DArray {
     handle: StoreHandle,
     view_offset: Vec<i64>,
     view_shape: Vec<u64>,
+    /// Lazily computed interned partition id (see [`DArray::partition_id`]).
+    partition_cache: std::cell::Cell<Option<PartitionId>>,
 }
 
 impl DArray {
@@ -30,6 +32,7 @@ impl DArray {
             handle,
             view_offset: vec![0; shape.len()],
             view_shape: shape,
+            partition_cache: std::cell::Cell::new(None),
         }
     }
 
@@ -99,18 +102,33 @@ impl DArray {
         }
     }
 
+    /// The interned id of [`DArray::partition`]: what the store-argument
+    /// builders actually hand to the window, so submissions carry a `Copy`
+    /// id rather than an owned partition structure. The id is a pure
+    /// function of the view and GPU count (both fixed at creation), so it
+    /// is computed once and cached — repeated operations on the same array
+    /// never rebuild or re-hash the partition.
+    pub fn partition_id(&self) -> PartitionId {
+        if let Some(id) = self.partition_cache.get() {
+            return id;
+        }
+        let id = PartitionId::intern(&self.partition());
+        self.partition_cache.set(Some(id));
+        id
+    }
+
     fn read_arg(&self) -> StoreArg {
-        StoreArg::new(self.handle.id(), self.partition(), Privilege::Read)
+        StoreArg::new(self.handle.id(), self.partition_id(), Privilege::Read)
     }
 
     fn write_arg(&self) -> StoreArg {
-        StoreArg::new(self.handle.id(), self.partition(), Privilege::Write)
+        StoreArg::new(self.handle.id(), self.partition_id(), Privilege::Write)
     }
 
     fn reduce_arg(&self) -> StoreArg {
         StoreArg::new(
             self.handle.id(),
-            Partition::Replicate,
+            PartitionId::intern(&Partition::Replicate),
             Privilege::Reduce(ReductionOp::Sum),
         )
     }
@@ -389,6 +407,7 @@ impl DArray {
             handle: self.handle.clone(),
             view_offset: vec![self.view_offset[0] + range.start as i64],
             view_shape: vec![range.end - range.start],
+            partition_cache: std::cell::Cell::new(None),
         }
     }
 
@@ -408,6 +427,7 @@ impl DArray {
                 self.view_offset[1] + cols.start as i64,
             ],
             view_shape: vec![rows.end - rows.start, cols.end - cols.start],
+            partition_cache: std::cell::Cell::new(None),
         }
     }
 

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use ir::{Domain, IndexTask, Partition, StoreId};
+use ir::{Domain, IndexTask, PartitionId, StoreId};
 
 /// Why a task could not be added to the fusible prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,24 +59,26 @@ impl std::fmt::Display for FusionViolation {
     }
 }
 
-/// Per-store effects of the tasks admitted so far.
+/// Per-store effects of the tasks admitted so far. Partitions are tracked by
+/// interned id, so recording and membership tests are integer compares with
+/// no cloning.
 #[derive(Debug, Clone, Default)]
 struct StoreEffects {
-    reads: Vec<Partition>,
-    writes: Vec<Partition>,
-    reduces: Vec<Partition>,
+    reads: Vec<PartitionId>,
+    writes: Vec<PartitionId>,
+    reduces: Vec<PartitionId>,
 }
 
 impl StoreEffects {
-    fn record(&mut self, partition: &Partition, privilege: ir::Privilege) {
-        if privilege.reads() && !self.reads.contains(partition) {
-            self.reads.push(partition.clone());
+    fn record(&mut self, partition: PartitionId, privilege: ir::Privilege) {
+        if privilege.reads() && !self.reads.contains(&partition) {
+            self.reads.push(partition);
         }
-        if privilege.writes() && !self.writes.contains(partition) {
-            self.writes.push(partition.clone());
+        if privilege.writes() && !self.writes.contains(&partition) {
+            self.writes.push(partition);
         }
-        if privilege.reduces() && !self.reduces.contains(partition) {
-            self.reduces.push(partition.clone());
+        if privilege.reduces() && !self.reduces.contains(&partition) {
+            self.reduces.push(partition);
         }
     }
 }
@@ -157,7 +159,7 @@ impl ConstraintState {
                 if effects
                     .writes
                     .iter()
-                    .any(|p| p != &arg.partition || p.may_alias_across_points())
+                    .any(|p| *p != arg.partition || p.may_alias_across_points())
                 {
                     return Err(FusionViolation::TrueDependence { store: arg.store });
                 }
@@ -169,7 +171,7 @@ impl ConstraintState {
                 if effects
                     .reads
                     .iter()
-                    .any(|p| p != &arg.partition || arg.partition.may_alias_across_points())
+                    .any(|p| *p != arg.partition || arg.partition.may_alias_across_points())
                 {
                     return Err(FusionViolation::AntiDependence { store: arg.store });
                 }
@@ -188,7 +190,7 @@ impl ConstraintState {
             self.effects
                 .entry(arg.store)
                 .or_default()
-                .record(&arg.partition, arg.privilege);
+                .record(arg.partition, arg.privilege);
         }
         self.tasks_admitted += 1;
     }
@@ -209,7 +211,7 @@ impl ConstraintState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ir::{Privilege, Projection, StoreArg, TaskId};
+    use ir::{Partition, Privilege, Projection, StoreArg, TaskId};
 
     fn block() -> Partition {
         Partition::block(vec![4])

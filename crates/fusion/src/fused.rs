@@ -1,6 +1,6 @@
 //! Construction of fused tasks from fusible prefixes (Section 4.2.2).
 
-use ir::{Domain, IndexTask, Partition, Privilege, StoreId};
+use ir::{Domain, IndexTask, PartitionId, Privilege, StoreId};
 
 /// A fused task: the merged store arguments of a fusible prefix together with
 /// the constituent tasks (whose kernel bodies are composed in program order by
@@ -13,7 +13,7 @@ pub struct FusedTask {
     pub launch_domain: Domain,
     /// Merged store arguments: one entry per distinct (store, partition) pair,
     /// with privileges promoted across constituents.
-    pub args: Vec<(StoreId, Partition, Privilege)>,
+    pub args: Vec<(StoreId, PartitionId, Privilege)>,
     /// The constituent tasks in program order.
     pub tasks: Vec<IndexTask>,
     /// For each constituent task, the index into `args` of each of its store
@@ -36,7 +36,7 @@ impl FusedTask {
             tasks.iter().all(|t| t.launch_domain == launch_domain),
             "fused tasks must share a launch domain"
         );
-        let mut args: Vec<(StoreId, Partition, Privilege)> = Vec::new();
+        let mut args: Vec<(StoreId, PartitionId, Privilege)> = Vec::new();
         let mut arg_map: Vec<Vec<usize>> = Vec::with_capacity(tasks.len());
         for task in &tasks {
             let mut map = Vec::with_capacity(task.args.len());
@@ -51,7 +51,7 @@ impl FusedTask {
                         idx
                     }
                     None => {
-                        args.push((arg.store, arg.partition.clone(), arg.privilege));
+                        args.push((arg.store, arg.partition, arg.privilege));
                         args.len() - 1
                     }
                 };
@@ -109,7 +109,7 @@ impl FusedTask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ir::{StoreArg, TaskId};
+    use ir::{Partition, StoreArg, TaskId};
 
     fn block() -> Partition {
         Partition::block(vec![4])

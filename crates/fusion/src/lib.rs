@@ -48,6 +48,6 @@ pub mod window;
 pub use constraints::{ConstraintState, FusionViolation};
 pub use fused::FusedTask;
 pub use memo::{CanonicalWindow, MemoCache};
-pub use prefix::{find_fusible_prefix, find_fusible_prefix_explained};
+pub use prefix::{find_fusible_prefix, find_fusible_prefix_explained, fusible_segments};
 pub use temporaries::temporary_stores;
 pub use window::AdaptiveWindow;

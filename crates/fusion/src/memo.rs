@@ -6,11 +6,35 @@
 //! canonicalizes windows with a De-Bruijn-style renaming (each store is
 //! replaced by the index of its first occurrence) and memoizes analysis and
 //! code-generation results under that canonical key.
+//!
+//! # The fingerprint-first fast path
+//!
+//! Building a [`CanonicalWindow`] allocates (a vector of canonical tasks plus
+//! their argument lists), which used to make a memo *hit* as expensive as a
+//! miss. The cache is therefore two-level:
+//!
+//! 1. **Probe** by the window's 64-bit rolling fingerprint
+//!    ([`ir::TaskWindow::fingerprint`], maintained incrementally as tasks are
+//!    pushed — O(1) at probe time).
+//! 2. **Verify** each fingerprint candidate by walking the window against the
+//!    stored canonical key using a reusable scratch numbering — no
+//!    allocation, constant work per task argument, and exact: the probe is
+//!    *behaviorally identical* to a full-key lookup even under fingerprint
+//!    collisions (candidates chain).
+//!
+//! A full `CanonicalWindow` is only constructed on a miss, to insert. The
+//! all-hit steady state performs **zero heap allocation** for key
+//! construction (verified by the `memo_equivalence` property test).
+//!
+//! The cache is bounded: entries beyond the capacity are evicted LRU, so a
+//! long-running service does not accumulate a compiled artifact for every
+//! window shape it has ever seen. Probing an entry marks it most-recently
+//! used, so the entry for the window currently being processed is never the
+//! eviction victim.
 
 use std::collections::HashMap;
-use std::hash::Hash;
 
-use ir::{Domain, IndexTask, Partition, Privilege, StoreId};
+use ir::{window_fingerprint, Domain, IndexTask, PartitionId, Privilege, ShapeId, StoreId, TaskWindow};
 
 /// Canonical form of one task: everything that affects the analysis, with
 /// store identities replaced by first-occurrence indices.
@@ -18,7 +42,7 @@ use ir::{Domain, IndexTask, Partition, Privilege, StoreId};
 struct CanonicalTask {
     kind: u32,
     launch_domain: Domain,
-    args: Vec<(usize, Partition, Privilege)>,
+    args: Vec<(u32, PartitionId, Privilege)>,
     num_scalars: usize,
 }
 
@@ -29,34 +53,42 @@ pub struct CanonicalWindow {
     /// Shapes of the canonically-numbered stores: buffer lengths feed the
     /// kernel pipeline, so windows over differently-shaped stores must not
     /// share compiled artifacts.
-    shapes: Vec<Vec<u64>>,
+    shapes: Vec<ShapeId>,
+    /// Structural fingerprint of the canonicalized stream — computed by the
+    /// same folding code as [`ir::TaskWindow`]'s rolling fingerprint, so the
+    /// two can never diverge.
+    fingerprint: u64,
 }
 
 impl CanonicalWindow {
-    /// Canonicalizes a window of tasks. `store_shapes` must contain every
-    /// store referenced by the window.
+    /// Canonicalizes a window of tasks. Store shapes are read from the
+    /// arguments themselves (stamped by the Diffuse context at submit time).
     ///
     /// # Panics
     ///
-    /// Panics if a referenced store has no shape entry.
-    pub fn new(tasks: &[IndexTask], store_shapes: &HashMap<StoreId, Vec<u64>>) -> Self {
-        let mut numbering: HashMap<StoreId, usize> = HashMap::new();
-        let mut shapes: Vec<Vec<u64>> = Vec::new();
+    /// Panics if a referenced store's shape was never stamped.
+    pub fn new(tasks: &[IndexTask]) -> Self {
+        let mut numbering: HashMap<StoreId, u32> = HashMap::new();
+        let mut shapes: Vec<ShapeId> = Vec::new();
         let mut canonical_tasks = Vec::with_capacity(tasks.len());
         for task in tasks {
             let mut args = Vec::with_capacity(task.args.len());
             for arg in &task.args {
-                let next = numbering.len();
-                let idx = *numbering.entry(arg.store).or_insert_with(|| {
-                    shapes.push(
-                        store_shapes
-                            .get(&arg.store)
-                            .unwrap_or_else(|| panic!("missing shape for {}", arg.store))
-                            .clone(),
-                    );
-                    next
-                });
-                args.push((idx, arg.partition.clone(), arg.privilege));
+                let idx = match numbering.get(&arg.store) {
+                    Some(&i) => i,
+                    None => {
+                        assert!(
+                            !arg.shape.is_unknown(),
+                            "missing shape for {}",
+                            arg.store
+                        );
+                        let i = shapes.len() as u32;
+                        numbering.insert(arg.store, i);
+                        shapes.push(arg.shape);
+                        i
+                    }
+                };
+                args.push((idx, arg.partition, arg.privilege));
             }
             canonical_tasks.push(CanonicalTask {
                 kind: task.kind,
@@ -68,6 +100,7 @@ impl CanonicalWindow {
         CanonicalWindow {
             tasks: canonical_tasks,
             shapes,
+            fingerprint: window_fingerprint(tasks),
         }
     }
 
@@ -85,46 +118,149 @@ impl CanonicalWindow {
     pub fn num_stores(&self) -> usize {
         self.shapes.len()
     }
+
+    /// The structural fingerprint under which the cache indexes this key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether this canonical key describes exactly `tasks` — the collision
+    /// verification of the fingerprint probe. Walks the tasks with the
+    /// caller-provided scratch numbering (cleared here; capacity is reused
+    /// across probes, so steady-state verification allocates nothing).
+    fn matches(&self, tasks: &[IndexTask], scratch: &mut HashMap<StoreId, u32>) -> bool {
+        if self.tasks.len() != tasks.len() {
+            return false;
+        }
+        scratch.clear();
+        let mut next: u32 = 0;
+        for (ct, t) in self.tasks.iter().zip(tasks) {
+            if ct.kind != t.kind
+                || ct.num_scalars != t.scalars.len()
+                || ct.args.len() != t.args.len()
+                || ct.launch_domain != t.launch_domain
+            {
+                return false;
+            }
+            for (&(ci, cpart, cpriv), arg) in ct.args.iter().zip(&t.args) {
+                let idx = match scratch.get(&arg.store) {
+                    Some(&i) => i,
+                    None => {
+                        let i = next;
+                        // First occurrence: the canonical shape list must
+                        // agree with the argument's stamped shape.
+                        if self.shapes.get(i as usize) != Some(&arg.shape) {
+                            return false;
+                        }
+                        scratch.insert(arg.store, i);
+                        next += 1;
+                        i
+                    }
+                };
+                if ci != idx || cpart != arg.partition || cpriv != arg.privilege {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
-/// A memoization cache with hit/miss statistics.
-///
-/// Keyed by [`CanonicalWindow`] by default; the key type is generic so the
-/// Diffuse layer can widen it — e.g. to `(CanonicalWindow, backend id)` so
-/// that compiled kernel artifacts are never shared between execution
-/// backends.
+/// One resident cache entry.
 #[derive(Debug, Clone)]
-pub struct MemoCache<V, K = CanonicalWindow>
-where
-    K: Eq + Hash,
-{
-    entries: HashMap<K, V>,
+struct Slot<V> {
+    key: CanonicalWindow,
+    value: V,
+    last_used: u64,
+}
+
+/// A bounded, fingerprint-indexed memoization cache with LRU eviction and
+/// hit/miss/eviction statistics.
+///
+/// Each Diffuse context owns one cache, created for its configured kernel
+/// backend, so compiled artifacts are never shared between backends (the
+/// `(canonical window, backend)` keying of `docs/BACKENDS.md` holds by
+/// construction).
+#[derive(Debug, Clone)]
+pub struct MemoCache<V> {
+    /// First level: fingerprint → candidate slots (chains absorb collisions).
+    index: HashMap<u64, Vec<u32>>,
+    slots: Vec<Option<Slot<V>>>,
+    free: Vec<u32>,
+    live: usize,
+    capacity: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Reusable store numbering for collision verification.
+    scratch: HashMap<StoreId, u32>,
 }
 
-impl<V, K: Eq + Hash> Default for MemoCache<V, K> {
+impl<V> Default for MemoCache<V> {
     fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> MemoCache<V> {
+    /// Creates an unbounded cache.
+    pub fn new() -> Self {
+        Self::with_capacity_limit(usize::MAX)
+    }
+
+    /// Creates a cache bounded to at most `capacity` entries (LRU eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        assert!(capacity > 0, "memo cache capacity must be at least 1");
         MemoCache {
-            entries: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            capacity,
+            tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
+            scratch: HashMap::new(),
         }
     }
-}
 
-impl<V, K: Eq + Hash> MemoCache<V, K> {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
+    /// The fingerprint-first fast path: looks up the entry for the buffered
+    /// window, recording a hit or miss. Uses the window's incrementally
+    /// maintained fingerprint and verifies candidates in place — **no heap
+    /// allocation and no `CanonicalWindow` construction on either outcome**
+    /// (the caller builds the key only when inserting after a miss).
+    pub fn probe(&mut self, window: &TaskWindow) -> Option<&V> {
+        self.probe_tasks(window.fingerprint(), window.tasks())
     }
 
-    /// Looks up a key, recording a hit or miss.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
-        match self.entries.get(key) {
-            Some(v) => {
+    /// [`MemoCache::probe`] over an explicit (fingerprint, tasks) pair, for
+    /// callers that manage their own rolling fingerprints.
+    pub fn probe_tasks(&mut self, fingerprint: u64, tasks: &[IndexTask]) -> Option<&V> {
+        self.tick += 1;
+        let mut found: Option<u32> = None;
+        if let Some(candidates) = self.index.get(&fingerprint) {
+            for &si in candidates {
+                let slot = self.slots[si as usize]
+                    .as_ref()
+                    .expect("indexed slot is live");
+                if slot.key.matches(tasks, &mut self.scratch) {
+                    found = Some(si);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(si) => {
                 self.hits += 1;
-                Some(v)
+                let slot = self.slots[si as usize].as_mut().expect("live");
+                slot.last_used = self.tick;
+                Some(&slot.value)
             }
             None => {
                 self.misses += 1;
@@ -133,19 +269,114 @@ impl<V, K: Eq + Hash> MemoCache<V, K> {
         }
     }
 
-    /// Inserts an analysis result under a key.
-    pub fn insert(&mut self, key: K, value: V) {
-        self.entries.insert(key, value);
+    /// Full-key lookup, recording a hit or miss. Equivalent to
+    /// [`MemoCache::probe`] with a pre-built key; used by benchmarks and as
+    /// the reference path in equivalence tests.
+    pub fn get(&mut self, key: &CanonicalWindow) -> Option<&V> {
+        self.tick += 1;
+        let mut found: Option<u32> = None;
+        if let Some(candidates) = self.index.get(&key.fingerprint) {
+            for &si in candidates {
+                let slot = self.slots[si as usize].as_ref().expect("live");
+                if slot.key == *key {
+                    found = Some(si);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(si) => {
+                self.hits += 1;
+                let slot = self.slots[si as usize].as_mut().expect("live");
+                slot.last_used = self.tick;
+                Some(&slot.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an analysis result under a canonical key. If the key is
+    /// already resident its value is replaced in place (the layout-drift
+    /// re-memoization path); otherwise the least-recently-used entry is
+    /// evicted once the cache is at capacity. The inserted (or refreshed)
+    /// entry becomes most-recently used, so it is never the next victim.
+    pub fn insert(&mut self, key: CanonicalWindow, value: V) {
+        self.tick += 1;
+        if let Some(candidates) = self.index.get(&key.fingerprint) {
+            for &si in candidates {
+                let slot = self.slots[si as usize].as_mut().expect("live");
+                if slot.key == key {
+                    slot.value = value;
+                    slot.last_used = self.tick;
+                    return;
+                }
+            }
+        }
+        if self.live >= self.capacity {
+            self.evict_lru();
+        }
+        let slot = Slot {
+            value,
+            last_used: self.tick,
+            key,
+        };
+        let fingerprint = slot.key.fingerprint;
+        let si = match self.free.pop() {
+            Some(si) => {
+                self.slots[si as usize] = Some(slot);
+                si
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.entry(fingerprint).or_default().push(si);
+        self.live += 1;
+    }
+
+    /// Evicts the least-recently-used entry. The O(capacity) scan is
+    /// deliberate: eviction only runs on a miss that is about to pay for
+    /// kernel composition and compilation (milliseconds), so a linear pass
+    /// over a few thousand slots is noise there, and the hit path carries
+    /// no list-maintenance overhead for it.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s.last_used)))
+            .min_by_key(|&(_, used)| used)
+            .map(|(i, _)| i);
+        let Some(vi) = victim else { return };
+        let slot = self.slots[vi].take().expect("victim is live");
+        if let Some(chain) = self.index.get_mut(&slot.key.fingerprint) {
+            chain.retain(|&si| si != vi as u32);
+            if chain.is_empty() {
+                self.index.remove(&slot.key.fingerprint);
+            }
+        }
+        self.free.push(vi as u32);
+        self.live -= 1;
+        self.evictions += 1;
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of lookups that hit.
@@ -156,6 +387,11 @@ impl<V, K: Eq + Hash> MemoCache<V, K> {
     /// Number of lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries evicted to stay within the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -168,22 +404,26 @@ mod tests {
         Partition::block(vec![4])
     }
 
-    fn shapes(ids: &[u64]) -> HashMap<StoreId, Vec<u64>> {
-        ids.iter().map(|&i| (StoreId(i), vec![16])).collect()
+    fn rw_task(id: u64, read: u64, write: u64) -> IndexTask {
+        rw_task_shaped(id, read, write, 16)
     }
 
-    fn rw_task(id: u64, read: u64, write: u64) -> IndexTask {
+    fn rw_task_shaped(id: u64, read: u64, write: u64, len: u64) -> IndexTask {
         IndexTask::new(
             TaskId(id),
             0,
             "t",
             Domain::linear(4),
             vec![
-                StoreArg::new(StoreId(read), block(), Privilege::Read),
-                StoreArg::new(StoreId(write), block(), Privilege::Write),
+                StoreArg::new(StoreId(read), block(), Privilege::Read).with_shape(vec![16u64]),
+                StoreArg::new(StoreId(write), block(), Privilege::Write).with_shape(vec![len]),
             ],
             vec![],
         )
+    }
+
+    fn window_of(tasks: &[IndexTask]) -> TaskWindow {
+        tasks.iter().cloned().collect()
     }
 
     #[test]
@@ -193,11 +433,11 @@ mod tests {
         let left = vec![rw_task(0, 1, 2), rw_task(1, 2, 1), rw_task(2, 1, 3), rw_task(3, 3, 1)];
         let middle = vec![rw_task(0, 5, 6), rw_task(1, 6, 5), rw_task(2, 5, 7), rw_task(3, 7, 5)];
         let right = vec![rw_task(0, 5, 6), rw_task(1, 6, 5), rw_task(2, 7, 7), rw_task(3, 7, 5)];
-        let shapes = shapes(&[1, 2, 3, 5, 6, 7]);
-        let l = CanonicalWindow::new(&left, &shapes);
-        let m = CanonicalWindow::new(&middle, &shapes);
-        let r = CanonicalWindow::new(&right, &shapes);
+        let l = CanonicalWindow::new(&left);
+        let m = CanonicalWindow::new(&middle);
+        let r = CanonicalWindow::new(&right);
         assert_eq!(l, m);
+        assert_eq!(l.fingerprint(), m.fingerprint());
         assert_ne!(l, r);
         assert_eq!(l.len(), 4);
         assert_eq!(l.num_stores(), 3);
@@ -205,59 +445,111 @@ mod tests {
 
     #[test]
     fn shapes_affect_the_key() {
-        let tasks = vec![rw_task(0, 0, 1)];
-        let a = CanonicalWindow::new(&tasks, &shapes(&[0, 1]));
-        let mut other = shapes(&[0, 1]);
-        other.insert(StoreId(1), vec![64]);
-        let b = CanonicalWindow::new(&tasks, &other);
+        let a = CanonicalWindow::new(&[rw_task_shaped(0, 0, 1, 16)]);
+        let b = CanonicalWindow::new(&[rw_task_shaped(0, 0, 1, 64)]);
         assert_ne!(a, b);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn privileges_and_partitions_affect_the_key() {
-        let a = CanonicalWindow::new(&[rw_task(0, 0, 1)], &shapes(&[0, 1]));
+        let a = CanonicalWindow::new(&[rw_task(0, 0, 1)]);
         let mut t = rw_task(0, 0, 1);
         t.args[0].privilege = Privilege::ReadWrite;
-        let b = CanonicalWindow::new(&[t], &shapes(&[0, 1]));
+        let b = CanonicalWindow::new(&[t]);
         assert_ne!(a, b);
         let mut t = rw_task(0, 0, 1);
-        t.args[1].partition = Partition::Replicate;
-        let c = CanonicalWindow::new(&[t], &shapes(&[0, 1]));
+        t.args[1].partition = Partition::Replicate.into();
+        let c = CanonicalWindow::new(&[t]);
         assert_ne!(a, c);
     }
 
     #[test]
     fn cache_hits_and_misses_are_counted() {
-        let shapes = shapes(&[1, 2, 5, 6]);
-        let w1 = CanonicalWindow::new(&[rw_task(0, 1, 2)], &shapes);
-        let w2 = CanonicalWindow::new(&[rw_task(0, 5, 6)], &shapes);
+        let w1 = [rw_task(0, 1, 2)];
+        let w2 = [rw_task(0, 5, 6)];
         let mut cache: MemoCache<usize> = MemoCache::new();
-        assert!(cache.get(&w1).is_none());
-        cache.insert(w1.clone(), 42);
-        assert_eq!(cache.get(&w2), Some(&42), "isomorphic window hits the cache");
+        assert!(cache.probe(&window_of(&w1)).is_none());
+        cache.insert(CanonicalWindow::new(&w1), 42);
+        assert_eq!(
+            cache.probe(&window_of(&w2)),
+            Some(&42),
+            "isomorphic window hits the cache"
+        );
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+        // The full-key reference path agrees.
+        assert_eq!(cache.get(&CanonicalWindow::new(&w2)), Some(&42));
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]
     #[should_panic]
     fn missing_shape_panics() {
-        let _ = CanonicalWindow::new(&[rw_task(0, 0, 1)], &HashMap::new());
+        let t = IndexTask::new(
+            TaskId(0),
+            0,
+            "t",
+            Domain::linear(4),
+            vec![StoreArg::new(StoreId(0), block(), Privilege::Read)],
+            vec![],
+        );
+        let _ = CanonicalWindow::new(&[t]);
     }
 
     #[test]
-    fn widened_keys_separate_backends() {
-        let shapes = shapes(&[1, 2]);
-        let w = CanonicalWindow::new(&[rw_task(0, 1, 2)], &shapes);
-        let mut cache: MemoCache<usize, (CanonicalWindow, &'static str)> = MemoCache::new();
-        cache.insert((w.clone(), "interp"), 1);
-        assert_eq!(cache.get(&(w.clone(), "interp")), Some(&1));
-        assert_eq!(
-            cache.get(&(w, "closure")),
-            None,
-            "artifacts must not be shared across backends"
-        );
+    fn near_isomorphic_windows_do_not_cross_hit() {
+        // Same stores and shapes, but the second window breaks the access
+        // pattern at the last argument.
+        let a = [rw_task(0, 1, 2), rw_task(1, 2, 3)];
+        let b = [rw_task(0, 1, 2), rw_task(1, 2, 2)];
+        let mut cache: MemoCache<u32> = MemoCache::new();
+        cache.insert(CanonicalWindow::new(&a), 7);
+        assert_eq!(cache.probe(&window_of(&a)), Some(&7));
+        assert_eq!(cache.probe(&window_of(&b)), None);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let w = [rw_task(0, 1, 2)];
+        let mut cache: MemoCache<u32> = MemoCache::with_capacity_limit(1);
+        cache.insert(CanonicalWindow::new(&w), 1);
+        cache.insert(CanonicalWindow::new(&w), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0, "same-key insert must not evict");
+        assert_eq!(cache.probe(&window_of(&w)), Some(&2));
+    }
+
+    #[test]
+    fn lru_eviction_spares_the_current_window() {
+        let wa = [rw_task(0, 1, 2)];
+        let wb = [rw_task(0, 1, 2), rw_task(1, 2, 3)];
+        let wc = [rw_task(0, 1, 2), rw_task(1, 2, 3), rw_task(2, 3, 1)];
+        let mut cache: MemoCache<u32> = MemoCache::with_capacity_limit(2);
+        cache.insert(CanonicalWindow::new(&wa), 1);
+        cache.insert(CanonicalWindow::new(&wb), 2);
+        // Touch A: it becomes most-recently used (the "currently processing"
+        // window), so inserting C evicts B, never A.
+        assert_eq!(cache.probe(&window_of(&wa)), Some(&1));
+        cache.insert(CanonicalWindow::new(&wc), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.probe(&window_of(&wa)), Some(&1), "MRU entry survives");
+        assert_eq!(cache.probe(&window_of(&wb)), None, "LRU entry was evicted");
+        assert_eq!(cache.probe(&window_of(&wc)), Some(&3));
+    }
+
+    #[test]
+    fn evicted_slots_are_reused() {
+        let mut cache: MemoCache<u32> = MemoCache::with_capacity_limit(2);
+        for i in 1..=6u64 {
+            // Chains of different lengths are structurally distinct windows.
+            let chain: Vec<IndexTask> = (0..i).map(|j| rw_task(j, j, j + 1)).collect();
+            cache.insert(CanonicalWindow::new(&chain), i as u32);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 4);
     }
 }

@@ -24,6 +24,49 @@ pub fn find_fusible_prefix_explained(tasks: &[IndexTask]) -> (usize, Option<Fusi
     (tasks.len(), None)
 }
 
+/// Partitions a whole window into consecutive fusible segments in **one
+/// forward pass**: whenever a task violates a constraint against the running
+/// prefix, the current segment is closed and the constraint state restarts at
+/// that task (a lone task is always admissible against a fresh state).
+///
+/// The returned lengths sum to `tasks.len()`. Draining segments front to back
+/// therefore never re-checks the untouched suffix — the per-flush
+/// re-analysis the greedy `find_fusible_prefix`-per-iteration loop used to
+/// pay is eliminated.
+///
+/// # Example
+///
+/// ```
+/// use ir::{Domain, IndexTask, Partition, Privilege, StoreArg, StoreId, TaskId};
+/// use fusion::fusible_segments;
+///
+/// let t = |id, points, store: u64| IndexTask::new(
+///     TaskId(id), 0, "t", Domain::linear(points),
+///     vec![StoreArg::new(StoreId(store), Partition::block(vec![4]), Privilege::Write)],
+///     vec![],
+/// );
+/// // A launch-domain change splits the window into two segments.
+/// let tasks = vec![t(0, 4, 0), t(1, 4, 1), t(2, 8, 2)];
+/// assert_eq!(fusible_segments(&tasks), vec![2, 1]);
+/// ```
+pub fn fusible_segments(tasks: &[IndexTask]) -> Vec<usize> {
+    let mut segments = Vec::new();
+    let mut state = ConstraintState::new();
+    for task in tasks {
+        if state.try_push(task).is_err() {
+            segments.push(state.len().max(1));
+            state = ConstraintState::new();
+            state
+                .try_push(task)
+                .expect("a single task is always admissible against an empty state");
+        }
+    }
+    if state.len() > 0 {
+        segments.push(state.len());
+    }
+    segments
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +187,55 @@ mod tests {
             violation,
             Some(crate::FusionViolation::LaunchDomainMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn segments_agree_with_iterated_prefix_search() {
+        // The one-pass segmentation must produce exactly the lengths the
+        // drain-and-research loop would: find a prefix, drop it, repeat.
+        let grid = StoreId(0);
+        let shifted = Partition::tiling(vec![4], vec![1], Projection::Identity);
+        let mut tasks = vec![elementwise(0, &[0, 1], 10)];
+        // Reads grid through a shifted view...
+        tasks.push(IndexTask::new(
+            TaskId(1),
+            0,
+            "r",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(grid, shifted, Privilege::Read),
+                StoreArg::new(StoreId(11), block(), Privilege::Write),
+            ],
+            vec![],
+        ));
+        // ...then an anti-dependent write-back through the block view splits
+        // the window here.
+        tasks.push(IndexTask::new(
+            TaskId(2),
+            0,
+            "w",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(StoreId(11), block(), Privilege::Read),
+                StoreArg::new(grid, block(), Privilege::Write),
+            ],
+            vec![],
+        ));
+        tasks.push(elementwise(3, &[12], 13));
+        let segments = fusible_segments(&tasks);
+        assert_eq!(segments.iter().sum::<usize>(), tasks.len());
+        assert_eq!(segments.len(), 2, "the anti dependence splits the window");
+        let mut rest: &[IndexTask] = &tasks;
+        for &seg in &segments {
+            assert_eq!(find_fusible_prefix(rest).max(1).min(rest.len()), seg);
+            rest = &rest[seg..];
+        }
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn segments_of_empty_window() {
+        assert!(fusible_segments(&[]).is_empty());
     }
 
     #[test]

@@ -6,24 +6,26 @@
 //! be demoted from distributed allocations to task-local allocations, where
 //! the kernel pipeline can usually eliminate them entirely.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use ir::{Domain, IndexTask, StoreId};
+use ir::{Domain, IndexTask, PartitionId, StoreId};
 
 /// Computes the set of temporary stores for the fusion of `prefix`
 /// (Definition 4).
 ///
 /// * `prefix` — the fusible prefix about to be replaced by a fused task.
 /// * `pending` — tasks issued after the prefix that have not executed yet
-///   (the rest of the window).
-/// * `store_shapes` — shapes of every store referenced (needed for the
-///   `covers` check).
+///   (the rest of the window; borrowed straight from the task window, no
+///   copy needed).
 /// * `has_app_reference` — whether the application still holds a live
 ///   reference to a store (the split reference count of Section 5.1).
+///
+/// Store shapes for the `covers` check are read from the prefix's own
+/// arguments (stamped by the Diffuse context), so no side shape map is
+/// built or consulted.
 pub fn temporary_stores(
     prefix: &[IndexTask],
     pending: &[IndexTask],
-    store_shapes: &HashMap<StoreId, Vec<u64>>,
     mut has_app_reference: impl FnMut(StoreId) -> bool,
 ) -> HashSet<StoreId> {
     if prefix.is_empty() {
@@ -53,31 +55,35 @@ pub fn temporary_stores(
         }
         // Condition 1: every read of the store within the prefix is preceded
         // by a covering write through the same partition.
-        let shape = match store_shapes.get(&store) {
-            Some(s) => s,
-            None => continue,
-        };
-        let mut covering_writes: Vec<&ir::Partition> = Vec::new();
+        let mut covering_writes: Vec<PartitionId> = Vec::new();
         let mut written_at_all = false;
+        let mut shape_known = true;
         for t in prefix {
             for arg in t.args_for(store) {
+                if arg.shape.is_unknown() {
+                    shape_known = false;
+                    break;
+                }
                 if arg.privilege.reads() || arg.privilege.reduces() {
                     // A read (or reduction, which also observes prior
                     // contents' absence) must be preceded by a covering write
                     // through the same partition.
-                    if !covering_writes.contains(&&arg.partition) {
+                    if !covering_writes.contains(&arg.partition) {
                         continue 'candidate;
                     }
                 }
                 if arg.privilege.writes() {
                     written_at_all = true;
-                    if arg.partition.covers(shape, launch_domain)
-                        && !covering_writes.contains(&&arg.partition)
+                    if arg.partition.covers(&arg.shape, launch_domain)
+                        && !covering_writes.contains(&arg.partition)
                     {
-                        covering_writes.push(&arg.partition);
+                        covering_writes.push(arg.partition);
                     }
                 }
             }
+        }
+        if !shape_known {
+            continue;
         }
         // A store that is never written inside the prefix is an input, not a
         // temporary (its contents flow in from earlier execution).
@@ -98,18 +104,20 @@ mod tests {
         Partition::block(vec![4])
     }
 
-    fn shapes(ids: &[u64]) -> HashMap<StoreId, Vec<u64>> {
-        ids.iter().map(|&i| (StoreId(i), vec![16])).collect()
-    }
-
+    /// Builds a task with every argument's shape stamped to `[16]` (the role
+    /// the Diffuse context plays at submit time).
     fn task(id: u64, args: Vec<StoreArg>) -> IndexTask {
+        let args = args
+            .into_iter()
+            .map(|a| a.with_shape(vec![16u64]))
+            .collect();
         IndexTask::new(TaskId(id), 0, "t", Domain::linear(4), args, vec![])
     }
 
     /// The Figure 6 example: z = 2 * x; w = y + z; v = w ** 2, with a pending
     /// norm task reading part of w, v still referenced by the application, and
     /// x, y, z, w dropped by the application.
-    fn figure6() -> (Vec<IndexTask>, Vec<IndexTask>, HashMap<StoreId, Vec<u64>>) {
+    fn figure6() -> (Vec<IndexTask>, Vec<IndexTask>) {
         let (x, y, z, w, v, norm) = (0u64, 1, 2, 3, 4, 5);
         let mult = task(
             0,
@@ -147,26 +155,22 @@ mod tests {
                 ),
             ],
         );
-        (
-            vec![mult, add, pow],
-            vec![norm_task],
-            shapes(&[x, y, z, w, v, norm]),
-        )
+        (vec![mult, add, pow], vec![norm_task])
     }
 
     #[test]
     fn figure6_only_z_is_temporary() {
-        let (prefix, pending, shapes) = figure6();
+        let (prefix, pending) = figure6();
         // The application still references v; x, y, z, w were deleted.
-        let temps = temporary_stores(&prefix, &pending, &shapes, |s| s == StoreId(4));
+        let temps = temporary_stores(&prefix, &pending, |s| s == StoreId(4));
         assert_eq!(temps, HashSet::from([StoreId(2)]));
     }
 
     #[test]
     fn live_application_reference_blocks_elimination() {
-        let (prefix, pending, shapes) = figure6();
+        let (prefix, pending) = figure6();
         // If the application also still holds z, nothing is temporary.
-        let temps = temporary_stores(&prefix, &pending, &shapes, |s| {
+        let temps = temporary_stores(&prefix, &pending, |s| {
             s == StoreId(4) || s == StoreId(2)
         });
         assert!(temps.is_empty());
@@ -174,13 +178,13 @@ mod tests {
 
     #[test]
     fn pending_reader_blocks_elimination() {
-        let (prefix, _, shapes) = figure6();
+        let (prefix, _) = figure6();
         // A pending task reading z keeps it alive.
         let reader = task(
             9,
             vec![StoreArg::new(StoreId(2), block(), Privilege::Read)],
         );
-        let temps = temporary_stores(&prefix, &[reader], &shapes, |s| s == StoreId(4));
+        let temps = temporary_stores(&prefix, &[reader], |s| s == StoreId(4));
         assert!(!temps.contains(&StoreId(2)));
     }
 
@@ -193,7 +197,7 @@ mod tests {
             task(0, vec![StoreArg::new(StoreId(0), partial, Privilege::Write)]),
             task(1, vec![StoreArg::new(StoreId(0), block(), Privilege::Read)]),
         ];
-        let temps = temporary_stores(&prefix, &[], &shapes(&[0]), |_| false);
+        let temps = temporary_stores(&prefix, &[], |_| false);
         assert!(temps.is_empty());
     }
 
@@ -204,7 +208,7 @@ mod tests {
             task(0, vec![StoreArg::new(StoreId(0), block(), Privilege::Write)]),
             task(1, vec![StoreArg::new(StoreId(0), shifted, Privilege::Read)]),
         ];
-        let temps = temporary_stores(&prefix, &[], &shapes(&[0]), |_| false);
+        let temps = temporary_stores(&prefix, &[], |_| false);
         assert!(temps.is_empty());
     }
 
@@ -217,7 +221,7 @@ mod tests {
                 StoreArg::new(StoreId(1), block(), Privilege::Write),
             ],
         )];
-        let temps = temporary_stores(&prefix, &[], &shapes(&[0, 1]), |_| false);
+        let temps = temporary_stores(&prefix, &[], |_| false);
         assert!(!temps.contains(&StoreId(0)));
         // The dead output with no references is temporary.
         assert!(temps.contains(&StoreId(1)));
@@ -225,6 +229,6 @@ mod tests {
 
     #[test]
     fn empty_prefix_has_no_temporaries() {
-        assert!(temporary_stores(&[], &[], &HashMap::new(), |_| false).is_empty());
+        assert!(temporary_stores(&[], &[], |_| false).is_empty());
     }
 }

@@ -1,0 +1,215 @@
+//! Property tests: the fingerprint-first memo probe is **behaviorally
+//! identical** to a full-key lookup.
+//!
+//! The fast path never builds a `CanonicalWindow` on a hit — it probes by the
+//! window's rolling fingerprint and verifies candidates in place. These tests
+//! drive the fast cache and a reference `HashMap<CanonicalWindow, u32>` with
+//! the same window sequences — including renamed (isomorphic) windows and
+//! deliberately *near*-isomorphic mutants that differ in exactly one
+//! privilege, partition, shape or store choice — and require the same
+//! hit/miss sequence and the same returned entries.
+
+use std::collections::HashMap;
+
+use fusion::{CanonicalWindow, MemoCache};
+use ir::{
+    window_fingerprint, Domain, IndexTask, Partition, Privilege, Projection, ReductionOp, ShapeId,
+    StoreArg, StoreId, TaskId, TaskWindow,
+};
+use proptest::prelude::*;
+
+const NUM_STORES: u64 = 6;
+const STORE_LEN: u64 = 24;
+const LAUNCH_POINTS: u64 = 4;
+
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    prop_oneof![
+        Just(Partition::Replicate),
+        Just(Partition::block(vec![STORE_LEN / LAUNCH_POINTS])),
+        (0i64..3).prop_map(|off| Partition::tiling(
+            vec![STORE_LEN / LAUNCH_POINTS],
+            vec![off],
+            Projection::Identity
+        )),
+    ]
+}
+
+fn arb_privilege() -> impl Strategy<Value = Privilege> {
+    prop_oneof![
+        Just(Privilege::Read),
+        Just(Privilege::Write),
+        Just(Privilege::ReadWrite),
+        Just(Privilege::Reduce(ReductionOp::Sum)),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = StoreArg> {
+    (0..NUM_STORES, arb_partition(), arb_privilege(), 0u8..2).prop_map(|(s, p, pr, wide)| {
+        // Two shape choices so mutants can differ in shape alone.
+        let shape = if wide == 0 {
+            vec![STORE_LEN]
+        } else {
+            vec![STORE_LEN * 2]
+        };
+        StoreArg::new(StoreId(s), p, pr).with_shape(shape)
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<IndexTask>> {
+    prop::collection::vec(
+        prop::collection::vec(arb_arg(), 1..4),
+        1..6,
+    )
+    .prop_map(|arg_lists| {
+        arg_lists
+            .into_iter()
+            .enumerate()
+            .map(|(i, args)| {
+                IndexTask::new(
+                    TaskId(i as u64),
+                    0,
+                    format!("t{i}"),
+                    Domain::linear(LAUNCH_POINTS),
+                    args,
+                    vec![],
+                )
+            })
+            .collect()
+    })
+}
+
+/// Renames every store id by a fixed offset: an isomorphic window.
+fn renamed(tasks: &[IndexTask], offset: u64) -> Vec<IndexTask> {
+    tasks
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            for arg in &mut t.args {
+                arg.store = StoreId(arg.store.0 + offset);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Near-isomorphic mutants of a stream: identical except for one argument's
+/// privilege, partition, shape or store.
+fn mutants(tasks: &[IndexTask]) -> Vec<Vec<IndexTask>> {
+    let mut out = Vec::new();
+    let mut m = tasks.to_vec();
+    m[0].args[0].privilege = match m[0].args[0].privilege {
+        Privilege::Read => Privilege::ReadWrite,
+        _ => Privilege::Read,
+    };
+    out.push(m);
+    let mut m = tasks.to_vec();
+    m[0].args[0].partition = Partition::tiling(
+        vec![STORE_LEN / LAUNCH_POINTS],
+        vec![7],
+        Projection::Identity,
+    )
+    .into();
+    out.push(m);
+    let mut m = tasks.to_vec();
+    m[0].args[0].shape = ShapeId::intern(&[STORE_LEN * 4]);
+    out.push(m);
+    let last = tasks.len() - 1;
+    let mut m = tasks.to_vec();
+    let a = m[last].args.len() - 1;
+    m[last].args[a].store = StoreId(m[last].args[a].store.0 % NUM_STORES + NUM_STORES * 3);
+    out.push(m);
+    out
+}
+
+/// Drives the fingerprint-first cache and a full-key reference map with the
+/// same window sequence; returns both observation logs.
+fn drive(sequence: &[Vec<IndexTask>]) -> (Vec<Option<u32>>, Vec<Option<u32>>) {
+    let mut fast: MemoCache<u32> = MemoCache::new();
+    let mut reference: HashMap<CanonicalWindow, u32> = HashMap::new();
+    let mut fast_log = Vec::new();
+    let mut ref_log = Vec::new();
+    for (i, tasks) in sequence.iter().enumerate() {
+        let window: TaskWindow = tasks.iter().cloned().collect();
+        let fast_hit = fast.probe(&window).copied();
+        fast_log.push(fast_hit);
+        if fast_hit.is_none() {
+            fast.insert(CanonicalWindow::new(tasks), i as u32);
+        }
+        let key = CanonicalWindow::new(tasks);
+        let ref_hit = reference.get(&key).copied();
+        ref_log.push(ref_hit);
+        if ref_hit.is_none() {
+            reference.insert(key, i as u32);
+        }
+    }
+    (fast_log, ref_log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fingerprint-first lookup sees exactly the hits and misses — with the
+    /// same entries — that full-key lookup sees, over a sequence containing
+    /// the base window, an isomorphic renaming, near-isomorphic mutants and
+    /// repeats of all of them.
+    #[test]
+    fn probe_is_equivalent_to_full_key_lookup(tasks in arb_stream(), offset in 1u64..32) {
+        let mut sequence = vec![tasks.clone(), renamed(&tasks, offset)];
+        sequence.extend(mutants(&tasks));
+        // Replay everything once more: the second pass must be all hits on
+        // both sides, returning the entries inserted by the first pass.
+        let replay: Vec<Vec<IndexTask>> = sequence.clone();
+        sequence.extend(replay);
+        let (fast_log, ref_log) = drive(&sequence);
+        prop_assert_eq!(&fast_log, &ref_log);
+        // Sanity: the renamed window hit the base entry on both sides.
+        prop_assert_eq!(fast_log[1], Some(0));
+        // And every window in the replayed half hit.
+        let half = fast_log.len() / 2;
+        prop_assert!(fast_log[half..].iter().all(|h| h.is_some()));
+    }
+
+    /// The rolling fingerprint a window maintains incrementally equals the
+    /// batch fingerprint of its contents after any sequence of pushes and
+    /// prefix drains (which renumber the remaining suffix).
+    #[test]
+    fn rolling_fingerprint_survives_drains(tasks in arb_stream(), drain in 1usize..4) {
+        let mut window = TaskWindow::new();
+        for t in tasks.clone() {
+            window.push(t);
+        }
+        prop_assert_eq!(window.fingerprint(), window_fingerprint(&tasks));
+        let n = drain.min(window.len());
+        let _ = window.drain_prefix(n);
+        prop_assert_eq!(window.fingerprint(), window_fingerprint(&tasks[n..]));
+        // Pushing on top of the drained window stays consistent.
+        let mut expected: Vec<IndexTask> = tasks[n..].to_vec();
+        for t in tasks.iter().take(1).cloned() {
+            window.push(t.clone());
+            expected.push(t);
+        }
+        prop_assert_eq!(window.fingerprint(), window_fingerprint(&expected));
+    }
+
+    /// A bounded cache still agrees with the unbounded reference as long as
+    /// the working set fits (the eviction policy only evicts beyond
+    /// capacity, and the probed entry is always most-recently used).
+    #[test]
+    fn bounded_probe_agrees_within_capacity(tasks in arb_stream(), offset in 1u64..32) {
+        let windows = [tasks.clone(), renamed(&tasks, offset), tasks.clone()];
+        let mut bounded: MemoCache<u32> = MemoCache::with_capacity_limit(4);
+        let mut log = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            let window: TaskWindow = w.iter().cloned().collect();
+            let hit = bounded.probe(&window).copied();
+            log.push(hit);
+            if hit.is_none() {
+                bounded.insert(CanonicalWindow::new(w), i as u32);
+            }
+        }
+        prop_assert_eq!(log[0], None);
+        prop_assert_eq!(log[1], Some(0), "isomorphic renaming must hit");
+        prop_assert_eq!(log[2], Some(0));
+        prop_assert_eq!(bounded.evictions(), 0);
+    }
+}

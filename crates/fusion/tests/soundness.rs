@@ -46,8 +46,11 @@ fn arb_privilege() -> impl Strategy<Value = Privilege> {
 }
 
 fn arb_arg() -> impl Strategy<Value = StoreArg> {
-    (0..NUM_STORES, arb_partition(), arb_privilege())
-        .prop_map(|(s, p, pr)| StoreArg::new(StoreId(s), p, pr))
+    (0..NUM_STORES, arb_partition(), arb_privilege()).prop_map(|(s, p, pr)| {
+        // Stamp the store shape the way the Diffuse context does at submit
+        // time: the analyses read shapes straight off the arguments.
+        StoreArg::new(StoreId(s), p, pr).with_shape(vec![STORE_LEN])
+    })
 }
 
 fn arb_task(id: u64) -> impl Strategy<Value = IndexTask> {
@@ -117,11 +120,10 @@ proptest! {
     /// application-referenced.
     #[test]
     fn temporaries_are_unobservable(tasks in arb_stream(), split in 0usize..8) {
-        let shapes = store_shapes();
         let len = find_fusible_prefix(&tasks);
         let split = split.min(len);
         let (prefix, pending) = tasks.split_at(split.max(1).min(tasks.len()));
-        let temps = temporary_stores(prefix, pending, &shapes, |_| false);
+        let temps = temporary_stores(prefix, pending, |_| false);
         for s in &temps {
             for t in pending {
                 prop_assert!(!t.reads(*s) && !t.reduces(*s));
@@ -134,7 +136,6 @@ proptest! {
     /// Canonicalization is invariant under store renaming (alpha-equivalence).
     #[test]
     fn canonicalization_is_renaming_invariant(tasks in arb_stream(), offset in 1u64..40) {
-        let shapes = store_shapes();
         let renamed: Vec<IndexTask> = tasks
             .iter()
             .map(|t| {
@@ -145,11 +146,9 @@ proptest! {
                 t
             })
             .collect();
-        let renamed_shapes: HashMap<StoreId, Vec<u64>> = (0..NUM_STORES)
-            .map(|s| (StoreId(s + offset), vec![STORE_LEN]))
-            .collect();
-        let a = CanonicalWindow::new(&tasks, &shapes);
-        let b = CanonicalWindow::new(&renamed, &renamed_shapes);
+        let a = CanonicalWindow::new(&tasks);
+        let b = CanonicalWindow::new(&renamed);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
         prop_assert_eq!(a, b);
     }
 

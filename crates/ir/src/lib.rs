@@ -43,6 +43,7 @@
 
 pub mod deps;
 pub mod domain;
+pub mod intern;
 pub mod partition;
 pub mod store;
 pub mod task;
@@ -50,7 +51,8 @@ pub mod window;
 
 pub use deps::{dep, dependence_map, fusible_ground_truth, point_task_substores};
 pub use domain::{Domain, Point, Rect};
+pub use intern::{PartitionId, ShapeId};
 pub use partition::{Partition, Projection};
 pub use store::{StoreId, StoreInfo};
 pub use task::{IndexTask, Privilege, ReductionOp, StoreArg, TaskId};
-pub use window::TaskWindow;
+pub use window::{window_fingerprint, FingerprintState, TaskWindow};

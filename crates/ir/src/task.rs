@@ -1,7 +1,7 @@
 //! Index tasks: the computational model.
 
 use crate::domain::Domain;
-use crate::partition::Partition;
+use crate::intern::{PartitionId, ShapeId};
 use crate::store::StoreId;
 
 /// Unique identifier of an index task in a task stream.
@@ -82,25 +82,42 @@ impl std::fmt::Display for Privilege {
 }
 
 /// One store argument of an index task: a (store, partition, privilege)
-/// triple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// triple, plus the interned shape of the store.
+///
+/// The partition and shape are carried as interned ids ([`PartitionId`],
+/// [`ShapeId`]), so arguments are small and `Copy` and the fusion analysis
+/// compares partitions with a register compare. The shape is stamped by the
+/// Diffuse context at submit time ([`ShapeId::UNKNOWN`] until then); analyses
+/// that need it (canonicalization, temporary elimination) read it straight
+/// off the argument instead of through a side map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StoreArg {
     /// The store being accessed.
     pub store: StoreId,
-    /// The partition through which the store is accessed.
-    pub partition: Partition,
+    /// The partition through which the store is accessed (interned).
+    pub partition: PartitionId,
+    /// The shape of the store (interned; [`ShapeId::UNKNOWN`] until stamped).
+    pub shape: ShapeId,
     /// The access privilege.
     pub privilege: Privilege,
 }
 
 impl StoreArg {
-    /// Creates a store argument.
-    pub fn new(store: StoreId, partition: Partition, privilege: Privilege) -> Self {
+    /// Creates a store argument with an unstamped shape. Accepts either an
+    /// owned [`crate::Partition`] (interned on the fly) or a [`PartitionId`].
+    pub fn new(store: StoreId, partition: impl Into<PartitionId>, privilege: Privilege) -> Self {
         StoreArg {
             store,
-            partition,
+            partition: partition.into(),
+            shape: ShapeId::UNKNOWN,
             privilege,
         }
+    }
+
+    /// Returns the argument with its store shape stamped.
+    pub fn with_shape(mut self, shape: impl Into<ShapeId>) -> Self {
+        self.shape = shape.into();
+        self
     }
 }
 
@@ -186,7 +203,7 @@ impl IndexTask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Projection;
+    use crate::{Partition, Projection};
 
     fn task() -> IndexTask {
         IndexTask::new(

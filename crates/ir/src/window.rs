@@ -1,22 +1,178 @@
-//! Buffered windows of index tasks awaiting analysis.
+//! Buffered windows of index tasks awaiting analysis, with incremental
+//! structural fingerprints.
+//!
+//! The memoization layer (Section 5.2, Figure 7) replays analysis results on
+//! *isomorphic* windows — windows that differ only in store identities. To
+//! make the steady-state lookup allocation-free, the window maintains a
+//! 64-bit **structural fingerprint** of the De-Bruijn-canonicalized task
+//! stream *incrementally*: each [`TaskWindow::push`] folds the new task into
+//! a rolling hash, so probing the memo cache at flush time never walks the
+//! buffered tasks to build a lookup key. The fingerprint of every prefix
+//! length is retained (O(1) [`TaskWindow::prefix_fingerprint`], one `u64`
+//! per task), so prefix-granular probes stay cheap too; draining a prefix
+//! does refold the remaining suffix, since the canonical numbering restarts
+//! at the new window head.
 
+use std::collections::HashMap;
+
+use crate::store::StoreId;
 use crate::task::IndexTask;
+
+/// Seed of the rolling fingerprint (an arbitrary odd constant).
+const FINGERPRINT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Incremental De-Bruijn canonicalization + rolling hash over a task stream.
+///
+/// Stores are replaced by their first-occurrence index (so isomorphic streams
+/// hash identically); partitions and shapes enter through their interner ids
+/// (structural identity). The state is the **single source of truth** for
+/// window fingerprints: [`TaskWindow`] folds tasks through it as they are
+/// pushed, and the fusion crate's canonical windows recompute through the
+/// same code, so the two can never diverge.
+///
+/// # Example
+///
+/// ```
+/// use ir::{window_fingerprint, Domain, IndexTask, Partition, Privilege, StoreArg, StoreId, TaskId};
+///
+/// let t = |s: u64| IndexTask::new(
+///     TaskId(0), 0, "t", Domain::linear(4),
+///     vec![StoreArg::new(StoreId(s), Partition::block(vec![4]), Privilege::Write)],
+///     vec![],
+/// );
+/// // Isomorphic streams (same pattern, different store ids) share a fingerprint.
+/// assert_eq!(window_fingerprint(&[t(1)]), window_fingerprint(&[t(7)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FingerprintState {
+    fingerprint: u64,
+    numbering: HashMap<StoreId, u32>,
+    order: Vec<StoreId>,
+}
+
+impl Default for FingerprintState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintState {
+    /// Creates an empty state (fingerprint of the empty stream).
+    pub fn new() -> Self {
+        FingerprintState {
+            fingerprint: FINGERPRINT_SEED,
+            numbering: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// The fingerprint of the stream folded so far.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of distinct stores seen so far.
+    pub fn num_stores(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The store assigned canonical index `idx`, if any.
+    pub fn store_at(&self, idx: usize) -> Option<StoreId> {
+        self.order.get(idx).copied()
+    }
+
+    /// Clears the state back to the empty stream, retaining allocations.
+    pub fn reset(&mut self) {
+        self.fingerprint = FINGERPRINT_SEED;
+        self.numbering.clear();
+        self.order.clear();
+    }
+
+    /// Folds one task into the rolling fingerprint, returning the new value.
+    /// Performs no heap allocation beyond amortized growth of the store
+    /// numbering.
+    pub fn push(&mut self, task: &IndexTask) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        task.kind.hash(&mut h);
+        task.launch_domain.hash(&mut h);
+        task.scalars.len().hash(&mut h);
+        task.args.len().hash(&mut h);
+        for arg in &task.args {
+            let idx = match self.numbering.get(&arg.store) {
+                Some(&i) => i,
+                None => {
+                    let i = self.order.len() as u32;
+                    self.numbering.insert(arg.store, i);
+                    self.order.push(arg.store);
+                    // The shape of a store enters the fingerprint at its
+                    // first occurrence, mirroring the canonical window's
+                    // per-store shape list.
+                    arg.shape.hash(&mut h);
+                    i
+                }
+            };
+            idx.hash(&mut h);
+            arg.partition.hash(&mut h);
+            arg.privilege.hash(&mut h);
+        }
+        self.fingerprint = splitmix64(self.fingerprint ^ h.finish());
+        self.fingerprint()
+    }
+}
+
+/// Fingerprint of a whole task stream in one pass (the batch counterpart of
+/// [`FingerprintState`]; both run the same folding code).
+pub fn window_fingerprint(tasks: &[IndexTask]) -> u64 {
+    let mut state = FingerprintState::new();
+    for t in tasks {
+        state.push(t);
+    }
+    state.fingerprint()
+}
 
 /// A FIFO window of index tasks that have been submitted by the application
 /// but not yet analyzed and forwarded to the underlying runtime (Section 4).
-#[derive(Debug, Clone, Default)]
+///
+/// The window maintains the rolling structural fingerprint of every prefix
+/// (see [`FingerprintState`]); [`TaskWindow::fingerprint`] is O(1) at any
+/// point, which is what makes the memoization fast path allocation-free.
+#[derive(Debug, Clone)]
 pub struct TaskWindow {
     tasks: Vec<IndexTask>,
+    /// `fingerprints[i]` is the fingerprint of the first `i` tasks
+    /// (`fingerprints[0]` is the empty-stream seed).
+    fingerprints: Vec<u64>,
+    state: FingerprintState,
+}
+
+impl Default for TaskWindow {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TaskWindow {
     /// Creates an empty window.
     pub fn new() -> Self {
-        TaskWindow { tasks: Vec::new() }
+        TaskWindow {
+            tasks: Vec::new(),
+            fingerprints: vec![FingerprintState::new().fingerprint()],
+            state: FingerprintState::new(),
+        }
     }
 
-    /// Appends a task to the window.
+    /// Appends a task to the window, extending the rolling fingerprint.
     pub fn push(&mut self, task: IndexTask) {
+        let fp = self.state.push(&task);
+        self.fingerprints.push(fp);
         self.tasks.push(task);
     }
 
@@ -35,43 +191,102 @@ impl TaskWindow {
         &self.tasks
     }
 
-    /// Removes and returns the first `n` tasks.
+    /// The structural fingerprint of the whole buffered window. O(1): the
+    /// value is maintained incrementally as tasks are pushed.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprints.last().expect("fingerprints[0] is the seed")
+    }
+
+    /// The structural fingerprint of the first `len` buffered tasks. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the window length.
+    pub fn prefix_fingerprint(&self, len: usize) -> u64 {
+        self.fingerprints[len]
+    }
+
+    /// The store assigned canonical (first-occurrence) index `idx` by the
+    /// window's De-Bruijn numbering.
+    pub fn canonical_store(&self, idx: usize) -> Option<StoreId> {
+        self.state.store_at(idx)
+    }
+
+    /// Removes and returns the first `n` tasks. The fingerprints of the
+    /// remaining suffix are recomputed (the canonical numbering restarts at
+    /// the new window head), reusing the existing allocations.
     ///
     /// # Panics
     ///
     /// Panics if `n` exceeds the window length.
     pub fn drain_prefix(&mut self, n: usize) -> Vec<IndexTask> {
         assert!(n <= self.tasks.len(), "cannot drain more tasks than buffered");
-        self.tasks.drain(..n).collect()
+        let prefix: Vec<IndexTask> = self.tasks.drain(..n).collect();
+        self.refold();
+        prefix
     }
 
     /// Removes and returns all buffered tasks.
     pub fn drain_all(&mut self) -> Vec<IndexTask> {
-        std::mem::take(&mut self.tasks)
+        let all = std::mem::take(&mut self.tasks);
+        self.refold();
+        all
     }
+
+    /// Recomputes the rolling fingerprints for the current task contents.
+    fn refold(&mut self) {
+        let TaskWindow {
+            tasks,
+            fingerprints,
+            state,
+        } = self;
+        state.reset();
+        fingerprints.clear();
+        fingerprints.push(state.fingerprint());
+        for t in tasks.iter() {
+            fingerprints.push(state.push(t));
+        }
+    }
+
 }
 
 impl FromIterator<IndexTask> for TaskWindow {
     fn from_iter<T: IntoIterator<Item = IndexTask>>(iter: T) -> Self {
-        TaskWindow {
-            tasks: iter.into_iter().collect(),
-        }
+        let mut w = TaskWindow::new();
+        w.extend(iter);
+        w
     }
 }
 
 impl Extend<IndexTask> for TaskWindow {
     fn extend<T: IntoIterator<Item = IndexTask>>(&mut self, iter: T) {
-        self.tasks.extend(iter);
+        for t in iter {
+            self.push(t);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Domain, TaskId};
+    use crate::{Domain, Partition, Privilege, StoreArg, StoreId, TaskId};
 
     fn task(id: u64) -> IndexTask {
         IndexTask::new(TaskId(id), 0, "t", Domain::linear(1), vec![], vec![])
+    }
+
+    fn rw(id: u64, read: u64, write: u64) -> IndexTask {
+        IndexTask::new(
+            TaskId(id),
+            0,
+            "t",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(StoreId(read), Partition::block(vec![4]), Privilege::Read),
+                StoreArg::new(StoreId(write), Partition::block(vec![4]), Privilege::Write),
+            ],
+            vec![],
+        )
     }
 
     #[test]
@@ -95,6 +310,7 @@ mod tests {
         let all = w.drain_all();
         assert_eq!(all.len(), 3);
         assert!(w.is_empty());
+        assert_eq!(w.fingerprint(), window_fingerprint(&[]));
     }
 
     #[test]
@@ -110,5 +326,53 @@ mod tests {
         let mut w = TaskWindow::new();
         w.push(task(0));
         let _ = w.drain_prefix(2);
+    }
+
+    #[test]
+    fn rolling_fingerprint_matches_batch() {
+        let mut w = TaskWindow::new();
+        let stream = [rw(0, 1, 2), rw(1, 2, 3), rw(2, 3, 1)];
+        for t in stream.clone() {
+            w.push(t);
+        }
+        assert_eq!(w.fingerprint(), window_fingerprint(&stream));
+        assert_eq!(w.prefix_fingerprint(2), window_fingerprint(&stream[..2]));
+        assert_eq!(w.prefix_fingerprint(0), window_fingerprint(&[]));
+    }
+
+    #[test]
+    fn drain_recomputes_suffix_fingerprint() {
+        let mut w = TaskWindow::new();
+        let stream = [rw(0, 1, 2), rw(1, 2, 3), rw(2, 3, 1)];
+        for t in stream.clone() {
+            w.push(t);
+        }
+        let _ = w.drain_prefix(1);
+        // The suffix, canonicalized as a fresh window, must match a batch
+        // fingerprint of the same tasks.
+        assert_eq!(w.fingerprint(), window_fingerprint(&stream[1..]));
+        // And further pushes keep extending consistently.
+        w.push(rw(3, 5, 6));
+        let mut expected: Vec<IndexTask> = stream[1..].to_vec();
+        expected.push(rw(3, 5, 6));
+        assert_eq!(w.fingerprint(), window_fingerprint(&expected));
+    }
+
+    #[test]
+    fn isomorphic_windows_share_fingerprints() {
+        let a = [rw(0, 1, 2), rw(1, 2, 1)];
+        let b = [rw(7, 5, 6), rw(9, 6, 5)];
+        let c = [rw(0, 1, 2), rw(1, 1, 2)]; // different access pattern
+        assert_eq!(window_fingerprint(&a), window_fingerprint(&b));
+        assert_ne!(window_fingerprint(&a), window_fingerprint(&c));
+    }
+
+    #[test]
+    fn canonical_store_tracks_first_occurrence() {
+        let mut w = TaskWindow::new();
+        w.push(rw(0, 4, 9));
+        assert_eq!(w.canonical_store(0), Some(StoreId(4)));
+        assert_eq!(w.canonical_store(1), Some(StoreId(9)));
+        assert_eq!(w.canonical_store(2), None);
     }
 }

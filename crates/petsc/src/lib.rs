@@ -30,7 +30,7 @@
 //! assert!(result.residual.unwrap().is_finite());
 //! ```
 
-use ir::{Domain, Partition, Privilege};
+use ir::{Domain, Partition, PartitionId, Privilege};
 use kernel::{
     BufferId, BufferRole, IndexWidth, KernelModule, LoopBuilder, OpaqueOp, ReduceOp,
 };
@@ -94,8 +94,11 @@ impl PetscSolver {
         self.rt.reset_timing();
     }
 
-    fn block(&self, len: u64) -> Partition {
-        Partition::block(vec![len.div_ceil(self.gpus).max(1)])
+    /// The interned block partition for a vector of `len` elements: hot PETSc
+    /// call paths hand launches pre-interned partition ids, so building a
+    /// requirement never walks or clones partition structure.
+    fn block(&self, len: u64) -> PartitionId {
+        PartitionId::intern(&Partition::block(vec![len.div_ceil(self.gpus).max(1)]))
     }
 
     /// Allocates a vector region of length `n`, optionally filled.

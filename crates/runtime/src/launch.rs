@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use ir::{Domain, Partition, Privilege};
+use ir::{Domain, PartitionId, Privilege};
 use kernel::CompiledKernel;
 
 use crate::region::RegionId;
@@ -36,6 +36,10 @@ pub enum OverheadClass {
 /// One region requirement of a task launch: which region is accessed, through
 /// which partition, and with what privilege.
 ///
+/// The partition is carried as an interned [`PartitionId`] (see
+/// [`ir::intern`]): requirements are cheap to copy and partition equality —
+/// the runtime's validity check — is a register compare.
+///
 /// # Example
 ///
 /// ```
@@ -45,22 +49,28 @@ pub enum OverheadClass {
 /// let req = RegionRequirement::new(RegionId(0), Partition::block(vec![8]), Privilege::Read);
 /// assert!(req.privilege.reads() && !req.privilege.writes());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegionRequirement {
     /// The region accessed.
     pub region: RegionId,
-    /// The partition through which each point task accesses the region.
-    pub partition: Partition,
+    /// The partition through which each point task accesses the region
+    /// (interned).
+    pub partition: PartitionId,
     /// The access privilege.
     pub privilege: Privilege,
 }
 
 impl RegionRequirement {
-    /// Creates a region requirement.
-    pub fn new(region: RegionId, partition: Partition, privilege: Privilege) -> Self {
+    /// Creates a region requirement. Accepts either an owned
+    /// [`ir::Partition`] (interned on the fly) or a [`PartitionId`].
+    pub fn new(
+        region: RegionId,
+        partition: impl Into<PartitionId>,
+        privilege: Privilege,
+    ) -> Self {
         RegionRequirement {
             region,
-            partition,
+            partition: partition.into(),
             privilege,
         }
     }
@@ -132,6 +142,7 @@ impl TaskLaunch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ir::Partition;
     use kernel::{compile_interp, KernelModule};
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use std::sync::Arc;
 
-use ir::{Partition, Rect};
+use ir::{PartitionId, Rect};
 use kernel::{cost as kcost, BackendKind, CompiledKernel, ExecError, KernelBackend, KernelModule};
 use machine::{CostModel, MachineConfig, MemoryTracker, SimClock};
 
@@ -166,7 +166,7 @@ enum Validity {
     Full,
     /// The region was last written through this partition; each GPU holds the
     /// sub-store that partition assigns to it.
-    Partitioned(Partition),
+    Partitioned(PartitionId),
     /// The region holds pending reduction contributions that must be combined
     /// before the next read.
     Reduced,
@@ -607,12 +607,15 @@ impl Runtime {
                         continue;
                     }
                     // Per-point deficit: bytes each point task needs that its
-                    // GPU does not already hold.
+                    // GPU does not already hold. Deref the interned
+                    // partitions once, outside the point loop.
+                    let want_part = req.partition.get();
+                    let have_part = valid_part.get();
                     let mut max_deficit: u64 = 0;
                     let mut total_deficit: u64 = 0;
                     for p in launch.launch_domain.points() {
-                        let want = req.partition.sub_store_bounds(region.shape(), &p);
-                        let have = valid_part.sub_store_bounds(region.shape(), &p);
+                        let want = want_part.sub_store_bounds(region.shape(), &p);
+                        let have = have_part.sub_store_bounds(region.shape(), &p);
                         let overlap = want.intersect(&have).volume();
                         let deficit = (want.volume() - overlap) * 8;
                         max_deficit = max_deficit.max(deficit);
@@ -646,7 +649,7 @@ impl Runtime {
                     // A replicated write leaves every GPU with the full value.
                     Validity::Full
                 } else {
-                    Validity::Partitioned(req.partition.clone())
+                    Validity::Partitioned(req.partition)
                 };
                 self.validity.insert(req.region, v);
             }
@@ -656,19 +659,29 @@ impl Runtime {
     /// Charges kernel execution time for the launch. Returns the simulated
     /// seconds on the critical-path GPU.
     fn charge_kernels(&mut self, launch: &TaskLaunch) -> f64 {
-        let points: Vec<Vec<i64>> = launch.launch_domain.points().collect();
         let domain_size = launch.launch_domain.size().max(1);
         let mut worst_time = 0.0f64;
         let mut worst_cost = kcost::KernelCost::default();
-        for p in &points {
-            let mut lens: Vec<usize> = launch
-                .requirements
-                .iter()
-                .map(|req| {
-                    let shape = self.regions[&req.region].shape();
-                    req.partition.sub_store_bounds(shape, p).volume() as usize
-                })
-                .collect();
+        // Under block partitionings most (often all) points see identical
+        // buffer lengths; the module cost is a pure function of the lengths,
+        // so reuse the previous point's cost when they repeat. This changes
+        // host wall-clock only — the simulated worst-point time is identical.
+        let mut lens: Vec<usize> = Vec::new();
+        let mut prev: Option<(Vec<usize>, kcost::KernelCost, f64)> = None;
+        // Resolve each requirement's interned partition once, outside the
+        // per-point loop (each deref takes the interner's read lock).
+        let req_parts: Vec<(&ir::Partition, &[u64])> = launch
+            .requirements
+            .iter()
+            .map(|req| (req.partition.get(), self.regions[&req.region].shape()))
+            .collect();
+        for p in launch.launch_domain.points() {
+            lens.clear();
+            lens.extend(
+                req_parts
+                    .iter()
+                    .map(|(part, shape)| part.sub_store_bounds(shape, &p).volume() as usize),
+            );
             for &full in &launch.local_buffer_lens {
                 let per_point = if full <= 1 {
                     full
@@ -677,9 +690,16 @@ impl Runtime {
                 };
                 lens.push(per_point.max(1));
             }
-            let c = kcost::module_cost(launch.kernel.module(), &lens);
-            let t = self.cost.kernel_time(c.bytes, c.flops, 0)
-                + c.launches as f64 * self.cost.launch_time();
+            let (c, t) = match &prev {
+                Some((prev_lens, c, t)) if *prev_lens == lens => (*c, *t),
+                _ => {
+                    let c = kcost::module_cost(launch.kernel.module(), &lens);
+                    let t = self.cost.kernel_time(c.bytes, c.flops, 0)
+                        + c.launches as f64 * self.cost.launch_time();
+                    prev = Some((lens.clone(), c, t));
+                    (c, t)
+                }
+            };
             if t > worst_time {
                 worst_time = t;
                 worst_cost = c;
@@ -727,7 +747,7 @@ impl Runtime {
 mod tests {
     use super::*;
     use crate::launch::RegionRequirement;
-    use ir::{Domain, Privilege};
+    use ir::{Domain, Partition, Privilege};
     use kernel::{compile_interp, BufferId, BufferRole, KernelModule, LoopBuilder};
 
     fn functional_runtime(gpus: usize) -> Runtime {
