@@ -9,7 +9,7 @@ use machine::MachineConfig;
 use petsc::PetscSolver;
 use sparse::{CsrMatrix, SparseContext};
 
-use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+use crate::common::{dense_context, measure, spmv, BenchmarkResult, Mode};
 
 fn grid_size(gpus: usize, per_gpu: u64) -> u64 {
     ((per_gpu * gpus as u64) as f64).sqrt().floor().max(2.0) as u64
@@ -34,12 +34,12 @@ fn init(np: &DenseContext, a: &CsrMatrix, b: &DArray) -> BicgState {
 
 /// One natural BiCGSTAB iteration written with SciPy-style operations.
 fn iteration(a: &CsrMatrix, s: &mut BicgState) {
-    let v = a.spmv(&s.p);
+    let v = spmv(a, &s.p);
     let r0v = s.r0.dot(&v);
     let alpha = s.rho.div(&r0v);
     // s_vec = r - alpha v
     let s_vec = s.r.axpy(&alpha, &v, -1.0);
-    let t = a.spmv(&s_vec);
+    let t = spmv(a, &s_vec);
     let tt = t.dot(&t);
     let ts = t.dot(&s_vec);
     let omega = ts.div(&tt);
@@ -106,7 +106,7 @@ pub fn run(mode: Mode, gpus: usize, per_gpu: u64, iterations: u64, functional: b
         return run_petsc(gpus, grid, iterations, functional);
     }
     let np = dense_context(mode, gpus, functional);
-    let sp = SparseContext::new(&np);
+    let sp = SparseContext::new(np.context());
     let a = if functional {
         CsrMatrix::poisson_2d(&sp, grid)
     } else {

@@ -7,18 +7,18 @@
 //! wrote before Diffuse existed (`ManuallyFused`), and MPI+PETSc (`Petsc`).
 
 use dense::{DArray, DenseContext};
-use diffuse::StoreHandle;
-use ir::{Partition, PartitionId, Privilege, StoreArg};
+use diffuse::TaskSignature;
+use ir::{Partition, PartitionId};
 use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskKind};
 use machine::MachineConfig;
 use petsc::PetscSolver;
 use sparse::{CsrMatrix, SparseContext};
 
-use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+use crate::common::{dense_context, measure, spmv, BenchmarkResult, Mode};
 
 /// Problem setup shared by the Diffuse-based variants.
 fn setup(np: &DenseContext, grid: u64, functional: bool) -> (CsrMatrix, DArray) {
-    let sp = SparseContext::new(np);
+    let sp = SparseContext::new(np.context());
     let a = if functional {
         CsrMatrix::poisson_2d(&sp, grid)
     } else {
@@ -34,9 +34,20 @@ fn grid_size(gpus: usize, per_gpu: u64) -> u64 {
 }
 
 /// The hand-fused x/r update task used by the manually optimized variant:
-/// `x' = x + alpha p` and `r' = r - alpha q` in a single kernel.
+/// `x' = x + alpha p` and `r' = r - alpha q` in a single kernel. Registered
+/// in the application's own library namespace — the generator interface is
+/// open to applications, not just to the libraries.
 fn register_cg_update(np: &DenseContext) -> TaskKind {
-    np.context().register_generator("cg_fused_update", |_args| {
+    let lib = np.context().register_library("cg_app");
+    let sig = TaskSignature::new()
+        .read() // x
+        .read() // r
+        .read() // p
+        .read() // q
+        .read() // alpha (scalar store)
+        .write() // x'
+        .write(); // r'
+    lib.register("cg_fused_update", sig, |_args| {
         let mut m = KernelModule::new(7);
         m.set_role(BufferId(5), BufferRole::Output);
         m.set_role(BufferId(6), BufferRole::Output);
@@ -74,7 +85,7 @@ fn cg_init(np: &DenseContext, a: &CsrMatrix, b: &DArray) -> CgState {
 
 /// One natural CG iteration (the code a SciPy user would write).
 fn cg_iteration(a: &CsrMatrix, state: &mut CgState) {
-    let q = a.spmv(&state.p);
+    let q = spmv(a, &state.p);
     let p_ap = state.p.dot(&q);
     let alpha = state.rs_old.div(&p_ap);
     state.x = state.x.axpy(&alpha, &state.p, 1.0);
@@ -93,33 +104,23 @@ fn cg_iteration_manual(
     a: &CsrMatrix,
     state: &mut CgState,
 ) {
-    let q = a.spmv(&state.p);
+    let q = spmv(a, &state.p);
     let p_ap = state.p.dot(&q);
     let alpha = state.rs_old.div(&p_ap);
     let xn = np.zeros(&[state.x.len()]);
     let rn = np.zeros(&[state.r.len()]);
-    // Intern the two partitions once; every argument then carries a Copy id.
-    let arg =
-        |arr: &StoreHandle, pr: Privilege, part: PartitionId| StoreArg::new(arr.id(), part, pr);
+    // Intern the block partition once; every argument then carries a Copy id.
     let block = PartitionId::intern(&state.x.partition());
-    np.context().submit(
-        update,
-        "cg_fused_update",
-        vec![
-            arg(state.x.handle(), Privilege::Read, block.clone()),
-            arg(state.r.handle(), Privilege::Read, block.clone()),
-            arg(state.p.handle(), Privilege::Read, block.clone()),
-            arg(q.handle(), Privilege::Read, block.clone()),
-            arg(
-                alpha.handle(),
-                Privilege::Read,
-                PartitionId::intern(&Partition::Replicate),
-            ),
-            arg(xn.handle(), Privilege::Write, block.clone()),
-            arg(rn.handle(), Privilege::Write, block),
-        ],
-        vec![],
-    );
+    np.context()
+        .task(update)
+        .read(state.x.handle(), block)
+        .read(state.r.handle(), block)
+        .read(state.p.handle(), block)
+        .read(q.handle(), block)
+        .read(alpha.handle(), Partition::Replicate)
+        .write(xn.handle(), block)
+        .write(rn.handle(), block)
+        .launch();
     state.x = xn;
     state.r = rn;
     let rs_new = state.r.dot(&state.r);

@@ -1,8 +1,18 @@
 //! Shared benchmark plumbing: modes, measurement and result records.
 
-use dense::DenseContext;
+use dense::{DArray, DenseContext};
 use diffuse::{BackendKind, Context, DiffuseConfig, ExecutorKind};
 use machine::MachineConfig;
+use sparse::CsrMatrix;
+
+/// `A @ x`, bridging the two libraries the way the paper composes them: the
+/// sparse library takes and returns bare [`diffuse::StoreHandle`]s
+/// (cross-library sharing is by store handle only), and the dense library
+/// wraps the result back into an array for the surrounding vector code. The
+/// SpMV task joins the same window as the dense tasks around it.
+pub fn spmv(a: &CsrMatrix, x: &DArray) -> DArray {
+    x.dense_context().wrap(a.spmv(x.handle()))
+}
 
 /// Which variant of an application to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

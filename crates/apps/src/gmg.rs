@@ -13,11 +13,12 @@
 //! restrict, recurse, prolong, correct, smooth) is the same.
 
 use dense::{DArray, DenseContext};
-use ir::{Partition, Privilege, StoreArg};
+use diffuse::TaskSignature;
+use ir::Partition;
 use kernel::{BufferId, BufferRole, KernelModule, OpaqueOp, TaskKind};
 use sparse::{CsrMatrix, SparseContext};
 
-use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+use crate::common::{dense_context, measure, spmv, BenchmarkResult, Mode};
 
 /// Weighted-Jacobi damping factor.
 const OMEGA: f64 = 2.0 / 3.0;
@@ -35,25 +36,36 @@ struct Gmg {
 }
 
 fn register_transfer_ops(np: &DenseContext) -> (TaskKind, TaskKind) {
-    let restrict = np.context().register_generator("gmg_restrict", |_args| {
-        let mut m = KernelModule::new(2);
-        m.set_role(BufferId(1), BufferRole::Output);
-        m.push_opaque(OpaqueOp::Restrict {
-            fine: BufferId(0),
-            coarse: BufferId(1),
-        });
-        m
-    });
-    let prolong = np.context().register_generator("gmg_prolong", |_args| {
-        let mut m = KernelModule::new(2);
-        m.set_role(BufferId(1), BufferRole::Output);
-        m.push_opaque(OpaqueOp::Prolong {
-            coarse: BufferId(0),
-            fine: BufferId(1),
-        });
-        m
-    });
-    (restrict, prolong)
+    // The application registers its own library namespace: the generator
+    // interface is open to applications, not just to the dense and sparse
+    // libraries.
+    let transfer = || TaskSignature::new().read().write();
+    let lib = np
+        .context()
+        .library("gmg_app")
+        .op("gmg_restrict", transfer(), |_args| {
+            let mut m = KernelModule::new(2);
+            m.set_role(BufferId(1), BufferRole::Output);
+            m.push_opaque(OpaqueOp::Restrict {
+                fine: BufferId(0),
+                coarse: BufferId(1),
+            });
+            m
+        })
+        .op("gmg_prolong", transfer(), |_args| {
+            let mut m = KernelModule::new(2);
+            m.set_role(BufferId(1), BufferRole::Output);
+            m.push_opaque(OpaqueOp::Prolong {
+                coarse: BufferId(0),
+                fine: BufferId(1),
+            });
+            m
+        })
+        .build();
+    (
+        lib.kind("gmg_restrict").expect("registered above"),
+        lib.kind("gmg_prolong").expect("registered above"),
+    )
 }
 
 fn laplacian_1d(sp: &SparseContext, n: u64, functional: bool) -> CsrMatrix {
@@ -75,7 +87,7 @@ fn laplacian_1d(sp: &SparseContext, n: u64, functional: bool) -> CsrMatrix {
 
 impl Gmg {
     fn new(np: &DenseContext, finest: u64, levels: usize, functional: bool) -> Gmg {
-        let sp = SparseContext::new(np);
+        let sp = SparseContext::new(np.context());
         let (restrict_kind, prolong_kind) = register_transfer_ops(np);
         let mut lvl = Vec::new();
         let mut n = finest;
@@ -96,7 +108,7 @@ impl Gmg {
 
     /// One weighted-Jacobi smoothing step: `x = x + omega/2 * (b - A x)`.
     fn smooth(&self, level: usize, x: &DArray, b: &DArray) -> DArray {
-        let ax = self.levels[level].a.spmv(x);
+        let ax = spmv(&self.levels[level].a, x);
         let r = b.sub(&ax);
         let correction = r.scalar_mul(OMEGA / 2.0);
         x.add(&correction)
@@ -106,15 +118,13 @@ impl Gmg {
         let coarse = self.np.zeros(&[coarse_n]);
         let gpus = self.np.gpus();
         let block = |len: u64| Partition::block(vec![len.div_ceil(gpus).max(1)]);
-        self.np.context().submit(
-            self.restrict_kind,
-            "restrict",
-            vec![
-                StoreArg::new(fine.handle().id(), block(fine.len()), Privilege::Read),
-                StoreArg::new(coarse.handle().id(), block(coarse_n), Privilege::Write),
-            ],
-            vec![],
-        );
+        self.np
+            .context()
+            .task(self.restrict_kind)
+            .name("restrict")
+            .read(fine.handle(), block(fine.len()))
+            .write(coarse.handle(), block(coarse_n))
+            .launch();
         coarse
     }
 
@@ -122,15 +132,13 @@ impl Gmg {
         let fine = self.np.zeros(&[fine_n]);
         let gpus = self.np.gpus();
         let block = |len: u64| Partition::block(vec![len.div_ceil(gpus).max(1)]);
-        self.np.context().submit(
-            self.prolong_kind,
-            "prolong",
-            vec![
-                StoreArg::new(coarse.handle().id(), block(coarse.len()), Privilege::Read),
-                StoreArg::new(fine.handle().id(), block(fine_n), Privilege::Write),
-            ],
-            vec![],
-        );
+        self.np
+            .context()
+            .task(self.prolong_kind)
+            .name("prolong")
+            .read(coarse.handle(), block(coarse.len()))
+            .write(fine.handle(), block(fine_n))
+            .launch();
         fine
     }
 
@@ -147,7 +155,7 @@ impl Gmg {
         // Pre-smooth.
         let x = self.smooth(level, &x, b);
         // Residual and restriction.
-        let ax = self.levels[level].a.spmv(&x);
+        let ax = spmv(&self.levels[level].a, &x);
         let r = b.sub(&ax);
         let coarse_n = self.levels[level + 1].n;
         let rc = self.restrict(&r, coarse_n);
@@ -188,7 +196,7 @@ pub fn run(mode: Mode, gpus: usize, per_gpu: u64, iterations: u64, functional: b
         None,
     );
     if functional {
-        let residual = b.sub(&gmg.levels[0].a.spmv(&x));
+        let residual = b.sub(&spmv(&gmg.levels[0].a, &x));
         result.checksum = residual.dot(&residual).scalar_value();
     }
     result

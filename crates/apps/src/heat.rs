@@ -1,0 +1,182 @@
+//! 2-D heat diffusion composing the stencil and dense libraries.
+//!
+//! This is the cross-library workload the Library-API redesign is proved on:
+//! each step applies the stencil library's 5-point star to a ghost-bordered
+//! temperature grid (producing the next time level) and then computes the
+//! step's change energy with dense reductions over *views of the same
+//! stores* — two independently written libraries exchanging nothing but
+//! store handles. Because the dense reduction reads the freshly written
+//! interior through exactly the partition the stencil wrote it with, the
+//! dependence is point-wise and the star + dense tasks land in one fused
+//! window (the three-library sibling of this pipeline is asserted fused in
+//! `tests/cross_library.rs`).
+
+use dense::{DArray, DenseContext};
+use diffuse::StoreHandle;
+use stencil::StencilContext;
+
+use crate::common::{dense_context, measure, BenchmarkResult, Mode};
+
+/// Explicit-Euler diffusion number (stable for the 2-D 5-point star).
+const ALPHA_DT: f64 = 0.2;
+
+struct Heat {
+    np: DenseContext,
+    st: StencilContext,
+    /// Double-buffered temperature grids with a one-cell ghost boundary.
+    cur: StoreHandle,
+    next: StoreHandle,
+    /// Interior edge length.
+    n: u64,
+}
+
+impl Heat {
+    fn new(np: &DenseContext, n: u64, functional: bool) -> Heat {
+        let st = StencilContext::new(np.context());
+        let ctx = np.context();
+        let shape = vec![n + 2, n + 2];
+        let cur = ctx.create_store(shape.clone(), "heat_cur");
+        let next = ctx.create_store(shape, "heat_next");
+        if functional {
+            // A hot square in the middle of a cold plate, hot west edge.
+            let m = n + 2;
+            let data: Vec<f64> = (0..m * m)
+                .map(|i| {
+                    let (r, c) = (i / m, i % m);
+                    if c == 0 {
+                        1.0
+                    } else if r > m / 3 && r < 2 * m / 3 && c > m / 3 && c < 2 * m / 3 {
+                        2.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            ctx.write_store(&cur, data.clone());
+            // Both buffers share the boundary condition; star updates only
+            // write interiors, so ghosts persist across the swap.
+            ctx.write_store(&next, data);
+        }
+        Heat {
+            np: np.clone(),
+            st,
+            cur,
+            next,
+            n,
+        }
+    }
+
+    /// Dense view of a grid's interior.
+    fn interior(&self, grid: &StoreHandle) -> DArray {
+        self.np
+            .wrap(grid.clone())
+            .slice_2d(1..self.n + 1, 1..self.n + 1)
+    }
+
+    /// One explicit diffusion step; returns the step's squared change energy
+    /// as a dense scalar array. The star task (stencil library) and the
+    /// sub/sum_sq tasks (dense library) fuse into one launch.
+    fn step(&mut self) -> DArray {
+        // next_interior = cur + alpha*dt * laplacian(cur)
+        let c = ALPHA_DT;
+        self.st
+            .star_2d(&self.cur, &self.next, [1.0 - 4.0 * c, c, c, c, c]);
+        let change = self.interior(&self.next).sub(&self.interior(&self.cur));
+        let energy = change.sum_sq();
+        std::mem::swap(&mut self.cur, &mut self.next);
+        energy
+    }
+}
+
+/// Runs the heat solver with `per_gpu` interior grid points per GPU, weak
+/// scaled (the edge grows with the square root of the machine size). The
+/// interior edge is rounded to a multiple of the GPU count so the stencil's
+/// row blocks tile exactly.
+///
+/// # Panics
+///
+/// Panics if `mode` is not [`Mode::Fused`] or [`Mode::Unfused`].
+pub fn run(mode: Mode, gpus: usize, per_gpu: u64, iterations: u64, functional: bool) -> BenchmarkResult {
+    assert!(
+        matches!(mode, Mode::Fused | Mode::Unfused),
+        "heat supports only the fused and unfused modes"
+    );
+    let np = dense_context(mode, gpus, functional);
+    let raw = ((per_gpu * gpus as u64) as f64).sqrt().floor().max(4.0) as u64;
+    let n = (raw / gpus as u64).max(1) * gpus as u64;
+    let mut heat = Heat::new(&np, n, functional);
+    let mut last_energy: Option<DArray> = None;
+    let mut result = measure(
+        "Heat",
+        mode,
+        &np,
+        1,
+        iterations,
+        |_| {
+            last_energy = Some(heat.step());
+        },
+        None,
+    );
+    if functional {
+        // Checksum: total interior heat plus the last step's change energy.
+        let total = heat.interior(&heat.cur).sum();
+        let energy = last_energy.as_ref().expect("at least one iteration ran");
+        result.checksum = Some(
+            total.scalar_value().unwrap_or(0.0) + energy.scalar_value().unwrap_or(0.0),
+        );
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_matches_unfused() {
+        let fused = run(Mode::Fused, 2, 64, 4, true);
+        let unfused = run(Mode::Unfused, 2, 64, 4, true);
+        let (a, b) = (fused.checksum.unwrap(), unfused.checksum.unwrap());
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "fused {a} vs unfused {b}"
+        );
+        assert!(
+            fused.launches_per_iteration < unfused.tasks_per_iteration,
+            "the star + dense-reduction step must fuse"
+        );
+    }
+
+    #[test]
+    fn stencil_and_dense_tasks_share_fused_launches() {
+        let np = dense_context(Mode::Fused, 2, true);
+        let mut heat = Heat::new(&np, 16, true);
+        for _ in 0..3 {
+            let _ = heat.step();
+        }
+        np.flush();
+        let stats = np.context().stats();
+        assert!(
+            stats.cross_library_fused_tasks >= 3,
+            "each step must fuse stencil and dense tasks into one launch: {stats:?}"
+        );
+        let stencil_stats = stats.library("stencil").unwrap();
+        assert_eq!(stencil_stats.tasks_submitted, 3);
+        assert!(stencil_stats.cross_library_launches >= 3);
+        assert!(stats.library("dense").unwrap().tasks_submitted >= 6);
+    }
+
+    #[test]
+    fn heat_diffuses_monotonically() {
+        // With a fixed hot edge, successive change energies shrink.
+        let np = dense_context(Mode::Fused, 2, true);
+        let mut heat = Heat::new(&np, 16, true);
+        let e1 = heat.step().scalar_value().unwrap();
+        for _ in 0..5 {
+            let _ = heat.step();
+        }
+        let e7 = heat.step().scalar_value().unwrap();
+        assert!(e7 < e1, "diffusion must settle: {e1} -> {e7}");
+        assert!(e1.is_finite() && e7 > 0.0);
+    }
+}

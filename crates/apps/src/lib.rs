@@ -1,8 +1,11 @@
-//! The seven benchmark applications of the paper's evaluation (Section 7).
+//! The benchmark applications: the seven from the paper's evaluation
+//! (Section 7) plus a cross-library heat solver exercising the stencil
+//! library.
 //!
 //! Every application is written naturally against the public APIs of the
-//! `dense` and `sparse` libraries — no Diffuse-specific code — exactly as the
-//! paper's applications are written against cuPyNumeric and Legate Sparse.
+//! `dense`, `sparse` and `stencil` libraries — no Diffuse-specific code —
+//! exactly as the paper's applications are written against cuPyNumeric and
+//! Legate Sparse.
 //! Switching between the fused and unfused configurations changes nothing in
 //! the application code; the PETSc baseline uses the `petsc` crate and the
 //! "manually fused" variants restructure the application by hand the way the
@@ -17,6 +20,7 @@
 //! | [`gmg`] | Geometric multigrid solver | 12a |
 //! | [`cfd`] | Navier-Stokes channel flow | 12b |
 //! | [`torchswe`] | TorchSWE shallow-water solver | 12c |
+//! | [`heat`] | 2-D heat diffusion (stencil + dense composition) | — |
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@ pub mod cfd;
 pub mod cg;
 pub mod common;
 pub mod gmg;
+pub mod heat;
 pub mod jacobi;
 pub mod torchswe;
 

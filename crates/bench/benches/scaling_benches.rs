@@ -30,5 +30,24 @@ fn bench_cg_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_black_scholes_iteration, bench_cg_iteration);
+/// The cross-library stencil workload: each heat step is one fused launch
+/// spanning the stencil and dense libraries, so this tracks the end-to-end
+/// cost of pushing a cross-library window through analysis + lowering.
+fn bench_heat_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heat_sim_wallclock");
+    group.sample_size(10);
+    for gpus in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("gpus", gpus), &gpus, |b, &gpus| {
+            b.iter(|| apps::heat::run(Mode::Fused, gpus, 1 << 16, 3, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_black_scholes_iteration,
+    bench_cg_iteration,
+    bench_heat_iteration
+);
 criterion_main!(benches);

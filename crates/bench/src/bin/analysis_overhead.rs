@@ -28,8 +28,8 @@
 use std::time::Instant;
 
 use bench::JsonValue;
-use diffuse::{Context, DiffuseConfig, StoreHandle};
-use ir::{Partition, PartitionId, Privilege, StoreArg};
+use diffuse::{Context, DiffuseConfig, StoreHandle, TaskSignature};
+use ir::{Partition, PartitionId};
 use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskKind};
 use machine::MachineConfig;
 
@@ -93,7 +93,8 @@ struct Stores {
 }
 
 fn register_kinds(ctx: &Context) -> Kinds {
-    let add = ctx.register_generator("add", |_args| {
+    let lib = ctx.register_library("cgtrace");
+    let add = lib.register("add", TaskSignature::new().read().read().write(), |_args| {
         let mut m = KernelModule::new(3);
         m.set_role(BufferId(2), BufferRole::Output);
         let mut b = LoopBuilder::new("add", BufferId(2));
@@ -103,7 +104,7 @@ fn register_kinds(ctx: &Context) -> Kinds {
         m.push_loop(b.finish());
         m
     });
-    let scale = ctx.register_generator("scale", |_args| {
+    let scale = lib.register("scale", TaskSignature::new().read().write().scalars(1), |_args| {
         let mut m = KernelModule::new(2);
         m.set_role(BufferId(1), BufferRole::Output);
         let mut b = LoopBuilder::new("scale", BufferId(1));
@@ -114,7 +115,7 @@ fn register_kinds(ctx: &Context) -> Kinds {
         m.push_loop(b.finish());
         m
     });
-    let dot = ctx.register_generator("dot", |_args| {
+    let dot = lib.register("dot", TaskSignature::new().read().reduce(), |_args| {
         let mut m = KernelModule::new(2);
         m.set_role(BufferId(1), BufferRole::Reduction);
         let mut b = LoopBuilder::new("dot", BufferId(0));
@@ -160,61 +161,48 @@ fn fresh_context() -> (Context, Kinds, Stores) {
 /// two distinct window shapes, flushed like a solver would flush per
 /// iteration. Returns the number of tasks submitted.
 fn run_iteration(ctx: &Context, kinds: &Kinds, st: &Stores) -> u64 {
-    let ew = |a: &StoreHandle, b: &StoreHandle, o: &StoreHandle| {
-        vec![
-            StoreArg::new(a.id(), st.block, Privilege::Read),
-            StoreArg::new(b.id(), st.block, Privilege::Read),
-            StoreArg::new(o.id(), st.block, Privilege::Write),
-        ]
+    let ew = |name: &str, a: &StoreHandle, b: &StoreHandle, o: &StoreHandle| {
+        ctx.task(kinds.add)
+            .name(name)
+            .read(a, st.block)
+            .read(b, st.block)
+            .write(o, st.block)
+            .launch();
     };
     // Window 1: t = x + p; q = alpha * t; s = q + x; rs += s . s
-    ctx.submit(kinds.add, "add_xp", ew(&st.x, &st.p, &st.t), vec![]);
-    ctx.submit(
-        kinds.scale,
-        "scale_t",
-        vec![
-            StoreArg::new(st.t.id(), st.block, Privilege::Read),
-            StoreArg::new(st.q.id(), st.block, Privilege::Write),
-        ],
-        vec![1.0e-3],
-    );
-    ctx.submit(kinds.add, "add_qx", ew(&st.q, &st.x, &st.s), vec![]);
-    ctx.submit(
-        kinds.dot,
-        "dot_ss",
-        vec![
-            StoreArg::new(st.s.id(), st.block, Privilege::Read),
-            StoreArg::new(
-                st.rs.id(),
-                st.replicate,
-                Privilege::Reduce(ir::ReductionOp::Sum),
-            ),
-        ],
-        vec![],
-    );
+    ew("add_xp", &st.x, &st.p, &st.t);
+    ctx.task(kinds.scale)
+        .name("scale_t")
+        .read(&st.t, st.block)
+        .write(&st.q, st.block)
+        .scalar(1.0e-3)
+        .launch();
+    ew("add_qx", &st.q, &st.x, &st.s);
+    ctx.task(kinds.dot)
+        .name("dot_ss")
+        .read(&st.s, st.block)
+        .reduce(&st.rs, st.replicate, ir::ReductionOp::Sum)
+        .launch();
     ctx.flush();
     // Window 2: t = p + s; q = beta * t; x' = q + p (Jacobi-style tail).
-    ctx.submit(kinds.add, "add_ps", ew(&st.p, &st.s, &st.t), vec![]);
-    ctx.submit(
-        kinds.scale,
-        "scale_t2",
-        vec![
-            StoreArg::new(st.t.id(), st.block, Privilege::Read),
-            StoreArg::new(st.q.id(), st.block, Privilege::Write),
-        ],
-        vec![0.5],
-    );
-    ctx.submit(kinds.add, "add_qp", ew(&st.q, &st.p, &st.x), vec![]);
+    ew("add_ps", &st.p, &st.s, &st.t);
+    ctx.task(kinds.scale)
+        .name("scale_t2")
+        .read(&st.t, st.block)
+        .write(&st.q, st.block)
+        .scalar(0.5)
+        .launch();
+    ew("add_qp", &st.q, &st.p, &st.x);
     ctx.flush();
     // Window 3: a long fully-fusible elementwise chain, the shape the
     // adaptive window converges to on elementwise-heavy traces.
     for i in 0..CHAIN {
-        ctx.submit(
-            kinds.add,
-            "chain",
-            ew(&st.chain[i], &st.p, &st.chain[i + 1]),
-            vec![],
-        );
+        ctx.task(kinds.add)
+            .name("chain")
+            .read(&st.chain[i], st.block)
+            .read(&st.p, st.block)
+            .write(&st.chain[i + 1], st.block)
+            .launch();
     }
     ctx.flush();
     7 + CHAIN as u64

@@ -14,13 +14,15 @@ use ir::{
 };
 use kernel::{
     BufferId, BufferRole, CompileTimeModel, CompiledKernel, GenArgs, GeneratorRegistry,
-    KernelBackend, KernelModule, Pipeline, PipelineConfig, TaskKind,
+    KernelBackend, KernelModule, LibraryId, Pipeline, PipelineConfig, TaskKind, TaskSignature,
 };
 use runtime::{OverheadClass, Profile, RegionId, RegionRequirement, Runtime, RuntimeConfig, TaskLaunch};
 
 use crate::config::DiffuseConfig;
 use crate::handle::StoreHandle;
-use crate::stats::ExecutionStats;
+use crate::launch::LaunchBuilder;
+use crate::library::{Library, LibraryBuilder};
+use crate::stats::{ExecutionStats, LibraryStats};
 
 /// Metadata Diffuse keeps per store.
 #[derive(Debug, Clone)]
@@ -96,9 +98,74 @@ pub struct ContextInner {
     stores: HashMap<StoreId, StoreMeta>,
     next_store: u64,
     next_task: u64,
+    /// Reusable per-launch scratch: (library, constituent-task count) pairs of
+    /// the prefix being launched. Kept on the context so the hot launch path
+    /// never allocates for attribution.
+    lib_scratch: Vec<(u16, u32)>,
 }
 
 impl ContextInner {
+    /// Registers a library namespace, creating its statistics entry.
+    pub(crate) fn register_library(&mut self, name: &str) -> LibraryId {
+        let id = self.registry.register_library(name);
+        self.stats.per_library.push(LibraryStats {
+            library: name.to_string(),
+            ..Default::default()
+        });
+        id
+    }
+
+    /// Registers a named generator in a library (see [`Library::register`]).
+    pub(crate) fn register_op<F>(
+        &mut self,
+        library: LibraryId,
+        name: &str,
+        signature: TaskSignature,
+        generator: F,
+    ) -> TaskKind
+    where
+        F: Fn(&GenArgs<'_>) -> KernelModule + Send + Sync + 'static,
+    {
+        self.registry.register_op_fn(library, name, signature, generator)
+    }
+
+    /// Looks up an operation by name within a library.
+    pub(crate) fn lookup_op(&self, library: LibraryId, name: &str) -> Option<TaskKind> {
+        self.registry.lookup(library, name)
+    }
+
+    /// Tallies the libraries contributing to a prefix into the reusable
+    /// scratch: one `(library, task count)` pair per distinct library.
+    fn collect_libraries(scratch: &mut Vec<(u16, u32)>, tasks: &[IndexTask]) {
+        scratch.clear();
+        for t in tasks {
+            let lib = (t.kind >> 16) as u16;
+            match scratch.iter_mut().find(|(l, _)| *l == lib) {
+                Some((_, c)) => *c += 1,
+                None => scratch.push((lib, 1)),
+            }
+        }
+    }
+
+    /// Attributes one launch to the libraries tallied in `lib_scratch`:
+    /// launch counts, cross-library participation, and the launch's simulated
+    /// time split proportionally to each library's constituent-task count.
+    fn attribute_launch(&mut self, total_tasks: u32, elapsed_delta: f64) {
+        let cross = self.lib_scratch.len() > 1;
+        if cross {
+            self.stats.cross_library_fused_tasks += 1;
+        }
+        for &(lib, count) in &self.lib_scratch {
+            if let Some(ls) = self.stats.per_library.get_mut(lib as usize) {
+                ls.launches += 1;
+                if cross {
+                    ls.cross_library_launches += 1;
+                }
+                ls.simulated_time += elapsed_delta * count as f64 / total_tasks.max(1) as f64;
+            }
+        }
+    }
+
     pub(crate) fn add_app_ref(&mut self, id: StoreId) {
         if let Some(meta) = self.stores.get_mut(&id) {
             meta.app_refs += 1;
@@ -184,8 +251,13 @@ impl ContextInner {
             scalars: &task.scalars,
         };
         self.registry
-            .generate(TaskKind(task.kind), &args)
-            .unwrap_or_else(|| panic!("no generator registered for task kind {}", task.kind))
+            .generate(TaskKind::decode(task.kind), &args)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no generator registered for task kind {}",
+                    TaskKind::decode(task.kind)
+                )
+            })
     }
 
     /// Compiles a module into a launchable artifact. Simulation-only
@@ -208,6 +280,7 @@ impl ContextInner {
     /// unfused baseline models a library of pre-compiled per-task kernels
     /// (only fused windows pay the JIT, as in the paper).
     fn launch_unfused(&mut self, task: IndexTask) {
+        Self::collect_libraries(&mut self.lib_scratch, std::slice::from_ref(&task));
         let module = self.generate_task_module(&task);
         let mut local_lens = Vec::new();
         for b in task.args.len()..module.num_buffers() as usize {
@@ -237,8 +310,11 @@ impl ContextInner {
             local_buffer_lens: local_lens,
             overhead: OverheadClass::TaskRuntime,
         };
+        let t0 = self.runtime.elapsed();
         self.runtime.execute(&launch).expect("launch failed");
+        let delta = self.runtime.elapsed() - t0;
         self.stats.tasks_launched += 1;
+        self.attribute_launch(1, delta);
     }
 
     /// Composes, optimizes, compiles (or reuses a memoized compiled
@@ -308,6 +384,7 @@ impl ContextInner {
                 None
             }
         });
+        Self::collect_libraries(&mut self.lib_scratch, &self.window.tasks()[..prefix_len]);
         let prefix = self.window.drain_prefix(prefix_len);
         let fused = FusedTask::build(prefix);
 
@@ -428,11 +505,14 @@ impl ContextInner {
             local_buffer_lens: local_lens,
             overhead: OverheadClass::TaskRuntime,
         };
+        let t0 = self.runtime.elapsed();
         self.runtime.execute(&launch).expect("fused launch failed");
+        let delta = self.runtime.elapsed() - t0;
         self.stats.tasks_launched += 1;
         if fused.len() > 1 {
             self.stats.fused_tasks += 1;
         }
+        self.attribute_launch(prefix_len as u32, delta);
     }
 
     /// The memoization-hit fast path: instantiates a cached launch skeleton
@@ -442,6 +522,7 @@ impl ContextInner {
     /// backing regions and gathering scalars.
     fn launch_from_skeleton(&mut self, prefix_len: usize, art: &CompiledArtifact) {
         let prefix = &self.window.tasks()[..prefix_len];
+        Self::collect_libraries(&mut self.lib_scratch, prefix);
         let launch_domain = prefix[0].launch_domain.clone();
         let scalars: Vec<f64> = prefix
             .iter()
@@ -490,11 +571,14 @@ impl ContextInner {
             local_buffer_lens: local_lens,
             overhead: OverheadClass::TaskRuntime,
         };
+        let t0 = self.runtime.elapsed();
         self.runtime.execute(&launch).expect("fused launch failed");
+        let delta = self.runtime.elapsed() - t0;
         self.stats.tasks_launched += 1;
         if prefix_len > 1 {
             self.stats.fused_tasks += 1;
         }
+        self.attribute_launch(prefix_len as u32, delta);
     }
 
     /// Generates every constituent task's kernel, composes them in program
@@ -651,6 +735,54 @@ impl ContextInner {
     }
 }
 
+/// Debug-build launch validation: checks a builder-produced launch against
+/// the operation's declared [`TaskSignature`] so malformed launches fail at
+/// submission — with the qualified op name in the message — rather than
+/// inside the kernel pipeline.
+#[cfg(debug_assertions)]
+fn validate_against_signature(
+    registry: &GeneratorRegistry,
+    kind: TaskKind,
+    args: &[StoreArg],
+    scalars: &[f64],
+) {
+    use kernel::ArgSpec;
+    let Some(sig) = registry.signature(kind) else {
+        return;
+    };
+    let qualified = registry
+        .qualified_name(kind)
+        .unwrap_or_else(|| kind.to_string());
+    assert_eq!(
+        args.len(),
+        sig.args().len(),
+        "`{qualified}` expects {} store arguments, launch provides {}",
+        sig.args().len(),
+        args.len()
+    );
+    for (i, (arg, spec)) in args.iter().zip(sig.args()).enumerate() {
+        let matches = match spec {
+            ArgSpec::Read => arg.privilege == Privilege::Read,
+            ArgSpec::Write => arg.privilege == Privilege::Write,
+            ArgSpec::ReadWrite => arg.privilege == Privilege::ReadWrite,
+            ArgSpec::Reduce => arg.privilege.reduces(),
+        };
+        assert!(
+            matches,
+            "argument {i} of `{qualified}`: signature declares {spec:?} but the launch \
+             passes privilege {}",
+            arg.privilege
+        );
+    }
+    assert_eq!(
+        scalars.len(),
+        sig.num_scalars(),
+        "`{qualified}` expects {} scalar parameter(s), launch provides {}",
+        sig.num_scalars(),
+        scalars.len()
+    );
+}
+
 /// The Diffuse context: the handle applications and libraries use to create
 /// stores, register generators and submit index tasks.
 ///
@@ -687,6 +819,7 @@ impl Context {
             stores: HashMap::new(),
             next_store: 0,
             next_task: 0,
+            lib_scratch: Vec::new(),
             config,
         };
         Context {
@@ -704,16 +837,32 @@ impl Context {
         self.inner.borrow().config.clone()
     }
 
-    /// Registers a kernel generator function (library developers only — see
-    /// Section 6.2). Returns the task kind to use in [`Context::submit`].
-    pub fn register_generator<F>(&self, name: &str, generator: F) -> TaskKind
-    where
-        F: Fn(&GenArgs<'_>) -> KernelModule + Send + Sync + 'static,
-    {
-        self.inner
-            .borrow_mut()
-            .registry
-            .register_fn(name, generator)
+    /// Registers a library namespace (library developers only — see
+    /// Section 6.2 and `docs/LIBRARIES.md`). Operations are then registered
+    /// through the returned [`Library`], which scopes their [`TaskKind`]s to
+    /// this library so independently written libraries never collide.
+    pub fn register_library(&self, name: &str) -> Library {
+        let id = self.inner.borrow_mut().register_library(name);
+        Library {
+            id,
+            name: name.to_string(),
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Starts chained registration of a library and its operations:
+    /// `ctx.library("stencil").op("star5", sig, gen).build()`.
+    pub fn library(&self, name: &str) -> LibraryBuilder {
+        LibraryBuilder::new(self.register_library(name))
+    }
+
+    /// Starts a typed launch of `kind`:
+    /// `ctx.task(kind).read(&x, px).write(&y, py).scalar(alpha).launch()`.
+    ///
+    /// The builder validates the launch against the operation's declared
+    /// [`TaskSignature`] at submission (see [`LaunchBuilder`]).
+    pub fn task(&self, kind: TaskKind) -> LaunchBuilder {
+        LaunchBuilder::new(self.clone(), kind)
     }
 
     /// Creates a distributed store with the given shape. The backing region is
@@ -789,6 +938,13 @@ impl Context {
     /// Submits an index task built from a task kind, launch arguments and
     /// scalars. The task is buffered in the window; the window is analyzed
     /// and flushed automatically once it reaches the adaptive window size.
+    ///
+    /// This is the **low-level escape hatch** under the typed
+    /// [`Context::task`] builder: no name defaulting and no signature
+    /// validation happen here. Library and application code should use the
+    /// builder; this entry point exists for harnesses that need to compare
+    /// against builder-produced launches (they are bit-identical — see
+    /// `crates/core/tests/launch_builder.rs`).
     pub fn submit(
         &self,
         kind: TaskKind,
@@ -803,23 +959,51 @@ impl Context {
         // Default launch domain: one point per GPU; libraries express the
         // decomposition through partitions.
         let launch_domain = Domain::linear(gpus);
-        self.submit_task_locked(&mut inner, IndexTask::new(id, kind.0, name, launch_domain, args, scalars));
+        self.submit_task_locked(
+            &mut inner,
+            IndexTask::new(id, kind.encode(), name, launch_domain, args, scalars),
+        );
         id
     }
 
-    /// Submits an index task with an explicit launch domain.
-    pub fn submit_with_domain(
+    /// Submission endpoint of the typed [`LaunchBuilder`]: resolves the
+    /// default name from the registry, validates the launch against the
+    /// operation's declared signature, and buffers the task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not registered on this context; in debug builds,
+    /// also panics on any arity/role/privilege disagreement with the
+    /// registered [`TaskSignature`].
+    pub(crate) fn submit_built(
         &self,
         kind: TaskKind,
-        name: &str,
-        launch_domain: Domain,
+        name: Option<String>,
+        domain: Option<Domain>,
         args: Vec<StoreArg>,
         scalars: Vec<f64>,
     ) -> TaskId {
         let mut inner = self.inner.borrow_mut();
+        let name = {
+            let registry = &inner.registry;
+            let registered = registry.name(kind).unwrap_or_else(|| {
+                panic!(
+                    "task kind {kind} is not registered on this context \
+                     (register it through Context::register_library)"
+                )
+            });
+            #[cfg(debug_assertions)]
+            validate_against_signature(registry, kind, &args, &scalars);
+            name.unwrap_or_else(|| registered.to_string())
+        };
+        let launch_domain =
+            domain.unwrap_or_else(|| Domain::linear(inner.runtime.gpus() as u64));
         let id = TaskId(inner.next_task);
         inner.next_task += 1;
-        self.submit_task_locked(&mut inner, IndexTask::new(id, kind.0, name, launch_domain, args, scalars));
+        self.submit_task_locked(
+            &mut inner,
+            IndexTask::new(id, kind.encode(), name, launch_domain, args, scalars),
+        );
         id
     }
 
@@ -835,6 +1019,10 @@ impl Context {
             arg.shape = meta.shape;
         }
         inner.stats.tasks_submitted += 1;
+        let lib = (task.kind >> 16) as usize;
+        if let Some(ls) = inner.stats.per_library.get_mut(lib) {
+            ls.tasks_submitted += 1;
+        }
         inner.window.push(task);
         if inner.window.len() >= inner.adaptive.size() {
             inner.process_window();
@@ -850,10 +1038,11 @@ impl Context {
         }
     }
 
-    /// Execution statistics accumulated so far.
+    /// Execution statistics accumulated so far, including the per-library
+    /// attribution ([`ExecutionStats::per_library`]).
     pub fn stats(&self) -> ExecutionStats {
         let inner = self.inner.borrow();
-        let mut stats = inner.stats;
+        let mut stats = inner.stats.clone();
         stats.current_window_size = inner.adaptive.size() as u64;
         stats.memo_evictions = inner.memo.evictions();
         stats
@@ -887,30 +1076,40 @@ mod tests {
 
     /// Registers an elementwise binary-add generator and returns its kind.
     fn register_add(ctx: &Context) -> TaskKind {
-        ctx.register_generator("add", |_args| {
-            let mut m = KernelModule::new(3);
-            m.set_role(BufferId(2), BufferRole::Output);
-            let mut b = LoopBuilder::new("add", BufferId(2));
-            let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
-            let s = b.add(x, y);
-            b.store(BufferId(2), s);
-            m.push_loop(b.finish());
-            m
-        })
+        let lib = ctx.register_library("adds");
+        lib.register(
+            "add",
+            TaskSignature::new().read().read().write(),
+            |_args| {
+                let mut m = KernelModule::new(3);
+                m.set_role(BufferId(2), BufferRole::Output);
+                let mut b = LoopBuilder::new("add", BufferId(2));
+                let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+                let s = b.add(x, y);
+                b.store(BufferId(2), s);
+                m.push_loop(b.finish());
+                m
+            },
+        )
     }
 
     fn register_scale(ctx: &Context) -> TaskKind {
-        ctx.register_generator("scale", |_args| {
-            let mut m = KernelModule::new(2);
-            m.set_role(BufferId(1), BufferRole::Output);
-            let mut b = LoopBuilder::new("scale", BufferId(1));
-            let x = b.load(BufferId(0));
-            let s = b.param(0);
-            let v = b.mul(x, s);
-            b.store(BufferId(1), v);
-            m.push_loop(b.finish());
-            m
-        })
+        let lib = ctx.register_library("scales");
+        lib.register(
+            "scale",
+            TaskSignature::new().read().write().scalars(1),
+            |_args| {
+                let mut m = KernelModule::new(2);
+                m.set_role(BufferId(1), BufferRole::Output);
+                let mut b = LoopBuilder::new("scale", BufferId(1));
+                let x = b.load(BufferId(0));
+                let s = b.param(0);
+                let v = b.mul(x, s);
+                b.store(BufferId(1), v);
+                m.push_loop(b.finish());
+                m
+            },
+        )
     }
 
     fn ctx_with_gpus(gpus: usize) -> Context {
@@ -1230,6 +1429,49 @@ mod tests {
         // The closure backend's one-time cost is priced above the interpreter
         // calibration through the compile_cost hook.
         assert!(closure_stats.compile_time > interp_stats.compile_time);
+    }
+
+    #[test]
+    fn per_library_stats_attribute_cross_library_fusion() {
+        // `register_add` and `register_scale` register two distinct
+        // libraries, so an add→scale chain that fuses is a cross-library
+        // fused task and must be attributed to both namespaces.
+        let ctx = ctx_with_gpus(4);
+        let add = register_add(&ctx);
+        let scale = register_scale(&ctx);
+        let n = 32u64;
+        let p = block(n, 4);
+        let a = ctx.create_store(vec![n], "a");
+        let out = ctx.create_store(vec![n], "out");
+        ctx.fill(&a, 2.0);
+        let t = ctx.create_store(vec![n], "t");
+        ctx.task(add)
+            .read(&a, p.clone())
+            .read(&a, p.clone())
+            .write(&t, p.clone())
+            .launch();
+        ctx.task(scale)
+            .read(&t, p.clone())
+            .write(&out, p)
+            .scalar(0.5)
+            .launch();
+        drop(t);
+        ctx.flush();
+        assert_eq!(ctx.read_store(&out).unwrap(), vec![2.0; 32]);
+        let stats = ctx.stats();
+        assert_eq!(stats.fused_tasks, 1);
+        assert_eq!(stats.cross_library_fused_tasks, 1);
+        let adds = stats.library("adds").unwrap();
+        let scales = stats.library("scales").unwrap();
+        assert_eq!(adds.tasks_submitted, 1);
+        assert_eq!(scales.tasks_submitted, 1);
+        // The fill launch belongs to no library; the fused launch counts once
+        // for each participant.
+        assert_eq!(adds.launches, 1);
+        assert_eq!(scales.launches, 1);
+        assert_eq!(adds.cross_library_launches, 1);
+        assert_eq!(scales.cross_library_launches, 1);
+        assert!(adds.simulated_time > 0.0 && scales.simulated_time > 0.0);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The typed launch builder: role-checked task submission.
+//!
+//! [`LaunchBuilder`] replaces hand-assembled `Vec<StoreArg>` submissions with
+//! a typed, self-describing call chain:
+//!
+//! ```text
+//! ctx.task(kind).read(&x, px).write(&y, py).scalar(alpha).launch();
+//! ```
+//!
+//! At submission the builder resolves the kind against the generator
+//! registry (an unregistered kind fails *here*, with the library and op
+//! spelled out, not deep inside the kernel pipeline) and, in debug builds,
+//! validates the launch against the operation's declared
+//! [`TaskSignature`](kernel::TaskSignature): argument arity, per-argument
+//! privilege against the declared role, and scalar arity.
+
+use ir::{Domain, PartitionId, Privilege, ReductionOp, StoreArg, TaskId};
+use kernel::TaskKind;
+
+use crate::context::Context;
+use crate::handle::StoreHandle;
+
+/// A task launch under construction. Created by [`Context::task`]; consumed
+/// by [`LaunchBuilder::launch`].
+#[derive(Debug)]
+#[must_use = "a LaunchBuilder does nothing until .launch() is called"]
+pub struct LaunchBuilder {
+    ctx: Context,
+    kind: TaskKind,
+    name: Option<String>,
+    domain: Option<Domain>,
+    args: Vec<StoreArg>,
+    scalars: Vec<f64>,
+}
+
+impl LaunchBuilder {
+    pub(crate) fn new(ctx: Context, kind: TaskKind) -> Self {
+        LaunchBuilder {
+            ctx,
+            kind,
+            name: None,
+            domain: None,
+            args: Vec::new(),
+            scalars: Vec::new(),
+        }
+    }
+
+    /// Overrides the task name shown in profiles and fused-task names. By
+    /// default the operation's registered name is used.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Sets an explicit launch domain. By default the launch covers one point
+    /// per GPU (`Domain::linear(gpus)`).
+    pub fn domain(mut self, domain: Domain) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Appends a read argument: `store` accessed through `partition`.
+    pub fn read(self, store: &StoreHandle, partition: impl Into<PartitionId>) -> Self {
+        self.access(store, partition, Privilege::Read)
+    }
+
+    /// Appends a write argument.
+    pub fn write(self, store: &StoreHandle, partition: impl Into<PartitionId>) -> Self {
+        self.access(store, partition, Privilege::Write)
+    }
+
+    /// Appends a read-write argument.
+    pub fn read_write(self, store: &StoreHandle, partition: impl Into<PartitionId>) -> Self {
+        self.access(store, partition, Privilege::ReadWrite)
+    }
+
+    /// Appends a reduction argument with the given operator.
+    pub fn reduce(
+        self,
+        store: &StoreHandle,
+        partition: impl Into<PartitionId>,
+        op: ReductionOp,
+    ) -> Self {
+        self.access(store, partition, Privilege::Reduce(op))
+    }
+
+    /// Appends an argument with an explicit privilege.
+    pub fn access(
+        mut self,
+        store: &StoreHandle,
+        partition: impl Into<PartitionId>,
+        privilege: Privilege,
+    ) -> Self {
+        self.args.push(StoreArg::new(store.id(), partition, privilege));
+        self
+    }
+
+    /// Appends a pre-built [`StoreArg`] (escape hatch for callers that
+    /// already hold one).
+    pub fn arg(mut self, arg: StoreArg) -> Self {
+        self.args.push(arg);
+        self
+    }
+
+    /// Appends one scalar parameter.
+    pub fn scalar(mut self, value: f64) -> Self {
+        self.scalars.push(value);
+        self
+    }
+
+    /// Appends several scalar parameters.
+    pub fn scalars(mut self, values: &[f64]) -> Self {
+        self.scalars.extend_from_slice(values);
+        self
+    }
+
+    /// Validates the launch against the operation's declared signature and
+    /// submits it into the context's task window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is not registered on this context. In debug builds,
+    /// additionally panics if the argument count, any argument's privilege,
+    /// or the scalar count disagrees with the registered
+    /// [`TaskSignature`](kernel::TaskSignature).
+    pub fn launch(self) -> TaskId {
+        let LaunchBuilder {
+            ctx,
+            kind,
+            name,
+            domain,
+            args,
+            scalars,
+        } = self;
+        ctx.submit_built(kind, name, domain, args, scalars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiffuseConfig;
+    use ir::Partition;
+    use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskSignature};
+    use machine::MachineConfig;
+
+    fn ctx() -> Context {
+        Context::new(DiffuseConfig::fused(MachineConfig::with_gpus(2)))
+    }
+
+    fn register_scale(ctx: &Context) -> TaskKind {
+        let lib = ctx.register_library("t");
+        lib.register(
+            "scale",
+            TaskSignature::new().read().write().scalars(1),
+            |_args| {
+                let mut m = KernelModule::new(2);
+                m.set_role(BufferId(1), BufferRole::Output);
+                let mut b = LoopBuilder::new("scale", BufferId(1));
+                let x = b.load(BufferId(0));
+                let p = b.param(0);
+                let v = b.mul(x, p);
+                b.store(BufferId(1), v);
+                m.push_loop(b.finish());
+                m
+            },
+        )
+    }
+
+    #[test]
+    fn builder_launch_runs_the_kernel() {
+        let ctx = ctx();
+        let scale = register_scale(&ctx);
+        let n = 16u64;
+        let p = Partition::block(vec![n / 2]);
+        let a = ctx.create_store(vec![n], "a");
+        let out = ctx.create_store(vec![n], "out");
+        ctx.fill(&a, 3.0);
+        ctx.task(scale)
+            .read(&a, p.clone())
+            .write(&out, p)
+            .scalar(2.0)
+            .launch();
+        ctx.flush();
+        assert_eq!(ctx.read_store(&out).unwrap(), vec![6.0; 16]);
+    }
+
+    #[test]
+    fn default_name_is_the_registered_op_name() {
+        let ctx = ctx();
+        let scale = register_scale(&ctx);
+        // The name is observable through the launch itself only via profiles;
+        // here we just check the builder accepts an override without panicking
+        // and the default path works.
+        let n = 4u64;
+        let p = Partition::block(vec![n / 2]);
+        let a = ctx.create_store(vec![n], "a");
+        let out = ctx.create_store(vec![n], "out");
+        ctx.fill(&a, 1.0);
+        ctx.task(scale)
+            .name("my_scale")
+            .read(&a, p.clone())
+            .write(&out, p)
+            .scalar(4.0)
+            .launch();
+        ctx.flush();
+        assert_eq!(ctx.read_store(&out).unwrap(), vec![4.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_kind_fails_at_submission() {
+        let ctx = ctx();
+        let bogus = TaskKind { library: kernel::LibraryId(7), op: 3 };
+        let a = ctx.create_store(vec![4], "a");
+        let _ = ctx.task(bogus).write(&a, Partition::block(vec![2])).launch();
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "expects 2 store arguments"))]
+    fn arity_mismatch_fails_at_submission_in_debug() {
+        let ctx = ctx();
+        let scale = register_scale(&ctx);
+        let a = ctx.create_store(vec![4], "a");
+        let id = ctx
+            .task(scale)
+            .read(&a, Partition::block(vec![2]))
+            .scalar(1.0)
+            .launch();
+        // Release builds skip signature validation; the launch id is returned.
+        let _ = id;
+        // In release mode make the test trivially pass by panicking is NOT
+        // desired; the cfg_attr above only expects the panic under debug.
+        #[cfg(debug_assertions)]
+        unreachable!("debug validation must have rejected the launch");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "privilege"))]
+    fn privilege_mismatch_fails_at_submission_in_debug() {
+        let ctx = ctx();
+        let scale = register_scale(&ctx);
+        let p = Partition::block(vec![2]);
+        let a = ctx.create_store(vec![4], "a");
+        let out = ctx.create_store(vec![4], "out");
+        // The signature declares read, write — submit write, write.
+        let _ = ctx
+            .task(scale)
+            .write(&a, p.clone())
+            .write(&out, p)
+            .scalar(1.0)
+            .launch();
+        #[cfg(debug_assertions)]
+        unreachable!("debug validation must have rejected the launch");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "scalar"))]
+    fn scalar_arity_mismatch_fails_at_submission_in_debug() {
+        let ctx = ctx();
+        let scale = register_scale(&ctx);
+        let p = Partition::block(vec![2]);
+        let a = ctx.create_store(vec![4], "a");
+        let out = ctx.create_store(vec![4], "out");
+        let _ = ctx.task(scale).read(&a, p.clone()).write(&out, p).launch();
+        #[cfg(debug_assertions)]
+        unreachable!("debug validation must have rejected the launch");
+    }
+}

@@ -1,0 +1,129 @@
+//! First-class library registration: namespaces of kernel generators.
+//!
+//! A task-based library (the paper's cuPyNumeric, Legate Sparse — here the
+//! `dense`, `sparse` and `stencil` crates) is written against the Diffuse
+//! core alone: it registers a [`Library`] namespace on a
+//! [`Context`](crate::Context), registers one named generator per operation,
+//! and submits launches through the typed
+//! [`LaunchBuilder`](crate::LaunchBuilder). Independently written libraries
+//! registered on the same context share one task window, so their task
+//! streams compose — and fuse — transparently (Section 2); the only thing
+//! they exchange is [`StoreHandle`](crate::StoreHandle)s.
+//!
+//! See `docs/LIBRARIES.md` for the full how-to-write-a-library guide.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kernel::{GenArgs, KernelModule, LibraryId, TaskKind, TaskSignature};
+
+use crate::context::ContextInner;
+
+/// A registered library namespace on a [`Context`](crate::Context).
+///
+/// Operations registered through a library get `(LibraryId, op index)`-scoped
+/// [`TaskKind`]s: two libraries can both register an `add` without sharing or
+/// clobbering a kind, and the context attributes execution statistics per
+/// library ([`crate::ExecutionStats::per_library`]).
+///
+/// Obtained from [`Context::register_library`](crate::Context::register_library)
+/// or [`LibraryBuilder::build`]. Cloning shares the namespace.
+#[derive(Clone)]
+pub struct Library {
+    pub(crate) id: LibraryId,
+    pub(crate) name: String,
+    pub(crate) inner: Rc<RefCell<ContextInner>>,
+}
+
+impl std::fmt::Debug for Library {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Library")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Library {
+    /// The library's id (the namespace half of its [`TaskKind`]s).
+    pub fn id(&self) -> LibraryId {
+        self.id
+    }
+
+    /// The library's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a named generator with its declared [`TaskSignature`],
+    /// returning the namespaced task kind to launch it with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered in *this* library (the same
+    /// name in another library is fine — kinds are namespaced).
+    pub fn register<F>(&self, name: &str, signature: TaskSignature, generator: F) -> TaskKind
+    where
+        F: Fn(&GenArgs<'_>) -> KernelModule + Send + Sync + 'static,
+    {
+        self.inner
+            .borrow_mut()
+            .register_op(self.id, name, signature, generator)
+    }
+
+    /// Looks up a previously registered operation by name.
+    pub fn kind(&self, name: &str) -> Option<TaskKind> {
+        self.inner.borrow().lookup_op(self.id, name)
+    }
+}
+
+/// Chained registration of a library and its operations.
+///
+/// ```
+/// use diffuse::{Context, DiffuseConfig};
+/// use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskSignature};
+/// use machine::MachineConfig;
+///
+/// let ctx = Context::new(DiffuseConfig::fused(MachineConfig::single_node(2)));
+/// let lib = ctx
+///     .library("mylib")
+///     .op("double", TaskSignature::new().read().write(), |_args| {
+///         let mut m = KernelModule::new(2);
+///         m.set_role(BufferId(1), BufferRole::Output);
+///         let mut b = LoopBuilder::new("double", BufferId(1));
+///         let x = b.load(BufferId(0));
+///         let two = b.constant(2.0);
+///         let v = b.mul(x, two);
+///         b.store(BufferId(1), v);
+///         m.push_loop(b.finish());
+///         m
+///     })
+///     .build();
+/// assert_eq!(lib.name(), "mylib");
+/// assert!(lib.kind("double").is_some());
+/// ```
+#[derive(Debug)]
+pub struct LibraryBuilder {
+    library: Library,
+}
+
+impl LibraryBuilder {
+    pub(crate) fn new(library: Library) -> Self {
+        LibraryBuilder { library }
+    }
+
+    /// Registers an operation (see [`Library::register`]) and continues the
+    /// chain.
+    pub fn op<F>(self, name: &str, signature: TaskSignature, generator: F) -> Self
+    where
+        F: Fn(&GenArgs<'_>) -> KernelModule + Send + Sync + 'static,
+    {
+        self.library.register(name, signature, generator);
+        self
+    }
+
+    /// Finishes registration and returns the library handle.
+    pub fn build(self) -> Library {
+        self.library
+    }
+}

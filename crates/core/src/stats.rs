@@ -1,9 +1,47 @@
 //! Statistics reported by the Diffuse layer.
 
+/// Per-library attribution of the task stream: what one registered library
+/// contributed and what happened to its tasks.
+///
+/// Fused launches may span several libraries (the cross-library composition
+/// of Section 2); their simulated time is split across the participating
+/// libraries proportionally to each library's constituent-task count in the
+/// launch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LibraryStats {
+    /// The library's registered name (names need not be unique: registering a
+    /// library twice yields two entries).
+    pub library: String,
+    /// Index tasks this library submitted.
+    pub tasks_submitted: u64,
+    /// Launches that contained at least one of this library's tasks (a fused
+    /// launch counts once per participating library).
+    pub launches: u64,
+    /// Launches shared with at least one *other* library — the cross-library
+    /// fusion the paper's composition story depends on.
+    pub cross_library_launches: u64,
+    /// Simulated seconds attributed to this library's tasks.
+    pub simulated_time: f64,
+}
+
+impl LibraryStats {
+    fn since(&self, earlier: Option<&LibraryStats>) -> LibraryStats {
+        let zero = LibraryStats::default();
+        let e = earlier.unwrap_or(&zero);
+        LibraryStats {
+            library: self.library.clone(),
+            tasks_submitted: self.tasks_submitted - e.tasks_submitted,
+            launches: self.launches - e.launches,
+            cross_library_launches: self.cross_library_launches - e.cross_library_launches,
+            simulated_time: self.simulated_time - e.simulated_time,
+        }
+    }
+}
+
 /// Counters describing what Diffuse did to the task stream. The benchmark
 /// harness uses these to regenerate Figure 9 (tasks per iteration with and
 /// without fusion, window sizes) and Figure 13 (compilation time).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExecutionStats {
     /// Index tasks submitted by libraries.
     pub tasks_submitted: u64,
@@ -11,6 +49,9 @@ pub struct ExecutionStats {
     pub tasks_launched: u64,
     /// Launches that combined two or more submitted tasks.
     pub fused_tasks: u64,
+    /// Fused launches whose constituent tasks came from more than one
+    /// registered library (the cross-library windows of Section 2).
+    pub cross_library_fused_tasks: u64,
     /// Windows analyzed.
     pub windows_flushed: u64,
     /// Distinct kernels JIT-compiled (memoization misses that compiled code).
@@ -31,16 +72,21 @@ pub struct ExecutionStats {
     pub distributed_allocations_avoided: u64,
     /// The window size currently selected by the adaptive policy.
     pub current_window_size: u64,
+    /// Per-library attribution, indexed by `LibraryId` registration order.
+    pub per_library: Vec<LibraryStats>,
 }
 
 impl ExecutionStats {
     /// The difference between two snapshots (`self - earlier`); used to report
-    /// per-iteration numbers.
+    /// per-iteration numbers. Libraries registered after the earlier snapshot
+    /// diff against zero.
     pub fn since(&self, earlier: &ExecutionStats) -> ExecutionStats {
         ExecutionStats {
             tasks_submitted: self.tasks_submitted - earlier.tasks_submitted,
             tasks_launched: self.tasks_launched - earlier.tasks_launched,
             fused_tasks: self.fused_tasks - earlier.fused_tasks,
+            cross_library_fused_tasks: self.cross_library_fused_tasks
+                - earlier.cross_library_fused_tasks,
             windows_flushed: self.windows_flushed - earlier.windows_flushed,
             compilations: self.compilations - earlier.compilations,
             compile_time: self.compile_time - earlier.compile_time,
@@ -51,7 +97,19 @@ impl ExecutionStats {
             distributed_allocations_avoided: self.distributed_allocations_avoided
                 - earlier.distributed_allocations_avoided,
             current_window_size: self.current_window_size,
+            per_library: self
+                .per_library
+                .iter()
+                .enumerate()
+                .map(|(i, lib)| lib.since(earlier.per_library.get(i)))
+                .collect(),
         }
+    }
+
+    /// The per-library entry with the given registered name, if any (the
+    /// first match when a name was registered more than once).
+    pub fn library(&self, name: &str) -> Option<&LibraryStats> {
+        self.per_library.iter().find(|l| l.library == name)
     }
 }
 
@@ -76,5 +134,28 @@ mod tests {
         assert_eq!(d.tasks_submitted, 20);
         assert_eq!(d.tasks_launched, 5);
         assert_eq!(d.current_window_size, 20);
+    }
+
+    #[test]
+    fn since_handles_libraries_registered_between_snapshots() {
+        let lib = |name: &str, submitted: u64| LibraryStats {
+            library: name.into(),
+            tasks_submitted: submitted,
+            ..Default::default()
+        };
+        let early = ExecutionStats {
+            per_library: vec![lib("dense", 3)],
+            ..Default::default()
+        };
+        let late = ExecutionStats {
+            per_library: vec![lib("dense", 10), lib("sparse", 4)],
+            ..Default::default()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.per_library.len(), 2);
+        assert_eq!(d.library("dense").unwrap().tasks_submitted, 7);
+        // Registered after the early snapshot: diffs against zero.
+        assert_eq!(d.library("sparse").unwrap().tasks_submitted, 4);
+        assert!(d.library("stencil").is_none());
     }
 }

@@ -1,0 +1,254 @@
+//! Property test: typed [`diffuse::LaunchBuilder`] launches are
+//! **bit-identical** to equivalent raw `Context::submit` launches.
+//!
+//! The builder is sugar plus validation — it must not change what reaches
+//! the task window. These tests replay random well-formed task sequences
+//! over a shared store pool through two fresh contexts, one submitting raw
+//! `StoreArg` vectors and one using the builder, and require identical
+//! functional results (to the bit), identical simulated time and identical
+//! fusion statistics.
+
+use diffuse::{Context, DiffuseConfig, StoreHandle, TaskKind, TaskSignature};
+use ir::{Partition, PartitionId, Privilege, ReductionOp, StoreArg};
+use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder};
+use machine::MachineConfig;
+use proptest::prelude::*;
+
+const GPUS: usize = 2;
+const N: u64 = 24;
+const NUM_STORES: usize = 5;
+
+/// One op application in a generated trace.
+#[derive(Debug, Clone)]
+enum Step {
+    /// pool[c] = pool[a] + pool[b]
+    Add { a: usize, b: usize, c: usize },
+    /// pool[b] = factor * pool[a]
+    Scale { a: usize, b: usize, factor: f64 },
+    /// scalar += pool[a] . pool[a]
+    Dot { a: usize },
+    /// Flush the window.
+    Flush,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let idx = || 0..NUM_STORES;
+    prop_oneof![
+        (idx(), idx(), idx()).prop_map(|(a, b, c)| Step::Add { a, b, c }),
+        (idx(), idx(), 1u32..5).prop_map(|(a, b, f)| Step::Scale {
+            a,
+            b,
+            factor: f as f64 * 0.25,
+        }),
+        idx().prop_map(|a| Step::Dot { a }),
+        Just(Step::Flush),
+    ]
+}
+
+struct Harness {
+    ctx: Context,
+    add: TaskKind,
+    scale: TaskKind,
+    dot: TaskKind,
+    pool: Vec<StoreHandle>,
+    acc: StoreHandle,
+    block: PartitionId,
+    replicate: PartitionId,
+}
+
+fn harness() -> Harness {
+    let ctx = Context::new(DiffuseConfig::fused(MachineConfig::with_gpus(GPUS)));
+    let lib = ctx.register_library("trace");
+    let add = lib.register("add", TaskSignature::new().read().read().write(), |_| {
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Output);
+        let mut b = LoopBuilder::new("add", BufferId(2));
+        let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+        let s = b.add(x, y);
+        b.store(BufferId(2), s);
+        m.push_loop(b.finish());
+        m
+    });
+    let scale = lib.register(
+        "scale",
+        TaskSignature::new().read().write().scalars(1),
+        |_| {
+            let mut m = KernelModule::new(2);
+            m.set_role(BufferId(1), BufferRole::Output);
+            let mut b = LoopBuilder::new("scale", BufferId(1));
+            let x = b.load(BufferId(0));
+            let p = b.param(0);
+            let v = b.mul(x, p);
+            b.store(BufferId(1), v);
+            m.push_loop(b.finish());
+            m
+        },
+    );
+    let dot = lib.register("dot", TaskSignature::new().read().reduce(), |_| {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Reduction);
+        let mut b = LoopBuilder::new("dot", BufferId(0));
+        let x = b.load(BufferId(0));
+        let xx = b.mul(x, x);
+        b.reduce(BufferId(1), kernel::ReduceOp::Sum, xx);
+        m.push_loop(b.finish());
+        m
+    });
+    let pool: Vec<StoreHandle> = (0..NUM_STORES)
+        .map(|i| {
+            let h = ctx.create_store(vec![N], &format!("s{i}"));
+            ctx.write_store(
+                &h,
+                (0..N).map(|j| ((i as u64 * 17 + j * 3) % 11) as f64 * 0.5).collect(),
+            );
+            h
+        })
+        .collect();
+    let acc = ctx.create_store(vec![1], "acc");
+    ctx.fill(&acc, 0.0);
+    Harness {
+        ctx,
+        add,
+        scale,
+        dot,
+        pool,
+        acc,
+        block: PartitionId::intern(&Partition::block(vec![N / GPUS as u64])),
+        replicate: PartitionId::intern(&Partition::Replicate),
+    }
+}
+
+/// Final observable state: every pool store's bits, the accumulator, the
+/// simulated clock, and the fusion counters.
+fn observe(h: &Harness) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
+    let pool_bits: Vec<Vec<u64>> = h
+        .pool
+        .iter()
+        .map(|s| {
+            h.ctx
+                .read_store(s)
+                .expect("functional run")
+                .into_iter()
+                .map(f64::to_bits)
+                .collect()
+        })
+        .collect();
+    let acc_bits = h
+        .ctx
+        .read_store(&h.acc)
+        .expect("functional run")
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    let stats = h.ctx.stats();
+    (
+        pool_bits,
+        acc_bits,
+        h.ctx.elapsed(),
+        (stats.tasks_submitted, stats.tasks_launched, stats.fused_tasks),
+    )
+}
+
+fn run_raw(steps: &[Step]) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
+    let h = harness();
+    for step in steps {
+        match *step {
+            Step::Add { a, b, c } => {
+                h.ctx.submit(
+                    h.add,
+                    "add",
+                    vec![
+                        StoreArg::new(h.pool[a].id(), h.block, Privilege::Read),
+                        StoreArg::new(h.pool[b].id(), h.block, Privilege::Read),
+                        StoreArg::new(h.pool[c].id(), h.block, Privilege::Write),
+                    ],
+                    vec![],
+                );
+            }
+            Step::Scale { a, b, factor } => {
+                h.ctx.submit(
+                    h.scale,
+                    "scale",
+                    vec![
+                        StoreArg::new(h.pool[a].id(), h.block, Privilege::Read),
+                        StoreArg::new(h.pool[b].id(), h.block, Privilege::Write),
+                    ],
+                    vec![factor],
+                );
+            }
+            Step::Dot { a } => {
+                h.ctx.submit(
+                    h.dot,
+                    "dot",
+                    vec![
+                        StoreArg::new(h.pool[a].id(), h.block, Privilege::Read),
+                        StoreArg::new(
+                            h.acc.id(),
+                            h.replicate,
+                            Privilege::Reduce(ReductionOp::Sum),
+                        ),
+                    ],
+                    vec![],
+                );
+            }
+            Step::Flush => h.ctx.flush(),
+        }
+    }
+    h.ctx.flush();
+    observe(&h)
+}
+
+fn run_builder(steps: &[Step]) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
+    let h = harness();
+    for step in steps {
+        match *step {
+            Step::Add { a, b, c } => {
+                h.ctx
+                    .task(h.add)
+                    .read(&h.pool[a], h.block)
+                    .read(&h.pool[b], h.block)
+                    .write(&h.pool[c], h.block)
+                    .launch();
+            }
+            Step::Scale { a, b, factor } => {
+                h.ctx
+                    .task(h.scale)
+                    .read(&h.pool[a], h.block)
+                    .write(&h.pool[b], h.block)
+                    .scalar(factor)
+                    .launch();
+            }
+            Step::Dot { a } => {
+                h.ctx
+                    .task(h.dot)
+                    .read(&h.pool[a], h.block)
+                    .reduce(&h.acc, h.replicate, ReductionOp::Sum)
+                    .launch();
+            }
+            Step::Flush => h.ctx.flush(),
+        }
+    }
+    h.ctx.flush();
+    observe(&h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Builder-submitted traces are indistinguishable from raw-submitted
+    /// traces: same bits in every store, same simulated time, same fusion
+    /// decisions. (The builder defaults task names from the registry, and
+    /// task names are not part of the canonical window, so naming cannot
+    /// make the runs diverge.)
+    #[test]
+    fn builder_launches_are_bit_identical_to_raw_submits(
+        steps in prop::collection::vec(arb_step(), 1..24)
+    ) {
+        let raw = run_raw(&steps);
+        let built = run_builder(&steps);
+        prop_assert_eq!(&raw.0, &built.0, "pool store bits diverged");
+        prop_assert_eq!(&raw.1, &built.1, "reduction accumulator diverged");
+        prop_assert_eq!(raw.2.to_bits(), built.2.to_bits(), "simulated time diverged");
+        prop_assert_eq!(raw.3, built.3, "fusion statistics diverged");
+    }
+}

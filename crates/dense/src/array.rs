@@ -2,8 +2,8 @@
 
 use std::ops::Range;
 
-use diffuse::StoreHandle;
-use ir::{Partition, PartitionId, Privilege, Projection, ReductionOp, StoreArg};
+use diffuse::{LaunchBuilder, StoreHandle};
+use ir::{Partition, PartitionId, Projection, ReductionOp};
 use kernel::TaskKind;
 
 use crate::context::DenseContext;
@@ -117,22 +117,6 @@ impl DArray {
         id
     }
 
-    fn read_arg(&self) -> StoreArg {
-        StoreArg::new(self.handle.id(), self.partition_id(), Privilege::Read)
-    }
-
-    fn write_arg(&self) -> StoreArg {
-        StoreArg::new(self.handle.id(), self.partition_id(), Privilege::Write)
-    }
-
-    fn reduce_arg(&self) -> StoreArg {
-        StoreArg::new(
-            self.handle.id(),
-            PartitionId::intern(&Partition::Replicate),
-            Privilege::Reduce(ReductionOp::Sum),
-        )
-    }
-
     fn fresh_like(&self) -> DArray {
         let handle = self
             .ctx
@@ -146,8 +130,10 @@ impl DArray {
         DArray::full_store(self.ctx.clone(), handle)
     }
 
-    fn submit(&self, kind: TaskKind, name: &str, args: Vec<StoreArg>, scalars: Vec<f64>) {
-        self.ctx.context().submit(kind, name, args, scalars);
+    /// Starts a typed launch of `kind` on the library's context. All array
+    /// operations lower through this one entry point.
+    fn task(&self, kind: TaskKind, name: &str) -> LaunchBuilder {
+        self.ctx.context().task(kind).name(name)
     }
 
     fn binary(&self, other: &DArray, kind: TaskKind, name: &str) -> DArray {
@@ -156,36 +142,39 @@ impl DArray {
             "elementwise operands must have equal shapes"
         );
         let out = self.fresh_like();
-        self.submit(
-            kind,
-            name,
-            vec![self.read_arg(), other.read_arg(), out.write_arg()],
-            vec![],
-        );
+        self.task(kind, name)
+            .read(&self.handle, self.partition_id())
+            .read(&other.handle, other.partition_id())
+            .write(&out.handle, out.partition_id())
+            .launch();
         out
     }
 
     fn unary(&self, kind: TaskKind, name: &str) -> DArray {
         let out = self.fresh_like();
-        self.submit(kind, name, vec![self.read_arg(), out.write_arg()], vec![]);
+        self.task(kind, name)
+            .read(&self.handle, self.partition_id())
+            .write(&out.handle, out.partition_id())
+            .launch();
         out
     }
 
     fn scalar_op(&self, kind: TaskKind, name: &str, value: f64) -> DArray {
         let out = self.fresh_like();
-        self.submit(
-            kind,
-            name,
-            vec![self.read_arg(), out.write_arg()],
-            vec![value],
-        );
+        self.task(kind, name)
+            .read(&self.handle, self.partition_id())
+            .write(&out.handle, out.partition_id())
+            .scalar(value)
+            .launch();
         out
     }
 
     /// Fills the array (or view) with a constant value.
     pub fn fill(&self, value: f64) {
-        let kinds = self.ctx.kinds.clone();
-        self.submit(kinds.fill, "fill", vec![self.write_arg()], vec![value]);
+        self.task(self.ctx.kinds.fill, "fill")
+            .write(&self.handle, self.partition_id())
+            .scalar(value)
+            .launch();
     }
 
     /// Elementwise addition.
@@ -284,12 +273,10 @@ impl DArray {
             self.view_shape, src.view_shape,
             "assignment operands must have equal shapes"
         );
-        self.submit(
-            self.ctx.kinds.copy,
-            "copy",
-            vec![src.read_arg(), self.write_arg()],
-            vec![],
-        );
+        self.task(self.ctx.kinds.copy, "copy")
+            .read(&src.handle, src.partition_id())
+            .write(&self.handle, self.partition_id())
+            .launch();
     }
 
     /// `self + sign * alpha * x`, where `alpha` is a scalar array (the AXPY
@@ -297,17 +284,13 @@ impl DArray {
     pub fn axpy(&self, alpha: &DArray, x: &DArray, sign: f64) -> DArray {
         assert_eq!(alpha.len(), 1, "alpha must be a scalar array");
         let out = self.fresh_like();
-        self.submit(
-            self.ctx.kinds.axpy,
-            "axpy",
-            vec![
-                self.read_arg(),
-                x.read_arg(),
-                StoreArg::new(alpha.handle.id(), Partition::Replicate, Privilege::Read),
-                out.write_arg(),
-            ],
-            vec![sign],
-        );
+        self.task(self.ctx.kinds.axpy, "axpy")
+            .read(&self.handle, self.partition_id())
+            .read(&x.handle, x.partition_id())
+            .read(&alpha.handle, Partition::Replicate)
+            .write(&out.handle, out.partition_id())
+            .scalar(sign)
+            .launch();
         out
     }
 
@@ -315,16 +298,11 @@ impl DArray {
     pub fn scale_by(&self, s: &DArray) -> DArray {
         assert_eq!(s.len(), 1, "scale factor must be a scalar array");
         let out = self.fresh_like();
-        self.submit(
-            self.ctx.kinds.scale_by_store,
-            "scale_by_store",
-            vec![
-                self.read_arg(),
-                StoreArg::new(s.handle.id(), Partition::Replicate, Privilege::Read),
-                out.write_arg(),
-            ],
-            vec![],
-        );
+        self.task(self.ctx.kinds.scale_by_store, "scale_by_store")
+            .read(&self.handle, self.partition_id())
+            .read(&s.handle, Partition::Replicate)
+            .write(&out.handle, out.partition_id())
+            .launch();
         out
     }
 
@@ -332,36 +310,31 @@ impl DArray {
     pub fn dot(&self, other: &DArray) -> DArray {
         assert_eq!(self.view_shape, other.view_shape, "dot operands must match");
         let out = self.fresh_scalar();
-        self.submit(
-            self.ctx.kinds.dot,
-            "dot",
-            vec![self.read_arg(), other.read_arg(), out.reduce_arg()],
-            vec![],
-        );
+        self.task(self.ctx.kinds.dot, "dot")
+            .read(&self.handle, self.partition_id())
+            .read(&other.handle, other.partition_id())
+            .reduce(&out.handle, Partition::Replicate, ReductionOp::Sum)
+            .launch();
         out
     }
 
     /// Sum of all elements, returning a scalar array.
     pub fn sum(&self) -> DArray {
         let out = self.fresh_scalar();
-        self.submit(
-            self.ctx.kinds.sum,
-            "sum",
-            vec![self.read_arg(), out.reduce_arg()],
-            vec![],
-        );
+        self.task(self.ctx.kinds.sum, "sum")
+            .read(&self.handle, self.partition_id())
+            .reduce(&out.handle, Partition::Replicate, ReductionOp::Sum)
+            .launch();
         out
     }
 
     /// Sum of squares, returning a scalar array.
     pub fn sum_sq(&self) -> DArray {
         let out = self.fresh_scalar();
-        self.submit(
-            self.ctx.kinds.sum_sq,
-            "sum_sq",
-            vec![self.read_arg(), out.reduce_arg()],
-            vec![],
-        );
+        self.task(self.ctx.kinds.sum_sq, "sum_sq")
+            .read(&self.handle, self.partition_id())
+            .reduce(&out.handle, Partition::Replicate, ReductionOp::Sum)
+            .launch();
         out
     }
 
@@ -380,16 +353,11 @@ impl DArray {
             .context()
             .create_store(vec![self.view_shape[0]], "matvec");
         let y = DArray::full_store(self.ctx.clone(), y_handle);
-        self.submit(
-            self.ctx.kinds.gemv,
-            "gemv",
-            vec![
-                self.read_arg(),
-                StoreArg::new(x.handle.id(), Partition::Replicate, Privilege::Read),
-                y.write_arg(),
-            ],
-            vec![],
-        );
+        self.task(self.ctx.kinds.gemv, "gemv")
+            .read(&self.handle, self.partition_id())
+            .read(&x.handle, Partition::Replicate)
+            .write(&y.handle, y.partition_id())
+            .launch();
         y
     }
 

@@ -1,8 +1,14 @@
 //! The dense library context: generator registration and array creation.
+//!
+//! The dense library is a *peer library* over the Diffuse core: it registers
+//! the `dense` [`Library`] namespace on a [`Context`] and submits every
+//! operation through the typed launch builder. It holds no special access —
+//! any library written against `docs/LIBRARIES.md` composes with it through
+//! store handles alone.
 
 use std::rc::Rc;
 
-use diffuse::Context;
+use diffuse::{Context, Library, StoreHandle, TaskSignature};
 use kernel::{BinaryOp, BufferId, BufferRole, KernelModule, LoopBuilder, OpaqueOp, ReduceOp, TaskKind, UnaryOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,21 +113,25 @@ fn reduce_generator(two_inputs: bool, square: bool) -> impl Fn(&kernel::GenArgs<
 }
 
 impl Kinds {
-    fn register(ctx: &Context) -> Kinds {
+    fn register(lib: &Library) -> Kinds {
+        // Signature shorthands: the roles each operation family declares.
+        let binary = || TaskSignature::new().read().read().write();
+        let unary = || TaskSignature::new().read().write();
+        let scalar_op = || TaskSignature::new().read().write().scalars(1);
         Kinds {
-            add: ctx.register_generator("add", binary_generator(BinaryOp::Add)),
-            sub: ctx.register_generator("sub", binary_generator(BinaryOp::Sub)),
-            mul: ctx.register_generator("mul", binary_generator(BinaryOp::Mul)),
-            div: ctx.register_generator("div", binary_generator(BinaryOp::Div)),
-            max: ctx.register_generator("maximum", binary_generator(BinaryOp::Max)),
-            min: ctx.register_generator("minimum", binary_generator(BinaryOp::Min)),
-            sqrt: ctx.register_generator("sqrt", unary_generator(UnaryOp::Sqrt)),
-            exp: ctx.register_generator("exp", unary_generator(UnaryOp::Exp)),
-            ln: ctx.register_generator("log", unary_generator(UnaryOp::Ln)),
-            erf: ctx.register_generator("erf", unary_generator(UnaryOp::Erf)),
-            neg: ctx.register_generator("negative", unary_generator(UnaryOp::Neg)),
-            abs: ctx.register_generator("absolute", unary_generator(UnaryOp::Abs)),
-            copy: ctx.register_generator("copy", |_args| {
+            add: lib.register("add", binary(), binary_generator(BinaryOp::Add)),
+            sub: lib.register("sub", binary(), binary_generator(BinaryOp::Sub)),
+            mul: lib.register("mul", binary(), binary_generator(BinaryOp::Mul)),
+            div: lib.register("div", binary(), binary_generator(BinaryOp::Div)),
+            max: lib.register("maximum", binary(), binary_generator(BinaryOp::Max)),
+            min: lib.register("minimum", binary(), binary_generator(BinaryOp::Min)),
+            sqrt: lib.register("sqrt", unary(), unary_generator(UnaryOp::Sqrt)),
+            exp: lib.register("exp", unary(), unary_generator(UnaryOp::Exp)),
+            ln: lib.register("log", unary(), unary_generator(UnaryOp::Ln)),
+            erf: lib.register("erf", unary(), unary_generator(UnaryOp::Erf)),
+            neg: lib.register("negative", unary(), unary_generator(UnaryOp::Neg)),
+            abs: lib.register("absolute", unary(), unary_generator(UnaryOp::Abs)),
+            copy: lib.register("copy", unary(), |_args| {
                 let mut m = KernelModule::new(2);
                 m.set_role(BufferId(1), BufferRole::Output);
                 let mut b = LoopBuilder::new("copy", BufferId(1));
@@ -130,11 +140,11 @@ impl Kinds {
                 m.push_loop(b.finish());
                 m
             }),
-            scalar_mul: ctx.register_generator("scalar_mul", scalar_generator(BinaryOp::Mul, false)),
-            scalar_add: ctx.register_generator("scalar_add", scalar_generator(BinaryOp::Add, false)),
-            scalar_pow: ctx.register_generator("scalar_pow", scalar_generator(BinaryOp::Pow, false)),
-            scalar_rsub: ctx.register_generator("scalar_rsub", scalar_generator(BinaryOp::Sub, true)),
-            fill: ctx.register_generator("fill", |_args| {
+            scalar_mul: lib.register("scalar_mul", scalar_op(), scalar_generator(BinaryOp::Mul, false)),
+            scalar_add: lib.register("scalar_add", scalar_op(), scalar_generator(BinaryOp::Add, false)),
+            scalar_pow: lib.register("scalar_pow", scalar_op(), scalar_generator(BinaryOp::Pow, false)),
+            scalar_rsub: lib.register("scalar_rsub", scalar_op(), scalar_generator(BinaryOp::Sub, true)),
+            fill: lib.register("fill", TaskSignature::new().write().scalars(1), |_args| {
                 let mut m = KernelModule::new(1);
                 m.set_role(BufferId(0), BufferRole::Output);
                 let mut b = LoopBuilder::new("fill", BufferId(0));
@@ -145,23 +155,27 @@ impl Kinds {
             }),
             // out = a + sign * s * b, with s a scalar store and sign a scalar
             // parameter (the paper's AXPY building block).
-            axpy: ctx.register_generator("axpy", |_args| {
-                let mut m = KernelModule::new(4);
-                m.set_role(BufferId(3), BufferRole::Output);
-                let mut b = LoopBuilder::new("axpy", BufferId(3));
-                let a = b.load(BufferId(0));
-                let x = b.load(BufferId(1));
-                let s = b.load_scalar(BufferId(2));
-                let sign = b.param(0);
-                let sx = b.mul(s, x);
-                let signed = b.mul(sign, sx);
-                let v = b.add(a, signed);
-                b.store(BufferId(3), v);
-                m.push_loop(b.finish());
-                m
-            }),
+            axpy: lib.register(
+                "axpy",
+                TaskSignature::new().read().read().read().write().scalars(1),
+                |_args| {
+                    let mut m = KernelModule::new(4);
+                    m.set_role(BufferId(3), BufferRole::Output);
+                    let mut b = LoopBuilder::new("axpy", BufferId(3));
+                    let a = b.load(BufferId(0));
+                    let x = b.load(BufferId(1));
+                    let s = b.load_scalar(BufferId(2));
+                    let sign = b.param(0);
+                    let sx = b.mul(s, x);
+                    let signed = b.mul(sign, sx);
+                    let v = b.add(a, signed);
+                    b.store(BufferId(3), v);
+                    m.push_loop(b.finish());
+                    m
+                },
+            ),
             // out = s * a with s a scalar store.
-            scale_by_store: ctx.register_generator("scale_by_store", |_args| {
+            scale_by_store: lib.register("scale_by_store", binary(), |_args| {
                 let mut m = KernelModule::new(3);
                 m.set_role(BufferId(2), BufferRole::Output);
                 let mut b = LoopBuilder::new("scale_by_store", BufferId(2));
@@ -172,10 +186,22 @@ impl Kinds {
                 m.push_loop(b.finish());
                 m
             }),
-            dot: ctx.register_generator("dot", reduce_generator(true, false)),
-            sum: ctx.register_generator("sum", reduce_generator(false, false)),
-            sum_sq: ctx.register_generator("sum_sq", reduce_generator(false, true)),
-            gemv: ctx.register_generator("gemv", |_args| {
+            dot: lib.register(
+                "dot",
+                TaskSignature::new().read().read().reduce(),
+                reduce_generator(true, false),
+            ),
+            sum: lib.register(
+                "sum",
+                TaskSignature::new().read().reduce(),
+                reduce_generator(false, false),
+            ),
+            sum_sq: lib.register(
+                "sum_sq",
+                TaskSignature::new().read().reduce(),
+                reduce_generator(false, true),
+            ),
+            gemv: lib.register("gemv", binary(), |_args| {
                 let mut m = KernelModule::new(3);
                 m.set_role(BufferId(2), BufferRole::Output);
                 m.push_opaque(OpaqueOp::Gemv {
@@ -194,20 +220,34 @@ impl Kinds {
 #[derive(Clone, Debug)]
 pub struct DenseContext {
     ctx: Context,
+    lib: Library,
     pub(crate) kinds: Rc<Kinds>,
 }
 
 impl DenseContext {
-    /// Creates the library over a Diffuse context, registering its kernel
-    /// generators.
+    /// Creates the library over a Diffuse context, registering the `dense`
+    /// library namespace and its kernel generators.
     pub fn new(ctx: Context) -> Self {
-        let kinds = Rc::new(Kinds::register(&ctx));
-        DenseContext { ctx, kinds }
+        let lib = ctx.register_library("dense");
+        let kinds = Rc::new(Kinds::register(&lib));
+        DenseContext { ctx, lib, kinds }
     }
 
     /// The underlying Diffuse context.
     pub fn context(&self) -> &Context {
         &self.ctx
+    }
+
+    /// The library namespace this context registered.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// Wraps a foreign store handle (e.g. one produced by the sparse or
+    /// stencil library) into a dense array over its full store — the
+    /// handle-based cross-library sharing of Section 2.
+    pub fn wrap(&self, handle: StoreHandle) -> DArray {
+        DArray::full_store(self.clone(), handle)
     }
 
     /// Number of GPUs in the simulated machine.

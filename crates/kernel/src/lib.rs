@@ -69,7 +69,9 @@ pub use backend::{compile_interp, BackendKind, CompiledKernel, InterpBackend, Ke
 pub use builder::LoopBuilder;
 pub use closure::ClosureBackend;
 pub use cost::{CompileTimeModel, KernelCost};
-pub use generator::{GenArgs, GeneratorFn, GeneratorRegistry, TaskKind};
+pub use generator::{
+    ArgSpec, GenArgs, GeneratorFn, GeneratorRegistry, LibraryId, TaskKind, TaskSignature,
+};
 pub use interp::{ExecError, Interpreter};
 pub use ir::{
     BinaryOp, BufferId, BufferRole, IndexWidth, KernelModule, KernelStage, LoopKernel, LoopOp,

@@ -30,12 +30,14 @@
 //! assert!(result.residual.unwrap().is_finite());
 //! ```
 
-use ir::{Domain, Partition, PartitionId, Privilege};
+use ir::{Domain, Partition, PartitionId};
 use kernel::{
     BufferId, BufferRole, IndexWidth, KernelModule, LoopBuilder, OpaqueOp, ReduceOp,
 };
 use machine::MachineConfig;
-use runtime::{OverheadClass, RegionId, RegionRequirement, Runtime, RuntimeConfig, TaskLaunch};
+use runtime::{
+    OverheadClass, RegionId, Runtime, RuntimeConfig, TaskLaunch, TaskLaunchBuilder,
+};
 
 /// Result of running a solver: simulated time and (in functional mode) the
 /// final residual norm.
@@ -169,25 +171,19 @@ impl PetscSolver {
         }
     }
 
-    fn launch(
-        &mut self,
-        name: &str,
-        requirements: Vec<RegionRequirement>,
-        module: KernelModule,
-        scalars: Vec<f64>,
-    ) {
-        let launch = TaskLaunch {
-            name: name.into(),
-            launch_domain: Domain::linear(self.gpus),
-            requirements,
-            // The baseline models PETSc's pre-compiled kernels: compilation
-            // through the runtime's backend happens per call but charges no
-            // simulated compile time (only Diffuse windows pay the JIT).
-            kernel: self.rt.compile(&module).expect("petsc kernel compilation failed"),
-            scalars,
-            local_buffer_lens: vec![],
-            overhead: OverheadClass::Mpi,
-        };
+    /// Starts a typed launch with the baseline's common settings pre-applied:
+    /// the per-GPU launch domain, the MPI overhead class, and the compiled
+    /// kernel. The baseline models PETSc's pre-compiled kernels: compilation
+    /// through the runtime's backend happens per call but charges no
+    /// simulated compile time (only Diffuse windows pay the JIT).
+    fn mpi_task(&mut self, name: &str, module: &KernelModule) -> TaskLaunchBuilder {
+        TaskLaunch::builder(name)
+            .domain(Domain::linear(self.gpus))
+            .overhead(OverheadClass::Mpi)
+            .kernel(self.rt.compile(module).expect("petsc kernel compilation failed"))
+    }
+
+    fn run(&mut self, launch: TaskLaunch) {
         self.rt.execute(&launch).expect("petsc launch failed");
     }
 
@@ -203,14 +199,15 @@ impl PetscSolver {
             y: BufferId(4),
             index_width: IndexWidth::U32,
         });
-        let reqs = vec![
-            RegionRequirement::new(a.pos, self.block(a.rows + 1), Privilege::Read),
-            RegionRequirement::new(a.crd, self.block(a.nnz), Privilege::Read),
-            RegionRequirement::new(a.vals, self.block(a.nnz), Privilege::Read),
-            RegionRequirement::new(x, Partition::Replicate, Privilege::Read),
-            RegionRequirement::new(y, self.block(a.rows), Privilege::Write),
-        ];
-        self.launch("MatMult", reqs, module, vec![]);
+        let launch = self
+            .mpi_task("MatMult", &module)
+            .read(a.pos, self.block(a.rows + 1))
+            .read(a.crd, self.block(a.nnz))
+            .read(a.vals, self.block(a.nnz))
+            .read(x, Partition::Replicate)
+            .write(y, self.block(a.rows))
+            .build();
+        self.run(launch);
     }
 
     /// `y = y + alpha * x` (VecAXPY), in place.
@@ -225,11 +222,13 @@ impl PetscSolver {
         let v = b.add(yv, ax);
         b.store(BufferId(1), v);
         module.push_loop(b.finish());
-        let reqs = vec![
-            RegionRequirement::new(x, self.block(n), Privilege::Read),
-            RegionRequirement::new(y, self.block(n), Privilege::ReadWrite),
-        ];
-        self.launch("VecAXPY", reqs, module, vec![alpha]);
+        let launch = self
+            .mpi_task("VecAXPY", &module)
+            .read(x, self.block(n))
+            .read_write(y, self.block(n))
+            .scalar(alpha)
+            .build();
+        self.run(launch);
     }
 
     /// `y = x + beta * y` (VecAYPX), in place.
@@ -244,11 +243,13 @@ impl PetscSolver {
         let v = b.add(xv, by);
         b.store(BufferId(1), v);
         module.push_loop(b.finish());
-        let reqs = vec![
-            RegionRequirement::new(x, self.block(n), Privilege::Read),
-            RegionRequirement::new(y, self.block(n), Privilege::ReadWrite),
-        ];
-        self.launch("VecAYPX", reqs, module, vec![beta]);
+        let launch = self
+            .mpi_task("VecAYPX", &module)
+            .read(x, self.block(n))
+            .read_write(y, self.block(n))
+            .scalar(beta)
+            .build();
+        self.run(launch);
     }
 
     /// `z = alpha * x + beta * y + gamma * z` (the fused VecAXPBYPCZ kernel
@@ -277,12 +278,14 @@ impl PetscSolver {
         let v = b.add(s1, cz);
         b.store(BufferId(2), v);
         module.push_loop(b.finish());
-        let reqs = vec![
-            RegionRequirement::new(x, self.block(n), Privilege::Read),
-            RegionRequirement::new(y, self.block(n), Privilege::Read),
-            RegionRequirement::new(z, self.block(n), Privilege::ReadWrite),
-        ];
-        self.launch("VecAXPBYPCZ", reqs, module, vec![alpha, beta, gamma]);
+        let launch = self
+            .mpi_task("VecAXPBYPCZ", &module)
+            .read(x, self.block(n))
+            .read(y, self.block(n))
+            .read_write(z, self.block(n))
+            .scalars(&[alpha, beta, gamma])
+            .build();
+        self.run(launch);
     }
 
     /// Copies `x` into `y`.
@@ -293,11 +296,12 @@ impl PetscSolver {
         let xv = b.load(BufferId(0));
         b.store(BufferId(1), xv);
         module.push_loop(b.finish());
-        let reqs = vec![
-            RegionRequirement::new(x, self.block(n), Privilege::Read),
-            RegionRequirement::new(y, self.block(n), Privilege::Write),
-        ];
-        self.launch("VecCopy", reqs, module, vec![]);
+        let launch = self
+            .mpi_task("VecCopy", &module)
+            .read(x, self.block(n))
+            .write(y, self.block(n))
+            .build();
+        self.run(launch);
     }
 
     /// Dot product. Returns the value in functional mode and `None` otherwise
@@ -313,16 +317,13 @@ impl PetscSolver {
         let p = b.mul(xv, yv);
         b.reduce(BufferId(2), ReduceOp::Sum, p);
         module.push_loop(b.finish());
-        let reqs = vec![
-            RegionRequirement::new(x, self.block(n), Privilege::Read),
-            RegionRequirement::new(y, self.block(n), Privilege::Read),
-            RegionRequirement::new(
-                result,
-                Partition::Replicate,
-                Privilege::Reduce(ir::ReductionOp::Sum),
-            ),
-        ];
-        self.launch("VecDot", reqs, module, vec![]);
+        let launch = self
+            .mpi_task("VecDot", &module)
+            .read(x, self.block(n))
+            .read(y, self.block(n))
+            .reduce(result, Partition::Replicate, ir::ReductionOp::Sum)
+            .build();
+        self.run(launch);
         let value = self.rt.region_data(result).map(|d| d[0]);
         let _ = self.rt.free_region(result);
         value

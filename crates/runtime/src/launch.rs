@@ -137,6 +137,145 @@ impl TaskLaunch {
     pub fn num_buffers(&self) -> usize {
         self.requirements.len() + self.local_buffer_lens.len()
     }
+
+    /// Starts a typed builder for a launch — the runtime-level counterpart of
+    /// the Diffuse context's `LaunchBuilder`, used by callers that construct
+    /// launches by hand (the PETSc baseline, executor tests).
+    pub fn builder(name: impl Into<String>) -> TaskLaunchBuilder {
+        TaskLaunchBuilder {
+            name: name.into(),
+            launch_domain: None,
+            requirements: Vec::new(),
+            kernel: None,
+            scalars: Vec::new(),
+            local_buffer_lens: Vec::new(),
+            overhead: OverheadClass::default(),
+        }
+    }
+}
+
+/// Typed construction of a [`TaskLaunch`]:
+///
+/// ```
+/// use ir::{Domain, Partition, Privilege};
+/// use kernel::{compile_interp, KernelModule};
+/// use runtime::{OverheadClass, RegionId, TaskLaunch};
+///
+/// let launch = TaskLaunch::builder("axpy")
+///     .domain(Domain::linear(4))
+///     .read(RegionId(0), Partition::block(vec![8]))
+///     .read_write(RegionId(1), Partition::block(vec![8]))
+///     .scalar(2.0)
+///     .overhead(OverheadClass::Mpi)
+///     .kernel(compile_interp(KernelModule::new(2)))
+///     .build();
+/// assert_eq!(launch.requirements.len(), 2);
+/// assert_eq!(launch.scalars, vec![2.0]);
+/// ```
+#[derive(Debug)]
+#[must_use = "a TaskLaunchBuilder does nothing until .build() is called"]
+pub struct TaskLaunchBuilder {
+    name: String,
+    launch_domain: Option<Domain>,
+    requirements: Vec<RegionRequirement>,
+    kernel: Option<Arc<dyn CompiledKernel>>,
+    scalars: Vec<f64>,
+    local_buffer_lens: Vec<usize>,
+    overhead: OverheadClass,
+}
+
+impl TaskLaunchBuilder {
+    /// Sets the launch domain (required).
+    pub fn domain(mut self, domain: Domain) -> Self {
+        self.launch_domain = Some(domain);
+        self
+    }
+
+    /// Appends a read requirement: `region` accessed through `partition`.
+    pub fn read(self, region: RegionId, partition: impl Into<PartitionId>) -> Self {
+        self.requirement(RegionRequirement::new(region, partition, Privilege::Read))
+    }
+
+    /// Appends a write requirement.
+    pub fn write(self, region: RegionId, partition: impl Into<PartitionId>) -> Self {
+        self.requirement(RegionRequirement::new(region, partition, Privilege::Write))
+    }
+
+    /// Appends a read-write requirement.
+    pub fn read_write(self, region: RegionId, partition: impl Into<PartitionId>) -> Self {
+        self.requirement(RegionRequirement::new(
+            region,
+            partition,
+            Privilege::ReadWrite,
+        ))
+    }
+
+    /// Appends a reduction requirement with the given operator.
+    pub fn reduce(
+        self,
+        region: RegionId,
+        partition: impl Into<PartitionId>,
+        op: ir::ReductionOp,
+    ) -> Self {
+        self.requirement(RegionRequirement::new(
+            region,
+            partition,
+            Privilege::Reduce(op),
+        ))
+    }
+
+    /// Appends a pre-built requirement.
+    pub fn requirement(mut self, requirement: RegionRequirement) -> Self {
+        self.requirements.push(requirement);
+        self
+    }
+
+    /// Sets the compiled kernel (required).
+    pub fn kernel(mut self, kernel: Arc<dyn CompiledKernel>) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Appends one scalar parameter.
+    pub fn scalar(mut self, value: f64) -> Self {
+        self.scalars.push(value);
+        self
+    }
+
+    /// Appends several scalar parameters.
+    pub fn scalars(mut self, values: &[f64]) -> Self {
+        self.scalars.extend_from_slice(values);
+        self
+    }
+
+    /// Appends a task-local buffer of `len` elements per point.
+    pub fn local_buffer(mut self, len: usize) -> Self {
+        self.local_buffer_lens.push(len);
+        self
+    }
+
+    /// Sets the overhead class (defaults to [`OverheadClass::TaskRuntime`]).
+    pub fn overhead(mut self, overhead: OverheadClass) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Finishes the launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain or kernel was not set.
+    pub fn build(self) -> TaskLaunch {
+        TaskLaunch {
+            name: self.name,
+            launch_domain: self.launch_domain.expect("TaskLaunchBuilder requires a domain"),
+            requirements: self.requirements,
+            kernel: self.kernel.expect("TaskLaunchBuilder requires a kernel"),
+            scalars: self.scalars,
+            local_buffer_lens: self.local_buffer_lens,
+            overhead: self.overhead,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -78,7 +78,7 @@ pub use executor::{
     BufferAccess, Executor, ExecutorKind, FunctionalWork, SerialExecutor, WorkRequest,
     WorkStealingExecutor,
 };
-pub use launch::{OverheadClass, RegionRequirement, TaskLaunch};
+pub use launch::{OverheadClass, RegionRequirement, TaskLaunch, TaskLaunchBuilder};
 pub use profile::Profile;
 pub use region::{Region, RegionHandle, RegionId};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeError};

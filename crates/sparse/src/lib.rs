@@ -2,11 +2,14 @@
 //!
 //! Legate Sparse provides SciPy-sparse-style distributed sparse matrices on
 //! top of the same runtime stack as cuPyNumeric; the paper's Krylov solvers
-//! (CG, BiCGSTAB) and multigrid solver compose it with cuPyNumeric. This crate
-//! provides the CSR matrix type and SpMV kernel the reproduction needs, built
-//! on the same Diffuse context as the dense library so that sparse and dense
-//! tasks flow through one fusion window — the cross-library composition the
-//! paper emphasizes.
+//! (CG, BiCGSTAB) and multigrid solver compose it with cuPyNumeric. This
+//! crate provides the CSR matrix type and SpMV kernel the reproduction needs,
+//! written as a **peer library** against the Diffuse core alone: it registers
+//! the `sparse` library namespace on a [`Context`], submits through the typed
+//! launch builder, and shares data with other libraries (such as the `dense`
+//! crate) purely through [`StoreHandle`]s — the cross-library composition the
+//! paper emphasizes. Sparse and dense tasks submitted to one context flow
+//! through one fusion window.
 //!
 //! The CSR coordinate width is configurable ([`IndexWidth`]); the evaluation's
 //! controlled comparison against PETSc stores coordinates as 32-bit integers,
@@ -15,32 +18,34 @@
 //! # Example
 //!
 //! ```
-//! use dense::DenseContext;
 //! use diffuse::{Context, DiffuseConfig};
 //! use machine::MachineConfig;
 //! use sparse::{CsrMatrix, SparseContext};
 //!
-//! let np = DenseContext::new(Context::new(DiffuseConfig::fused(
-//!     MachineConfig::single_node(2),
-//! )));
-//! let sp = SparseContext::new(&np);
+//! let ctx = Context::new(DiffuseConfig::fused(MachineConfig::single_node(2)));
+//! let sp = SparseContext::new(&ctx);
 //! // The 2-point Laplacian of a 4-cell 1-D grid.
 //! let a = CsrMatrix::from_dense(&sp, 4, 4, &|r, c| {
 //!     if r == c { 2.0 } else if r.abs_diff(c) == 1 { -1.0 } else { 0.0 }
 //! });
-//! let x = np.ones(&[4]);
+//! // Cross-library sharing happens through store handles: any store of the
+//! // right length works as the input vector.
+//! let x = ctx.create_store(vec![4], "x");
+//! ctx.fill(&x, 1.0);
 //! let y = a.spmv(&x);
-//! assert_eq!(y.to_vec().unwrap(), vec![1.0, 0.0, 0.0, 1.0]);
+//! assert_eq!(ctx.read_store(&y).unwrap(), vec![1.0, 0.0, 0.0, 1.0]);
 //! ```
 
-use dense::{DArray, DenseContext};
-use ir::{Partition, Privilege, StoreArg};
+use diffuse::{Context, Library, StoreHandle, TaskSignature};
+use ir::Partition;
 use kernel::{BufferId, BufferRole, IndexWidth, KernelModule, OpaqueOp, TaskKind};
 
-/// The sparse library: registers the SpMV generator and builds CSR matrices.
+/// The sparse library: registers the `sparse` namespace with its SpMV
+/// generators and builds CSR matrices.
 #[derive(Clone, Debug)]
 pub struct SparseContext {
-    dense: DenseContext,
+    ctx: Context,
+    lib: Library,
     spmv32: TaskKind,
     spmv64: TaskKind,
 }
@@ -62,42 +67,56 @@ fn spmv_generator(width: IndexWidth) -> impl Fn(&kernel::GenArgs<'_>) -> KernelM
 }
 
 impl SparseContext {
-    /// Creates the sparse library over the same Diffuse context as the dense
-    /// library.
-    pub fn new(dense: &DenseContext) -> Self {
-        let spmv32 = dense
-            .context()
-            .register_generator("spmv_csr_u32", spmv_generator(IndexWidth::U32));
-        let spmv64 = dense
-            .context()
-            .register_generator("spmv_csr_u64", spmv_generator(IndexWidth::U64));
+    /// Creates the sparse library over a Diffuse context. Any other library
+    /// registered on the same context shares its task window, so sparse and
+    /// dense tasks fuse across the library boundary.
+    pub fn new(ctx: &Context) -> Self {
+        let spmv_sig = || TaskSignature::new().read().read().read().read().write();
+        let lib = ctx.register_library("sparse");
+        let spmv32 = lib.register("spmv_csr_u32", spmv_sig(), spmv_generator(IndexWidth::U32));
+        let spmv64 = lib.register("spmv_csr_u64", spmv_sig(), spmv_generator(IndexWidth::U64));
         SparseContext {
-            dense: dense.clone(),
+            ctx: ctx.clone(),
+            lib,
             spmv32,
             spmv64,
         }
     }
 
-    /// The dense library this sparse library composes with.
-    pub fn dense(&self) -> &DenseContext {
-        &self.dense
+    /// The Diffuse context the library is registered on.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The library namespace this context registered.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// Creates a store initialized with host data (no simulated cost).
+    fn store_from_vec(&self, name: &str, data: Vec<f64>) -> StoreHandle {
+        let handle = self.ctx.create_store(vec![data.len() as u64], name);
+        self.ctx.write_store(&handle, data);
+        handle
     }
 }
 
 /// A distributed CSR sparse matrix.
 ///
-/// Row offsets, column indices and values are ordinary Diffuse stores (held as
-/// dense arrays of `f64`, with indices stored as exact integers in the f64
+/// Row offsets, column indices and values are ordinary Diffuse stores (held
+/// as dense arrays of `f64`, with indices stored as exact integers in the f64
 /// mantissa), partitioned by row blocks / nonzero blocks across the machine.
+/// The stores are plain [`StoreHandle`]s: other libraries can read or extend
+/// them without the sparse library's involvement.
 #[derive(Clone, Debug)]
 pub struct CsrMatrix {
     ctx: SparseContext,
     /// Row offsets, length `rows + 1`.
-    pub pos: DArray,
+    pub pos: StoreHandle,
     /// Column indices, length `nnz`.
-    pub crd: DArray,
+    pub crd: StoreHandle,
     /// Nonzero values, length `nnz`.
-    pub vals: DArray,
+    pub vals: StoreHandle,
     rows: u64,
     cols: u64,
     nnz: u64,
@@ -146,12 +165,11 @@ impl CsrMatrix {
         assert_eq!(pos.len() as u64, rows + 1, "pos must have rows + 1 entries");
         assert_eq!(crd.len(), vals.len(), "crd and vals must have equal length");
         let nnz = crd.len() as u64;
-        let np = &ctx.dense;
         CsrMatrix {
+            pos: ctx.store_from_vec("pos", pos),
+            crd: ctx.store_from_vec("crd", if crd.is_empty() { vec![0.0] } else { crd }),
+            vals: ctx.store_from_vec("vals", if vals.is_empty() { vec![0.0] } else { vals }),
             ctx: ctx.clone(),
-            pos: np.from_vec(&[rows + 1], pos),
-            crd: np.from_vec(&[nnz.max(1)], if crd.is_empty() { vec![0.0] } else { crd }),
-            vals: np.from_vec(&[nnz.max(1)], if vals.is_empty() { vec![0.0] } else { vals }),
             rows,
             cols,
             nnz,
@@ -193,12 +211,11 @@ impl CsrMatrix {
     /// generated. Used by the benchmark harness for machine-scale problem
     /// sizes in simulation-only mode; must not be used functionally.
     pub fn symbolic(ctx: &SparseContext, rows: u64, cols: u64, nnz: u64) -> CsrMatrix {
-        let np = &ctx.dense;
         CsrMatrix {
+            pos: ctx.ctx.create_store(vec![rows + 1], "pos"),
+            crd: ctx.ctx.create_store(vec![nnz.max(1)], "crd"),
+            vals: ctx.ctx.create_store(vec![nnz.max(1)], "vals"),
             ctx: ctx.clone(),
-            pos: np.zeros(&[rows + 1]),
-            crd: np.zeros(&[nnz.max(1)]),
-            vals: np.zeros(&[nnz.max(1)]),
             rows,
             cols,
             nnz,
@@ -234,33 +251,36 @@ impl CsrMatrix {
         self
     }
 
-    /// Sparse matrix-vector product `self @ x`.
+    /// Sparse matrix-vector product `self @ x`, returning the handle of a
+    /// fresh result store of length [`CsrMatrix::rows`].
+    ///
+    /// `x` may be any store of length [`CsrMatrix::cols`] — typically one
+    /// produced by another library (a dense array's handle, a stencil grid):
+    /// cross-library data sharing is by store handle, and the submitted task
+    /// joins the shared window where it can fuse with the surrounding dense
+    /// or stencil tasks.
     ///
     /// # Panics
     ///
     /// Panics if the dimensions do not match.
-    pub fn spmv(&self, x: &DArray) -> DArray {
-        assert_eq!(x.len(), self.cols, "dimension mismatch in spmv");
-        let np = &self.ctx.dense;
-        let gpus = np.gpus();
-        let y = np.zeros(&[self.rows]);
+    pub fn spmv(&self, x: &StoreHandle) -> StoreHandle {
+        assert_eq!(x.volume(), self.cols, "dimension mismatch in spmv");
+        let np = &self.ctx.ctx;
+        let gpus = np.gpus() as u64;
+        let y = np.create_store(vec![self.rows], "spmv_y");
         let kind = match self.index_width {
             IndexWidth::U32 => self.ctx.spmv32,
             IndexWidth::U64 => self.ctx.spmv64,
         };
         let block = |len: u64| Partition::block(vec![len.div_ceil(gpus).max(1)]);
-        np.context().submit(
-            kind,
-            "spmv",
-            vec![
-                StoreArg::new(self.pos.handle().id(), block(self.rows + 1), Privilege::Read),
-                StoreArg::new(self.crd.handle().id(), block(self.nnz.max(1)), Privilege::Read),
-                StoreArg::new(self.vals.handle().id(), block(self.nnz.max(1)), Privilege::Read),
-                StoreArg::new(x.handle().id(), Partition::Replicate, Privilege::Read),
-                StoreArg::new(y.handle().id(), block(self.rows), Privilege::Write),
-            ],
-            vec![],
-        );
+        np.task(kind)
+            .name("spmv")
+            .read(&self.pos, block(self.rows + 1))
+            .read(&self.crd, block(self.nnz.max(1)))
+            .read(&self.vals, block(self.nnz.max(1)))
+            .read(x, Partition::Replicate)
+            .write(&y, block(self.rows))
+            .launch();
         y
     }
 }
@@ -268,37 +288,39 @@ impl CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diffuse::{Context, DiffuseConfig};
+    use diffuse::DiffuseConfig;
     use machine::MachineConfig;
 
-    fn setup(gpus: usize) -> (DenseContext, SparseContext) {
-        let np = DenseContext::new(Context::new(DiffuseConfig::fused(MachineConfig::with_gpus(
-            gpus,
-        ))));
-        let sp = SparseContext::new(&np);
-        (np, sp)
+    fn setup(gpus: usize) -> (Context, SparseContext) {
+        let ctx = Context::new(DiffuseConfig::fused(MachineConfig::with_gpus(gpus)));
+        let sp = SparseContext::new(&ctx);
+        (ctx, sp)
+    }
+
+    fn vector(ctx: &Context, data: Vec<f64>) -> StoreHandle {
+        let h = ctx.create_store(vec![data.len() as u64], "v");
+        ctx.write_store(&h, data);
+        h
     }
 
     #[test]
-    fn spmv_matches_dense_matvec() {
-        let (np, sp) = setup(2);
+    fn spmv_matches_host_matvec() {
+        let (ctx, sp) = setup(2);
         let dense_fn = |r: u64, c: u64| ((r * 3 + c) % 5) as f64 - 1.0;
-        let a_sparse = CsrMatrix::from_dense(&sp, 6, 6, &dense_fn);
-        let a_dense = np.from_vec(
-            &[6, 6],
-            (0..36).map(|i| dense_fn(i / 6, i % 6)).collect(),
-        );
-        let x = np.from_vec(&[6], (0..6).map(|i| i as f64).collect());
-        let ys = a_sparse.spmv(&x).to_vec().unwrap();
-        let yd = a_dense.matvec(&x).to_vec().unwrap();
-        for (s, d) in ys.iter().zip(&yd) {
-            assert!((s - d).abs() < 1e-12);
+        let a = CsrMatrix::from_dense(&sp, 6, 6, &dense_fn);
+        let xv: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let x = vector(&ctx, xv.clone());
+        let ys = ctx.read_store(&a.spmv(&x)).unwrap();
+        // Host reference matvec.
+        for r in 0..6u64 {
+            let expected: f64 = (0..6u64).map(|c| dense_fn(r, c) * xv[c as usize]).sum();
+            assert!((ys[r as usize] - expected).abs() < 1e-12);
         }
     }
 
     #[test]
     fn poisson_matrix_properties() {
-        let (np, sp) = setup(2);
+        let (ctx, sp) = setup(2);
         let n = 4u64;
         let a = CsrMatrix::poisson_2d(&sp, n);
         assert_eq!(a.rows(), 16);
@@ -306,8 +328,8 @@ mod tests {
         // 5-point stencil: 5 per interior row minus boundary truncations.
         assert!(a.nnz() > 3 * 16 && a.nnz() < 5 * 16);
         // The Laplacian of a constant vector is zero in the interior.
-        let x = np.ones(&[16]);
-        let y = a.spmv(&x).to_vec().unwrap();
+        let x = vector(&ctx, vec![1.0; 16]);
+        let y = ctx.read_store(&a.spmv(&x)).unwrap();
         // Interior point (1,1) -> row 5 has all 5 neighbours: 4 - 4 = 0.
         assert_eq!(y[5], 0.0);
         // Corner point (0,0) -> row 0: 4 - 2 = 2.
@@ -316,31 +338,39 @@ mod tests {
 
     #[test]
     fn index_width_is_configurable() {
-        let (_np, sp) = setup(2);
+        let (_ctx, sp) = setup(2);
         let a = CsrMatrix::poisson_2d(&sp, 2).with_index_width(IndexWidth::U64);
         assert_eq!(a.index_width, IndexWidth::U64);
     }
 
     #[test]
-    fn spmv_composes_with_dense_ops_in_one_window() {
-        // SpMV followed by dense AXPY-style ops: the cross-library stream the
-        // paper targets. Check correctness of the composition.
-        let (np, sp) = setup(2);
-        let a = CsrMatrix::poisson_2d(&sp, 4);
-        let x = np.ones(&[16]);
-        let y = a.spmv(&x);
-        let r = x.sub(&y);
-        let rnorm = r.dot(&r);
-        np.flush();
-        assert!(rnorm.scalar_value().unwrap() > 0.0);
+    fn sparse_registers_its_own_namespace() {
+        let (ctx, sp) = setup(2);
+        assert_eq!(sp.library().name(), "sparse");
+        assert!(sp.library().kind("spmv_csr_u32").is_some());
+        assert!(sp.library().kind("spmv_csr_u64").is_some());
+        // A second instance gets a fresh namespace: no clobbering.
+        let sp2 = SparseContext::new(&ctx);
+        assert_ne!(sp.library().id(), sp2.library().id());
+        assert_ne!(sp.spmv32, sp2.spmv32);
+    }
+
+    #[test]
+    fn spmv_tasks_are_attributed_to_the_sparse_library() {
+        let (ctx, sp) = setup(2);
+        let a = CsrMatrix::poisson_2d(&sp, 2);
+        let x = vector(&ctx, vec![1.0; 4]);
+        let _ = ctx.read_store(&a.spmv(&x)).unwrap();
+        let stats = ctx.stats();
+        assert_eq!(stats.library("sparse").unwrap().tasks_submitted, 1);
     }
 
     #[test]
     #[should_panic]
     fn spmv_dimension_mismatch_panics() {
-        let (np, sp) = setup(2);
+        let (ctx, sp) = setup(2);
         let a = CsrMatrix::poisson_2d(&sp, 2);
-        let x = np.ones(&[3]);
+        let x = vector(&ctx, vec![1.0; 3]);
         let _ = a.spmv(&x);
     }
 }

@@ -1,0 +1,476 @@
+//! A star-stencil library written against the Diffuse core alone.
+//!
+//! This crate is the proof that the [`diffuse::Library`] registration API is
+//! sufficient for a **third, independently written library**: it depends only
+//! on the core (plus the shared IR/kernel crates), registers the `stencil`
+//! namespace through the chained [`diffuse::LibraryBuilder`], and submits
+//! every launch through the typed builder. It never touches the `dense` or
+//! `sparse` crates — composition with them happens purely through
+//! [`StoreHandle`]s, and stencil tasks submitted to a shared context fuse
+//! with dense and sparse tasks in one window (see `tests/cross_library.rs`
+//! and `examples/cross_library.rs` at the workspace root).
+//!
+//! The operations are star stencils over grids with a one-cell ghost
+//! boundary: a 3-point star in 1-D, the classic 5-point star in 2-D
+//! (Figure 1 of the paper), and a 7-point star in 3-D (the ROADMAP's "3-D
+//! stencils" workload). Each applies
+//!
+//! ```text
+//! out[p] = c_center * grid[p] + sum_d (c_minus_d * grid[p - e_d] + c_plus_d * grid[p + e_d])
+//! ```
+//!
+//! over every interior point `p`, leaving the ghost boundary of `out`
+//! untouched (the caller owns the boundary condition). The shifted neighbor
+//! accesses are expressed as *offset tilings* of the same store — the
+//! aliasing-views structure of Figure 1 — so the fusion analysis sees the
+//! stencil exactly as it sees cuPyNumeric's sliced views.
+//!
+//! # Example
+//!
+//! ```
+//! use diffuse::{Context, DiffuseConfig};
+//! use machine::MachineConfig;
+//! use stencil::StencilContext;
+//!
+//! let ctx = Context::new(DiffuseConfig::fused(MachineConfig::single_node(2)));
+//! let st = StencilContext::new(&ctx);
+//! // A 1-D grid of 10 cells: 8 interior + one ghost cell per side.
+//! let grid = ctx.create_store(vec![10], "grid");
+//! let out = ctx.create_store(vec![10], "out");
+//! ctx.fill(&grid, 1.0);
+//! ctx.fill(&out, 0.0);
+//! // Second-difference stencil: out = grid[i-1] - 2 grid[i] + grid[i+1] = 0
+//! // on the constant grid.
+//! st.star_1d(&grid, &out, [-2.0, 1.0, 1.0]);
+//! let data = ctx.read_store(&out).unwrap();
+//! assert_eq!(&data[1..9], &[0.0; 8]);
+//! assert_eq!((data[0], data[9]), (0.0, 0.0), "ghost cells stay untouched");
+//! ```
+
+use diffuse::{Context, Library, StoreHandle, TaskSignature};
+use ir::{Partition, Projection};
+use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskKind};
+
+/// Builds the generator for a star stencil with `points` input views: loads
+/// each view, scales it by the matching scalar coefficient and accumulates
+/// into the output buffer (buffer id `points`).
+fn star_generator(points: usize) -> impl Fn(&kernel::GenArgs<'_>) -> KernelModule {
+    move |_args| {
+        let out = BufferId(points as u32);
+        let mut m = KernelModule::new(points as u32 + 1);
+        m.set_role(out, BufferRole::Output);
+        let mut b = LoopBuilder::new("star", out);
+        let mut acc = None;
+        for i in 0..points {
+            let x = b.load(BufferId(i as u32));
+            let c = b.param(i);
+            let term = b.mul(c, x);
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => b.add(prev, term),
+            });
+        }
+        b.store(out, acc.expect("a star stencil has at least one point"));
+        m.push_loop(b.finish());
+        m
+    }
+}
+
+/// The stencil library: registers the `stencil` namespace and applies star
+/// stencils to grid stores.
+#[derive(Clone, Debug)]
+pub struct StencilContext {
+    ctx: Context,
+    lib: Library,
+    star3: TaskKind,
+    star5: TaskKind,
+    star7: TaskKind,
+}
+
+impl StencilContext {
+    /// Creates the stencil library over a Diffuse context, registering its
+    /// three star operations through the chained builder.
+    pub fn new(ctx: &Context) -> Self {
+        let star_sig = |points: usize| {
+            let mut sig = TaskSignature::new();
+            for _ in 0..points {
+                sig = sig.read();
+            }
+            sig.write().scalars(points)
+        };
+        let lib = ctx
+            .library("stencil")
+            .op("star3", star_sig(3), star_generator(3))
+            .op("star5", star_sig(5), star_generator(5))
+            .op("star7", star_sig(7), star_generator(7))
+            .build();
+        StencilContext {
+            ctx: ctx.clone(),
+            lib: lib.clone(),
+            star3: lib.kind("star3").expect("registered above"),
+            star5: lib.kind("star5").expect("registered above"),
+            star7: lib.kind("star7").expect("registered above"),
+        }
+    }
+
+    /// The Diffuse context the library is registered on.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The library namespace this context registered.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// The interior extents of a ghost-bordered grid shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is smaller than 3 (no interior).
+    fn interior(shape: &[u64]) -> Vec<u64> {
+        assert!(
+            shape.iter().all(|&s| s >= 3),
+            "a stencil grid needs at least one interior cell per dimension, got {shape:?}"
+        );
+        shape.iter().map(|&s| s - 2).collect()
+    }
+
+    /// The offset tiling through which a point task accesses the grid view
+    /// shifted by `offset` (per-dimension ghost offsets in `0..=2`): row
+    /// blocks of the leading interior dimension, one block per GPU — the
+    /// same convention the dense library uses for views, so point-wise
+    /// dependences between stencil outputs and dense view reads line up.
+    fn view_partition(&self, interior: &[u64], offset: &[u64]) -> Partition {
+        let gpus = (self.ctx.gpus() as u64).max(1);
+        assert!(
+            interior[0] % gpus == 0 || gpus == 1,
+            "stencil leading interior extent {} must be divisible by the GPU count {gpus}",
+            interior[0]
+        );
+        let mut tile = interior.to_vec();
+        tile[0] = (interior[0].div_ceil(gpus)).max(1);
+        let proj = match interior.len() {
+            1 => Projection::Identity,
+            rank => Projection::PadZeros { rank },
+        };
+        Partition::tiling(tile, offset.iter().map(|&o| o as i64).collect(), proj)
+    }
+
+    /// Shared implementation of the three star ops. `offsets` lists the
+    /// per-view ghost offsets (center first, then minus/plus per dimension),
+    /// matching the coefficient order.
+    fn apply_star(
+        &self,
+        kind: TaskKind,
+        name: &str,
+        grid: &StoreHandle,
+        out: &StoreHandle,
+        offsets: &[&[u64]],
+        coeffs: &[f64],
+    ) {
+        assert_eq!(
+            grid.shape(),
+            out.shape(),
+            "stencil input and output grids must have the same shape"
+        );
+        let interior = Self::interior(grid.shape());
+        let mut launch = self.ctx.task(kind).name(name);
+        for offset in offsets {
+            launch = launch.read(grid, self.view_partition(&interior, offset));
+        }
+        let center: Vec<u64> = vec![1; interior.len()];
+        launch
+            .write(out, self.view_partition(&interior, &center))
+            .scalars(coeffs)
+            .launch();
+    }
+
+    /// Applies the 3-point star to a 1-D ghost-bordered grid:
+    /// `out[i] = c0*grid[i] + c1*grid[i-1] + c2*grid[i+1]` over the interior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree, the grid is not 1-D, or the interior
+    /// does not block-partition over the machine.
+    pub fn star_1d(&self, grid: &StoreHandle, out: &StoreHandle, coeffs: [f64; 3]) {
+        assert_eq!(grid.rank(), 1, "star_1d needs a 1-D grid");
+        self.apply_star(
+            self.star3,
+            "star3",
+            grid,
+            out,
+            &[&[1], &[0], &[2]],
+            &coeffs,
+        );
+    }
+
+    /// Applies the 5-point star to a 2-D ghost-bordered grid. Coefficient
+    /// order: center, north (`-row`), south (`+row`), west (`-col`), east
+    /// (`+col`) — the Figure 1 stencil is `[0.2, 0.2, 0.2, 0.2, 0.2]`.
+    ///
+    /// # Panics
+    ///
+    /// As [`StencilContext::star_1d`], for 2-D grids.
+    pub fn star_2d(&self, grid: &StoreHandle, out: &StoreHandle, coeffs: [f64; 5]) {
+        assert_eq!(grid.rank(), 2, "star_2d needs a 2-D grid");
+        self.apply_star(
+            self.star5,
+            "star5",
+            grid,
+            out,
+            &[&[1, 1], &[0, 1], &[2, 1], &[1, 0], &[1, 2]],
+            &coeffs,
+        );
+    }
+
+    /// Applies the 7-point star to a 3-D ghost-bordered grid. Coefficient
+    /// order: center, then minus/plus along each dimension in order.
+    ///
+    /// # Panics
+    ///
+    /// As [`StencilContext::star_1d`], for 3-D grids.
+    pub fn star_3d(&self, grid: &StoreHandle, out: &StoreHandle, coeffs: [f64; 7]) {
+        assert_eq!(grid.rank(), 3, "star_3d needs a 3-D grid");
+        self.apply_star(
+            self.star7,
+            "star7",
+            grid,
+            out,
+            &[
+                &[1, 1, 1],
+                &[0, 1, 1],
+                &[2, 1, 1],
+                &[1, 0, 1],
+                &[1, 2, 1],
+                &[1, 1, 0],
+                &[1, 1, 2],
+            ],
+            &coeffs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse::DiffuseConfig;
+    use machine::MachineConfig;
+
+    fn setup(gpus: usize) -> (Context, StencilContext) {
+        let ctx = Context::new(DiffuseConfig::fused(MachineConfig::with_gpus(gpus)));
+        let st = StencilContext::new(&ctx);
+        (ctx, st)
+    }
+
+    fn grid_from(ctx: &Context, shape: &[u64], f: impl Fn(usize) -> f64) -> StoreHandle {
+        let volume: u64 = shape.iter().product();
+        let h = ctx.create_store(shape.to_vec(), "grid");
+        ctx.write_store(&h, (0..volume as usize).map(f).collect());
+        h
+    }
+
+    /// Host reference: applies the star to the interior of a row-major grid.
+    fn reference_star(
+        shape: &[u64],
+        data: &[f64],
+        coeffs: &[f64],
+        neighbors: &[Vec<i64>],
+    ) -> Vec<f64> {
+        let rank = shape.len();
+        let strides: Vec<usize> = {
+            let mut s = vec![1usize; rank];
+            for d in (0..rank - 1).rev() {
+                s[d] = s[d + 1] * shape[d + 1] as usize;
+            }
+            s
+        };
+        let mut out = vec![0.0; data.len()];
+        let mut idx = vec![1u64; rank];
+        loop {
+            let flat: usize = idx
+                .iter()
+                .zip(&strides)
+                .map(|(&i, &s)| i as usize * s)
+                .sum();
+            for (c, off) in coeffs.iter().zip(neighbors) {
+                let nflat: usize = idx
+                    .iter()
+                    .zip(off)
+                    .zip(&strides)
+                    .map(|((&i, &o), &s)| (i as i64 + o) as usize * s)
+                    .sum();
+                out[flat] += c * data[nflat];
+            }
+            // Advance the interior odometer.
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < shape[d] - 1 {
+                    break;
+                }
+                idx[d] = 1;
+            }
+        }
+    }
+
+    #[test]
+    fn star_1d_matches_reference() {
+        let (ctx, st) = setup(2);
+        let grid = grid_from(&ctx, &[10], |i| (i * i % 13) as f64);
+        let out = ctx.create_store(vec![10], "out");
+        ctx.fill(&out, 0.0);
+        let coeffs = [-2.0, 1.0, 1.0];
+        st.star_1d(&grid, &out, coeffs);
+        let data = ctx.read_store(&grid).unwrap();
+        let expect = reference_star(&[10], &data, &coeffs, &[vec![0], vec![-1], vec![1]]);
+        assert_eq!(ctx.read_store(&out).unwrap()[1..9], expect[1..9]);
+    }
+
+    #[test]
+    fn star_2d_matches_reference_on_figure1_coefficients() {
+        for gpus in [1, 2, 4] {
+            let (ctx, st) = setup(gpus);
+            let n = 8u64; // interior 8 divides 1, 2 and 4 GPUs
+            let shape = [n + 2, n + 2];
+            let grid = grid_from(&ctx, &shape, |i| (i % 7) as f64);
+            let out = ctx.create_store(shape.to_vec(), "out");
+            ctx.fill(&out, 0.0);
+            let coeffs = [0.2; 5];
+            st.star_2d(&grid, &out, coeffs);
+            let data = ctx.read_store(&grid).unwrap();
+            let neighbors = vec![
+                vec![0, 0],
+                vec![-1, 0],
+                vec![1, 0],
+                vec![0, -1],
+                vec![0, 1],
+            ];
+            let expect = reference_star(&shape, &data, &coeffs, &neighbors);
+            let got = ctx.read_store(&out).unwrap();
+            for r in 1..=n as usize {
+                for c in 1..=n as usize {
+                    let i = r * (n as usize + 2) + c;
+                    assert!(
+                        (got[i] - expect[i]).abs() < 1e-12,
+                        "gpus={gpus} ({r},{c}): {} vs {}",
+                        got[i],
+                        expect[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_3d_matches_reference() {
+        let (ctx, st) = setup(2);
+        let shape = [6u64, 5, 4]; // interior 4x3x2, leading interior divides 2 GPUs
+        let grid = grid_from(&ctx, &shape, |i| ((i * 5 + 3) % 11) as f64);
+        let out = ctx.create_store(shape.to_vec(), "out");
+        ctx.fill(&out, 0.0);
+        let coeffs = [-6.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        st.star_3d(&grid, &out, coeffs);
+        let data = ctx.read_store(&grid).unwrap();
+        let neighbors = vec![
+            vec![0, 0, 0],
+            vec![-1, 0, 0],
+            vec![1, 0, 0],
+            vec![0, -1, 0],
+            vec![0, 1, 0],
+            vec![0, 0, -1],
+            vec![0, 0, 1],
+        ];
+        let expect = reference_star(&shape, &data, &coeffs, &neighbors);
+        let got = ctx.read_store(&out).unwrap();
+        for x in 1..5usize {
+            for y in 1..4usize {
+                for z in 1..3usize {
+                    let i = x * 20 + y * 4 + z;
+                    assert!(
+                        (got[i] - expect[i]).abs() < 1e-12,
+                        "({x},{y},{z}): {} vs {}",
+                        got[i],
+                        expect[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_of_constant_grid_is_zero() {
+        let (ctx, st) = setup(2);
+        let shape = [6u64, 6];
+        let grid = ctx.create_store(shape.to_vec(), "grid");
+        let out = ctx.create_store(shape.to_vec(), "out");
+        ctx.fill(&grid, 3.5);
+        ctx.fill(&out, -1.0);
+        st.star_2d(&grid, &out, [-4.0, 1.0, 1.0, 1.0, 1.0]);
+        let got = ctx.read_store(&out).unwrap();
+        // Interior is the discrete Laplacian of a constant: zero.
+        for r in 1..5usize {
+            for c in 1..5usize {
+                assert_eq!(got[r * 6 + c], 0.0);
+            }
+        }
+        // Ghost border untouched.
+        assert_eq!(got[0], -1.0);
+    }
+
+    #[test]
+    fn stencil_registers_its_own_namespace() {
+        let (ctx, st) = setup(2);
+        assert_eq!(st.library().name(), "stencil");
+        for op in ["star3", "star5", "star7"] {
+            assert!(st.library().kind(op).is_some());
+        }
+        let grid = ctx.create_store(vec![6], "g");
+        let out = ctx.create_store(vec![6], "o");
+        ctx.fill(&grid, 1.0);
+        ctx.fill(&out, 0.0);
+        st.star_1d(&grid, &out, [1.0, 0.0, 0.0]);
+        ctx.flush();
+        assert_eq!(ctx.stats().library("stencil").unwrap().tasks_submitted, 1);
+    }
+
+    #[test]
+    fn repeated_stars_hit_the_memo_cache() {
+        let (ctx, st) = setup(2);
+        let shape = [10u64, 10];
+        let grid = ctx.create_store(shape.to_vec(), "grid");
+        ctx.fill(&grid, 2.0);
+        for _ in 0..3 {
+            let out = ctx.create_store(shape.to_vec(), "out");
+            ctx.fill(&out, 0.0);
+            st.star_2d(&grid, &out, [0.2; 5]);
+            drop(out);
+            ctx.flush();
+        }
+        let stats = ctx.stats();
+        assert!(stats.memo_hits >= 1, "isomorphic star windows must memoize");
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn shape_mismatch_panics() {
+        let (ctx, st) = setup(1);
+        let grid = ctx.create_store(vec![8], "g");
+        let out = ctx.create_store(vec![6], "o");
+        st.star_1d(&grid, &out, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_interior_panics() {
+        let (ctx, st) = setup(4);
+        // Interior 5 does not divide 4 GPUs.
+        let grid = ctx.create_store(vec![7], "g");
+        let out = ctx.create_store(vec![7], "o");
+        st.star_1d(&grid, &out, [1.0, 1.0, 1.0]);
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`diffuse`] — the Diffuse middle layer tying the above together.
 //! * [`dense`] — cuPyNumeric-equivalent distributed dense array library.
 //! * [`sparse`] — Legate-Sparse-equivalent distributed CSR library.
+//! * [`stencil`] — star-stencil library (1-D/2-D/3-D) proving the Library API.
 //! * [`petsc`] — explicitly parallel hand-fused baseline (PETSc stand-in).
 //! * [`apps`] — the seven benchmark applications from the paper.
 //!
@@ -37,3 +38,4 @@ pub use machine;
 pub use petsc;
 pub use runtime;
 pub use sparse;
+pub use stencil;
