@@ -19,8 +19,10 @@ fn cdf(x: &DArray) -> DArray {
     x.scalar_mul(SQRT2_INV).erf().scalar_add(1.0).scalar_mul(0.5)
 }
 
-/// One pricing pass over the option arrays: returns (call, put).
-fn price(s: &DArray, k: &DArray, t: &DArray) -> (DArray, DArray) {
+/// One pricing pass over the option arrays: returns (call, put). Shared with
+/// the batched variant, which prices many independent option sets per
+/// iteration.
+pub(crate) fn price(s: &DArray, k: &DArray, t: &DArray) -> (DArray, DArray) {
     // d1 = (ln(S/K) + (r + 0.5 sigma^2) T) / (sigma sqrt(T))
     let log_moneyness = s.div(k).ln();
     let drift = t.scalar_mul(RISK_FREE_RATE + 0.5 * VOLATILITY * VOLATILITY);

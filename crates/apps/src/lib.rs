@@ -40,6 +40,7 @@
 
 pub mod bicgstab;
 pub mod black_scholes;
+pub mod black_scholes_batched;
 pub mod cfd;
 pub mod cg;
 pub mod common;

@@ -44,10 +44,34 @@ fn bench_heat_iteration(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched Black-Scholes workload with and without horizontal fusion:
+/// tracks the wall-clock cost of pushing a many-batch window through the
+/// horizontal pass (planning + reorder + refold), and — via the `vertical`
+/// and `unfused` legs — the launch-overhead ratio the merge buys, which the
+/// scraper records into `BENCH_fusion.json`.
+fn bench_batched_black_scholes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_bs_sim_wallclock");
+    group.sample_size(10);
+    let batches = 16usize;
+    group.bench_function("horizontal", |b| {
+        b.iter(|| apps::black_scholes_batched::run(Mode::Fused, 8, 1 << 16, batches, 3, false, true))
+    });
+    group.bench_function("vertical", |b| {
+        b.iter(|| apps::black_scholes_batched::run(Mode::Fused, 8, 1 << 16, batches, 3, false, false))
+    });
+    group.bench_function("unfused", |b| {
+        b.iter(|| {
+            apps::black_scholes_batched::run(Mode::Unfused, 8, 1 << 16, batches, 3, false, false)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_black_scholes_iteration,
     bench_cg_iteration,
-    bench_heat_iteration
+    bench_heat_iteration,
+    bench_batched_black_scholes
 );
 criterion_main!(benches);

@@ -28,6 +28,13 @@ pub struct DiffuseConfig {
     pub enable_temp_elimination: bool,
     /// Memoize analysis and compilation over isomorphic windows.
     pub enable_memoization: bool,
+    /// Pack independent equal-domain fusible segments of the window side by
+    /// side into one wide launch (horizontal fusion) before the vertical
+    /// prefix analysis runs. Has no effect unless `enable_task_fusion` is
+    /// also set. Defaults to [`DiffuseConfig::horizontal_fusion_from_env`]
+    /// (the `DIFFUSE_HORIZONTAL` environment variable; off when unset, so
+    /// existing streams are processed bit-for-bit as before).
+    pub enable_horizontal_fusion: bool,
     /// Maximum number of (canonical window, compiled artifact) entries the
     /// memoization cache retains; least-recently-used entries are evicted
     /// beyond this. `usize::MAX` disables the bound. Defaults to
@@ -56,6 +63,19 @@ impl DiffuseConfig {
     /// window shape it has ever seen.
     pub const DEFAULT_MEMO_CAPACITY: usize = 1024;
 
+    /// Whether `DIFFUSE_HORIZONTAL` requests horizontal fusion: `on`, `1` or
+    /// `true` (case-insensitive) enable it; anything else — including unset —
+    /// leaves it off. The CI invariance leg toggles this to assert that the
+    /// horizontal pass never changes results, only launch counts.
+    pub fn horizontal_fusion_from_env() -> bool {
+        std::env::var("DIFFUSE_HORIZONTAL")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "on" || v == "1" || v == "true"
+            })
+            .unwrap_or(false)
+    }
+
     /// Full Diffuse with functional execution.
     pub fn fused(machine: MachineConfig) -> Self {
         DiffuseConfig {
@@ -65,6 +85,7 @@ impl DiffuseConfig {
             enable_kernel_fusion: true,
             enable_temp_elimination: true,
             enable_memoization: true,
+            enable_horizontal_fusion: Self::horizontal_fusion_from_env(),
             memo_capacity: Self::DEFAULT_MEMO_CAPACITY,
             initial_window_size: 5,
             max_window_size: 70,
@@ -105,6 +126,16 @@ impl DiffuseConfig {
     pub fn with_window(mut self, initial: usize, max: usize) -> Self {
         self.initial_window_size = initial;
         self.max_window_size = max;
+        self
+    }
+
+    /// Enables or disables horizontal fusion explicitly, overriding the
+    /// `DIFFUSE_HORIZONTAL` default. Horizontal fusion reorders the window
+    /// to pack independent equal-domain segments into one launch; results
+    /// are unchanged (only proven-independent tasks commute) while launch
+    /// counts drop for batched independent streams.
+    pub fn with_horizontal_fusion(mut self, enabled: bool) -> Self {
+        self.enable_horizontal_fusion = enabled;
         self
     }
 
@@ -192,6 +223,14 @@ mod tests {
     #[should_panic]
     fn zero_memo_capacity_panics() {
         let _ = DiffuseConfig::fused(MachineConfig::single_node(2)).with_memo_capacity(0);
+    }
+
+    #[test]
+    fn horizontal_fusion_override() {
+        let on = DiffuseConfig::fused(MachineConfig::single_node(2)).with_horizontal_fusion(true);
+        assert!(on.enable_horizontal_fusion);
+        let off = on.with_horizontal_fusion(false);
+        assert!(!off.enable_horizontal_fusion);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use fusion::{
-    fusible_segments, temporary_stores, AdaptiveWindow, CanonicalWindow, FusedTask, MemoCache,
+    fusible_segments, plan_horizontal, temporary_stores, AdaptiveWindow, CanonicalWindow,
+    FusedTask, MemoCache,
 };
 use ir::{
     Domain, IndexTask, Partition, PartitionId, Privilege, ShapeId, StoreArg, StoreId, TaskId,
@@ -665,6 +666,27 @@ impl ContextInner {
     /// front to back, so draining a prefix never re-checks the untouched
     /// suffix.
     fn process_window(&mut self) {
+        // Horizontal pass (when enabled): segment the window vertically,
+        // pack independent equal-domain segments into launch groups, and
+        // reorder the window so each group is contiguous. The vertical
+        // analysis below then fuses every group into one wide launch; the
+        // memo probe keys on the *permuted* canonical stream, so isomorphic
+        // batches replay the packed skeleton regardless of submission order.
+        if self.config.enable_task_fusion
+            && self.config.enable_horizontal_fusion
+            && self.window.len() > 1
+        {
+            let segments = fusible_segments(self.window.tasks());
+            if segments.len() > 1 {
+                let plan = plan_horizontal(self.window.tasks(), &segments);
+                if !plan.is_identity() {
+                    self.stats.horizontally_fused_tasks += plan.merged_tasks();
+                    let permuted = plan.apply(self.window.tasks());
+                    self.window.reorder(permuted);
+                }
+            }
+        }
+
         /// Front segment of the window, computing the one-pass segmentation
         /// lazily on first (miss-path) use.
         fn front_segment(
@@ -1472,6 +1494,114 @@ mod tests {
         assert_eq!(adds.cross_library_launches, 1);
         assert_eq!(scales.cross_library_launches, 1);
         assert!(adds.simulated_time > 0.0 && scales.simulated_time > 0.0);
+    }
+
+    /// A batched stream: per batch, one elementwise add (launch domain =
+    /// GPUs) followed by a domain-1 "finalize" scale — the domain change
+    /// breaks vertical fusion after every batch, which is exactly the shape
+    /// horizontal fusion exists for.
+    fn run_batched(horizontal: bool, batches: usize) -> (Vec<Vec<f64>>, ExecutionStats) {
+        let ctx = Context::new(
+            DiffuseConfig::fused(MachineConfig::with_gpus(4))
+                .with_window(64, 64)
+                .with_horizontal_fusion(horizontal),
+        );
+        let add = register_add(&ctx);
+        let scale = register_scale(&ctx);
+        let n = 16u64;
+        let p = block(n, 4);
+        let mut stores = Vec::new();
+        for k in 0..batches {
+            let a = ctx.create_store(vec![n], "a");
+            let b = ctx.create_store(vec![n], "b");
+            let out = ctx.create_store(vec![n], "out");
+            let resp = ctx.create_store(vec![n], "resp");
+            ctx.fill(&a, 1.0 + k as f64);
+            ctx.fill(&b, 2.0);
+            stores.push((a, b, out, resp));
+        }
+        let stats0 = ctx.stats();
+        for (a, b, out, resp) in &stores {
+            ctx.task(add)
+                .read(a, p.clone())
+                .read(b, p.clone())
+                .write(out, p.clone())
+                .launch();
+            ctx.task(scale)
+                .domain(Domain::linear(1))
+                .read(out, Partition::Replicate)
+                .write(resp, Partition::Replicate)
+                .scalar(0.5)
+                .launch();
+        }
+        ctx.flush();
+        let results = stores
+            .iter()
+            .map(|(_, _, _, resp)| ctx.read_store(resp).unwrap())
+            .collect();
+        (results, ctx.stats().since(&stats0))
+    }
+
+    #[test]
+    fn horizontal_fusion_packs_independent_batches_bit_identically() {
+        let (plain, plain_stats) = run_batched(false, 4);
+        let (packed, packed_stats) = run_batched(true, 4);
+        assert_eq!(packed, plain, "horizontal fusion must not change results");
+        assert_eq!(packed[2][0], (1.0 + 2.0 + 2.0) * 0.5);
+        // Vertically, every batch is two launches (the domain change breaks
+        // fusion between batches); horizontally, all adds share one launch
+        // and all finalizes share another.
+        assert_eq!(plain_stats.tasks_launched, 8);
+        assert_eq!(packed_stats.tasks_launched, 2);
+        assert_eq!(packed_stats.fused_tasks, 2);
+        assert_eq!(packed_stats.horizontally_fused_tasks, 8);
+        assert_eq!(plain_stats.horizontally_fused_tasks, 0);
+    }
+
+    #[test]
+    fn horizontal_fusion_memoizes_packed_windows() {
+        // Two isomorphic batched rounds over fresh stores: the second round's
+        // permuted window must hit the memo entry of the first.
+        let ctx = Context::new(
+            DiffuseConfig::fused(MachineConfig::with_gpus(2))
+                .with_window(32, 32)
+                .with_horizontal_fusion(true),
+        );
+        let add = register_add(&ctx);
+        let scale = register_scale(&ctx);
+        let n = 8u64;
+        let p = block(n, 2);
+        for round in 0..2 {
+            let mut keep = Vec::new();
+            for k in 0..3 {
+                let a = ctx.create_store(vec![n], "a");
+                let out = ctx.create_store(vec![n], "out");
+                let resp = ctx.create_store(vec![n], "resp");
+                ctx.fill(&a, (round * 3 + k) as f64);
+                keep.push((a, out, resp));
+            }
+            for (a, out, resp) in &keep {
+                ctx.task(add)
+                    .read(a, p.clone())
+                    .read(a, p.clone())
+                    .write(out, p.clone())
+                    .launch();
+                ctx.task(scale)
+                    .domain(Domain::linear(1))
+                    .read(out, Partition::Replicate)
+                    .write(resp, Partition::Replicate)
+                    .scalar(2.0)
+                    .launch();
+            }
+            ctx.flush();
+            assert_eq!(ctx.read_store(&keep[2].2).unwrap(), vec![(round * 3 + 2) as f64 * 4.0; 8]);
+        }
+        let stats = ctx.stats();
+        // One compilation per launch group (adds, finalizes); round two
+        // replays both skeletons.
+        assert_eq!(stats.compilations, 2, "packed windows memoize");
+        assert!(stats.memo_hits >= 2);
+        assert_eq!(stats.horizontally_fused_tasks, 12);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct ExecutionStats {
     pub tasks_launched: u64,
     /// Launches that combined two or more submitted tasks.
     pub fused_tasks: u64,
+    /// Submitted tasks that the horizontal pass packed into a merged launch
+    /// group: constituents of groups combining two or more independent
+    /// fusible segments (counted at plan time, per flushed window).
+    pub horizontally_fused_tasks: u64,
     /// Fused launches whose constituent tasks came from more than one
     /// registered library (the cross-library windows of Section 2).
     pub cross_library_fused_tasks: u64,
@@ -85,6 +89,8 @@ impl ExecutionStats {
             tasks_submitted: self.tasks_submitted - earlier.tasks_submitted,
             tasks_launched: self.tasks_launched - earlier.tasks_launched,
             fused_tasks: self.fused_tasks - earlier.fused_tasks,
+            horizontally_fused_tasks: self.horizontally_fused_tasks
+                - earlier.horizontally_fused_tasks,
             cross_library_fused_tasks: self.cross_library_fused_tasks
                 - earlier.cross_library_fused_tasks,
             windows_flushed: self.windows_flushed - earlier.windows_flushed,

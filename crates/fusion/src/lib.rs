@@ -40,6 +40,7 @@
 
 pub mod constraints;
 pub mod fused;
+pub mod horizontal;
 pub mod memo;
 pub mod prefix;
 pub mod temporaries;
@@ -47,6 +48,7 @@ pub mod window;
 
 pub use constraints::{ConstraintState, FusionViolation};
 pub use fused::FusedTask;
+pub use horizontal::{plan_horizontal, HorizontalPlan, HorizontalViolation, SegmentFootprint};
 pub use memo::{CanonicalWindow, MemoCache};
 pub use prefix::{find_fusible_prefix, find_fusible_prefix_explained, fusible_segments};
 pub use temporaries::temporary_stores;

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use fusion::{CanonicalWindow, MemoCache};
+use fusion::{fusible_segments, plan_horizontal, CanonicalWindow, MemoCache};
 use ir::{
     window_fingerprint, Domain, IndexTask, Partition, Privilege, Projection, ReductionOp, ShapeId,
     StoreArg, StoreId, TaskId, TaskWindow,
@@ -145,6 +145,57 @@ fn drive(sequence: &[Vec<IndexTask>]) -> (Vec<Option<u32>>, Vec<Option<u32>>) {
     (fast_log, ref_log)
 }
 
+/// One independent unit of a batch: a chain of `len` elementwise tasks over
+/// the unit's private store range (optionally also reading one shared store,
+/// read-only), closed by a domain-1 breaker so adjacent units stay separate
+/// vertical segments.
+fn batch_stream(specs: &[(usize, bool)], order: &[usize]) -> Vec<IndexTask> {
+    let shared = StoreId(900);
+    let block = Partition::block(vec![STORE_LEN / LAUNCH_POINTS]);
+    let mut out = Vec::new();
+    let mut next_id = 0u64;
+    for &u in order {
+        let (len, extra) = specs[u];
+        let base = 100 + (u as u64) * 16;
+        for j in 0..len as u64 {
+            let mut args = vec![
+                StoreArg::new(StoreId(base + j), block.clone(), Privilege::Read)
+                    .with_shape(vec![STORE_LEN]),
+                StoreArg::new(StoreId(base + j + 1), block.clone(), Privilege::Write)
+                    .with_shape(vec![STORE_LEN]),
+            ];
+            if extra {
+                args.push(
+                    StoreArg::new(shared, Partition::Replicate, Privilege::Read)
+                        .with_shape(vec![STORE_LEN]),
+                );
+            }
+            out.push(IndexTask::new(
+                TaskId(next_id),
+                0,
+                format!("chain{u}t{j}"),
+                Domain::linear(LAUNCH_POINTS),
+                args,
+                vec![],
+            ));
+            next_id += 1;
+        }
+        out.push(IndexTask::new(
+            TaskId(next_id),
+            1,
+            format!("break{u}"),
+            Domain::linear(1),
+            vec![
+                StoreArg::new(StoreId(base + 15), Partition::Replicate, Privilege::Write)
+                    .with_shape(vec![STORE_LEN]),
+            ],
+            vec![],
+        ));
+        next_id += 1;
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -211,5 +262,57 @@ proptest! {
         prop_assert_eq!(log[1], Some(0), "isomorphic renaming must hit");
         prop_assert_eq!(log[2], Some(0));
         prop_assert_eq!(bounded.evictions(), 0);
+    }
+
+    /// Two permutations of the same independent batch canonicalize to the
+    /// same stream after the horizontal pass reorders them: equal rolling
+    /// fingerprints, equal canonical windows, and one shared memo entry.
+    /// This is the order-insensitivity the horizontal pass buys — isomorphic
+    /// batches submitted in any order replay one compiled skeleton.
+    #[test]
+    fn permuted_batches_share_one_memo_entry(
+        specs in prop::collection::vec((1usize..4, 0u8..2), 2..5),
+        rotate in 0usize..4,
+        reverse in 0u8..2,
+    ) {
+        let specs: Vec<(usize, bool)> =
+            specs.into_iter().map(|(l, e)| (l, e == 1)).collect();
+        let order_a: Vec<usize> = (0..specs.len()).collect();
+        let mut order_b = order_a.clone();
+        order_b.rotate_left(rotate % specs.len());
+        if reverse == 1 {
+            order_b.reverse();
+        }
+
+        let apply = |order: &[usize]| {
+            let stream = batch_stream(&specs, order);
+            let segments = fusible_segments(&stream);
+            let plan = plan_horizontal(&stream, &segments);
+            (plan.merged_tasks(), plan.apply(&stream))
+        };
+        let (merged_a, applied_a) = apply(&order_a);
+        let (merged_b, applied_b) = apply(&order_b);
+
+        // The units are pairwise disjoint (shared store is read-only on both
+        // sides), so both permutations pack all chains into one group and all
+        // breakers into another.
+        prop_assert!(merged_a > 0);
+        prop_assert_eq!(merged_a, merged_b);
+        prop_assert_eq!(
+            window_fingerprint(&applied_a),
+            window_fingerprint(&applied_b),
+            "permuted batches must canonicalize identically"
+        );
+        prop_assert_eq!(
+            CanonicalWindow::new(&applied_a),
+            CanonicalWindow::new(&applied_b)
+        );
+
+        // And the memo cache treats them as one entry: insert under the first
+        // permutation's key, probe with the second's applied window.
+        let mut cache: MemoCache<u32> = MemoCache::new();
+        cache.insert(CanonicalWindow::new(&applied_a), 7);
+        let window: TaskWindow = applied_b.iter().cloned().collect();
+        prop_assert_eq!(cache.probe(&window).copied(), Some(7));
     }
 }

@@ -226,6 +226,34 @@ impl TaskWindow {
         prefix
     }
 
+    /// Replaces the buffered tasks with a permutation of themselves (the
+    /// horizontal fusion pass reorders the window before the vertical
+    /// analysis) and recomputes the rolling fingerprints for the new order.
+    /// The canonical store numbering restarts from the permuted stream, so
+    /// memo probes after a reorder key on the permuted canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` does not have the same length as the window; debug
+    /// builds additionally check that the task-id multiset is unchanged.
+    pub fn reorder(&mut self, tasks: Vec<IndexTask>) {
+        assert_eq!(
+            tasks.len(),
+            self.tasks.len(),
+            "reorder must preserve the buffered task count"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut before: Vec<u64> = self.tasks.iter().map(|t| t.id.0).collect();
+            let mut after: Vec<u64> = tasks.iter().map(|t| t.id.0).collect();
+            before.sort_unstable();
+            after.sort_unstable();
+            debug_assert_eq!(before, after, "reorder must be a permutation of the window");
+        }
+        self.tasks = tasks;
+        self.refold();
+    }
+
     /// Removes and returns all buffered tasks.
     pub fn drain_all(&mut self) -> Vec<IndexTask> {
         let all = std::mem::take(&mut self.tasks);
@@ -365,6 +393,34 @@ mod tests {
         let c = [rw(0, 1, 2), rw(1, 1, 2)]; // different access pattern
         assert_eq!(window_fingerprint(&a), window_fingerprint(&b));
         assert_ne!(window_fingerprint(&a), window_fingerprint(&c));
+    }
+
+    #[test]
+    fn reorder_refolds_fingerprints_for_the_new_order() {
+        let mut w = TaskWindow::new();
+        let stream = [rw(0, 1, 2), rw(1, 3, 4), rw(2, 5, 6)];
+        for t in stream.clone() {
+            w.push(t);
+        }
+        let permuted = vec![stream[2].clone(), stream[0].clone(), stream[1].clone()];
+        w.reorder(permuted.clone());
+        assert_eq!(w.fingerprint(), window_fingerprint(&permuted));
+        assert_eq!(w.tasks()[0].id, TaskId(2));
+        // Canonical numbering restarts from the permuted head.
+        assert_eq!(w.canonical_store(0), Some(StoreId(5)));
+        // Subsequent pushes extend the permuted stream consistently.
+        w.push(rw(3, 7, 8));
+        let mut expected = permuted;
+        expected.push(rw(3, 7, 8));
+        assert_eq!(w.fingerprint(), window_fingerprint(&expected));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reorder_with_wrong_length_panics() {
+        let mut w = TaskWindow::new();
+        w.push(rw(0, 1, 2));
+        w.reorder(vec![]);
     }
 
     #[test]

@@ -250,6 +250,87 @@ proptest! {
     }
 }
 
+/// A horizontally merged launch compiles to one module whose loop nests came
+/// from *independent* tasks over disjoint buffers. Concatenating the nests
+/// must be bitwise equivalent to compiling and running each nest as its own
+/// module in sequence — under both backends, with the backends also agreeing
+/// with each other. This is the kernel-layer half of the horizontal-fusion
+/// soundness argument (the fusion-layer half proves disjointness).
+#[test]
+fn concatenated_independent_nests_match_sequential_modules() {
+    // Nest A: b2[i] = b0[i] * scalar0 - b0[i]. Nest B: b3[i] = erf(b1[i]) + scalar2.
+    let nest_a = || LoopKernel {
+        name: "nest_a".into(),
+        domain: BufferId(0),
+        ops: vec![
+            LoopOp::Load { dst: ValueId(0), buffer: BufferId(0) },
+            LoopOp::Param { dst: ValueId(1), index: 0 },
+            LoopOp::Binary { dst: ValueId(2), op: BinaryOp::Mul, a: ValueId(0), b: ValueId(1) },
+            LoopOp::Binary { dst: ValueId(3), op: BinaryOp::Sub, a: ValueId(2), b: ValueId(0) },
+            LoopOp::Store { buffer: BufferId(2), src: ValueId(3) },
+        ],
+        parallel: false,
+    };
+    let nest_b = || LoopKernel {
+        name: "nest_b".into(),
+        domain: BufferId(1),
+        ops: vec![
+            LoopOp::Load { dst: ValueId(0), buffer: BufferId(1) },
+            LoopOp::Unary { dst: ValueId(1), op: UnaryOp::Erf, a: ValueId(0) },
+            LoopOp::Param { dst: ValueId(2), index: 2 },
+            LoopOp::Binary { dst: ValueId(3), op: BinaryOp::Add, a: ValueId(1), b: ValueId(2) },
+            LoopOp::Store { buffer: BufferId(3), src: ValueId(3) },
+        ],
+        parallel: false,
+    };
+
+    let mut concatenated = KernelModule::new(4);
+    concatenated.set_role(BufferId(2), BufferRole::Output);
+    concatenated.set_role(BufferId(3), BufferRole::Output);
+    concatenated.push_loop(nest_a());
+    concatenated.push_loop(nest_b());
+
+    let mut only_a = KernelModule::new(4);
+    only_a.set_role(BufferId(2), BufferRole::Output);
+    only_a.push_loop(nest_a());
+    let mut only_b = KernelModule::new(4);
+    only_b.set_role(BufferId(3), BufferRole::Output);
+    only_b.push_loop(nest_b());
+
+    let inputs = input_buffers(12, false)[..4].to_vec();
+    let mut expected: Option<Vec<Vec<u64>>> = None;
+    for backend in [BackendKind::Interp, BackendKind::Closure] {
+        let mut wide = inputs.clone();
+        backend
+            .backend()
+            .compile(&concatenated)
+            .unwrap()
+            .execute(&mut wide, &SCALARS)
+            .unwrap();
+
+        let mut seq = inputs.clone();
+        for m in [&only_a, &only_b] {
+            backend
+                .backend()
+                .compile(m)
+                .unwrap()
+                .execute(&mut seq, &SCALARS)
+                .unwrap();
+        }
+        assert_eq!(
+            bits(&wide),
+            bits(&seq),
+            "{backend:?}: concatenated nests diverged from sequential modules"
+        );
+        // Both backends must also agree with each other bitwise.
+        if let Some(prior) = &expected {
+            assert_eq!(prior, &bits(&wide), "backends diverged on the wide module");
+        } else {
+            expected = Some(bits(&wide));
+        }
+    }
+}
+
 /// A hand-picked module mixing every op class, checked across both backends
 /// with exact bit equality (fast sanity check that runs even when the
 /// property test budget is cut down).
