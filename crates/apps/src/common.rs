@@ -225,17 +225,19 @@ mod tests {
 
     #[test]
     fn explicit_backend_choice_reaches_the_config() {
-        let np = dense_context_configured(
-            Mode::Fused,
-            2,
-            true,
-            ExecutorKind::Serial,
-            BackendKind::Closure,
-        );
-        assert_eq!(np.context().config().backend, BackendKind::Closure);
-        let a = np.ones(&[16]);
-        let b = np.ones(&[16]);
-        assert_eq!(a.add(&b).to_vec().unwrap(), vec![2.0; 16]);
+        for backend in [BackendKind::Closure, BackendKind::Simd] {
+            let np = dense_context_configured(
+                Mode::Fused,
+                2,
+                true,
+                ExecutorKind::Serial,
+                backend,
+            );
+            assert_eq!(np.context().config().backend, backend);
+            let a = np.ones(&[16]);
+            let b = np.ones(&[16]);
+            assert_eq!(a.add(&b).to_vec().unwrap(), vec![2.0; 16]);
+        }
     }
 
     #[test]

@@ -5,16 +5,18 @@
 //! Unlike the fig* binaries, which report *simulated* time (identical under
 //! every executor and backend by construction), this binary measures how long
 //! the host actually takes to execute the kernels of a functional run, under
-//! each of the four (executor, backend) combinations:
+//! each of the six (executor, backend) combinations:
 //!
 //! * `serial` / `parallel` — whether independent launches overlap across
 //!   worker threads (the DAG-width axis), and
-//! * `interp` / `closure` — whether kernels are tree-walked per element or
-//!   pre-lowered by the JIT-closure backend (the steady-state axis).
+//! * `interp` / `closure` / `simd` — whether kernels are tree-walked per
+//!   element, pre-lowered to micro-op streams by the JIT-closure backend, or
+//!   executed as lane-parallel chunked kernels by the SIMD backend (the
+//!   steady-state axis).
 //!
 //! The binary *asserts* the two invariants every combination must satisfy —
 //! identical simulated time and identical functional checksums — so the CI
-//! step that runs it doubles as an end-to-end invariance test.
+//! step that runs it doubles as an end-to-end 2×3 invariance test.
 //!
 //! Run with `cargo run --release --bin executor_compare`.
 
@@ -22,12 +24,14 @@ use std::time::Instant;
 
 use apps::Mode;
 
-/// The four measured combinations, as (executor, backend) env values.
-const MATRIX: [(&str, &str); 4] = [
+/// The six measured combinations, as (executor, backend) env values.
+const MATRIX: [(&str, &str); 6] = [
     ("serial", "interp"),
     ("serial", "closure"),
+    ("serial", "simd"),
     ("parallel", "interp"),
     ("parallel", "closure"),
+    ("parallel", "simd"),
 ];
 
 /// Wall-clocks one functional app run under the given `DIFFUSE_EXECUTOR` /
@@ -60,7 +64,7 @@ where
     F: Fn() -> apps::BenchmarkResult,
 {
     let mut walls = Vec::new();
-    let (baseline_wall, baseline_sim, baseline_sum) = timed("serial", "interp", &run);
+    let (baseline_wall, baseline_sim, baseline_sum) = timed(MATRIX[0].0, MATRIX[0].1, &run);
     walls.push(baseline_wall);
     for (executor, backend) in &MATRIX[1..] {
         let (wall, sim, sum) = timed(executor, backend, &run);
@@ -68,19 +72,19 @@ where
             baseline_sim, sim,
             "{name}: simulated time must not depend on {executor}/{backend}"
         );
-        match (baseline_sum, sum) {
-            (Some(a), Some(b)) => assert!(
+        if let (Some(a), Some(b)) = (baseline_sum, sum) {
+            assert!(
                 (a - b).abs() <= 1e-9 * a.abs().max(1.0),
                 "{name}: checksums diverged under {executor}/{backend}: {a} vs {b}"
-            ),
-            _ => {}
+            );
         }
         walls.push(wall);
     }
-    println!(
-        "{name:<28}{:>14.3}{:>15.3}{:>16.3}{:>17.3}",
-        walls[0], walls[1], walls[2], walls[3]
-    );
+    print!("{name:<28}");
+    for wall in walls {
+        print!("{wall:>17.3}");
+    }
+    println!();
 }
 
 fn main() {
@@ -91,10 +95,11 @@ fn main() {
     println!(
         "({gpus} simulated GPUs, {per_gpu} elements/GPU, {iters} iterations; host seconds, lower is better)"
     );
-    println!(
-        "{:<28}{:>14}{:>15}{:>16}{:>17}",
-        "Workload", "serial/interp", "serial/closure", "parallel/interp", "parallel/closure"
-    );
+    print!("{:<28}", "Workload");
+    for (executor, backend) in MATRIX {
+        print!("{:>17}", format!("{executor}/{backend}"));
+    }
+    println!();
     compare("Black-Scholes (unfused)", || {
         apps::black_scholes::run(Mode::Unfused, gpus, per_gpu, iters, true)
     });
@@ -111,7 +116,8 @@ fn main() {
         apps::cg::run(Mode::Fused, gpus, per_gpu, iters, true)
     });
     println!("\nSimulated time and functional checksums are identical across the");
-    println!("whole matrix (asserted above); only the host wall-clock differs.");
+    println!("whole 2x3 matrix (asserted above); only the host wall-clock differs.");
     println!("Serial-vs-parallel wins scale with host cores and DAG width; the");
-    println!("closure backend's win shows on elementwise-heavy fused windows.");
+    println!("closure and SIMD backends' wins show on elementwise-heavy fused");
+    println!("windows, with the lane-parallel SIMD backend ahead on both.");
 }

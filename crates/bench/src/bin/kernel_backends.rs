@@ -1,6 +1,6 @@
-//! Times the interpreter vs JIT-closure kernel backend on the fused CG and
-//! Jacobi windows and records the trajectory in `BENCH_kernel_backends.json`
-//! (schema in `docs/BENCHMARKS.md`).
+//! Times the interpreter vs JIT-closure vs SIMD kernel backends on the
+//! fused CG and Jacobi windows and records the trajectory in
+//! `BENCH_kernel_backends.json` (schema in `docs/BENCHMARKS.md`).
 //!
 //! The windows are built exactly the way `diffuse::Context` builds them: the
 //! constituent task bodies are composed in program order and pushed through
@@ -14,10 +14,12 @@
 //!   quantity memoization amortizes).
 //!
 //! Absolute nanoseconds are machine-dependent, so the regression gate runs on
-//! the machine-independent **speedup ratio** (interp ÷ closure per-element
-//! time): `kernel_backends --check` re-measures and fails if the current
-//! speedup regressed more than 20% against the checked-in baseline, or if
-//! the closure backend is no longer faster than the interpreter at all.
+//! the machine-independent **speedup ratios** (interp ÷ closure and
+//! interp ÷ simd per-element time): `kernel_backends --check` re-measures and
+//! fails if either current speedup regressed more than 20% against the
+//! checked-in baseline, if the closure backend is no longer faster than the
+//! interpreter at all, or if the SIMD backend stops beating the closure
+//! backend per element.
 //!
 //! ```sh
 //! cargo run --release --bin kernel_backends            # rewrite the baseline
@@ -181,17 +183,34 @@ fn time_compile(backend: &dyn KernelBackend, module: &KernelModule) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// The measured backends, in column order.
+const BACKENDS: [BackendKind; 3] = [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd];
+
 struct WindowResult {
     window: &'static str,
-    interp_ns: f64,
-    closure_ns: f64,
-    interp_compile_ns: f64,
-    closure_compile_ns: f64,
+    /// Per-element execution ns and one-time compile ns, indexed like
+    /// [`BACKENDS`].
+    ns: [f64; 3],
+    compile_ns: [f64; 3],
 }
 
 impl WindowResult {
+    fn interp_ns(&self) -> f64 {
+        self.ns[0]
+    }
+    fn closure_ns(&self) -> f64 {
+        self.ns[1]
+    }
+    fn simd_ns(&self) -> f64 {
+        self.ns[2]
+    }
+    /// interp ÷ closure per-element time (the historical gated ratio).
     fn speedup(&self) -> f64 {
-        self.interp_ns / self.closure_ns.max(1e-9)
+        self.interp_ns() / self.closure_ns().max(1e-9)
+    }
+    /// interp ÷ simd per-element time (gated like the closure ratio).
+    fn simd_speedup(&self) -> f64 {
+        self.interp_ns() / self.simd_ns().max(1e-9)
     }
 }
 
@@ -202,27 +221,15 @@ fn measure_window(
     let (module, buffers, scalars) = build();
     let mut result = WindowResult {
         window,
-        interp_ns: 0.0,
-        closure_ns: 0.0,
-        interp_compile_ns: 0.0,
-        closure_compile_ns: 0.0,
+        ns: [0.0; 3],
+        compile_ns: [0.0; 3],
     };
-    for kind in [BackendKind::Interp, BackendKind::Closure] {
+    for (i, kind) in BACKENDS.into_iter().enumerate() {
         let backend = kind.backend();
-        let compile_ns = time_compile(backend.as_ref(), &module);
+        result.compile_ns[i] = time_compile(backend.as_ref(), &module);
         let compiled = backend.compile(&module).expect("compile failed");
         let mut bufs = buffers.clone();
-        let ns = time_execute(compiled.as_ref(), &mut bufs, &scalars);
-        match kind {
-            BackendKind::Interp => {
-                result.interp_ns = ns;
-                result.interp_compile_ns = compile_ns;
-            }
-            BackendKind::Closure => {
-                result.closure_ns = ns;
-                result.closure_compile_ns = compile_ns;
-            }
-        }
+        result.ns[i] = time_execute(compiled.as_ref(), &mut bufs, &scalars);
     }
     result
 }
@@ -233,16 +240,13 @@ fn json_lines(results: &[WindowResult]) -> Vec<String> {
     use bench::JsonValue;
     let mut out = Vec::new();
     for r in results {
-        for (backend, ns, compile_ns) in [
-            ("interp", r.interp_ns, r.interp_compile_ns),
-            ("closure", r.closure_ns, r.closure_compile_ns),
-        ] {
+        for (i, kind) in BACKENDS.into_iter().enumerate() {
             out.push(bench::json_line(
-                &format!("kernel_backends/{}/{}", r.window, backend),
+                &format!("kernel_backends/{}/{}", r.window, kind.id()),
                 &[
-                    ("backend", JsonValue::Str(backend.to_string())),
-                    ("ns_per_element", JsonValue::Num(ns)),
-                    ("compile_ns", JsonValue::Num(compile_ns)),
+                    ("backend", JsonValue::Str(kind.id().to_string())),
+                    ("ns_per_element", JsonValue::Num(r.ns[i])),
+                    ("compile_ns", JsonValue::Num(r.compile_ns[i])),
                     ("elements", JsonValue::Int(N as u64)),
                 ],
             ));
@@ -251,17 +255,29 @@ fn json_lines(results: &[WindowResult]) -> Vec<String> {
             &format!("kernel_backends/{}/speedup", r.window),
             &[("speedup", JsonValue::Num(r.speedup()))],
         ));
+        out.push(bench::json_line(
+            &format!("kernel_backends/{}/simd_speedup", r.window),
+            &[("speedup", JsonValue::Num(r.simd_speedup()))],
+        ));
     }
     out
 }
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    println!("=== Kernel backends: interpreter vs JIT closures (wall-clock) ===");
+    println!("=== Kernel backends: interpreter vs JIT closures vs SIMD (wall-clock) ===");
     println!("({N} elements/buffer, {} ms windows)\n", measure_ms());
     println!(
-        "{:<10}{:>16}{:>16}{:>10}{:>18}{:>18}",
-        "Window", "interp ns/elem", "closure ns/elem", "speedup", "interp compile", "closure compile"
+        "{:<10}{:>14}{:>14}{:>12}{:>10}{:>10}{:>14}{:>14}{:>12}",
+        "Window",
+        "interp ns/e",
+        "closure ns/e",
+        "simd ns/e",
+        "clo spd",
+        "simd spd",
+        "clo compile",
+        "simd compile",
+        "int compile"
     );
     let results = [
         measure_window("cg", cg_window),
@@ -269,13 +285,16 @@ fn main() {
     ];
     for r in &results {
         println!(
-            "{:<10}{:>16.2}{:>16.2}{:>9.2}x{:>15.0} ns{:>15.0} ns",
+            "{:<10}{:>14.2}{:>14.2}{:>12.2}{:>9.2}x{:>9.2}x{:>11.0} ns{:>11.0} ns{:>9.0} ns",
             r.window,
-            r.interp_ns,
-            r.closure_ns,
+            r.interp_ns(),
+            r.closure_ns(),
+            r.simd_ns(),
             r.speedup(),
-            r.interp_compile_ns,
-            r.closure_compile_ns
+            r.simd_speedup(),
+            r.compile_ns[1],
+            r.compile_ns[2],
+            r.compile_ns[0]
         );
     }
     println!();
@@ -286,8 +305,18 @@ fn main() {
             "{}: closure backend must beat the interpreter per element \
              (interp {:.2} ns vs closure {:.2} ns)",
             r.window,
-            r.interp_ns,
-            r.closure_ns
+            r.interp_ns(),
+            r.closure_ns()
+        );
+        // The SIMD backend's whole reason to exist: constant-trip-count lane
+        // loops must beat the closure backend's dynamic-length chunk loops.
+        assert!(
+            r.simd_ns() < r.closure_ns(),
+            "{}: simd backend must beat the closure backend per element \
+             (closure {:.2} ns vs simd {:.2} ns)",
+            r.window,
+            r.closure_ns(),
+            r.simd_ns()
         );
     }
 
@@ -298,23 +327,37 @@ fn main() {
         let mut any = false;
         let tolerance = tolerance_pct();
         for r in &results {
-            let key = format!("kernel_backends/{}/speedup", r.window);
-            // The writer replaces the file; parse_metric tolerates
-            // hand-appended history by taking the last entry.
-            let Some(base) = bench::parse_metric(&baseline, &key, "speedup") else {
-                println!("warning: no baseline entry for {key}; skipping");
-                continue;
-            };
-            any = true;
-            let current = r.speedup();
-            let floor = base * (1.0 - tolerance / 100.0);
-            let verdict = if current < floor { failed = true; "REGRESSED" } else { "ok" };
-            println!("{key}: baseline {base:.2}x, current {current:.2}x, floor {floor:.2}x — {verdict}");
+            for (ratio_key, current) in [
+                (format!("kernel_backends/{}/speedup", r.window), r.speedup()),
+                (
+                    format!("kernel_backends/{}/simd_speedup", r.window),
+                    r.simd_speedup(),
+                ),
+            ] {
+                // The writer replaces the file; parse_metric tolerates
+                // hand-appended history by taking the last entry.
+                let Some(base) = bench::parse_metric(&baseline, &ratio_key, "speedup") else {
+                    println!("warning: no baseline entry for {ratio_key}; skipping");
+                    continue;
+                };
+                any = true;
+                let floor = base * (1.0 - tolerance / 100.0);
+                let verdict = if current < floor {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{ratio_key}: baseline {base:.2}x, current {current:.2}x, \
+                     floor {floor:.2}x — {verdict}"
+                );
+            }
         }
         assert!(any, "no speedup entries in {BENCH_FILE}");
         assert!(
             !failed,
-            "closure-backend speedup regressed >{tolerance}% vs {BENCH_FILE}; if this \
+            "kernel-backend speedup regressed >{tolerance}% vs {BENCH_FILE}; if this \
              run is on different hardware than the baseline, re-record it there \
              (`cargo run --release --bin kernel_backends`) or raise \
              KERNEL_BACKENDS_TOLERANCE for the migration"

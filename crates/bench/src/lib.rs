@@ -242,6 +242,83 @@ pub fn scrape_criterion(output: &str) -> Vec<(String, f64)> {
     entries
 }
 
+// ---------------------------------------------------------------------------
+// Compile-time calibration fitting (the `calibrate` binary).
+// ---------------------------------------------------------------------------
+
+/// Least-squares fit of `t ≈ b + c1·x1 + c2·x2` over `(x1, x2, t)` samples,
+/// returning `[b, c1, c2]`. Solves the 3×3 normal equations by Gaussian
+/// elimination with partial pivoting; returns `None` if the design is
+/// degenerate (fewer than three samples, or `x1`/`x2` not independently
+/// varied — the calibration grid varies ops-per-stage and stage count
+/// separately precisely so this cannot happen there).
+pub fn fit_affine2(samples: &[(f64, f64, f64)]) -> Option<[f64; 3]> {
+    if samples.len() < 3 {
+        return None;
+    }
+    // Normal equations: (XᵀX) β = Xᵀt with rows [1, x1, x2].
+    let mut a = [[0.0f64; 3]; 3];
+    let mut rhs = [0.0f64; 3];
+    for &(x1, x2, t) in samples {
+        let row = [1.0, x1, x2];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[i][j] += row[i] * row[j];
+            }
+            rhs[i] += row[i] * t;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= f * a[col][k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut beta = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..3 {
+            acc -= a[row][k] * beta[k];
+        }
+        beta[row] = acc / a[row][row];
+    }
+    beta.iter().all(|c| c.is_finite()).then_some(beta)
+}
+
+/// Coefficient of determination (R²) of a fit over the same samples.
+pub fn fit_r2(samples: &[(f64, f64, f64)], beta: &[f64; 3]) -> f64 {
+    let mean = samples.iter().map(|s| s.2).sum::<f64>() / samples.len().max(1) as f64;
+    let (mut ss_res, mut ss_tot) = (0.0, 0.0);
+    for &(x1, x2, t) in samples {
+        let pred = beta[0] + beta[1] * x1 + beta[2] * x2;
+        ss_res += (t - pred) * (t - pred);
+        ss_tot += (t - mean) * (t - mean);
+    }
+    if ss_tot <= 0.0 {
+        return 1.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Clamps fitted compile-model coefficients to a non-negative floor so the
+/// model stays monotonic in module size even under measurement noise (a
+/// slightly negative fitted intercept or slope is noise, not physics).
+pub fn clamp_coefficients(beta: [f64; 3], floor: f64) -> [f64; 3] {
+    beta.map(|c| if c.is_finite() { c.max(floor) } else { floor })
+}
+
 /// Today's date as YYYY-MM-DD (days-since-epoch civil conversion; no chrono
 /// in the offline environment).
 pub fn today() -> String {
@@ -323,6 +400,54 @@ d      time:      2.000 s/iter  (1 iters, 1 samples)
         assert_eq!(parsed[0], ("a/b".to_string(), 250.0));
         assert_eq!(parsed[1], ("c".to_string(), 1.5e6));
         assert_eq!(parsed[2], ("d".to_string(), 2.0e9));
+    }
+
+    #[test]
+    fn fit_affine2_recovers_exact_linear_data() {
+        // t = 100 + 7·x1 + 45·x2, sampled on a grid that varies each factor
+        // independently (the calibrate binary's grid shape).
+        let mut samples = Vec::new();
+        for &x1 in &[2.0, 8.0, 24.0, 64.0] {
+            for &x2 in &[1.0, 2.0, 4.0, 8.0, 16.0] {
+                samples.push((x1, x2, 100.0 + 7.0 * x1 + 45.0 * x2));
+            }
+        }
+        let beta = fit_affine2(&samples).unwrap();
+        assert!((beta[0] - 100.0).abs() < 1e-6);
+        assert!((beta[1] - 7.0).abs() < 1e-9);
+        assert!((beta[2] - 45.0).abs() < 1e-9);
+        assert!(fit_r2(&samples, &beta) > 0.999999);
+    }
+
+    #[test]
+    fn fit_affine2_rejects_degenerate_designs() {
+        // Too few samples.
+        assert_eq!(fit_affine2(&[(1.0, 1.0, 1.0), (2.0, 2.0, 2.0)]), None);
+        // x1 and x2 perfectly collinear: the normal equations are singular.
+        let collinear: Vec<(f64, f64, f64)> =
+            (0..10).map(|i| (i as f64, 2.0 * i as f64, i as f64)).collect();
+        assert_eq!(fit_affine2(&collinear), None);
+    }
+
+    #[test]
+    fn fitted_coefficients_are_finite_and_monotonic_after_clamping() {
+        // Noisy data can fit a slightly negative intercept; clamping restores
+        // the monotonic-in-module-size property the cost model requires.
+        let samples = vec![
+            (2.0, 1.0, 10.0),
+            (8.0, 1.0, 30.0),
+            (2.0, 4.0, 11.0),
+            (8.0, 4.0, 31.0),
+            (24.0, 8.0, 80.0),
+            (64.0, 16.0, 200.0),
+        ];
+        let beta = clamp_coefficients(fit_affine2(&samples).unwrap(), 0.0);
+        assert!(beta.iter().all(|c| c.is_finite() && *c >= 0.0));
+        // Monotonic: adding ops or stages never predicts cheaper.
+        let predict = |x1: f64, x2: f64| beta[0] + beta[1] * x1 + beta[2] * x2;
+        assert!(predict(64.0, 4.0) >= predict(8.0, 4.0));
+        assert!(predict(64.0, 16.0) >= predict(64.0, 4.0));
+        assert_eq!(clamp_coefficients([f64::NAN, -1.0, 2.0], 0.5), [0.5, 0.5, 2.0]);
     }
 
     #[test]

@@ -1437,20 +1437,23 @@ mod tests {
             (ctx.read_store(&out).unwrap(), ctx.elapsed(), ctx.stats())
         };
         let (interp_data, interp_time, interp_stats) = run(BackendKind::Interp);
-        let (closure_data, closure_time, closure_stats) = run(BackendKind::Closure);
-        assert_eq!(interp_data, closure_data, "backends must agree bitwise");
-        assert_eq!(
-            interp_time, closure_time,
-            "simulated time is backend-invariant (compile time is accounted \
-             in stats, not on the clock)"
-        );
-        // Both backends compile once and hit the memo on the second window.
+        for jit in [BackendKind::Closure, BackendKind::Simd] {
+            let (data, time, stats) = run(jit);
+            assert_eq!(interp_data, data, "{jit:?} must agree with interp bitwise");
+            assert_eq!(
+                interp_time, time,
+                "simulated time is backend-invariant (compile time is accounted \
+                 in stats, not on the clock)"
+            );
+            // Every backend compiles once and hits the memo on the second window.
+            assert_eq!(stats.compilations, 1, "memo hit must skip {jit:?} compilation");
+            assert!(stats.memo_hits >= 1);
+            // A JIT backend's one-time cost is priced above the interpreter
+            // calibration through the compile_cost hook.
+            assert!(stats.compile_time > interp_stats.compile_time);
+        }
         assert_eq!(interp_stats.compilations, 1);
-        assert_eq!(closure_stats.compilations, 1, "memo hit must skip backend compilation");
-        assert!(closure_stats.memo_hits >= 1);
-        // The closure backend's one-time cost is priced above the interpreter
-        // calibration through the compile_cost hook.
-        assert!(closure_stats.compile_time > interp_stats.compile_time);
+        assert!(interp_stats.memo_hits >= 1);
     }
 
     #[test]

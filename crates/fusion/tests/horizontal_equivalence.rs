@@ -219,3 +219,43 @@ fn eight_independent_batches_land_in_two_launches() {
     assert_eq!(horizontal.stats.horizontally_fused_tasks, 16);
     assert_eq!(horizontal.bits, vertical.bits);
 }
+
+/// The horizontal pass is backend-invariant: the wide merged launches
+/// produce the same bits under the interpreter, closure and SIMD kernel
+/// backends, with identical launch accounting. This pins the reordered
+/// skeleton's soundness to every shipped lowering, not just the default.
+#[test]
+fn horizontal_fusion_is_backend_invariant() {
+    use kernel::BackendKind;
+    let batches: Vec<BatchSpec> = (0..4)
+        .map(|i| BatchSpec { len: 2, seed: i, couple: i % 2 == 1 })
+        .collect();
+    let mut reference: Option<RunOutcome> = None;
+    for backend in [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd] {
+        let outcome = run(
+            DiffuseConfig::fused(machine())
+                .with_horizontal_fusion(true)
+                .with_backend(backend),
+            &batches,
+            false,
+        );
+        assert!(outcome.stats.horizontally_fused_tasks > 0);
+        match &reference {
+            None => reference = Some(outcome),
+            Some(expected) => {
+                assert_eq!(
+                    expected.bits,
+                    outcome.bits,
+                    "{} diverged from the interpreter on the merged launches",
+                    backend.id()
+                );
+                assert_eq!(expected.stats.tasks_launched, outcome.stats.tasks_launched);
+                assert_eq!(
+                    expected.stats.horizontally_fused_tasks,
+                    outcome.stats.horizontally_fused_tasks
+                );
+                assert_eq!(expected.submitted, outcome.submitted);
+            }
+        }
+    }
+}

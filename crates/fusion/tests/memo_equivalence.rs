@@ -316,3 +316,99 @@ proptest! {
         prop_assert_eq!(cache.probe(&window).copied(), Some(7));
     }
 }
+
+/// End-to-end skeleton replay is backend-invariant: a second, freshly
+/// allocated (isomorphic, store ids all different) copy of a batched stream
+/// must hit the memo instead of recompiling — under every shipped kernel
+/// backend, including `simd` — and all backends must agree bitwise on every
+/// observable store. Memo entries are per-context and a context pins one
+/// backend, so each backend id exercises its own cache and its own compiled
+/// skeletons here.
+#[test]
+fn isomorphic_windows_replay_one_skeleton_under_every_backend() {
+    use diffuse::{Context, DiffuseConfig};
+    use kernel::{BackendKind, BufferId, BufferRole, KernelModule, LoopBuilder};
+    use machine::MachineConfig;
+
+    const GPUS: usize = 4;
+    const N: u64 = 16;
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for backend in [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd] {
+        let ctx = Context::new(
+            DiffuseConfig::fused(MachineConfig::with_gpus(GPUS))
+                .with_backend(backend)
+                .with_window(256, 256),
+        );
+        let lib = ctx.register_library("memo_replay");
+        let scale = lib.register(
+            "scale",
+            diffuse::TaskSignature::new().read().write().scalars(1),
+            |_args| {
+                let mut m = KernelModule::new(2);
+                m.set_role(BufferId(1), BufferRole::Output);
+                let mut b = LoopBuilder::new("scale", BufferId(1));
+                let x = b.load(BufferId(0));
+                let s = b.param(0);
+                let v = b.mul(x, s);
+                b.store(BufferId(1), v);
+                m.push_loop(b.finish());
+                m
+            },
+        );
+        let p = Partition::block(vec![N / GPUS as u64]);
+
+        let mut all_bits: Vec<Vec<u64>> = Vec::new();
+        let mut rounds = Vec::new();
+        for round in 0..2u32 {
+            // Fresh stores every round: the second window is isomorphic to
+            // the first, never identical.
+            let input = ctx.create_store(vec![N], "in");
+            ctx.fill(&input, 1.0 + f64::from(round) * 0.5);
+            let stats0 = ctx.stats();
+            let mut cur = input;
+            for step in 0..2 {
+                let next = ctx.create_store(vec![N], "link");
+                ctx.task(scale)
+                    .read(&cur, p.clone())
+                    .write(&next, p.clone())
+                    .scalar(1.25 + f64::from(step) * 0.5)
+                    .launch();
+                cur = next;
+            }
+            ctx.flush();
+            all_bits.push(
+                ctx.read_store(&cur)
+                    .unwrap()
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect(),
+            );
+            rounds.push(ctx.stats().since(&stats0));
+        }
+        assert!(
+            rounds[0].memo_misses >= 1,
+            "{}: the first window must miss and compile",
+            backend.id()
+        );
+        assert!(rounds[0].compilations >= 1);
+        assert!(
+            rounds[1].memo_hits >= 1,
+            "{}: the isomorphic replay must hit the memo",
+            backend.id()
+        );
+        assert_eq!(
+            rounds[1].compilations, 0,
+            "{}: a memo hit must skip backend compilation",
+            backend.id()
+        );
+        match &reference {
+            None => reference = Some(all_bits),
+            Some(expected) => assert_eq!(
+                expected,
+                &all_bits,
+                "{} diverged from the interpreter",
+                backend.id()
+            ),
+        }
+    }
+}

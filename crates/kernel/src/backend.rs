@@ -14,12 +14,15 @@
 //! * [`CompiledKernel`] is the artifact: stage-granular execution over host
 //!   buffers, `Send + Sync` so executors can ship it across worker threads.
 //!
-//! Two backends ship: [`InterpBackend`] wraps the tree-walking
+//! Three backends ship: [`InterpBackend`] wraps the tree-walking
 //! [`Interpreter`] (the default — compilation is a no-op wrap, execution
-//! matches the historical behavior exactly), and
+//! matches the historical behavior exactly),
 //! [`crate::closure::ClosureBackend`] lowers each loop nest into pre-resolved,
 //! composed Rust closures at compile time — a real JIT shape whose one-time
-//! cost and faster steady-state the cost model can price per backend.
+//! cost and faster steady-state the cost model can price per backend — and
+//! [`crate::simd::SimdBackend`] takes the same lowering to lane-parallel
+//! arrays-of-lanes kernels with masked tails (the fastest steady state and
+//! the largest compile surcharge).
 //!
 //! Simulated kernel *execution* time comes from `machine::CostModel` and is
 //! backend-invariant by design; only compile-time accounting and host
@@ -39,9 +42,9 @@
 //! lb.store(BufferId(1), v);
 //! module.push_loop(lb.finish());
 //!
-//! // The same module, executed through both backends, is bitwise identical.
+//! // The same module, executed through every backend, is bitwise identical.
 //! let mut results = Vec::new();
-//! for kind in [BackendKind::Interp, BackendKind::Closure] {
+//! for kind in [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd] {
 //!     let compiled = kind.backend().compile(&module).unwrap();
 //!     let mut bufs = vec![vec![1.0, 2.0], vec![0.0, 0.0]];
 //!     compiled.execute(&mut bufs, &[]).unwrap();
@@ -49,6 +52,7 @@
 //! }
 //! assert_eq!(results[0], vec![3.0, 6.0]);
 //! assert_eq!(results[0], results[1]);
+//! assert_eq!(results[0], results[2]);
 //! ```
 
 use std::sync::Arc;
@@ -125,8 +129,10 @@ pub trait KernelBackend: std::fmt::Debug + Send + Sync {
 
     /// Simulated seconds of one-time compilation work for `module`, consulted
     /// by the Diffuse layer on every memoization miss (hits charge nothing).
-    /// `model` is the Figure 13 calibration of the paper's MLIR JIT; backends
-    /// scale it by how much lowering work they actually do.
+    /// `model` is the Figure 13 anchor of the paper's MLIR JIT; backends
+    /// scale it by how much lowering work they actually do, via the fitted
+    /// per-backend calibration ([`CompileTimeModel::calibrated`], measured by
+    /// the `calibrate` binary) rather than asserted constants.
     fn compile_cost(&self, module: &KernelModule, model: &CompileTimeModel) -> f64;
 }
 
@@ -152,12 +158,16 @@ pub enum BackendKind {
     Interp,
     /// The JIT-closure backend: loop nests lowered to composed closures.
     Closure,
+    /// The SIMD backend: loop nests lowered to lane-parallel
+    /// arrays-of-lanes kernels with masked tails.
+    Simd,
 }
 
 impl BackendKind {
     /// Reads the backend choice from the `DIFFUSE_BACKEND` environment
-    /// variable: `closure` or `jit` select [`BackendKind::Closure`]; anything
-    /// else (or the variable being unset) selects [`BackendKind::Interp`].
+    /// variable: `closure` or `jit` select [`BackendKind::Closure`], `simd`
+    /// selects [`BackendKind::Simd`]; anything else (or the variable being
+    /// unset) selects [`BackendKind::Interp`].
     ///
     /// # Example
     ///
@@ -166,22 +176,26 @@ impl BackendKind {
     ///
     /// // With DIFFUSE_BACKEND unset this is the interpreter default.
     /// let kind = BackendKind::from_env();
-    /// assert!(matches!(kind, BackendKind::Interp | BackendKind::Closure));
+    /// assert!(matches!(
+    ///     kind,
+    ///     BackendKind::Interp | BackendKind::Closure | BackendKind::Simd
+    /// ));
     /// ```
     pub fn from_env() -> Self {
         match std::env::var("DIFFUSE_BACKEND").as_deref() {
             Ok("closure") | Ok("jit") => BackendKind::Closure,
+            Ok("simd") => BackendKind::Simd,
             Ok("interp") | Ok("interpreter") | Ok("") | Err(_) => BackendKind::Interp,
             Ok(other) => {
                 // A typo silently running the wrong leg would invalidate any
-                // interp-vs-closure comparison; warn once, then default.
+                // backend comparison; warn once, then default.
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 let other = other.to_string();
                 WARNED.call_once(|| {
                     eprintln!(
                         "warning: unrecognized DIFFUSE_BACKEND value {other:?} \
-                         (expected \"interp\", \"interpreter\", \"closure\" or \"jit\"); \
-                         using the interpreter backend"
+                         (expected \"interp\", \"interpreter\", \"closure\", \
+                         \"jit\" or \"simd\"); using the interpreter backend"
                     );
                 });
                 BackendKind::Interp
@@ -194,6 +208,7 @@ impl BackendKind {
         match self {
             BackendKind::Interp => "interp",
             BackendKind::Closure => "closure",
+            BackendKind::Simd => "simd",
         }
     }
 
@@ -202,6 +217,7 @@ impl BackendKind {
         match self {
             BackendKind::Interp => Arc::new(InterpBackend),
             BackendKind::Closure => Arc::new(crate::closure::ClosureBackend),
+            BackendKind::Simd => Arc::new(crate::simd::SimdBackend),
         }
     }
 }
@@ -321,8 +337,10 @@ mod tests {
     fn backend_kind_ids_and_instantiation() {
         assert_eq!(BackendKind::Interp.id(), "interp");
         assert_eq!(BackendKind::Closure.id(), "closure");
+        assert_eq!(BackendKind::Simd.id(), "simd");
         assert_eq!(BackendKind::Interp.backend().id(), "interp");
         assert_eq!(BackendKind::Closure.backend().id(), "closure");
+        assert_eq!(BackendKind::Simd.backend().id(), "simd");
     }
 
     #[test]

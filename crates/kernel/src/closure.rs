@@ -54,10 +54,11 @@ use crate::ir::{
     UnaryOp, ValueId,
 };
 
-/// Extra lowering work the closure backend pays over the interpreter's
-/// baseline calibration: every op is resolved, specialized and bound at
-/// compile time, which the compile-time model prices as a 25% surcharge on
-/// [`CompileTimeModel`].
+/// Fallback surcharge over the interpreter's baseline calibration, used only
+/// when `BENCH_compile_calibration.json` has no fitted entry for this backend
+/// (see [`CompileTimeModel::calibrated`]): every op is resolved, specialized
+/// and bound at compile time, historically asserted as a 25% surcharge before
+/// the `calibrate` binary measured the real ratio.
 pub const CLOSURE_COMPILE_FACTOR: f64 = 1.25;
 
 /// Elements processed per op-at-a-time chunk. Sized so a fused window's SSA
@@ -67,8 +68,12 @@ pub const CHUNK: usize = 64;
 
 /// One pre-resolved micro-op. All ids are raw indices; operator variants the
 /// steady state hits hardest are specialized so they execute inline.
+///
+/// Shared with [`crate::simd::SimdBackend`], which reuses this lowering (and
+/// its hoisting + schedule-selection analysis) and re-executes the same
+/// micro-op streams over arrays-of-lanes.
 #[derive(Debug, Clone, Copy)]
-enum Instr {
+pub(crate) enum Instr {
     /// `values[dst] = buffers[buf][i]`
     Load { dst: u32, buf: u32 },
     /// `values[dst] = buffers[buf][0]` (non-hoistable broadcast: the loop
@@ -100,7 +105,13 @@ enum Instr {
 }
 
 #[inline]
-fn run_instr(instr: Instr, values: &mut [f64], buffers: &mut [Vec<f64>], scalars: &[f64], i: usize) {
+pub(crate) fn run_instr(
+    instr: Instr,
+    values: &mut [f64],
+    buffers: &mut [Vec<f64>],
+    scalars: &[f64],
+    i: usize,
+) {
     match instr {
         Instr::Load { dst, buf } => values[dst as usize] = buffers[buf as usize][i],
         Instr::LoadScalar { dst, buf } => values[dst as usize] = buffers[buf as usize][0],
@@ -237,29 +248,91 @@ fn run_vectorized(l: &CompiledLoop, buffers: &mut [Vec<f64>], scalars: &[f64], n
 
 /// A loop stage lowered to a hoisted prelude plus a body, with the
 /// precomputed validation lists the interpreter would otherwise rebuild per
-/// execution.
+/// execution. Shared with the SIMD backend, which layers a lane-parallel
+/// schedule on top of the same lowering.
 #[derive(Debug)]
-struct CompiledLoop {
+pub(crate) struct CompiledLoop {
     /// Buffer defining the iteration domain.
-    domain: BufferId,
+    pub(crate) domain: BufferId,
     /// Elementwise-accessed buffers with a "is reduction target" flag
     /// (reduction targets are exempt from the length check).
-    elem_buffers: Vec<(BufferId, bool)>,
+    pub(crate) elem_buffers: Vec<(BufferId, bool)>,
     /// Buffers read as broadcast scalars (must be non-empty).
-    scalar_buffers: Vec<BufferId>,
+    pub(crate) scalar_buffers: Vec<BufferId>,
     /// Scalar-parameter indices in first-use order (checked before the loop
     /// runs, so the error matches the interpreter's first failing `Param`).
-    params_in_order: Vec<usize>,
+    pub(crate) params_in_order: Vec<usize>,
     /// Size of the SSA scratch table.
-    num_values: usize,
+    pub(crate) num_values: usize,
     /// Loop-invariant micro-ops, run once per stage execution.
-    prelude: Vec<Instr>,
+    pub(crate) prelude: Vec<Instr>,
     /// The body micro-ops.
-    body: Vec<Instr>,
-    /// Whether the body runs chunked op-at-a-time (the fast path) or one
-    /// element at a time (exact interpreter interleaving for modules with
-    /// element-0 side channels).
-    vectorized: bool,
+    pub(crate) body: Vec<Instr>,
+    /// Whether the body may be reordered across elements within a chunk (the
+    /// fast path) or must run one element at a time (exact interpreter
+    /// interleaving for modules with element-0 side channels).
+    pub(crate) vectorized: bool,
+}
+
+impl CompiledLoop {
+    /// Runtime validation shared by the chunked backends: checks buffer
+    /// presence, lengths against the iteration domain, broadcast-scalar
+    /// non-emptiness and (for non-empty domains) scalar-parameter presence —
+    /// the same contract, in the same order, as the interpreter. Returns the
+    /// domain length; `0` means the stage is a no-op.
+    pub(crate) fn check(&self, buffers: &[Vec<f64>]) -> Result<usize, ExecError> {
+        let n = buffer_len(buffers, self.domain)?;
+        for &(b, is_reduction_target) in &self.elem_buffers {
+            let len = buffer_len(buffers, b)?;
+            if !is_reduction_target && len < n {
+                return Err(ExecError::LengthMismatch {
+                    domain: self.domain,
+                    buffer: b,
+                });
+            }
+        }
+        for &b in &self.scalar_buffers {
+            if buffer_len(buffers, b)? == 0 {
+                return Err(ExecError::LengthMismatch {
+                    domain: self.domain,
+                    buffer: b,
+                });
+            }
+        }
+        Ok(n)
+    }
+
+    /// Checks scalar-parameter presence in first-use order. Like the
+    /// interpreter, a missing scalar only errors once the loop actually reads
+    /// it, so this runs only for non-empty domains.
+    pub(crate) fn check_params(&self, scalars: &[f64]) -> Result<(), ExecError> {
+        for &p in &self.params_in_order {
+            if p >= scalars.len() {
+                return Err(ExecError::MissingParam(p));
+            }
+        }
+        Ok(())
+    }
+
+    /// The exact per-element schedule: interpreter interleaving for modules
+    /// with element-0 side channels (and the shared fallback of the SIMD
+    /// backend). The caller has already validated via [`Self::check`].
+    pub(crate) fn run_elementwise(
+        &self,
+        buffers: &mut [Vec<f64>],
+        scalars: &[f64],
+        n: usize,
+    ) {
+        let mut values = vec![f64::NAN; self.num_values];
+        for &instr in &self.prelude {
+            run_instr(instr, &mut values, buffers, scalars, 0);
+        }
+        for i in 0..n {
+            for &instr in &self.body {
+                run_instr(instr, &mut values, buffers, scalars, i);
+            }
+        }
+    }
 }
 
 /// One compiled stage.
@@ -303,7 +376,9 @@ impl KernelBackend for ClosureBackend {
     }
 
     fn compile_cost(&self, module: &KernelModule, model: &CompileTimeModel) -> f64 {
-        model.compile_time(module) * CLOSURE_COMPILE_FACTOR
+        // Surcharge over `model` (the Figure 13 anchor) taken from the fitted
+        // per-backend calibration, not an asserted constant.
+        model.calibrated(self.id()).compile_time(module)
     }
 }
 
@@ -325,47 +400,15 @@ impl CompiledKernel for ClosureCompiled {
         match &self.stages[stage] {
             CompiledStage::Opaque(op) => interp::run_opaque(op, buffers),
             CompiledStage::Loop(l) => {
-                let n = buffer_len(buffers, l.domain)?;
-                for &(b, is_reduction_target) in &l.elem_buffers {
-                    let len = buffer_len(buffers, b)?;
-                    if !is_reduction_target && len < n {
-                        return Err(ExecError::LengthMismatch {
-                            domain: l.domain,
-                            buffer: b,
-                        });
-                    }
-                }
-                for &b in &l.scalar_buffers {
-                    if buffer_len(buffers, b)? == 0 {
-                        return Err(ExecError::LengthMismatch {
-                            domain: l.domain,
-                            buffer: b,
-                        });
-                    }
-                }
+                let n = l.check(buffers)?;
                 if n == 0 {
                     return Ok(());
                 }
-                // Like the interpreter, a missing scalar only errors once the
-                // loop actually reads it; the first `Param` op in body order
-                // determines which index is reported.
-                for &p in &l.params_in_order {
-                    if p >= scalars.len() {
-                        return Err(ExecError::MissingParam(p));
-                    }
-                }
+                l.check_params(scalars)?;
                 if l.vectorized {
                     run_vectorized(l, buffers, scalars, n);
                 } else {
-                    let mut values = vec![f64::NAN; l.num_values];
-                    for &instr in &l.prelude {
-                        run_instr(instr, &mut values, buffers, scalars, 0);
-                    }
-                    for i in 0..n {
-                        for &instr in &l.body {
-                            run_instr(instr, &mut values, buffers, scalars, i);
-                        }
-                    }
+                    l.run_elementwise(buffers, scalars, n);
                 }
                 Ok(())
             }
@@ -375,8 +418,8 @@ impl CompiledKernel for ClosureCompiled {
 
 /// Lowers one loop body into a [`CompiledLoop`], checking SSA
 /// well-formedness, hoisting loop-invariant ops and selecting the execution
-/// schedule as it goes.
-fn lower_loop(l: &LoopKernel) -> Result<CompiledLoop, ExecError> {
+/// schedule as it goes. Shared with the SIMD backend.
+pub(crate) fn lower_loop(l: &LoopKernel) -> Result<CompiledLoop, ExecError> {
     let num_values = l.num_values();
     // Assignment counts: hoisting is only sound for values assigned exactly
     // once (true SSA); malformed double assignments take the exact

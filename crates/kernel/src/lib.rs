@@ -22,7 +22,10 @@
 //! compiles an optimized module into a shareable [`CompiledKernel`] artifact.
 //! The default [`InterpBackend`] wraps the interpreter; the
 //! [`ClosureBackend`] lowers loop nests to pre-resolved composed closures (a
-//! real JIT shape with one-time cost and faster steady state). See
+//! real JIT shape with one-time cost and faster steady state); the
+//! [`SimdBackend`] lowers the same streams to lane-parallel arrays-of-lanes
+//! kernels with masked tails. Each backend's simulated compile surcharge is
+//! fitted from measured wall-clock ([`CompileTimeModel::calibrated`]). See
 //! `docs/BACKENDS.md`.
 //!
 //! # Example
@@ -64,11 +67,13 @@ pub mod generator;
 pub mod interp;
 pub mod ir;
 pub mod passes;
+pub mod simd;
 
 pub use backend::{compile_interp, BackendKind, CompiledKernel, InterpBackend, KernelBackend};
 pub use builder::LoopBuilder;
 pub use closure::ClosureBackend;
-pub use cost::{CompileTimeModel, KernelCost};
+pub use cost::{host_compile_model, CompileTimeModel, HostCompileModel, KernelCost};
+pub use simd::SimdBackend;
 pub use generator::{
     ArgSpec, GenArgs, GeneratorFn, GeneratorRegistry, LibraryId, TaskKind, TaskSignature,
 };

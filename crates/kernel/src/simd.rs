@@ -1,0 +1,683 @@
+//! The SIMD backend: fused loop nests lowered once into lane-parallel
+//! chunked kernels over arrays-of-lanes.
+//!
+//! The [`crate::closure::ClosureBackend`] already resolves every op at
+//! compile time and streams each micro-op over 64-element chunks, but its
+//! scratch table is a flat `Vec<f64>` indexed with runtime offsets: every
+//! inner loop has a dynamic trip count and bounds-checked slice accesses the
+//! optimizer must see through. This backend takes the same lowering one step
+//! further, in the style of the single-pass fused SIMD kernels of
+//! "Optimizing CUDA Code By Kernel Fusion" and Bohrium's runtime-fused array
+//! streams (see PAPERS.md):
+//!
+//! * SSA values live in **arrays-of-lanes**: each value is a register row
+//!   `[[f64; LANES]; VECTORS]` (`f64x4`-style lane vectors, [`SIMD_CHUNK`]
+//!   elements per row), so every arithmetic micro-op is a pair of nested
+//!   loops with **constant trip counts** over fixed-size arrays — no bounds
+//!   checks, no dynamic lengths, fully unrollable and vectorizable.
+//! * At compile time values are **renumbered in definition order** (prelude
+//!   first, then body), so an op's destination register always has a strictly
+//!   higher index than its operands. Execution then borrows destination and
+//!   operand rows disjointly via `split_at_mut` — zero-copy, no `unsafe`.
+//! * Loop-invariant hoisting is **reused from the closure lowering**
+//!   (`closure::lower_loop`): constants, scalar parameters and
+//!   broadcast loads are splatted across a register row once per stage.
+//! * Domains that are not a multiple of the chunk width run an explicit
+//!   **masked tail**: loads fill only the valid lanes, arithmetic runs full
+//!   width (dead lanes hold stale values, which is harmless — no element's
+//!   dataflow ever reads them), and stores/reductions write back only the
+//!   valid lanes.
+//! * Reductions fold the valid lanes **in element order** and modules with
+//!   element-0 side channels (broadcast loads of written buffers, shared or
+//!   touched accumulators — the closure backend's exact conditions) take the
+//!   exact per-element fallback, so results stay **bitwise-identical** to
+//!   [`crate::Interpreter`] for every module. Elementwise lane arithmetic is
+//!   bitwise-deterministic because each element's dataflow is independent and
+//!   identical to the scalar evaluation (Rust never contracts `f64` ops into
+//!   FMAs behind your back). The sole exception is NaN *payload* bits, which
+//!   Rust defines as non-deterministic for any freshly produced NaN — LLVM
+//!   may commute `fadd` operands between compilations of the same source
+//!   fold — so equivalence is exact bits for non-NaN values and NaN-ness
+//!   (never payload) for NaNs; the differential harness canonicalizes
+//!   accordingly.
+//!
+//! Opaque stages (SpMV, GEMV, restrict/prolong) dispatch to the same native
+//! implementations as the interpreter, exactly like the closure backend.
+//!
+//! The one-time lowering (closure lowering + renumbering) costs more than the
+//! closure backend's, which the simulated clock prices through the fitted
+//! per-backend [`CompileTimeModel`] calibration (`cargo run --release --bin
+//! calibrate`); the steady state is measurably faster on the fused cg/jacobi
+//! windows (`cargo run --release --bin kernel_backends`). Memoization then
+//! amortizes the larger surcharge exactly as §5.2 of the paper describes.
+
+use std::sync::Arc;
+
+use crate::backend::{BackendKind, CompiledKernel, KernelBackend};
+use crate::closure::{lower_loop, CompiledLoop, Instr};
+use crate::cost::CompileTimeModel;
+use crate::interp::{self, ExecError};
+use crate::ir::{KernelModule, KernelStage, OpaqueOp, ReduceOp};
+
+/// Lanes per SIMD vector: the `f64x4` shape of a 256-bit double vector.
+pub const LANES: usize = 4;
+
+/// Lane vectors per register row. `LANES * VECTORS` elements are processed
+/// per chunk; sized to match the closure backend's chunk so the comparison
+/// between the two backends isolates the lane layout, not the blocking.
+pub const VECTORS: usize = 16;
+
+/// Elements processed per chunk ([`LANES`] × [`VECTORS`]).
+pub const SIMD_CHUNK: usize = LANES * VECTORS;
+
+/// Fallback compile-cost surcharge over the interpreter's baseline
+/// calibration, used only when `BENCH_compile_calibration.json` has no fitted
+/// entry for this backend (see [`CompileTimeModel::calibrated`]): the SIMD
+/// backend runs the full closure lowering plus the renumbering pass.
+pub const SIMD_COMPILE_FACTOR: f64 = 1.5;
+
+/// One SSA register row: [`SIMD_CHUNK`] elements as an array-of-lanes.
+type Row = [[f64; LANES]; VECTORS];
+
+/// The lane-parallel schedule for one loop stage: the closure lowering's
+/// prelude/body micro-op streams with values renumbered in definition order,
+/// so `dst > operands` holds for every op (the `split_at_mut` invariant).
+#[derive(Debug)]
+struct LanePlan {
+    prelude: Vec<Instr>,
+    body: Vec<Instr>,
+    num_regs: usize,
+}
+
+/// One compiled loop stage: the shared closure lowering plus, when the
+/// chunked schedule is sound for this module, the lane-parallel plan.
+#[derive(Debug)]
+struct SimdLoop {
+    inner: CompiledLoop,
+    lanes: Option<LanePlan>,
+}
+
+/// One compiled stage.
+#[derive(Debug)]
+enum SimdStage {
+    Loop(SimdLoop),
+    Opaque(OpaqueOp),
+}
+
+/// Artifact of the [`SimdBackend`].
+#[derive(Debug)]
+struct SimdCompiled {
+    module: KernelModule,
+    stages: Vec<SimdStage>,
+}
+
+/// The SIMD backend. See the module documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdBackend;
+
+impl KernelBackend for SimdBackend {
+    fn id(&self) -> &'static str {
+        BackendKind::Simd.id()
+    }
+
+    fn compile(&self, module: &KernelModule) -> Result<Arc<dyn CompiledKernel>, ExecError> {
+        let stages = module
+            .stages
+            .iter()
+            .map(|stage| match stage {
+                KernelStage::Loop(l) => lower_loop(l).map(|inner| {
+                    // The renumbering requires full SSA, which is exactly the
+                    // closure lowering's condition for the reorderable
+                    // schedule; modules with element-0 side channels keep
+                    // `lanes: None` and run the exact per-element fallback.
+                    let lanes = if inner.vectorized {
+                        renumber(&inner)
+                    } else {
+                        None
+                    };
+                    SimdStage::Loop(SimdLoop { inner, lanes })
+                }),
+                KernelStage::Opaque(op) => Ok(SimdStage::Opaque(op.clone())),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Arc::new(SimdCompiled {
+            module: module.clone(),
+            stages,
+        }))
+    }
+
+    fn compile_cost(&self, module: &KernelModule, model: &CompileTimeModel) -> f64 {
+        // Surcharge over `model` (the Figure 13 anchor) taken from the fitted
+        // per-backend calibration, not an asserted constant.
+        model.calibrated(self.id()).compile_time(module)
+    }
+}
+
+impl CompiledKernel for SimdCompiled {
+    fn module(&self) -> &KernelModule {
+        &self.module
+    }
+
+    fn backend_id(&self) -> &'static str {
+        BackendKind::Simd.id()
+    }
+
+    fn execute_stage(
+        &self,
+        stage: usize,
+        buffers: &mut [Vec<f64>],
+        scalars: &[f64],
+    ) -> Result<(), ExecError> {
+        match &self.stages[stage] {
+            SimdStage::Opaque(op) => interp::run_opaque(op, buffers),
+            SimdStage::Loop(l) => {
+                let n = l.inner.check(buffers)?;
+                if n == 0 {
+                    return Ok(());
+                }
+                l.inner.check_params(scalars)?;
+                if let Some(plan) = &l.lanes {
+                    run_lanes(plan, buffers, scalars, n);
+                } else {
+                    l.inner.run_elementwise(buffers, scalars, n);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Renumbers the lowered value ids in definition order (prelude first, then
+/// body) so every op's destination register index strictly exceeds its
+/// operands'. Returns `None` if any operand is read before definition —
+/// impossible for streams the closure lowering marked `vectorized`, but the
+/// caller falls back to the exact schedule rather than trusting that.
+fn renumber(l: &CompiledLoop) -> Option<LanePlan> {
+    const UNDEF: u32 = u32::MAX;
+    let mut map = vec![UNDEF; l.num_values.max(1)];
+    let mut next: u32 = 0;
+    let mut def = |map: &mut [u32], dst: u32| {
+        map[dst as usize] = next;
+        next += 1;
+        next - 1
+    };
+    let remap = |map: &[u32], v: u32| -> Option<u32> {
+        let r = map[v as usize];
+        (r != UNDEF).then_some(r)
+    };
+    let mut out = Vec::with_capacity(l.prelude.len() + l.body.len());
+    for &instr in l.prelude.iter().chain(&l.body) {
+        out.push(match instr {
+            Instr::Load { dst, buf } => Instr::Load {
+                dst: def(&mut map, dst),
+                buf,
+            },
+            Instr::LoadScalar { dst, buf } => Instr::LoadScalar {
+                dst: def(&mut map, dst),
+                buf,
+            },
+            Instr::Set { dst, imm } => Instr::Set {
+                dst: def(&mut map, dst),
+                imm,
+            },
+            Instr::Param { dst, idx } => Instr::Param {
+                dst: def(&mut map, dst),
+                idx,
+            },
+            Instr::Neg { dst, a } => {
+                let a = remap(&map, a)?;
+                Instr::Neg {
+                    dst: def(&mut map, dst),
+                    a,
+                }
+            }
+            Instr::Add { dst, a, b } => {
+                let (a, b) = (remap(&map, a)?, remap(&map, b)?);
+                Instr::Add {
+                    dst: def(&mut map, dst),
+                    a,
+                    b,
+                }
+            }
+            Instr::Sub { dst, a, b } => {
+                let (a, b) = (remap(&map, a)?, remap(&map, b)?);
+                Instr::Sub {
+                    dst: def(&mut map, dst),
+                    a,
+                    b,
+                }
+            }
+            Instr::Mul { dst, a, b } => {
+                let (a, b) = (remap(&map, a)?, remap(&map, b)?);
+                Instr::Mul {
+                    dst: def(&mut map, dst),
+                    a,
+                    b,
+                }
+            }
+            Instr::Div { dst, a, b } => {
+                let (a, b) = (remap(&map, a)?, remap(&map, b)?);
+                Instr::Div {
+                    dst: def(&mut map, dst),
+                    a,
+                    b,
+                }
+            }
+            Instr::Unary { dst, a, f } => {
+                let a = remap(&map, a)?;
+                Instr::Unary {
+                    dst: def(&mut map, dst),
+                    a,
+                    f,
+                }
+            }
+            Instr::Binary { dst, a, b, f } => {
+                let (a, b) = (remap(&map, a)?, remap(&map, b)?);
+                Instr::Binary {
+                    dst: def(&mut map, dst),
+                    a,
+                    b,
+                    f,
+                }
+            }
+            Instr::Store { buf, src } => Instr::Store {
+                buf,
+                src: remap(&map, src)?,
+            },
+            Instr::Reduce { buf, src, op } => Instr::Reduce {
+                buf,
+                src: remap(&map, src)?,
+                op,
+            },
+        });
+    }
+    let body_at = l.prelude.len();
+    let body = out.split_off(body_at);
+    Some(LanePlan {
+        prelude: out,
+        body,
+        num_regs: next as usize,
+    })
+}
+
+/// Splats one value across a full register row.
+#[inline]
+fn splat(v: f64) -> Row {
+    [[v; LANES]; VECTORS]
+}
+
+/// Borrows the destination row mutably and up to two operand rows immutably.
+/// Sound without copies because renumbering guarantees `dst > a, b`.
+macro_rules! lane_op {
+    ($regs:expr, $dst:expr, $a:expr, |$x:ident| $e:expr) => {{
+        let (lo, hi) = $regs.split_at_mut($dst as usize);
+        let d = &mut hi[0];
+        let a = &lo[$a as usize];
+        for v in 0..VECTORS {
+            for l in 0..LANES {
+                let $x = a[v][l];
+                d[v][l] = $e;
+            }
+        }
+    }};
+    ($regs:expr, $dst:expr, $a:expr, $b:expr, |$x:ident, $y:ident| $e:expr) => {{
+        let (lo, hi) = $regs.split_at_mut($dst as usize);
+        let d = &mut hi[0];
+        let (a, b) = (&lo[$a as usize], &lo[$b as usize]);
+        for v in 0..VECTORS {
+            for l in 0..LANES {
+                let ($x, $y) = (a[v][l], b[v][l]);
+                d[v][l] = $e;
+            }
+        }
+    }};
+}
+
+/// Executes the lane-parallel schedule over a non-empty domain of `n`
+/// elements. The caller has already validated buffers and scalars.
+fn run_lanes(plan: &LanePlan, buffers: &mut [Vec<f64>], scalars: &[f64], n: usize) {
+    let mut regs: Vec<Row> = vec![splat(0.0); plan.num_regs.max(1)];
+    for &instr in &plan.prelude {
+        let (dst, v) = match instr {
+            Instr::Set { dst, imm } => (dst, imm),
+            Instr::Param { dst, idx } => (dst, scalars[idx as usize]),
+            Instr::LoadScalar { dst, buf } => (dst, buffers[buf as usize][0]),
+            _ => unreachable!("only invariant ops are hoisted"),
+        };
+        regs[dst as usize] = splat(v);
+    }
+    let mut base = 0usize;
+    while base < n {
+        let len = SIMD_CHUNK.min(n - base);
+        run_chunk(&plan.body, &mut regs, buffers, base, len);
+        base += len;
+    }
+}
+
+/// Executes the body micro-ops over one chunk of `len` elements starting at
+/// `base`. `len < SIMD_CHUNK` only on the final masked tail: loads fill only
+/// the valid lanes, arithmetic runs full width (stale dead lanes are never
+/// observable), stores and reductions mask back down to `len`.
+fn run_chunk(body: &[Instr], regs: &mut [Row], buffers: &mut [Vec<f64>], base: usize, len: usize) {
+    for &instr in body {
+        match instr {
+            Instr::Load { dst, buf } => {
+                // Row-major lane order is element order and the row layout is
+                // exactly `[f64; SIMD_CHUNK]`, so a (possibly masked) load is
+                // one flat memcpy into the leading lanes.
+                let row = regs[dst as usize].as_flattened_mut();
+                row[..len].copy_from_slice(&buffers[buf as usize][base..base + len]);
+            }
+            Instr::Neg { dst, a } => lane_op!(regs, dst, a, |x| -x),
+            Instr::Add { dst, a, b } => lane_op!(regs, dst, a, b, |x, y| x + y),
+            Instr::Sub { dst, a, b } => lane_op!(regs, dst, a, b, |x, y| x - y),
+            Instr::Mul { dst, a, b } => lane_op!(regs, dst, a, b, |x, y| x * y),
+            Instr::Div { dst, a, b } => lane_op!(regs, dst, a, b, |x, y| x / y),
+            Instr::Unary { dst, a, f } => lane_op!(regs, dst, a, |x| f(x)),
+            Instr::Binary { dst, a, b, f } => lane_op!(regs, dst, a, b, |x, y| f(x, y)),
+            Instr::Store { buf, src } => {
+                // The masked write-back mirrors the load: only the `len`
+                // valid leading lanes reach memory.
+                let row = regs[src as usize].as_flattened();
+                buffers[buf as usize][base..base + len].copy_from_slice(&row[..len]);
+            }
+            Instr::Reduce { buf, src, op } => {
+                // Row-major lane order *is* element order, so this fold is
+                // bitwise-identical to the interpreter's.
+                let row = &regs[src as usize].as_flattened()[..len];
+                let mut acc = buffers[buf as usize][0];
+                match op {
+                    ReduceOp::Sum => {
+                        for &x in row {
+                            acc += x;
+                        }
+                    }
+                    ReduceOp::Max => {
+                        for &x in row {
+                            acc = acc.max(x);
+                        }
+                    }
+                    ReduceOp::Min => {
+                        for &x in row {
+                            acc = acc.min(x);
+                        }
+                    }
+                }
+                buffers[buf as usize][0] = acc;
+            }
+            Instr::LoadScalar { .. } | Instr::Set { .. } | Instr::Param { .. } => {
+                unreachable!("invariant ops are always hoisted on the lane path")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::interp::Interpreter;
+    use crate::ir::{BinaryOp, BufferId, BufferRole, IndexWidth, UnaryOp};
+
+    fn both(
+        module: &KernelModule,
+        bufs: &[Vec<f64>],
+        scalars: &[f64],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut a = bufs.to_vec();
+        Interpreter::new().execute(module, &mut a, scalars).unwrap();
+        let mut b = bufs.to_vec();
+        SimdBackend
+            .compile(module)
+            .unwrap()
+            .execute(&mut b, scalars)
+            .unwrap();
+        (a, b)
+    }
+
+    /// Exact bits, with NaNs canonicalized (payloads are non-deterministic;
+    /// see the module docs).
+    fn bits(bufs: &[Vec<f64>]) -> Vec<Vec<u64>> {
+        bufs.iter()
+            .map(|b| {
+                b.iter()
+                    .map(|v| {
+                        if v.is_nan() {
+                            0x7ff8_0000_0000_0000
+                        } else {
+                            v.to_bits()
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn saxpy_module() -> KernelModule {
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Output);
+        let mut lb = LoopBuilder::new("saxpy", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let y = lb.load(BufferId(1));
+        let a = lb.param(0);
+        let ax = lb.mul(a, x);
+        let v = lb.add(ax, y);
+        lb.store(BufferId(2), v);
+        m.push_loop(lb.finish());
+        m
+    }
+
+    #[test]
+    fn simd_matches_interpreter_across_masked_tail_lengths() {
+        let m = saxpy_module();
+        // Every tail shape: empty, single element, lane boundary ±1, chunk
+        // boundary ±1, prime sizes, multiple chunks.
+        for n in [
+            0,
+            1,
+            LANES - 1,
+            LANES,
+            LANES + 1,
+            7,
+            13,
+            SIMD_CHUNK - 1,
+            SIMD_CHUNK,
+            SIMD_CHUNK + 1,
+            127,
+            3 * SIMD_CHUNK + 5,
+        ] {
+            let bufs = vec![
+                (0..n).map(|i| i as f64 * 0.25 - 3.0).collect(),
+                (0..n).map(|i| 1.0 / (i as f64 + 0.5)).collect(),
+                vec![0.0; n],
+            ];
+            let (a, b) = both(&m, &bufs, &[1.5]);
+            assert_eq!(bits(&a), bits(&b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn simd_matches_interpreter_on_nonfinite_inputs() {
+        let m = saxpy_module();
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            -f64::MIN_POSITIVE / 4.0,
+            1.0,
+        ];
+        let n = SIMD_CHUNK + 3;
+        let bufs = vec![
+            (0..n).map(|i| specials[i % specials.len()]).collect(),
+            (0..n).map(|i| specials[(i + 3) % specials.len()]).collect(),
+            vec![0.0; n],
+        ];
+        let (a, b) = both(&m, &bufs, &[f64::NEG_INFINITY]);
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn reductions_fold_in_element_order() {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Reduction);
+        let mut lb = LoopBuilder::new("sum", BufferId(0));
+        let x = lb.load(BufferId(0));
+        lb.reduce(BufferId(1), crate::ir::ReduceOp::Sum, x);
+        m.push_loop(lb.finish());
+        // Magnitudes spread wide enough that any reassociation changes bits.
+        for n in [1, LANES + 1, SIMD_CHUNK - 1, SIMD_CHUNK + 1, 2 * SIMD_CHUNK + 13] {
+            let bufs = vec![
+                (0..n)
+                    .map(|i| (i as f64 + 1.0) * 1e16_f64.powi((i % 5) as i32 - 2))
+                    .collect(),
+                vec![0.125],
+            ];
+            let (a, b) = both(&m, &bufs, &[]);
+            assert_eq!(bits(&a), bits(&b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn element0_side_channels_take_the_exact_fallback() {
+        // A loop that reduces into a buffer *and* broadcast-loads it: each
+        // element must observe the running accumulator, which only the exact
+        // per-element schedule preserves.
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Reduction);
+        let mut lb = LoopBuilder::new("prefixy", BufferId(0));
+        let acc = lb.load_scalar(BufferId(1));
+        let x = lb.load(BufferId(0));
+        let contrib = lb.mul(x, acc);
+        lb.reduce(BufferId(1), crate::ir::ReduceOp::Sum, contrib);
+        m.push_loop(lb.finish());
+        let bufs = vec![vec![1.0, 2.0, 3.0], vec![1.0]];
+        let (a, b) = both(&m, &bufs, &[]);
+        assert_eq!(a, b);
+        assert_eq!(a[1][0], 24.0);
+    }
+
+    #[test]
+    fn unary_and_binary_fn_ops_match() {
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Output);
+        let mut lb = LoopBuilder::new("mix", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let y = lb.load(BufferId(1));
+        let e = lb.unary(UnaryOp::Exp, x);
+        let p = lb.binary(BinaryOp::Max, e, y);
+        let d = lb.binary(BinaryOp::Div, p, x);
+        lb.store(BufferId(2), d);
+        m.push_loop(lb.finish());
+        let n = SIMD_CHUNK + LANES - 1;
+        let bufs = vec![
+            (0..n).map(|i| (i as f64 - 32.0) * 0.125).collect(),
+            (0..n).map(|i| (i % 7) as f64 - 3.0).collect(),
+            vec![0.0; n],
+        ];
+        let (a, b) = both(&m, &bufs, &[]);
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn simd_matches_interpreter_on_opaque_stages() {
+        let mut m = KernelModule::new(5);
+        m.push_opaque(OpaqueOp::SpMvCsr {
+            pos: BufferId(0),
+            crd: BufferId(1),
+            vals: BufferId(2),
+            x: BufferId(3),
+            y: BufferId(4),
+            index_width: IndexWidth::U32,
+        });
+        let bufs = vec![
+            vec![0.0, 2.0, 3.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0],
+            vec![0.0, 0.0],
+        ];
+        let (a, b) = both(&m, &bufs, &[]);
+        assert_eq!(a, b);
+        assert_eq!(a[4], vec![14.0, 15.0]);
+    }
+
+    #[test]
+    fn error_contract_matches_the_interpreter() {
+        let compiled = SimdBackend.compile(&saxpy_module()).unwrap();
+        let mut bufs = vec![vec![1.0], vec![1.0], vec![0.0]];
+        assert_eq!(
+            compiled.execute(&mut bufs, &[]),
+            Err(ExecError::MissingParam(0))
+        );
+        let mut short = vec![vec![1.0]];
+        assert!(matches!(
+            compiled.execute(&mut short, &[1.0]),
+            Err(ExecError::MissingBuffer(_))
+        ));
+        let mut mismatched = vec![vec![1.0, 2.0], vec![1.0], vec![0.0; 2]];
+        assert!(matches!(
+            compiled.execute(&mut mismatched, &[1.0]),
+            Err(ExecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compile_cost_uses_the_fitted_calibration() {
+        let m = saxpy_module();
+        let model = CompileTimeModel::default();
+        // The surcharge comes from the calibrated per-backend model, and the
+        // lane lowering never costs less than the interpreter's anchor.
+        assert_eq!(
+            SimdBackend.compile_cost(&m, &model),
+            model.calibrated("simd").compile_time(&m)
+        );
+        assert!(
+            SimdBackend.compile_cost(&m, &model)
+                >= crate::backend::InterpBackend.compile_cost(&m, &model)
+        );
+    }
+
+    #[test]
+    fn renumbered_registers_increase_in_definition_order() {
+        let m = saxpy_module();
+        let KernelStage::Loop(l) = &m.stages[0] else {
+            unreachable!()
+        };
+        let lowered = lower_loop(l).unwrap();
+        assert!(lowered.vectorized);
+        let plan = renumber(&lowered).unwrap();
+        let mut defined = 0u32;
+        for instr in plan.prelude.iter().chain(&plan.body) {
+            match *instr {
+                Instr::Load { dst, .. }
+                | Instr::LoadScalar { dst, .. }
+                | Instr::Set { dst, .. }
+                | Instr::Param { dst, .. } => {
+                    assert_eq!(dst, defined);
+                    defined += 1;
+                }
+                Instr::Neg { dst, a } | Instr::Unary { dst, a, .. } => {
+                    assert!(a < dst);
+                    assert_eq!(dst, defined);
+                    defined += 1;
+                }
+                Instr::Add { dst, a, b }
+                | Instr::Sub { dst, a, b }
+                | Instr::Mul { dst, a, b }
+                | Instr::Div { dst, a, b }
+                | Instr::Binary { dst, a, b, .. } => {
+                    assert!(a < dst && b < dst);
+                    assert_eq!(dst, defined);
+                    defined += 1;
+                }
+                Instr::Store { src, .. } | Instr::Reduce { src, .. } => {
+                    assert!(src < defined);
+                }
+            }
+        }
+        assert_eq!(defined as usize, plan.num_regs);
+    }
+}

@@ -1,28 +1,65 @@
-//! Backend equivalence: the JIT-closure backend must produce bitwise-identical
-//! buffers to the interpreter backend, for any kernel module.
+//! Three-way backend differential harness: the JIT-closure and SIMD backends
+//! must produce bitwise-identical buffers to the interpreter backend, for any
+//! kernel module, any input values and any domain length.
 //!
 //! The property test generates random modules — several stages, each either a
 //! dense loop (random straight-line SSA bodies with loads, broadcast-scalar
 //! loads, constants, scalar parameters, unary/binary arithmetic, stores and
-//! reductions) or an opaque builtin (GEMV, restrict, prolong, CSR SpMV over a
-//! deterministically valid sparse structure) — compiles each module with both
-//! backends and compares every output buffer with exact bit equality
-//! (`f64::to_bits`, so NaNs produced by e.g. `sqrt` of a negative value must
-//! match too). Both backends evaluate ops through the same resolved host
-//! functions, so any divergence is a lowering bug, not numerical noise.
+//! reductions) or an opaque builtin (restrict, prolong, CSR SpMV over a
+//! deterministically valid sparse structure) — compiles each module with all
+//! three backends and compares every output buffer with exact bit equality
+//! (`f64::to_bits`, so `-0.0` is distinguished from `0.0` and subnormals must
+//! survive unflushed). The one sanctioned exception is NaN *payloads*: Rust
+//! documents the payload/sign bits of a freshly produced NaN as
+//! non-deterministic (LLVM may commute `fadd`, and `+inf + -inf` yields a
+//! platform-default NaN), so two compilations of the *same* fold can differ
+//! in NaN bits. The comparison therefore canonicalizes every NaN to one bit
+//! pattern — NaN-ness must still match exactly (a NaN may never become a
+//! number, nor vice versa). All backends evaluate ops through the same
+//! resolved host functions, so any other divergence is a lowering bug, not
+//! numerical noise.
+//!
+//! Two generator axes target the SIMD backend's failure surface specifically:
+//!
+//! * **Adversarial inputs** — buffers are optionally seeded with NaN, ±inf,
+//!   signed zeros and subnormals, so masked lanes holding stale non-finite
+//!   values would be caught the moment they leak into a store or reduction.
+//! * **Masked-tail domain lengths** — the length strategy pins 1, `LANES`±1,
+//!   `LANES`, prime sizes and `SIMD_CHUNK`±1 alongside a uniform range, so
+//!   every chunk/tail shape of the lane-parallel schedule is exercised.
 
 use proptest::prelude::*;
 
+use kernel::simd::{LANES, SIMD_CHUNK};
 use kernel::{
     BackendKind, BinaryOp, BufferId, BufferRole, IndexWidth, KernelModule, LoopKernel, LoopOp,
     OpaqueOp, ReduceOp, UnaryOp, ValueId,
 };
+
+/// Every shipped backend; index 0 is the interpreter reference the other
+/// backends are diffed against.
+const ALL_BACKENDS: [BackendKind; 3] =
+    [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd];
 
 /// Number of buffers every generated module uses. Buffer 0 is the loop
 /// domain / primary input, the rest are read/written freely.
 const BUFS: u32 = 5;
 /// Scalar parameters provided at execution time.
 const SCALARS: [f64; 3] = [0.5, -1.75, 3.0];
+
+/// The adversarial value pool: every IEEE-754 special shape a lowering can
+/// mishandle — NaN payload propagation, infinities of both signs, signed
+/// zeros, and subnormals from both sides.
+const SPECIALS: [f64; 8] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    0.0,
+    -0.0,
+    f64::MIN_POSITIVE / 2.0,
+    -f64::MIN_POSITIVE / 4.0,
+    1.0,
+];
 
 const UNARY: [UnaryOp; 7] = [
     UnaryOp::Neg,
@@ -155,7 +192,7 @@ fn build_opaque(kind: u64) -> OpaqueOp {
     }
 }
 
-/// The CSR SpMV stage over the layout `input_buffers(_, true)` provides.
+/// The CSR SpMV stage over the layout `input_buffers(_, true, _)` provides.
 fn spmv_op() -> OpaqueOp {
     OpaqueOp::SpMvCsr {
         pos: BufferId(0),
@@ -168,9 +205,13 @@ fn spmv_op() -> OpaqueOp {
 }
 
 /// Deterministic input buffers. Loop-only modules get `n`-element buffers
-/// with position-dependent contents; SpMV-compatible modules get a valid CSR
-/// structure instead (pos monotone in-range, crd in-range column ids).
-fn input_buffers(n: usize, spmv: bool) -> Vec<Vec<f64>> {
+/// with position-dependent contents, optionally interleaved with the
+/// adversarial [`SPECIALS`] pool (`special_stride > 0` plants one special
+/// every `special_stride` positions, cycling through the pool).
+/// SpMV-compatible modules get a valid CSR structure instead (pos monotone
+/// in-range, crd in-range column ids — specials would corrupt the indices,
+/// so the stride is ignored there).
+fn input_buffers(n: usize, spmv: bool, special_stride: usize) -> Vec<Vec<f64>> {
     if spmv {
         let rows = n.max(2);
         // Diagonal-ish matrix: row r has one entry at column r with value r+1.
@@ -184,32 +225,98 @@ fn input_buffers(n: usize, spmv: bool) -> Vec<Vec<f64>> {
         (0..BUFS)
             .map(|b| {
                 (0..n)
-                    .map(|i| (b as f64 + 1.0) * 0.375 + (i as f64) * 0.25 - 2.0)
+                    .map(|i| {
+                        if special_stride > 0 && i % special_stride == 0 {
+                            SPECIALS[(i / special_stride + b as usize) % SPECIALS.len()]
+                        } else {
+                            (b as f64 + 1.0) * 0.375 + (i as f64) * 0.25 - 2.0
+                        }
+                    })
                     .collect()
             })
             .collect()
     }
 }
 
+/// Exact bits for every non-NaN value; NaNs canonicalized to one pattern
+/// (their payload bits are non-deterministic per the Rust float semantics —
+/// see the module docs — but their presence is not).
 fn bits(buffers: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    const CANONICAL_NAN: u64 = 0x7ff8_0000_0000_0000;
     buffers
         .iter()
-        .map(|b| b.iter().map(|v| v.to_bits()).collect())
+        .map(|b| {
+            b.iter()
+                .map(|v| if v.is_nan() { CANONICAL_NAN } else { v.to_bits() })
+                .collect()
+        })
         .collect()
+}
+
+/// Runs `module` over `inputs` under every backend and checks each JIT
+/// backend against the interpreter with exact bit equality (including
+/// identical error behavior). Panics with the diverging backend's id.
+fn assert_backend_invariant(module: &KernelModule, inputs: &[Vec<f64>]) {
+    let mut reference: Option<(bool, Vec<Vec<u64>>)> = None;
+    for kind in ALL_BACKENDS {
+        let compiled = kind.backend().compile(module).unwrap();
+        let mut bufs = inputs.to_vec();
+        let result = compiled.execute(&mut bufs, &SCALARS);
+        let outcome = (result.is_ok(), bits(&bufs));
+        match &reference {
+            None => reference = Some(outcome),
+            Some(expected) => {
+                assert_eq!(
+                    expected.0, outcome.0,
+                    "{}: error behavior diverged from the interpreter",
+                    kind.id()
+                );
+                if expected.0 {
+                    assert_eq!(
+                        expected.1, outcome.1,
+                        "{}: buffers diverged bitwise from the interpreter",
+                        kind.id()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Domain lengths biased toward the SIMD backend's masked-tail shapes:
+/// empty-adjacent, lane boundary ±1, primes that are coprime to the lane
+/// width, chunk boundary ±1 — plus a uniform range for everything else.
+fn domain_lengths() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1),
+        Just(LANES - 1),
+        Just(LANES),
+        Just(LANES + 1),
+        Just(7),
+        Just(13),
+        Just(31),
+        Just(SIMD_CHUNK - 1),
+        Just(SIMD_CHUNK),
+        Just(SIMD_CHUNK + 1),
+        1usize..24,
+    ]
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Random modules (loops + opaque stages + reductions) produce
-    /// bitwise-identical buffers under the interpreter and closure backends.
+    /// bitwise-identical buffers under the interpreter, closure and SIMD
+    /// backends, across masked-tail domain lengths and adversarially seeded
+    /// inputs (NaN, ±inf, signed zeros, subnormals).
     #[test]
     fn random_modules_are_backend_invariant(
         stages in prop::collection::vec(
             (0u64..10, prop::collection::vec((0u8..8, 0u64..64, 0u64..64, 0u64..64), 1..12)),
             1..5,
         ),
-        n in 1usize..24,
+        n in domain_lengths(),
+        special_stride in 0usize..4,
     ) {
         // An SpMV stage constrains the buffer layout to a valid CSR
         // structure that random loops would corrupt (float garbage becomes
@@ -234,26 +341,49 @@ proptest! {
             }
         }
 
-        let inputs = input_buffers(n, spmv);
-        let interp = BackendKind::Interp.backend().compile(&module).unwrap();
-        let closure = BackendKind::Closure.backend().compile(&module).unwrap();
+        let inputs = input_buffers(n, spmv, special_stride);
+        assert_backend_invariant(&module, &inputs);
+    }
 
-        let mut a = inputs.clone();
-        let ra = interp.execute(&mut a, &SCALARS);
-        let mut b = inputs;
-        let rb = closure.execute(&mut b, &SCALARS);
+    /// A pure adversarial sweep: a fixed op-dense module over buffers that
+    /// are *mostly* specials, across every masked-tail length. Catches stale
+    /// dead-lane leaks that the sparser random seeding above might miss.
+    #[test]
+    fn adversarial_inputs_are_backend_invariant_at_every_tail_length(
+        n in domain_lengths(),
+        rot in 0usize..8,
+    ) {
+        let mut module = KernelModule::new(BUFS);
+        module.set_role(BufferId(2), BufferRole::Output);
+        module.set_role(BufferId(4), BufferRole::Reduction);
+        let raw: Vec<RawOp> = vec![
+            (0, 0, 0, 0), // load b0
+            (0, 1, 0, 0), // load b1
+            (3, 1, 0, 0), // param 1
+            (5, 0, 0, 2), // add v0 + v2
+            (5, 3, 3, 1), // div v3 / v1 (inf/inf -> NaN, x/0 -> inf)
+            (4, 1, 4, 0), // sqrt (negative -> NaN)
+            (5, 4, 5, 0), // max (NaN-propagation order matters)
+            (6, 2, 6, 0), // store b2
+            (7, 4, 0, 6), // reduce sum into b4
+        ];
+        module.push_loop(build_loop(BufferId(0), &raw));
 
-        prop_assert_eq!(ra.is_ok(), rb.is_ok(), "error behavior diverged");
-        if ra.is_ok() {
-            prop_assert_eq!(bits(&a), bits(&b), "buffers diverged bitwise");
-        }
+        let inputs: Vec<Vec<f64>> = (0..BUFS)
+            .map(|b| {
+                (0..n)
+                    .map(|i| SPECIALS[(i + rot + b as usize) % SPECIALS.len()])
+                    .collect()
+            })
+            .collect();
+        assert_backend_invariant(&module, &inputs);
     }
 }
 
 /// A horizontally merged launch compiles to one module whose loop nests came
 /// from *independent* tasks over disjoint buffers. Concatenating the nests
 /// must be bitwise equivalent to compiling and running each nest as its own
-/// module in sequence — under both backends, with the backends also agreeing
+/// module in sequence — under every backend, with the backends also agreeing
 /// with each other. This is the kernel-layer half of the horizontal-fusion
 /// soundness argument (the fusion-layer half proves disjointness).
 #[test]
@@ -297,9 +427,9 @@ fn concatenated_independent_nests_match_sequential_modules() {
     only_b.set_role(BufferId(3), BufferRole::Output);
     only_b.push_loop(nest_b());
 
-    let inputs = input_buffers(12, false)[..4].to_vec();
+    let inputs = input_buffers(12, false, 0)[..4].to_vec();
     let mut expected: Option<Vec<Vec<u64>>> = None;
-    for backend in [BackendKind::Interp, BackendKind::Closure] {
+    for backend in ALL_BACKENDS {
         let mut wide = inputs.clone();
         backend
             .backend()
@@ -322,7 +452,7 @@ fn concatenated_independent_nests_match_sequential_modules() {
             bits(&seq),
             "{backend:?}: concatenated nests diverged from sequential modules"
         );
-        // Both backends must also agree with each other bitwise.
+        // Every backend must also agree with the others bitwise.
         if let Some(prior) = &expected {
             assert_eq!(prior, &bits(&wide), "backends diverged on the wide module");
         } else {
@@ -331,9 +461,9 @@ fn concatenated_independent_nests_match_sequential_modules() {
     }
 }
 
-/// A hand-picked module mixing every op class, checked across both backends
-/// with exact bit equality (fast sanity check that runs even when the
-/// property test budget is cut down).
+/// A hand-picked module mixing every op class, checked across all three
+/// backends with exact bit equality (fast sanity check that runs even when
+/// the property test budget is cut down).
 #[test]
 fn mixed_module_is_backend_invariant() {
     let mut module = KernelModule::new(BUFS);
@@ -357,20 +487,5 @@ fn mixed_module_is_backend_invariant() {
         coarse: BufferId(3),
     });
 
-    let inputs = input_buffers(8, false);
-    let mut a = inputs.clone();
-    BackendKind::Interp
-        .backend()
-        .compile(&module)
-        .unwrap()
-        .execute(&mut a, &SCALARS)
-        .unwrap();
-    let mut b = inputs;
-    BackendKind::Closure
-        .backend()
-        .compile(&module)
-        .unwrap()
-        .execute(&mut b, &SCALARS)
-        .unwrap();
-    assert_eq!(bits(&a), bits(&b));
+    assert_backend_invariant(&module, &input_buffers(8, false, 0));
 }

@@ -152,7 +152,7 @@ proptest! {
         let n = 16 * gpus;
         let (baseline, baseline_time) =
             run_program(&ops, gpus, n, ExecutorKind::Serial, BackendKind::Interp);
-        for backend in [BackendKind::Interp, BackendKind::Closure] {
+        for backend in [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd] {
             for executor in [
                 ExecutorKind::Serial,
                 ExecutorKind::WorkStealing { workers: Some(4) },
@@ -227,8 +227,8 @@ fn write_after_read_on_a_shared_region_retains_program_order() {
     }
 }
 
-/// Read-after-write chains stay ordered through several hops, under both
-/// backends.
+/// Read-after-write chains stay ordered through several hops, under every
+/// backend.
 #[test]
 fn raw_chain_retains_program_order() {
     let gpus = 4u64;
@@ -240,7 +240,7 @@ fn raw_chain_retains_program_order() {
         Op { src_a: 3, src_b: 3, dst: 4, accumulate: true },  // r4 += r3
     ];
     let (serial, _) = run_program(&ops, gpus, n, ExecutorKind::Serial, BackendKind::Interp);
-    for backend in [BackendKind::Interp, BackendKind::Closure] {
+    for backend in [BackendKind::Interp, BackendKind::Closure, BackendKind::Simd] {
         let (parallel, _) = run_program(
             &ops,
             gpus,
