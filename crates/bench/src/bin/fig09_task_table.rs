@@ -3,6 +3,9 @@
 
 use apps::Mode;
 
+/// `(name, runner)` for one row of the task-count table.
+type AppRow = (&'static str, Box<dyn Fn(Mode) -> apps::BenchmarkResult>);
+
 fn main() {
     bench::print_execution_axes();
     let gpus = 8;
@@ -12,7 +15,7 @@ fn main() {
         "{:<14}{:>16}{:>22}{:>20}{:>14}",
         "Benchmark", "Tasks/iter", "Tasks/iter (fused)", "Avg task len (ms)", "Window size"
     );
-    let rows: Vec<(&str, Box<dyn Fn(Mode) -> apps::BenchmarkResult>)> = vec![
+    let rows: Vec<AppRow> = vec![
         ("Black-Scholes", Box::new(move |m| apps::black_scholes::run(m, gpus, 1 << 27, iters, false))),
         ("Jacobi", Box::new(move |m| apps::jacobi::run(m, gpus, 1u64 << 32, iters, false))),
         ("CG", Box::new(move |m| apps::cg::run(m, gpus, 1 << 27, iters, false))),

@@ -3,6 +3,9 @@
 
 use apps::Mode;
 
+/// `(name, runner)` for one warm-up curve.
+type AppRow = (&'static str, Box<dyn Fn(Mode) -> apps::BenchmarkResult>);
+
 fn main() {
     bench::print_execution_axes();
     let gpus = 8;
@@ -12,7 +15,7 @@ fn main() {
         "{:<14}{:>14}{:>14}{:>22}",
         "Benchmark", "Standard (s)", "Compiled (s)", "Breakeven iterations"
     );
-    let rows: Vec<(&str, Box<dyn Fn(Mode) -> apps::BenchmarkResult>)> = vec![
+    let rows: Vec<AppRow> = vec![
         ("Black-Scholes", Box::new(move |m| apps::black_scholes::run(m, gpus, 1 << 27, iters, false))),
         ("Jacobi", Box::new(move |m| apps::jacobi::run(m, gpus, 1u64 << 32, iters, false))),
         ("CG", Box::new(move |m| apps::cg::run(m, gpus, 1 << 27, iters, false))),

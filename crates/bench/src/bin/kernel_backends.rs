@@ -214,10 +214,10 @@ impl WindowResult {
     }
 }
 
-fn measure_window(
-    window: &'static str,
-    build: fn() -> (KernelModule, Vec<Vec<f64>>, Vec<f64>),
-) -> WindowResult {
+/// A benchmark case: the module to run plus its input buffers and scalars.
+type WindowCase = (KernelModule, Vec<Vec<f64>>, Vec<f64>);
+
+fn measure_window(window: &'static str, build: fn() -> WindowCase) -> WindowResult {
     let (module, buffers, scalars) = build();
     let mut result = WindowResult {
         window,

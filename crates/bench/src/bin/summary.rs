@@ -4,6 +4,14 @@
 use apps::Mode;
 use bench::{geomean, GPU_COUNTS_SHORT};
 
+/// `(name, runner, supports_fusion_toggle, supports_memo_toggle)` for one app.
+type AppEntry = (
+    &'static str,
+    Box<dyn Fn(Mode, usize) -> apps::BenchmarkResult>,
+    bool,
+    bool,
+);
+
 fn main() {
     bench::print_execution_axes();
     let iters = 10;
@@ -11,7 +19,7 @@ fn main() {
     let mut vs_petsc = Vec::new();
     let mut vs_manual = Vec::new();
 
-    let apps_list: Vec<(&str, Box<dyn Fn(Mode, usize) -> apps::BenchmarkResult>, bool, bool)> = vec![
+    let apps_list: Vec<AppEntry> = vec![
         ("Black-Scholes", Box::new(move |m, g| apps::black_scholes::run(m, g, 1 << 27, iters, false)), false, false),
         ("Jacobi", Box::new(move |m, g| apps::jacobi::run(m, g, 1u64 << 32, iters, false)), false, false),
         ("CG", Box::new(move |m, g| apps::cg::run(m, g, 1 << 27, iters, false)), true, true),

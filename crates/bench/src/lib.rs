@@ -278,10 +278,11 @@ pub fn fit_affine2(samples: &[(f64, f64, f64)]) -> Option<[f64; 3]> {
         }
         a.swap(col, pivot);
         rhs.swap(col, pivot);
+        let pivot_row = a[col];
         for row in col + 1..3 {
-            let f = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= f * a[col][k];
+            let f = a[row][col] / pivot_row[col];
+            for (dst, &pv) in a[row].iter_mut().zip(&pivot_row).skip(col) {
+                *dst -= f * pv;
             }
             rhs[row] -= f * rhs[col];
         }

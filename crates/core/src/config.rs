@@ -54,6 +54,13 @@ pub struct DiffuseConfig {
     /// backend-invariant except through the compile-time model; see
     /// `docs/BACKENDS.md`.
     pub backend: BackendKind,
+    /// Re-verify every fusion decision and backend lowering after the fact
+    /// (`kernel::verify` + `fusion::verify`; see `docs/VERIFY.md`). A
+    /// violated invariant panics with a structured diagnostic naming it.
+    /// Defaults to [`DiffuseConfig::verification_from_env`]: the
+    /// `DIFFUSE_VERIFY` environment variable when set, otherwise on in debug
+    /// builds (`debug_assertions`) and off in release builds.
+    pub enable_verification: bool,
 }
 
 impl DiffuseConfig {
@@ -76,6 +83,20 @@ impl DiffuseConfig {
             .unwrap_or(false)
     }
 
+    /// Whether `DIFFUSE_VERIFY` requests verification: `on`, `1` or `true`
+    /// (case-insensitive) enable it, `off`, `0` or `false` disable it;
+    /// unset falls back to `cfg!(debug_assertions)` — the whole test suite
+    /// runs verified by default while release benchmarks stay unchecked.
+    pub fn verification_from_env() -> bool {
+        match std::env::var("DIFFUSE_VERIFY") {
+            Ok(v) => {
+                let v = v.trim().to_ascii_lowercase();
+                v == "on" || v == "1" || v == "true"
+            }
+            Err(_) => cfg!(debug_assertions),
+        }
+    }
+
     /// Full Diffuse with functional execution.
     pub fn fused(machine: MachineConfig) -> Self {
         DiffuseConfig {
@@ -91,6 +112,7 @@ impl DiffuseConfig {
             max_window_size: 70,
             executor: ExecutorKind::from_env(),
             backend: BackendKind::from_env(),
+            enable_verification: Self::verification_from_env(),
         }
     }
 
@@ -170,6 +192,14 @@ impl DiffuseConfig {
         self.backend = backend;
         self
     }
+
+    /// Enables or disables post-pass verification explicitly, overriding the
+    /// `DIFFUSE_VERIFY` / `debug_assertions` default. See `docs/VERIFY.md`
+    /// for the invariant catalog.
+    pub fn with_verification(mut self, enabled: bool) -> Self {
+        self.enable_verification = enabled;
+        self
+    }
 }
 
 impl Default for DiffuseConfig {
@@ -245,5 +275,13 @@ mod tests {
         let c = DiffuseConfig::fused(MachineConfig::single_node(2))
             .with_backend(BackendKind::Closure);
         assert_eq!(c.backend, BackendKind::Closure);
+    }
+
+    #[test]
+    fn verification_override() {
+        let on = DiffuseConfig::fused(MachineConfig::single_node(2)).with_verification(true);
+        assert!(on.enable_verification);
+        let off = on.with_verification(false);
+        assert!(!off.enable_verification);
     }
 }

@@ -103,6 +103,18 @@ pub struct ContextInner {
     /// the prefix being launched. Kept on the context so the hot launch path
     /// never allocates for attribution.
     lib_scratch: Vec<(u16, u32)>,
+    /// Reusable launch-skeleton scratch, recovered from the previous
+    /// memoized launch's [`TaskLaunch`] so the steady-state replay path
+    /// allocates nothing for requirements, scalars or local buffer lengths.
+    req_scratch: Vec<RegionRequirement>,
+    scalar_scratch: Vec<f64>,
+    len_scratch: Vec<usize>,
+    /// Resolved concrete stores of the skeleton's canonical arg indices
+    /// (cleared and refilled per memoized launch).
+    store_scratch: Vec<StoreId>,
+    /// Task kinds already run through the privilege-precision lint (the lint
+    /// reports once per kind, not once per launch).
+    linted_kinds: HashSet<u32>,
 }
 
 impl ContextInner {
@@ -240,15 +252,20 @@ impl ContextInner {
         }
     }
 
-    /// Generates the kernel module for a single task.
-    fn generate_task_module(&self, task: &IndexTask) -> KernelModule {
-        let lens: Vec<usize> = task
-            .args
+    /// Access volume of each of a task's store arguments over its launch
+    /// domain — the buffer lengths its generator (and the verifier) sees.
+    fn task_arg_lens(&self, task: &IndexTask) -> Vec<usize> {
+        task.args
             .iter()
             .map(|a| self.access_volume(a.store, &a.partition, &task.launch_domain))
-            .collect();
+            .collect()
+    }
+
+    /// Generates the kernel module for a single task, given the argument
+    /// buffer lengths from [`ContextInner::task_arg_lens`].
+    fn generate_task_module(&self, task: &IndexTask, arg_lens: &[usize]) -> KernelModule {
         let args = GenArgs {
-            buffer_lens: &lens,
+            buffer_lens: arg_lens,
             scalars: &task.scalars,
         };
         self.registry
@@ -259,6 +276,56 @@ impl ContextInner {
                     TaskKind::decode(task.kind)
                 )
             })
+    }
+
+    /// Kernel-level verification of one generated task module: IR/micro-op
+    /// invariants with the concrete buffer lengths, consistency against the
+    /// task kind's declared [`TaskSignature`], and the once-per-kind
+    /// privilege-precision lint. Panics with a structured diagnostic on any
+    /// violated invariant; lint findings only warn (over-broad privileges
+    /// are legal — they just inhibit fusion).
+    fn verify_task_module(&mut self, task: &IndexTask, module: &KernelModule, lens: &[usize]) {
+        let mut checks = kernel::verify::verify_module(module, Some(lens)).unwrap_or_else(|e| {
+            panic!("diffuse-verify: kernel module of `{}` violates an IR invariant: {e}", task.name)
+        });
+        let kind = TaskKind::decode(task.kind);
+        let mut lints = Vec::new();
+        if let Some(sig) = self.registry.signature(kind) {
+            checks += kernel::verify::verify_against_signature(module, sig).unwrap_or_else(|e| {
+                panic!(
+                    "diffuse-verify: kernel of `{}` is inconsistent with its declared signature: {e}",
+                    task.name
+                )
+            });
+            if !self.linted_kinds.contains(&task.kind) {
+                lints = kernel::verify::lint_privilege_precision(module, sig);
+            }
+        }
+        if self.linted_kinds.insert(task.kind) {
+            for lint in lints {
+                self.stats.privilege_lint_warnings += 1;
+                eprintln!(
+                    "diffuse-verify: lint: `{}` declares {:?} for argument {} but its kernel \
+                     never writes or reduces it (over-broad privileges inhibit fusion)",
+                    task.name, lint.spec, lint.arg
+                );
+            }
+        }
+        self.stats.verification_checks += checks as u64;
+    }
+
+    /// Backend-lowering verification of a module that is about to be (or
+    /// was) compiled for real execution: re-lowers each loop through the
+    /// configured backend's path and checks register SSA/disjointness.
+    fn verify_lowered(&mut self, name: &str, module: &KernelModule) {
+        let checks =
+            kernel::verify::verify_lowering(module, self.config.backend).unwrap_or_else(|e| {
+                panic!(
+                    "diffuse-verify: {:?} lowering of `{name}` violates an invariant: {e}",
+                    self.config.backend
+                )
+            });
+        self.stats.verification_checks += checks as u64;
     }
 
     /// Compiles a module into a launchable artifact. Simulation-only
@@ -282,17 +349,16 @@ impl ContextInner {
     /// (only fused windows pay the JIT, as in the paper).
     fn launch_unfused(&mut self, task: IndexTask) {
         Self::collect_libraries(&mut self.lib_scratch, std::slice::from_ref(&task));
-        let module = self.generate_task_module(&task);
-        let mut local_lens = Vec::new();
-        for b in task.args.len()..module.num_buffers() as usize {
-            let _ = b;
-            let max_arg = task
-                .args
-                .iter()
-                .map(|a| self.access_volume(a.store, &a.partition, &task.launch_domain))
-                .max()
-                .unwrap_or(1);
-            local_lens.push(max_arg);
+        let arg_lens = self.task_arg_lens(&task);
+        let module = self.generate_task_module(&task, &arg_lens);
+        let max_arg = arg_lens.iter().copied().max().unwrap_or(1);
+        let num_locals = module.num_buffers() as usize - task.args.len();
+        let local_lens = vec![max_arg; num_locals];
+        if self.config.enable_verification {
+            let mut lens = arg_lens;
+            lens.extend(local_lens.iter().copied());
+            self.verify_task_module(&task, &module, &lens);
+            self.verify_lowered(&task.name, &module);
         }
         let requirements: Vec<RegionRequirement> = task
             .args
@@ -335,6 +401,17 @@ impl ContextInner {
         cached: Option<Arc<CompiledArtifact>>,
         memo_key: Option<CanonicalWindow>,
     ) {
+        // Re-derive the dependence edges of the planned prefix and check the
+        // fusion decision preserves them (translation validation of the
+        // window analysis — see `fusion::verify`).
+        if self.config.enable_verification {
+            let checks = fusion::verify_fused_prefix(&self.window.tasks()[..prefix_len])
+                .unwrap_or_else(|e| {
+                    panic!("diffuse-verify: planned fused prefix violates a dependence invariant: {e}")
+                });
+            self.stats.verification_checks += checks as u64;
+        }
+
         // Liveness (which fused args become task-local temporaries) is the
         // only launch input the canonical window does not determine, so it
         // is recomputed per launch — over borrowed window slices, before
@@ -426,8 +503,27 @@ impl ContextInner {
 
         let (module, generator_local_lens) =
             self.compose_and_optimize(&fused, &is_temp, &arg_volumes);
+        if self.config.enable_verification {
+            // The optimized composite, still in fused-arg numbering: check
+            // IR invariants against the concrete buffer lengths the pipeline
+            // was given.
+            let mut lens = arg_volumes.clone();
+            lens.extend(generator_local_lens.iter().copied());
+            let checks =
+                kernel::verify::verify_module(&module, Some(&lens)).unwrap_or_else(|e| {
+                    panic!(
+                        "diffuse-verify: optimized module of `{}` violates an IR invariant: {e}",
+                        fused.name
+                    )
+                });
+            self.stats.verification_checks += checks as u64;
+        }
         let remap = build_remap(generator_local_lens.len());
         let module = module.remap_buffers(&remap);
+        if self.config.enable_verification {
+            // The launch-layout module is what the backend actually lowers.
+            self.verify_lowered(&fused.name, &module);
+        }
         let kernel = self.compile_artifact(&module);
         if let Some(key) = memo_key {
             // (Re)memoize the complete launch skeleton so the next
@@ -524,26 +620,34 @@ impl ContextInner {
     fn launch_from_skeleton(&mut self, prefix_len: usize, art: &CompiledArtifact) {
         let prefix = &self.window.tasks()[..prefix_len];
         Self::collect_libraries(&mut self.lib_scratch, prefix);
+        // A fingerprint probe found this skeleton; check the replayed
+        // structure actually matches the probe window (a fingerprint
+        // collision would be caught here, by construction).
+        if self.config.enable_verification {
+            let checks = fusion::verify_skeleton(prefix, &art.args).unwrap_or_else(|e| {
+                panic!(
+                    "diffuse-verify: memo-replayed skeleton `{}` does not match the probe \
+                     window: {e}",
+                    art.name
+                )
+            });
+            self.stats.verification_checks += checks as u64;
+        }
         let launch_domain = prefix[0].launch_domain.clone();
-        let scalars: Vec<f64> = prefix
-            .iter()
-            .flat_map(|t| t.scalars.iter().copied())
-            .collect();
+        let mut scalars = std::mem::take(&mut self.scalar_scratch);
+        scalars.extend(prefix.iter().flat_map(|t| t.scalars.iter().copied()));
         // Resolve the skeleton's canonical store indices against this window
         // before draining (draining renumbers the remaining suffix).
-        let arg_stores: Vec<StoreId> = art
-            .args
-            .iter()
-            .map(|(ci, _, _)| {
-                self.window
-                    .canonical_store(*ci as usize)
-                    .expect("cached entry verified against this window")
-            })
-            .collect();
+        let mut arg_stores = std::mem::take(&mut self.store_scratch);
+        arg_stores.extend(art.args.iter().map(|(ci, _, _)| {
+            self.window
+                .canonical_store(*ci as usize)
+                .expect("cached entry verified against this window")
+        }));
         drop(self.window.drain_prefix(prefix_len));
 
-        let mut requirements = Vec::with_capacity(art.args.len());
-        let mut local_lens = Vec::new();
+        let mut requirements = std::mem::take(&mut self.req_scratch);
+        let mut local_lens = std::mem::take(&mut self.len_scratch);
         for (i, ((_, part, priv_), store)) in art.args.iter().zip(&arg_stores).enumerate() {
             if !art.is_temp[i] {
                 let region = self.ensure_region(*store);
@@ -575,6 +679,23 @@ impl ContextInner {
         let t0 = self.runtime.elapsed();
         self.runtime.execute(&launch).expect("fused launch failed");
         let delta = self.runtime.elapsed() - t0;
+        // Recover the launch's vectors for the next replay: this path is the
+        // steady state, and reuse keeps it free of per-launch allocations
+        // for requirements, scalars and buffer lengths.
+        let TaskLaunch {
+            mut requirements,
+            mut scalars,
+            mut local_buffer_lens,
+            ..
+        } = launch;
+        requirements.clear();
+        scalars.clear();
+        local_buffer_lens.clear();
+        arg_stores.clear();
+        self.req_scratch = requirements;
+        self.scalar_scratch = scalars;
+        self.len_scratch = local_buffer_lens;
+        self.store_scratch = arg_stores;
         self.stats.tasks_launched += 1;
         if prefix_len > 1 {
             self.stats.fused_tasks += 1;
@@ -612,7 +733,19 @@ impl ContextInner {
         let mut generator_local_lens: Vec<usize> = Vec::new();
         let mut scalar_offset = 0usize;
         for (ti, task) in fused.tasks.iter().enumerate() {
-            let mut body = self.generate_task_module(task);
+            let arg_lens = self.task_arg_lens(task);
+            let mut body = self.generate_task_module(task, &arg_lens);
+            let max_arg_vol = arg_lens.iter().copied().max().unwrap_or(1);
+            if self.config.enable_verification {
+                // Each constituent generator's output is checked before it
+                // is composed: arity/role consistency against the declared
+                // signature, SSA and bounds against the lengths it was
+                // generated for.
+                let mut lens = arg_lens;
+                let num_locals = body.num_buffers() as usize - task.args.len();
+                lens.extend(std::iter::repeat_n(max_arg_vol, num_locals));
+                self.verify_task_module(task, &body, &lens);
+            }
             body.offset_params(scalar_offset);
             scalar_offset += task.scalars.len();
             // Remap: generator buffers 0..args -> fused arg positions;
@@ -621,12 +754,6 @@ impl ContextInner {
                 .iter()
                 .map(|&i| BufferId(i as u32))
                 .collect();
-            let max_arg_vol = task
-                .args
-                .iter()
-                .map(|a| self.access_volume(a.store, &a.partition, &task.launch_domain))
-                .max()
-                .unwrap_or(1);
             for _ in task.args.len()..body.num_buffers() as usize {
                 let local = module.add_local();
                 map.push(local);
@@ -680,8 +807,33 @@ impl ContextInner {
             if segments.len() > 1 {
                 let plan = plan_horizontal(self.window.tasks(), &segments);
                 if !plan.is_identity() {
+                    if self.config.enable_verification {
+                        // Independently re-check the planner's claims: every
+                        // launch group is pairwise independent (write-disjoint
+                        // with matching domains), and the reorder it implies
+                        // never flips a dependent pair.
+                        let checks =
+                            fusion::verify_horizontal_plan(self.window.tasks(), &segments, &plan)
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "diffuse-verify: horizontal launch plan violates an \
+                                         independence invariant: {e}"
+                                    )
+                                });
+                        self.stats.verification_checks += checks as u64;
+                    }
                     self.stats.horizontally_fused_tasks += plan.merged_tasks();
                     let permuted = plan.apply(self.window.tasks());
+                    if self.config.enable_verification {
+                        let checks = fusion::verify_reorder(self.window.tasks(), &permuted)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "diffuse-verify: horizontal reorder does not preserve the \
+                                     dependence order: {e}"
+                                )
+                            });
+                        self.stats.verification_checks += checks as u64;
+                    }
                     self.window.reorder(permuted);
                 }
             }
@@ -842,6 +994,11 @@ impl Context {
             next_store: 0,
             next_task: 0,
             lib_scratch: Vec::new(),
+            req_scratch: Vec::new(),
+            scalar_scratch: Vec::new(),
+            len_scratch: Vec::new(),
+            store_scratch: Vec::new(),
+            linted_kinds: HashSet::new(),
             config,
         };
         Context {

@@ -74,6 +74,14 @@ pub struct ExecutionStats {
     /// Distributed allocations that were never performed because the store
     /// only ever existed as a task-local temporary.
     pub distributed_allocations_avoided: u64,
+    /// Individual invariant checks performed by the post-pass verifiers
+    /// (`kernel::verify` + `fusion::verify`; zero unless
+    /// `DiffuseConfig::enable_verification` is on).
+    pub verification_checks: u64,
+    /// Privilege-precision lint warnings: task kinds that declared a write or
+    /// reduce privilege their generated kernel never exercises (reported once
+    /// per kind; over-broad privileges silently inhibit fusion).
+    pub privilege_lint_warnings: u64,
     /// The window size currently selected by the adaptive policy.
     pub current_window_size: u64,
     /// Per-library attribution, indexed by `LibraryId` registration order.
@@ -102,6 +110,9 @@ impl ExecutionStats {
             temporaries_eliminated: self.temporaries_eliminated - earlier.temporaries_eliminated,
             distributed_allocations_avoided: self.distributed_allocations_avoided
                 - earlier.distributed_allocations_avoided,
+            verification_checks: self.verification_checks - earlier.verification_checks,
+            privilege_lint_warnings: self.privilege_lint_warnings
+                - earlier.privilege_lint_warnings,
             current_window_size: self.current_window_size,
             per_library: self
                 .per_library

@@ -118,9 +118,12 @@ fn harness() -> Harness {
     }
 }
 
-/// Final observable state: every pool store's bits, the accumulator, the
-/// simulated clock, and the fusion counters.
-fn observe(h: &Harness) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
+/// Final observable state: pool store bits, accumulator bits, the simulated
+/// clock, and the `(attempted, fused, launched)` fusion counters.
+type Observation = (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64));
+
+/// Final observable state (see [`Observation`]).
+fn observe(h: &Harness) -> Observation {
     let pool_bits: Vec<Vec<u64>> = h
         .pool
         .iter()
@@ -149,7 +152,7 @@ fn observe(h: &Harness) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
     )
 }
 
-fn run_raw(steps: &[Step]) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
+fn run_raw(steps: &[Step]) -> Observation {
     let h = harness();
     for step in steps {
         match *step {
@@ -198,7 +201,7 @@ fn run_raw(steps: &[Step]) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
     observe(&h)
 }
 
-fn run_builder(steps: &[Step]) -> (Vec<Vec<u64>>, Vec<u64>, f64, (u64, u64, u64)) {
+fn run_builder(steps: &[Step]) -> Observation {
     let h = harness();
     for step in steps {
         match *step {

@@ -82,7 +82,7 @@ impl DArray {
         let rows = self.view_shape[0];
         if self.is_view() {
             assert!(
-                rows % gpus == 0 || gpus == 1,
+                rows.is_multiple_of(gpus) || gpus == 1,
                 "view leading dimension {rows} must be divisible by the GPU count {gpus}"
             );
         }

@@ -155,26 +155,24 @@ impl ConstraintState {
             // wrote through a different partition requires communication.
             // Writes through partitions that alias across launch points can
             // never form point-wise dependences, even with equal partitions.
-            if arg.privilege.reads() || arg.privilege.writes() {
-                if effects
+            if (arg.privilege.reads() || arg.privilege.writes())
+                && effects
                     .writes
                     .iter()
                     .any(|p| *p != arg.partition || p.may_alias_across_points())
-                {
-                    return Err(FusionViolation::TrueDependence { store: arg.store });
-                }
+            {
+                return Err(FusionViolation::TrueDependence { store: arg.store });
             }
             // Anti dependence: writing a store that an earlier task read
             // through a different partition requires the read to complete
             // first (and the written values to be communicated afterwards).
-            if arg.privilege.writes() {
-                if effects
+            if arg.privilege.writes()
+                && effects
                     .reads
                     .iter()
                     .any(|p| *p != arg.partition || arg.partition.may_alias_across_points())
-                {
-                    return Err(FusionViolation::AntiDependence { store: arg.store });
-                }
+            {
+                return Err(FusionViolation::AntiDependence { store: arg.store });
             }
         }
         Ok(())

@@ -78,6 +78,12 @@ impl FusedTask {
         self.tasks.len()
     }
 
+    /// Whether the fused task has no constituents (never true for a task
+    /// built by [`FusedTask::build`], which requires a non-empty prefix).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
     /// Whether this "fused" task wraps a single task (no fusion happened).
     pub fn is_singleton(&self) -> bool {
         self.tasks.len() == 1

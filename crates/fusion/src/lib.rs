@@ -44,6 +44,7 @@ pub mod horizontal;
 pub mod memo;
 pub mod prefix;
 pub mod temporaries;
+pub mod verify;
 pub mod window;
 
 pub use constraints::{ConstraintState, FusionViolation};
@@ -52,4 +53,8 @@ pub use horizontal::{plan_horizontal, HorizontalPlan, HorizontalViolation, Segme
 pub use memo::{CanonicalWindow, MemoCache};
 pub use prefix::{find_fusible_prefix, find_fusible_prefix_explained, fusible_segments};
 pub use temporaries::temporary_stores;
+pub use verify::{
+    verify_fused_prefix, verify_horizontal_plan, verify_reorder, verify_skeleton, DepKind,
+    VerifyError,
+};
 pub use window::AdaptiveWindow;

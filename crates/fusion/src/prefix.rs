@@ -61,7 +61,7 @@ pub fn fusible_segments(tasks: &[IndexTask]) -> Vec<usize> {
                 .expect("a single task is always admissible against an empty state");
         }
     }
-    if state.len() > 0 {
+    if !state.is_empty() {
         segments.push(state.len());
     }
     segments

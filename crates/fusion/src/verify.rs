@@ -1,0 +1,726 @@
+//! Translation validation of window transforms.
+//!
+//! Every transformation the Diffuse layer applies to a task window —
+//! vertical fusion of a prefix, horizontal reordering, memo-skeleton replay
+//! — is re-validated here *after planning*, against the dependence semantics
+//! of the original program order, independently of the analysis that
+//! produced the plan (see `docs/VERIFY.md`):
+//!
+//! * [`verify_fused_prefix`] — re-derives the cross-task dependence edges of
+//!   a fusible prefix directly from [`ir::StoreArg`] privileges and
+//!   partition identities, and checks that every edge is point-wise
+//!   (Definition 3): same partition on both endpoints and no aliasing
+//!   across launch points. This independently re-proves what
+//!   [`crate::ConstraintState`] admitted incrementally.
+//! * [`verify_reorder`] — checks that a permuted window is a true
+//!   permutation of the original and that every pair of tasks with a
+//!   memory conflict (a shared store that either side writes or reduces)
+//!   keeps its program order. This validates the horizontal pass's
+//!   soundness argument edge by edge.
+//! * [`verify_horizontal_plan`] — checks that every multi-member horizontal
+//!   group is pairwise write-disjoint with a group-wide launch domain
+//!   ([`SegmentFootprint::admits`] re-run member against member), and that
+//!   the plan's groups cover every segment exactly once.
+//! * [`verify_skeleton`] — independently re-derives the canonical merged
+//!   argument list of a prefix (first-occurrence store numbering and
+//!   (store, partition) deduplication with privilege promotion, mirroring
+//!   [`crate::FusedTask::build`]) and compares it element by element to a
+//!   memo-replayed launch skeleton, catching fingerprint collisions by
+//!   construction.
+//!
+//! All checkers return the number of individual checks performed
+//! (accumulated into `ExecutionStats::verification_checks`) or a structured
+//! [`VerifyError`] naming the violated invariant and the offending tasks.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use ir::{Domain, IndexTask, PartitionId, Privilege, StoreId, TaskId};
+
+use crate::horizontal::{HorizontalPlan, HorizontalViolation, SegmentFootprint};
+
+/// The classification of a re-derived dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read after write.
+    True,
+    /// Write after read.
+    Anti,
+    /// Write after write.
+    Output,
+    /// A reduction on one side and any access on the other.
+    Reduction,
+}
+
+impl std::fmt::Display for DepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepKind::True => write!(f, "true (RAW)"),
+            DepKind::Anti => write!(f, "anti (WAR)"),
+            DepKind::Output => write!(f, "output (WAW)"),
+            DepKind::Reduction => write!(f, "reduction"),
+        }
+    }
+}
+
+/// A violated window-transform invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A task in a fused prefix does not share the prefix's launch domain.
+    LaunchDomainMismatch {
+        /// The offending task.
+        task: TaskId,
+        /// Launch domain of the prefix.
+        expected: Domain,
+        /// Launch domain of the offending task.
+        found: Domain,
+    },
+    /// A dependence between two tasks of a fused prefix is not point-wise:
+    /// fusing them would require cross-processor communication mid-launch.
+    NonPointwiseDependence {
+        /// The dependence class.
+        kind: DepKind,
+        /// The store carrying the dependence.
+        store: StoreId,
+        /// The earlier task.
+        earlier: TaskId,
+        /// The later task.
+        later: TaskId,
+    },
+    /// A permuted window flipped two tasks with a memory conflict.
+    DependenceOrderViolation {
+        /// The store on which the pair conflicts.
+        store: StoreId,
+        /// The task that came first in program order.
+        earlier: TaskId,
+        /// The task that came second in program order.
+        later: TaskId,
+    },
+    /// The permuted window is not a permutation of the original (a task is
+    /// missing, duplicated, or foreign).
+    NotAPermutation {
+        /// The first task at which the multisets diverge.
+        task: TaskId,
+    },
+    /// A horizontal plan does not cover every segment exactly once.
+    BadGroupCover {
+        /// The first segment index covered zero or multiple times.
+        segment: usize,
+    },
+    /// Two members of one horizontal group conflict.
+    GroupConflict {
+        /// Index of the group in launch order.
+        group: usize,
+        /// The violation between the two members.
+        violation: HorizontalViolation,
+    },
+    /// A memo-replayed skeleton's merged argument count differs from the
+    /// probe window's.
+    SkeletonArgCount {
+        /// Merged arguments re-derived from the probe window.
+        expected: usize,
+        /// Merged arguments in the cached skeleton.
+        found: usize,
+    },
+    /// A memo-replayed skeleton argument differs structurally from the probe
+    /// window's (a fingerprint collision the exact-match probe should have
+    /// caught).
+    SkeletonArgMismatch {
+        /// Index of the first diverging merged argument.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::LaunchDomainMismatch {
+                task,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{task}: launch domain {found} differs from prefix domain {expected}"
+            ),
+            VerifyError::NonPointwiseDependence {
+                kind,
+                store,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "non-point-wise {kind} dependence on {store} between {earlier} and {later}"
+            ),
+            VerifyError::DependenceOrderViolation {
+                store,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "reorder flips {earlier} and {later}, which conflict on {store}"
+            ),
+            VerifyError::NotAPermutation { task } => {
+                write!(f, "permuted window diverges from the original at {task}")
+            }
+            VerifyError::BadGroupCover { segment } => {
+                write!(f, "horizontal plan covers segment {segment} zero or multiple times")
+            }
+            VerifyError::GroupConflict { group, violation } => {
+                write!(f, "horizontal group {group}: {violation}")
+            }
+            VerifyError::SkeletonArgCount { expected, found } => write!(
+                f,
+                "cached skeleton has {found} merged args but the probe window derives {expected}"
+            ),
+            VerifyError::SkeletonArgMismatch { index } => write!(
+                f,
+                "cached skeleton diverges from the probe window at merged arg {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Re-derives the cross-task dependence edges of a fusible prefix and checks
+/// that every one is point-wise (Definition 3): both endpoints access the
+/// store through the *same* partition and that partition never aliases
+/// across launch points. Launch domains must agree task-wide; single-point
+/// launches are exempt from the aliasing checks (every dependence is
+/// trivially point-wise — the same exception [`crate::ConstraintState`]
+/// applies).
+///
+/// This is translation validation of the vertical pass: it proves the same
+/// property the incremental constraint dataflow admitted, from scratch, over
+/// the final prefix.
+///
+/// Returns the number of individual checks performed.
+///
+/// # Errors
+///
+/// The first non-point-wise edge or domain mismatch found.
+pub fn verify_fused_prefix(prefix: &[IndexTask]) -> Result<usize, VerifyError> {
+    let Some(first) = prefix.first() else {
+        return Ok(0);
+    };
+    let mut checks = 0usize;
+    let domain = &first.launch_domain;
+    for t in &prefix[1..] {
+        if &t.launch_domain != domain {
+            return Err(VerifyError::LaunchDomainMismatch {
+                task: t.id,
+                expected: domain.clone(),
+                found: t.launch_domain.clone(),
+            });
+        }
+        checks += 1;
+    }
+    // With one launch point every dependence is point-wise by definition.
+    if domain.size() <= 1 {
+        return Ok(checks);
+    }
+    for (i, earlier) in prefix.iter().enumerate() {
+        for later in &prefix[i + 1..] {
+            for ea in &earlier.args {
+                for la in &later.args {
+                    if ea.store != la.store {
+                        continue;
+                    }
+                    checks += 1;
+                    // Reductions are mutually exclusive with reads and
+                    // writes in either direction (a partially reduced value
+                    // must never become visible inside the launch).
+                    if (ea.privilege.reduces() && (la.privilege.reads() || la.privilege.writes()))
+                        || (la.privilege.reduces()
+                            && (ea.privilege.reads() || ea.privilege.writes()))
+                    {
+                        return Err(VerifyError::NonPointwiseDependence {
+                            kind: DepKind::Reduction,
+                            store: ea.store,
+                            earlier: earlier.id,
+                            later: later.id,
+                        });
+                    }
+                    // RAW / WAW: a later read or write of a store the
+                    // earlier task writes must go through the identical,
+                    // non-aliasing partition.
+                    if ea.privilege.writes()
+                        && (la.privilege.reads() || la.privilege.writes())
+                        && (ea.partition != la.partition
+                            || ea.partition.may_alias_across_points())
+                    {
+                        return Err(VerifyError::NonPointwiseDependence {
+                            kind: if la.privilege.writes() {
+                                DepKind::Output
+                            } else {
+                                DepKind::True
+                            },
+                            store: ea.store,
+                            earlier: earlier.id,
+                            later: later.id,
+                        });
+                    }
+                    // WAR: a later write of a store the earlier task reads,
+                    // likewise.
+                    if ea.privilege.reads()
+                        && la.privilege.writes()
+                        && (ea.partition != la.partition
+                            || la.partition.may_alias_across_points())
+                    {
+                        return Err(VerifyError::NonPointwiseDependence {
+                            kind: DepKind::Anti,
+                            store: ea.store,
+                            earlier: earlier.id,
+                            later: later.id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Store-level effect summary of one task, for the reorder check.
+#[derive(Debug, Clone, Copy, Default)]
+struct Effect {
+    reads: bool,
+    writes: bool,
+    reduces: bool,
+}
+
+fn task_effects(task: &IndexTask) -> HashMap<StoreId, Effect> {
+    let mut effects: HashMap<StoreId, Effect> = HashMap::new();
+    for arg in &task.args {
+        let e = effects.entry(arg.store).or_default();
+        e.reads |= arg.privilege.reads();
+        e.writes |= arg.privilege.writes();
+        e.reduces |= arg.privilege.reduces();
+    }
+    effects
+}
+
+/// The first store on which reordering two tasks would be observable: shared
+/// with a write or reduce on either side (read-read sharing commutes;
+/// reduce-reduce does *not* for ordering purposes — float folds are
+/// order-sensitive).
+fn task_conflict(a: &HashMap<StoreId, Effect>, b: &HashMap<StoreId, Effect>) -> Option<StoreId> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut hit: Option<StoreId> = None;
+    for (&store, &ea) in small {
+        let Some(&eb) = large.get(&store) else {
+            continue;
+        };
+        let conflicting = ea.writes || ea.reduces || eb.writes || eb.reduces;
+        if conflicting && hit.map(|h| store < h).unwrap_or(true) {
+            hit = Some(store);
+        }
+    }
+    hit
+}
+
+/// Checks that `permuted` is a permutation of `original` that preserves the
+/// program order of every pair of tasks with a memory conflict (a shared
+/// store that either side writes or reduces to, through any view). This is
+/// the edge-by-edge validation of the horizontal pass's soundness argument:
+/// only independent pairs may flip.
+///
+/// Returns the number of individual checks performed.
+///
+/// # Errors
+///
+/// [`VerifyError::NotAPermutation`] if the task multisets diverge, or the
+/// first conflicting pair whose order flipped.
+pub fn verify_reorder(
+    original: &[IndexTask],
+    permuted: &[IndexTask],
+) -> Result<usize, VerifyError> {
+    let mut checks = 0usize;
+    let mut position: HashMap<TaskId, usize> = HashMap::with_capacity(permuted.len());
+    for (pos, t) in permuted.iter().enumerate() {
+        if position.insert(t.id, pos).is_some() {
+            return Err(VerifyError::NotAPermutation { task: t.id });
+        }
+    }
+    if permuted.len() != original.len() {
+        let task = original
+            .iter()
+            .find(|t| !position.contains_key(&t.id))
+            .map(|t| t.id)
+            .unwrap_or_else(|| permuted[original.len()].id);
+        return Err(VerifyError::NotAPermutation { task });
+    }
+    let positions: Vec<usize> = original
+        .iter()
+        .map(|t| {
+            position
+                .get(&t.id)
+                .copied()
+                .ok_or(VerifyError::NotAPermutation { task: t.id })
+        })
+        .collect::<Result<_, _>>()?;
+    checks += original.len();
+
+    let effects: Vec<HashMap<StoreId, Effect>> = original.iter().map(task_effects).collect();
+    for i in 0..original.len() {
+        for j in i + 1..original.len() {
+            checks += 1;
+            if positions[i] > positions[j] {
+                if let Some(store) = task_conflict(&effects[i], &effects[j]) {
+                    return Err(VerifyError::DependenceOrderViolation {
+                        store,
+                        earlier: original[i].id,
+                        later: original[j].id,
+                    });
+                }
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Checks a horizontal plan against the window it was computed over: the
+/// groups cover every segment exactly once, and every pair of members in a
+/// multi-member group is mutually admissible ([`SegmentFootprint::admits`]
+/// re-run in both directions) — equal launch domains and store footprints
+/// disjoint up to shared read-only inputs.
+///
+/// `segments` is the vertical segmentation the plan was computed from (as
+/// passed to [`crate::plan_horizontal`]).
+///
+/// Returns the number of individual checks performed.
+///
+/// # Errors
+///
+/// The first uncovered/duplicated segment or conflicting member pair.
+///
+/// # Panics
+///
+/// Panics if the segment lengths do not sum to `tasks.len()` (the same
+/// contract as [`crate::plan_horizontal`]).
+pub fn verify_horizontal_plan(
+    tasks: &[IndexTask],
+    segments: &[usize],
+    plan: &HorizontalPlan,
+) -> Result<usize, VerifyError> {
+    assert_eq!(
+        segments.iter().sum::<usize>(),
+        tasks.len(),
+        "segment lengths must cover the window"
+    );
+    let mut checks = 0usize;
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(segments.len());
+    let mut start = 0usize;
+    for &len in segments {
+        ranges.push(start..start + len);
+        start += len;
+    }
+    // Exact cover: every segment appears in exactly one group.
+    let mut seen = vec![false; segments.len()];
+    for group in plan.groups() {
+        for &seg in &group.members {
+            if seg >= seen.len() || seen[seg] {
+                return Err(VerifyError::BadGroupCover {
+                    segment: seg.min(seen.len()),
+                });
+            }
+            seen[seg] = true;
+            checks += 1;
+        }
+    }
+    if let Some(segment) = seen.iter().position(|&s| !s) {
+        return Err(VerifyError::BadGroupCover { segment });
+    }
+    // Pairwise member admissibility within each multi-member group, checked
+    // in both directions (admits is not symmetric for the RAW/WAR classes).
+    for (gi, group) in plan.groups().iter().enumerate() {
+        if group.members.len() < 2 {
+            continue;
+        }
+        let footprints: Vec<SegmentFootprint> = group
+            .members
+            .iter()
+            .map(|&seg| SegmentFootprint::of_tasks(&tasks[ranges[seg].clone()]))
+            .collect();
+        for (i, a) in footprints.iter().enumerate() {
+            for b in &footprints[i + 1..] {
+                a.admits(b)
+                    .and_then(|()| b.admits(a))
+                    .map_err(|violation| VerifyError::GroupConflict {
+                        group: gi,
+                        violation,
+                    })?;
+                checks += 2;
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Independently re-derives the canonical merged argument list of a prefix —
+/// first-occurrence store numbering over the prefix's arguments, one merged
+/// entry per distinct (store, partition) pair, privileges promoted across
+/// constituents (mirroring [`crate::FusedTask::build`] and the skeleton
+/// construction in the Diffuse core) — and compares it element by element to
+/// a memo-replayed skeleton's argument list. A fingerprint collision that
+/// slipped past the exact-match probe is caught here by construction: the
+/// colliding window derives a different canonical argument list.
+///
+/// Returns the number of individual checks performed.
+///
+/// # Errors
+///
+/// The first structural divergence between the re-derivation and the cached
+/// skeleton.
+pub fn verify_skeleton(
+    prefix: &[IndexTask],
+    skeleton_args: &[(u32, PartitionId, Privilege)],
+) -> Result<usize, VerifyError> {
+    let mut canon: HashMap<StoreId, u32> = HashMap::new();
+    let mut merged: Vec<(u32, PartitionId, Privilege)> = Vec::new();
+    for task in prefix {
+        for arg in &task.args {
+            let next = canon.len() as u32;
+            let ci = *canon.entry(arg.store).or_insert(next);
+            match merged.iter_mut().find(|(c, p, _)| *c == ci && *p == arg.partition) {
+                Some(slot) => slot.2 = slot.2.promote(arg.privilege),
+                None => merged.push((ci, arg.partition, arg.privilege)),
+            }
+        }
+    }
+    if merged.len() != skeleton_args.len() {
+        return Err(VerifyError::SkeletonArgCount {
+            expected: merged.len(),
+            found: skeleton_args.len(),
+        });
+    }
+    for (index, (ours, theirs)) in merged.iter().zip(skeleton_args).enumerate() {
+        if ours != theirs {
+            return Err(VerifyError::SkeletonArgMismatch { index });
+        }
+    }
+    Ok(merged.len() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::FusedTask;
+    use crate::prefix::fusible_segments;
+    use crate::{find_fusible_prefix, plan_horizontal};
+    use ir::{Partition, Privilege, Projection, ReductionOp, StoreArg};
+
+    fn block() -> Partition {
+        Partition::block(vec![4])
+    }
+
+    fn shifted() -> Partition {
+        Partition::tiling(vec![4], vec![1], Projection::Identity)
+    }
+
+    fn chain_task(id: u64, points: u64, input: u64, output: u64) -> IndexTask {
+        IndexTask::new(
+            TaskId(id),
+            0,
+            format!("t{id}"),
+            Domain::linear(points),
+            vec![
+                StoreArg::new(StoreId(input), block(), Privilege::Read),
+                StoreArg::new(StoreId(output), block(), Privilege::Write),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn admitted_prefixes_reverify() {
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 4, 1, 2)];
+        assert_eq!(find_fusible_prefix(&tasks), 2);
+        assert!(verify_fused_prefix(&tasks).unwrap() > 0);
+    }
+
+    #[test]
+    fn aliasing_raw_prefix_is_rejected() {
+        // Write through block, read back through a shifted view: the vertical
+        // pass would never admit this prefix; the verifier independently
+        // rejects it.
+        let writer = chain_task(0, 4, 0, 1);
+        let reader = IndexTask::new(
+            TaskId(1),
+            0,
+            "r",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(StoreId(1), shifted(), Privilege::Read),
+                StoreArg::new(StoreId(2), block(), Privilege::Write),
+            ],
+            vec![],
+        );
+        assert_eq!(find_fusible_prefix(&[writer.clone(), reader.clone()]), 1);
+        assert_eq!(
+            verify_fused_prefix(&[writer, reader]),
+            Err(VerifyError::NonPointwiseDependence {
+                kind: DepKind::True,
+                store: StoreId(1),
+                earlier: TaskId(0),
+                later: TaskId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn single_point_prefixes_are_exempt() {
+        let writer = chain_task(0, 1, 0, 1);
+        let mut reader = chain_task(1, 1, 5, 6);
+        reader.args[0] = StoreArg::new(StoreId(1), shifted(), Privilege::Read);
+        assert!(verify_fused_prefix(&[writer, reader]).is_ok());
+    }
+
+    #[test]
+    fn reduction_read_pair_is_rejected() {
+        let reducer = IndexTask::new(
+            TaskId(0),
+            0,
+            "sum",
+            Domain::linear(4),
+            vec![
+                StoreArg::new(StoreId(0), block(), Privilege::Read),
+                StoreArg::new(
+                    StoreId(1),
+                    Partition::Replicate,
+                    Privilege::Reduce(ReductionOp::Sum),
+                ),
+            ],
+            vec![],
+        );
+        let reader = IndexTask::new(
+            TaskId(1),
+            0,
+            "r",
+            Domain::linear(4),
+            vec![StoreArg::new(StoreId(1), Partition::Replicate, Privilege::Read)],
+            vec![],
+        );
+        assert!(matches!(
+            verify_fused_prefix(&[reducer, reader]),
+            Err(VerifyError::NonPointwiseDependence {
+                kind: DepKind::Reduction,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn domain_mismatch_is_rejected() {
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 8, 1, 2)];
+        assert!(matches!(
+            verify_fused_prefix(&tasks),
+            Err(VerifyError::LaunchDomainMismatch { task: TaskId(1), .. })
+        ));
+    }
+
+    #[test]
+    fn planner_output_reverifies() {
+        // Two independent chains split by a breaker: the plan merges them and
+        // both the plan and the permutation it induces re-verify.
+        let mut tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 4, 1, 2)];
+        tasks.push(IndexTask::new(
+            TaskId(2),
+            1,
+            "b",
+            Domain::linear(1),
+            vec![StoreArg::new(StoreId(100), Partition::Replicate, Privilege::Write)],
+            vec![],
+        ));
+        tasks.extend([chain_task(3, 4, 10, 11), chain_task(4, 4, 11, 12)]);
+        let segments = fusible_segments(&tasks);
+        let plan = plan_horizontal(&tasks, &segments);
+        assert!(!plan.is_identity());
+        assert!(verify_horizontal_plan(&tasks, &segments, &plan).unwrap() > 0);
+        let permuted = plan.apply(&tasks);
+        assert!(verify_reorder(&tasks, &permuted).unwrap() > 0);
+    }
+
+    #[test]
+    fn flipping_a_dependent_pair_is_rejected() {
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 4, 1, 2)];
+        let flipped = vec![tasks[1].clone(), tasks[0].clone()];
+        assert_eq!(
+            verify_reorder(&tasks, &flipped),
+            Err(VerifyError::DependenceOrderViolation {
+                store: StoreId(1),
+                earlier: TaskId(0),
+                later: TaskId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn flipping_an_independent_pair_is_admitted() {
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 4, 10, 11)];
+        let flipped = vec![tasks[1].clone(), tasks[0].clone()];
+        assert!(verify_reorder(&tasks, &flipped).is_ok());
+    }
+
+    #[test]
+    fn dropping_or_duplicating_a_task_is_not_a_permutation() {
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 4, 10, 11)];
+        assert_eq!(
+            verify_reorder(&tasks, &tasks[..1]),
+            Err(VerifyError::NotAPermutation { task: TaskId(1) })
+        );
+        let duplicated = vec![tasks[0].clone(), tasks[0].clone()];
+        assert_eq!(
+            verify_reorder(&tasks, &duplicated),
+            Err(VerifyError::NotAPermutation { task: TaskId(0) })
+        );
+    }
+
+    #[test]
+    fn skeleton_matches_its_own_prefix() {
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 4, 1, 2)];
+        let fused = FusedTask::build(tasks.clone());
+        // Canonical numbering: store 0 -> 0, store 1 -> 1, store 2 -> 2.
+        let skeleton: Vec<(u32, PartitionId, Privilege)> = fused
+            .args
+            .iter()
+            .map(|(s, p, pr)| (s.0 as u32, *p, *pr))
+            .collect();
+        assert!(verify_skeleton(&tasks, &skeleton).unwrap() > 0);
+
+        // Corrupt the privilege of one merged arg: the re-derivation catches it.
+        let mut corrupt = skeleton.clone();
+        corrupt[1].2 = Privilege::Read;
+        assert_eq!(
+            verify_skeleton(&tasks, &corrupt),
+            Err(VerifyError::SkeletonArgMismatch { index: 1 })
+        );
+
+        // Drop an arg: the count check catches it.
+        assert_eq!(
+            verify_skeleton(&tasks, &skeleton[..2]),
+            Err(VerifyError::SkeletonArgCount {
+                expected: 3,
+                found: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_group_cover_is_rejected() {
+        // Different launch domains keep the two tasks in separate segments.
+        let tasks = vec![chain_task(0, 4, 0, 1), chain_task(1, 8, 10, 11)];
+        let segments = fusible_segments(&tasks);
+        assert_eq!(segments, vec![1, 1]);
+        let plan = plan_horizontal(&tasks, &segments);
+        // The real plan covers; verify against a mismatched window panics, so
+        // instead drop a segment from the plan's coverage by shrinking the
+        // segmentation contract: use a plan from a sub-window.
+        assert!(verify_horizontal_plan(&tasks, &segments, &plan).is_ok());
+        let sub_plan = plan_horizontal(&tasks[..1], &segments[..1]);
+        assert!(matches!(
+            verify_horizontal_plan(&tasks, &segments, &sub_plan),
+            Err(VerifyError::BadGroupCover { .. })
+        ));
+    }
+}

@@ -10,8 +10,9 @@
 //! equivalent substrate: a small loop-nest IR ([`ir::KernelModule`]) standing
 //! in for the `memref`/`affine`/`arith` dialects, a [`generator::GeneratorRegistry`]
 //! for library-provided kernel bodies, a compilation [`passes::Pipeline`] that
-//! mirrors Figure 8 (sequential composition → temporary demotion → loop fusion
-//! + store-to-load forwarding → dead temporary elimination → parallelization),
+//! mirrors Figure 8 (sequential composition → temporary demotion → loop
+//! fusion + store-to-load forwarding → dead temporary elimination →
+//! parallelization),
 //! an [`interp::Interpreter`] that executes compiled kernels on real `f64`
 //! buffers so fused and unfused executions can be checked for numerical
 //! equality, and a [`cost`] module that estimates memory traffic, arithmetic
@@ -68,6 +69,7 @@ pub mod interp;
 pub mod ir;
 pub mod passes;
 pub mod simd;
+pub mod verify;
 
 pub use backend::{compile_interp, BackendKind, CompiledKernel, InterpBackend, KernelBackend};
 pub use builder::LoopBuilder;
@@ -83,3 +85,7 @@ pub use ir::{
     OpaqueOp, ReduceOp, UnaryOp, ValueId,
 };
 pub use passes::{Pipeline, PipelineConfig, PipelineResult};
+pub use verify::{
+    lint_privilege_precision, verify_against_signature, verify_lowering, verify_module,
+    PrecisionLint, VerifyError,
+};

@@ -83,10 +83,10 @@ type Row = [[f64; LANES]; VECTORS];
 /// prelude/body micro-op streams with values renumbered in definition order,
 /// so `dst > operands` holds for every op (the `split_at_mut` invariant).
 #[derive(Debug)]
-struct LanePlan {
-    prelude: Vec<Instr>,
-    body: Vec<Instr>,
-    num_regs: usize,
+pub(crate) struct LanePlan {
+    pub(crate) prelude: Vec<Instr>,
+    pub(crate) body: Vec<Instr>,
+    pub(crate) num_regs: usize,
 }
 
 /// One compiled loop stage: the shared closure lowering plus, when the
@@ -192,7 +192,7 @@ impl CompiledKernel for SimdCompiled {
 /// operands'. Returns `None` if any operand is read before definition —
 /// impossible for streams the closure lowering marked `vectorized`, but the
 /// caller falls back to the exact schedule rather than trusting that.
-fn renumber(l: &CompiledLoop) -> Option<LanePlan> {
+pub(crate) fn renumber(l: &CompiledLoop) -> Option<LanePlan> {
     const UNDEF: u32 = u32::MAX;
     let mut map = vec![UNDEF; l.num_values.max(1)];
     let mut next: u32 = 0;

@@ -179,7 +179,7 @@ fn build_loop(domain: BufferId, raw_ops: &[RawOp]) -> LoopKernel {
 /// valid CSR structure), so SpMV runs only against the dedicated CSR input
 /// set and GEMV is covered by the unit tests in `kernel::closure`.
 fn build_opaque(kind: u64) -> OpaqueOp {
-    if kind % 2 == 0 {
+    if kind.is_multiple_of(2) {
         OpaqueOp::Restrict {
             fine: BufferId(0),
             coarse: BufferId(3),

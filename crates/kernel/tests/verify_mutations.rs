@@ -1,0 +1,192 @@
+//! Mutation-style negative property tests for `kernel::verify`.
+//!
+//! Each test generates a random *well-formed* module (which must verify
+//! cleanly), applies one targeted corruption of the kind a buggy generator,
+//! composer or lowering could introduce — an undefined operand, an aliased
+//! SSA destination, a store into a read-only buffer, a shrunken buffer, a
+//! store/reduce overlap, a signature drift — and asserts that the verifier
+//! rejects the mutant with the *specific* [`VerifyError`] variant that names
+//! the violated invariant. The point is not just "some error": a verifier
+//! that trips the wrong check would produce useless diagnostics.
+
+use kernel::builder::LoopBuilder;
+use kernel::ir::{
+    BinaryOp, BufferId, BufferRole, KernelModule, KernelStage, LoopOp, ReduceOp, ValueId,
+};
+use kernel::{verify_against_signature, verify_module, TaskSignature, VerifyError};
+use proptest::prelude::*;
+
+/// Iteration-domain length of every generated module.
+const N: usize = 8;
+
+/// Builds a well-formed elementwise module: `ni` input buffers, a random
+/// arithmetic chain over them (shaped by `picks`), and one store into a
+/// dedicated output buffer. Every generated module verifies cleanly.
+fn build_module(ni: usize, picks: &[(u8, u8, u8)]) -> KernelModule {
+    let mut m = KernelModule::new(ni as u32 + 1);
+    let out = BufferId(ni as u32);
+    m.set_role(out, BufferRole::Output);
+    let mut lb = LoopBuilder::new("gen", BufferId(0));
+    let mut vals: Vec<ValueId> = (0..ni).map(|b| lb.load(BufferId(b as u32))).collect();
+    for &(op, a, b) in picks {
+        let x = vals[a as usize % vals.len()];
+        let y = vals[b as usize % vals.len()];
+        let op = match op % 4 {
+            0 => BinaryOp::Add,
+            1 => BinaryOp::Sub,
+            2 => BinaryOp::Mul,
+            _ => BinaryOp::Max,
+        };
+        vals.push(lb.binary(op, x, y));
+    }
+    let result = *vals.last().unwrap();
+    lb.store(out, result);
+    m.push_loop(lb.finish());
+    m
+}
+
+fn arb_module() -> impl Strategy<Value = KernelModule> {
+    (
+        1usize..4,
+        prop::collection::vec((0u8..4, 0u8..8, 0u8..8), 1..6),
+    )
+        .prop_map(|(ni, picks)| build_module(ni, &picks))
+}
+
+/// Buffer lengths matching the generated layout: `N` for every buffer.
+fn full_lens(m: &KernelModule) -> Vec<usize> {
+    vec![N; m.num_buffers() as usize]
+}
+
+/// The single loop stage of a generated module, for mutation.
+fn loop_ops(m: &mut KernelModule) -> &mut Vec<LoopOp> {
+    match &mut m.stages[0] {
+        KernelStage::Loop(l) => &mut l.ops,
+        KernelStage::Opaque(_) => panic!("generated modules have one loop stage"),
+    }
+}
+
+/// Op indices of the module's arithmetic (mutable-operand) instructions.
+fn arith_indices(m: &KernelModule) -> Vec<usize> {
+    match &m.stages[0] {
+        KernelStage::Loop(l) => l
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, LoopOp::Binary { .. }))
+            .map(|(i, _)| i)
+            .collect(),
+        KernelStage::Opaque(_) => panic!("generated modules have one loop stage"),
+    }
+}
+
+proptest! {
+    /// The unmutated module always verifies — the baseline every mutation
+    /// test below perturbs.
+    #[test]
+    fn generated_modules_verify(m in arb_module()) {
+        prop_assert!(verify_module(&m, Some(&full_lens(&m))).unwrap() > 0);
+    }
+
+    /// Corrupting one arithmetic operand to a never-defined value is caught
+    /// as use-before-def.
+    #[test]
+    fn undefined_operand_is_rejected(m in arb_module(), pick in 0usize..64) {
+        let mut m = m;
+        let arith = arith_indices(&m);
+        let target = arith[pick % arith.len()];
+        let bogus = ValueId(u32::MAX);
+        if let LoopOp::Binary { a, .. } = &mut loop_ops(&mut m)[target] {
+            *a = bogus;
+        }
+        prop_assert_eq!(
+            verify_module(&m, None),
+            Err(VerifyError::UseBeforeDef { stage: 0, op: target, value: bogus })
+        );
+    }
+
+    /// Aliasing one op's destination onto an earlier definition is caught as
+    /// a multiple assignment (the SSA invariant every backend relies on).
+    #[test]
+    fn aliased_destination_is_rejected(m in arb_module(), pick in 0usize..64) {
+        let mut m = m;
+        let arith = arith_indices(&m);
+        let target = arith[pick % arith.len()];
+        // Every generated module loads at least one input first, so value 0
+        // is always defined before any arithmetic op.
+        let aliased = ValueId(0);
+        if let LoopOp::Binary { dst, .. } = &mut loop_ops(&mut m)[target] {
+            *dst = aliased;
+        }
+        prop_assert_eq!(
+            verify_module(&m, None),
+            Err(VerifyError::MultipleAssignment { stage: 0, op: target, value: aliased })
+        );
+    }
+
+    /// Demoting the stored buffer's role back to `Input` is caught as a role
+    /// mismatch: kernels must never write read-only arguments.
+    #[test]
+    fn store_into_input_role_is_rejected(m in arb_module()) {
+        let mut m = m;
+        let out = BufferId(m.num_buffers() - 1);
+        m.set_role(out, BufferRole::Input);
+        prop_assert!(matches!(
+            verify_module(&m, None),
+            Err(VerifyError::RoleMismatch { buffer, access: "store", .. }) if buffer == out
+        ));
+    }
+
+    /// Shrinking the output buffer below the iteration domain is caught as an
+    /// out-of-bounds access against the compiled layout.
+    #[test]
+    fn shrunken_buffer_is_rejected(m in arb_module(), shrink in 1usize..N) {
+        let mut lens = full_lens(&m);
+        let out = m.num_buffers() as usize - 1;
+        lens[out] = N - shrink;
+        prop_assert_eq!(
+            verify_module(&m, Some(&lens)),
+            Err(VerifyError::BufferTooSmall {
+                stage: 0,
+                buffer: BufferId(out as u32),
+                needed: N,
+                available: N - shrink,
+            })
+        );
+    }
+
+    /// Appending a reduction into the elementwise-stored output buffer is
+    /// caught as a store/reduce overlap (the fold would race the stores).
+    #[test]
+    fn store_reduce_overlap_is_rejected(m in arb_module()) {
+        let mut m = m;
+        let out = BufferId(m.num_buffers() - 1);
+        loop_ops(&mut m).push(LoopOp::Reduce {
+            buffer: out,
+            op: ReduceOp::Sum,
+            src: ValueId(0),
+        });
+        prop_assert!(matches!(
+            verify_module(&m, None),
+            Err(VerifyError::StoreReduceOverlap { stage: 0, buffer }) if buffer == out
+        ));
+    }
+
+    /// A signature that flips the written argument to `Read` disagrees with
+    /// the kernel and is rejected as a role conflict — while the matching
+    /// signature passes.
+    #[test]
+    fn signature_drift_is_rejected(m in arb_module()) {
+        let ni = m.num_buffers() as usize - 1;
+        let mut good = TaskSignature::new();
+        for _ in 0..ni {
+            good = good.read();
+        }
+        prop_assert!(verify_against_signature(&m, &good.clone().write()).is_ok());
+        let drifted = good.read(); // declares the stored output read-only
+        prop_assert!(matches!(
+            verify_against_signature(&m, &drifted),
+            Err(VerifyError::SignatureRoleConflict { arg, access: "store", .. }) if arg == ni
+        ));
+    }
+}

@@ -86,7 +86,7 @@ impl MachineConfig {
             Self::single_node(gpus)
         } else {
             assert!(
-                gpus % 8 == 0,
+                gpus.is_multiple_of(8),
                 "multi-node configurations must use whole nodes of 8 GPUs, got {gpus}"
             );
             Self::a100_superpod(gpus / 8)

@@ -254,6 +254,7 @@ impl PetscSolver {
 
     /// `z = alpha * x + beta * y + gamma * z` (the fused VecAXPBYPCZ kernel
     /// PETSc exposes for BiCGSTAB).
+    #[allow(clippy::too_many_arguments)] // mirrors PETSc's VecAXPBYPCZ signature
     pub fn axpbypcz(
         &mut self,
         n: u64,

@@ -56,10 +56,11 @@ use crate::runtime::RuntimeError;
 /// let parallel = ExecutorKind::WorkStealing { workers: Some(4) };
 /// assert_ne!(parallel, ExecutorKind::Serial);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutorKind {
     /// Run functional work inline on the submitting thread (deterministic
     /// baseline; the default).
+    #[default]
     Serial,
     /// Run functional work on a work-stealing pool.
     WorkStealing {
@@ -67,12 +68,6 @@ pub enum ExecutorKind {
         /// the host's available parallelism.
         workers: Option<usize>,
     },
-}
-
-impl Default for ExecutorKind {
-    fn default() -> Self {
-        ExecutorKind::Serial
-    }
 }
 
 impl ExecutorKind {
@@ -833,6 +828,6 @@ mod tests {
             3
         );
         let auto = ExecutorKind::WorkStealing { workers: None }.worker_count(8);
-        assert!(auto >= 1 && auto <= 8);
+        assert!((1..=8).contains(&auto));
     }
 }

@@ -144,7 +144,7 @@ impl StencilContext {
     fn view_partition(&self, interior: &[u64], offset: &[u64]) -> Partition {
         let gpus = (self.ctx.gpus() as u64).max(1);
         assert!(
-            interior[0] % gpus == 0 || gpus == 1,
+            interior[0].is_multiple_of(gpus) || gpus == 1,
             "stencil leading interior extent {} must be divisible by the GPU count {gpus}",
             interior[0]
         );

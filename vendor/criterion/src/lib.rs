@@ -74,7 +74,7 @@ impl Bencher {
 
         let budget = self.measurement_time;
         let total_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let samples = total_iters.min(5).max(1);
+        let samples = total_iters.clamp(1, 5);
         let batch = (total_iters / samples).max(1);
 
         let mut elapsed = Duration::ZERO;

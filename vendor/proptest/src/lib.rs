@@ -36,6 +36,10 @@
 //! assert!((1..4).contains(&v.len()));
 //! ```
 
+// The `#[test]` in the example above documents the macro's surface; the real
+// proptest crate ships the same kind of example.
+#![allow(clippy::test_attr_in_doctest)]
+
 /// Deterministic generator driving test-case generation.
 ///
 /// Wraps the vendored [`rand`] crate's [`rand::rngs::StdRng`] (the real
