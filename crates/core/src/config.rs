@@ -2,7 +2,7 @@
 
 use kernel::BackendKind;
 use machine::MachineConfig;
-use runtime::ExecutorKind;
+use runtime::{ExecutorKind, FaultPlan, RecoveryPolicy};
 
 /// Configuration of a [`crate::Context`].
 ///
@@ -61,6 +61,22 @@ pub struct DiffuseConfig {
     /// `DIFFUSE_VERIFY` environment variable when set, otherwise on in debug
     /// builds (`debug_assertions`) and off in release builds.
     pub enable_verification: bool,
+    /// How a verifier violation surfaces. `true` (the default in debug
+    /// builds, where a violation is a Diffuse bug the test suite should trap
+    /// loudly) keeps the historical panic. `false` routes the violation
+    /// through the per-launch failure path as a structured
+    /// [`runtime::RuntimeError::Verify`]: only the offending window's
+    /// dependence cone fails, and independent work completes — the behavior a
+    /// long-running service wants (see `docs/RESILIENCE.md`).
+    pub verify_fail_fast: bool,
+    /// Deterministic fault-injection plan forwarded to the runtime (`None`
+    /// disables injection). Defaults to [`FaultPlan::from_env`], i.e. the
+    /// `DIFFUSE_FAULTS=<seed>:<rate>` environment variable; unset leaves the
+    /// fault layer dormant at zero cost.
+    pub fault_plan: Option<FaultPlan>,
+    /// Recovery policy applied to injected faults (retry budget, backoff
+    /// pricing, GPU health threshold).
+    pub recovery: RecoveryPolicy,
 }
 
 impl DiffuseConfig {
@@ -113,6 +129,9 @@ impl DiffuseConfig {
             executor: ExecutorKind::from_env(),
             backend: BackendKind::from_env(),
             enable_verification: Self::verification_from_env(),
+            verify_fail_fast: cfg!(debug_assertions),
+            fault_plan: FaultPlan::from_env(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -198,6 +217,28 @@ impl DiffuseConfig {
     /// for the invariant catalog.
     pub fn with_verification(mut self, enabled: bool) -> Self {
         self.enable_verification = enabled;
+        self
+    }
+
+    /// Chooses how verifier violations surface: `true` panics (debug-build
+    /// default), `false` degrades them to structured per-launch failures that
+    /// poison only the offending window's dependence cone.
+    pub fn with_verify_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.verify_fail_fast = fail_fast;
+        self
+    }
+
+    /// Enables deterministic fault injection under the given plan, overriding
+    /// the `DIFFUSE_FAULTS` default. See `docs/RESILIENCE.md`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the recovery policy (only observable while a fault plan is
+    /// active).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 }

@@ -17,7 +17,10 @@ use kernel::{
     BufferId, BufferRole, CompileTimeModel, CompiledKernel, GenArgs, GeneratorRegistry,
     KernelBackend, KernelModule, LibraryId, Pipeline, PipelineConfig, TaskKind, TaskSignature,
 };
-use runtime::{OverheadClass, Profile, RegionId, RegionRequirement, Runtime, RuntimeConfig, TaskLaunch};
+use runtime::{
+    AccessSummary, FaultSite, LaunchFailure, OverheadClass, Profile, RegionId, RegionRequirement,
+    Runtime, RuntimeConfig, RuntimeError, TaskLaunch,
+};
 
 use crate::config::DiffuseConfig;
 use crate::handle::StoreHandle;
@@ -115,6 +118,23 @@ pub struct ContextInner {
     /// Task kinds already run through the privilege-precision lint (the lint
     /// reports once per kind, not once per launch).
     linted_kinds: HashSet<u32>,
+    /// Per-launch failure records drained from the runtime across batch
+    /// boundaries, kept until [`Context::take_failures`].
+    batch_failures: Vec<LaunchFailure>,
+}
+
+/// Deterministic content key of a kernel module for the [`FaultSite::Compile`]
+/// fault site: the same module degrades identically wherever and whenever it
+/// is compiled, keeping injected compile-fault schedules executor- and
+/// window-permutation-invariant (the key is a pure function of the module,
+/// like the launch fingerprint is of the launch).
+fn module_content_key(module: &KernelModule) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{module:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 impl ContextInner {
@@ -281,22 +301,28 @@ impl ContextInner {
     /// Kernel-level verification of one generated task module: IR/micro-op
     /// invariants with the concrete buffer lengths, consistency against the
     /// task kind's declared [`TaskSignature`], and the once-per-kind
-    /// privilege-precision lint. Panics with a structured diagnostic on any
-    /// violated invariant; lint findings only warn (over-broad privileges
-    /// are legal — they just inhibit fusion).
-    fn verify_task_module(&mut self, task: &IndexTask, module: &KernelModule, lens: &[usize]) {
-        let mut checks = kernel::verify::verify_module(module, Some(lens)).unwrap_or_else(|e| {
-            panic!("diffuse-verify: kernel module of `{}` violates an IR invariant: {e}", task.name)
-        });
+    /// privilege-precision lint. Returns the rendered violation (routed by
+    /// the caller through [`ContextInner::verify_violation`]); lint findings
+    /// only warn (over-broad privileges are legal — they just inhibit
+    /// fusion).
+    fn verify_task_module(
+        &mut self,
+        task: &IndexTask,
+        module: &KernelModule,
+        lens: &[usize],
+    ) -> Result<(), String> {
+        let mut checks = kernel::verify::verify_module(module, Some(lens)).map_err(|e| {
+            format!("kernel module of `{}` violates an IR invariant: {e}", task.name)
+        })?;
         let kind = TaskKind::decode(task.kind);
         let mut lints = Vec::new();
         if let Some(sig) = self.registry.signature(kind) {
-            checks += kernel::verify::verify_against_signature(module, sig).unwrap_or_else(|e| {
-                panic!(
-                    "diffuse-verify: kernel of `{}` is inconsistent with its declared signature: {e}",
+            checks += kernel::verify::verify_against_signature(module, sig).map_err(|e| {
+                format!(
+                    "kernel of `{}` is inconsistent with its declared signature: {e}",
                     task.name
                 )
-            });
+            })?;
             if !self.linted_kinds.contains(&task.kind) {
                 lints = kernel::verify::lint_privilege_precision(module, sig);
             }
@@ -312,20 +338,71 @@ impl ContextInner {
             }
         }
         self.stats.verification_checks += checks as u64;
+        Ok(())
     }
 
     /// Backend-lowering verification of a module that is about to be (or
     /// was) compiled for real execution: re-lowers each loop through the
     /// configured backend's path and checks register SSA/disjointness.
-    fn verify_lowered(&mut self, name: &str, module: &KernelModule) {
-        let checks =
-            kernel::verify::verify_lowering(module, self.config.backend).unwrap_or_else(|e| {
-                panic!(
-                    "diffuse-verify: {:?} lowering of `{name}` violates an invariant: {e}",
-                    self.config.backend
-                )
-            });
+    fn verify_lowered(&mut self, name: &str, module: &KernelModule) -> Result<(), String> {
+        let checks = kernel::verify::verify_lowering(module, self.config.backend).map_err(|e| {
+            format!(
+                "{:?} lowering of `{name}` violates an invariant: {e}",
+                self.config.backend
+            )
+        })?;
         self.stats.verification_checks += checks as u64;
+        Ok(())
+    }
+
+    /// Routes one verifier violation according to the fail-fast bit.
+    ///
+    /// With `verify_fail_fast` on (the default in debug builds) the
+    /// violation panics at the check site — the historical behavior, kept so
+    /// test suites stop at the first broken invariant. With it off the
+    /// violation becomes a structured [`RuntimeError::Verify`] recorded
+    /// against the launch: its dependence cone (everything downstream of
+    /// `accesses`) is poisoned and skipped, independent work proceeds, and
+    /// the record is retrievable via [`Context::take_failures`].
+    fn verify_violation(&mut self, launch: &str, detail: String, accesses: &[AccessSummary]) {
+        if self.config.verify_fail_fast {
+            panic!("diffuse-verify: {detail}");
+        }
+        eprintln!("diffuse-verify: contained: verification of `{launch}` failed: {detail}");
+        let error = RuntimeError::Verify {
+            launch: launch.to_string(),
+            detail,
+        };
+        self.runtime.poison_launch(launch, accesses, error);
+    }
+
+    /// Access summaries of a launch's store arguments (allocating backing
+    /// regions as needed) — the hazard set a contained verification failure
+    /// poisons.
+    fn poison_accesses(&mut self, args: &[(StoreId, Privilege)]) -> Vec<AccessSummary> {
+        args.iter()
+            .map(|&(store, privilege)| {
+                let region = self.ensure_region(store);
+                AccessSummary::from_privilege(region, privilege)
+            })
+            .collect()
+    }
+
+    /// Contains a verification failure of a built fused task: the launch is
+    /// never executed; its would-be accesses poison the dependence cone.
+    fn poison_fused(&mut self, fused: &FusedTask, detail: String) {
+        let args: Vec<(StoreId, Privilege)> =
+            fused.args.iter().map(|(s, _, pr)| (*s, *pr)).collect();
+        let accesses = self.poison_accesses(&args);
+        self.verify_violation(&fused.name, detail, &accesses);
+    }
+
+    /// Contains a verification failure of a planned (not yet drained) fused
+    /// prefix: drains it — it will not be launched — and fails its cone.
+    fn poison_fused_prefix(&mut self, prefix_len: usize, detail: String) {
+        let prefix = self.window.drain_prefix(prefix_len);
+        let fused = FusedTask::build(prefix);
+        self.poison_fused(&fused, detail);
     }
 
     /// Compiles a module into a launchable artifact. Simulation-only
@@ -333,14 +410,49 @@ impl ContextInner {
     /// through its module — so they skip real backend lowering and wrap
     /// with the interpreter regardless of the configured backend, whose
     /// `compile_cost` hook still prices the simulated JIT for the clock.
-    fn compile_artifact(&self, module: &KernelModule) -> Arc<dyn CompiledKernel> {
-        if self.config.materialize_data {
-            self.backend
-                .compile(module)
-                .expect("kernel compilation failed")
-        } else {
-            kernel::compile_interp(module.clone())
+    ///
+    /// Under an active fault plan, [`FaultSite::Compile`] faults degrade the
+    /// backend down the simd → closure → interp chain (`BackendKind::
+    /// fallback`): each injected failure's JIT work is still charged to
+    /// `compile_time` before the next tier retries, and the interpreter is
+    /// terminal (its "compilation" is a wrap that cannot fail). Faults are
+    /// keyed by module content with the tier index as the attempt, so an
+    /// identical module degrades identically under any executor, backend
+    /// memoization state or window permutation — and the memoized artifact
+    /// (keyed by `(CanonicalWindow, backend)` through the per-context cache)
+    /// simply carries the degraded tier's kernel.
+    fn compile_artifact(&mut self, name: &str, module: &KernelModule) -> Arc<dyn CompiledKernel> {
+        if !self.config.materialize_data {
+            return kernel::compile_interp(module.clone());
         }
+        let mut kind = self.config.backend;
+        let mut backend = Arc::clone(&self.backend);
+        if let Some(plan) = self.config.fault_plan.filter(|p| p.rate() > 0.0) {
+            let key = module_content_key(module);
+            let mut tier = 0u32;
+            while plan.should_fault(FaultSite::Compile, key, tier) {
+                let Some(fb) = kind.fallback() else {
+                    break;
+                };
+                self.stats.faults_injected += 1;
+                // The failed tier's JIT work is not free: it is paid for and
+                // then thrown away, like a real compiler crash mid-build.
+                self.stats.compile_time += backend.compile_cost(module, &self.compile_model);
+                kind = fb;
+                backend = fb.backend();
+                tier += 1;
+            }
+            if tier > 0 {
+                self.stats.degraded_launches += 1;
+                eprintln!(
+                    "diffuse-chaos: compile of `{name}` degraded {} -> {} after {tier} injected \
+                     compile fault(s)",
+                    self.config.backend.id(),
+                    kind.id()
+                );
+            }
+        }
+        backend.compile(module).expect("kernel compilation failed")
     }
 
     /// Launches a single task without fusion. The module is compiled through
@@ -357,8 +469,16 @@ impl ContextInner {
         if self.config.enable_verification {
             let mut lens = arg_lens;
             lens.extend(local_lens.iter().copied());
-            self.verify_task_module(&task, &module, &lens);
-            self.verify_lowered(&task.name, &module);
+            let verdict = self
+                .verify_task_module(&task, &module, &lens)
+                .and_then(|()| self.verify_lowered(&task.name, &module));
+            if let Err(detail) = verdict {
+                let args: Vec<(StoreId, Privilege)> =
+                    task.args.iter().map(|a| (a.store, a.privilege)).collect();
+                let accesses = self.poison_accesses(&args);
+                self.verify_violation(&task.name, detail, &accesses);
+                return;
+            }
         }
         let requirements: Vec<RegionRequirement> = task
             .args
@@ -372,7 +492,7 @@ impl ContextInner {
             name: task.name.clone(),
             launch_domain: task.launch_domain.clone(),
             requirements,
-            kernel: self.compile_artifact(&module),
+            kernel: self.compile_artifact(&task.name, &module),
             scalars: task.scalars.clone(),
             local_buffer_lens: local_lens,
             overhead: OverheadClass::TaskRuntime,
@@ -405,11 +525,15 @@ impl ContextInner {
         // fusion decision preserves them (translation validation of the
         // window analysis — see `fusion::verify`).
         if self.config.enable_verification {
-            let checks = fusion::verify_fused_prefix(&self.window.tasks()[..prefix_len])
-                .unwrap_or_else(|e| {
-                    panic!("diffuse-verify: planned fused prefix violates a dependence invariant: {e}")
-                });
-            self.stats.verification_checks += checks as u64;
+            match fusion::verify_fused_prefix(&self.window.tasks()[..prefix_len]) {
+                Ok(checks) => self.stats.verification_checks += checks as u64,
+                Err(e) => {
+                    let detail =
+                        format!("planned fused prefix violates a dependence invariant: {e}");
+                    self.poison_fused_prefix(prefix_len, detail);
+                    return;
+                }
+            }
         }
 
         // Liveness (which fused args become task-local temporaries) is the
@@ -502,29 +626,41 @@ impl ContextInner {
         };
 
         let (module, generator_local_lens) =
-            self.compose_and_optimize(&fused, &is_temp, &arg_volumes);
+            match self.compose_and_optimize(&fused, &is_temp, &arg_volumes) {
+                Ok(v) => v,
+                Err(detail) => {
+                    self.poison_fused(&fused, detail);
+                    return;
+                }
+            };
         if self.config.enable_verification {
             // The optimized composite, still in fused-arg numbering: check
             // IR invariants against the concrete buffer lengths the pipeline
             // was given.
             let mut lens = arg_volumes.clone();
             lens.extend(generator_local_lens.iter().copied());
-            let checks =
-                kernel::verify::verify_module(&module, Some(&lens)).unwrap_or_else(|e| {
-                    panic!(
-                        "diffuse-verify: optimized module of `{}` violates an IR invariant: {e}",
+            match kernel::verify::verify_module(&module, Some(&lens)) {
+                Ok(checks) => self.stats.verification_checks += checks as u64,
+                Err(e) => {
+                    let detail = format!(
+                        "optimized module of `{}` violates an IR invariant: {e}",
                         fused.name
-                    )
-                });
-            self.stats.verification_checks += checks as u64;
+                    );
+                    self.poison_fused(&fused, detail);
+                    return;
+                }
+            }
         }
         let remap = build_remap(generator_local_lens.len());
         let module = module.remap_buffers(&remap);
         if self.config.enable_verification {
             // The launch-layout module is what the backend actually lowers.
-            self.verify_lowered(&fused.name, &module);
+            if let Err(detail) = self.verify_lowered(&fused.name, &module) {
+                self.poison_fused(&fused, detail);
+                return;
+            }
         }
-        let kernel = self.compile_artifact(&module);
+        let kernel = self.compile_artifact(&fused.name, &module);
         if let Some(key) = memo_key {
             // (Re)memoize the complete launch skeleton so the next
             // isomorphic window relaunches without rebuilding any of it.
@@ -618,21 +754,24 @@ impl ContextInner {
     /// per-launch work is resolving canonical indices to store ids, ensuring
     /// backing regions and gathering scalars.
     fn launch_from_skeleton(&mut self, prefix_len: usize, art: &CompiledArtifact) {
-        let prefix = &self.window.tasks()[..prefix_len];
-        Self::collect_libraries(&mut self.lib_scratch, prefix);
+        Self::collect_libraries(&mut self.lib_scratch, &self.window.tasks()[..prefix_len]);
         // A fingerprint probe found this skeleton; check the replayed
         // structure actually matches the probe window (a fingerprint
         // collision would be caught here, by construction).
         if self.config.enable_verification {
-            let checks = fusion::verify_skeleton(prefix, &art.args).unwrap_or_else(|e| {
-                panic!(
-                    "diffuse-verify: memo-replayed skeleton `{}` does not match the probe \
-                     window: {e}",
-                    art.name
-                )
-            });
-            self.stats.verification_checks += checks as u64;
+            match fusion::verify_skeleton(&self.window.tasks()[..prefix_len], &art.args) {
+                Ok(checks) => self.stats.verification_checks += checks as u64,
+                Err(e) => {
+                    let detail = format!(
+                        "memo-replayed skeleton `{}` does not match the probe window: {e}",
+                        art.name
+                    );
+                    self.poison_fused_prefix(prefix_len, detail);
+                    return;
+                }
+            }
         }
+        let prefix = &self.window.tasks()[..prefix_len];
         let launch_domain = prefix[0].launch_domain.clone();
         let mut scalars = std::mem::take(&mut self.scalar_scratch);
         scalars.extend(prefix.iter().flat_map(|t| t.scalars.iter().copied()));
@@ -714,7 +853,7 @@ impl ContextInner {
         fused: &FusedTask,
         is_temp: &[bool],
         arg_volumes: &[usize],
-    ) -> (KernelModule, Vec<usize>) {
+    ) -> Result<(KernelModule, Vec<usize>), String> {
         let mut module = KernelModule::new(fused.args.len() as u32);
         for (i, (_, _, priv_)) in fused.args.iter().enumerate() {
             let role = if is_temp[i] {
@@ -744,7 +883,7 @@ impl ContextInner {
                 let mut lens = arg_lens;
                 let num_locals = body.num_buffers() as usize - task.args.len();
                 lens.extend(std::iter::repeat_n(max_arg_vol, num_locals));
-                self.verify_task_module(task, &body, &lens);
+                self.verify_task_module(task, &body, &lens)?;
             }
             body.offset_params(scalar_offset);
             scalar_offset += task.scalars.len();
@@ -780,7 +919,7 @@ impl ContextInner {
         // Alias pairs: fused args backed by the same store through different
         // partitions must not be loop-fused (they may overlap in memory).
         let compiled = Pipeline::new(pipeline_config).run(module, &lens);
-        (compiled.module, generator_local_lens)
+        Ok((compiled.module, generator_local_lens))
     }
 
     /// Processes the entire buffered window: repeatedly extract a fusible
@@ -807,34 +946,49 @@ impl ContextInner {
             if segments.len() > 1 {
                 let plan = plan_horizontal(self.window.tasks(), &segments);
                 if !plan.is_identity() {
+                    // Independently re-check the planner's claims: every
+                    // launch group is pairwise independent (write-disjoint
+                    // with matching domains), and the reorder it implies
+                    // never flips a dependent pair. A contained violation
+                    // (fail-fast off) records the failure and skips the
+                    // reorder — the un-permuted window is always legal, so
+                    // the plan degrades to vertical-only fusion rather than
+                    // failing any launch.
+                    let mut plan_ok = true;
                     if self.config.enable_verification {
-                        // Independently re-check the planner's claims: every
-                        // launch group is pairwise independent (write-disjoint
-                        // with matching domains), and the reorder it implies
-                        // never flips a dependent pair.
-                        let checks =
-                            fusion::verify_horizontal_plan(self.window.tasks(), &segments, &plan)
-                                .unwrap_or_else(|e| {
-                                    panic!(
-                                        "diffuse-verify: horizontal launch plan violates an \
-                                         independence invariant: {e}"
-                                    )
-                                });
-                        self.stats.verification_checks += checks as u64;
+                        match fusion::verify_horizontal_plan(self.window.tasks(), &segments, &plan)
+                        {
+                            Ok(checks) => self.stats.verification_checks += checks as u64,
+                            Err(e) => {
+                                let detail = format!(
+                                    "horizontal launch plan violates an independence \
+                                     invariant: {e}"
+                                );
+                                self.verify_violation("horizontal-plan", detail, &[]);
+                                plan_ok = false;
+                            }
+                        }
                     }
-                    self.stats.horizontally_fused_tasks += plan.merged_tasks();
-                    let permuted = plan.apply(self.window.tasks());
-                    if self.config.enable_verification {
-                        let checks = fusion::verify_reorder(self.window.tasks(), &permuted)
-                            .unwrap_or_else(|e| {
-                                panic!(
-                                    "diffuse-verify: horizontal reorder does not preserve the \
-                                     dependence order: {e}"
-                                )
-                            });
-                        self.stats.verification_checks += checks as u64;
+                    if plan_ok {
+                        let permuted = plan.apply(self.window.tasks());
+                        if self.config.enable_verification {
+                            match fusion::verify_reorder(self.window.tasks(), &permuted) {
+                                Ok(checks) => self.stats.verification_checks += checks as u64,
+                                Err(e) => {
+                                    let detail = format!(
+                                        "horizontal reorder does not preserve the dependence \
+                                         order: {e}"
+                                    );
+                                    self.verify_violation("horizontal-plan", detail, &[]);
+                                    plan_ok = false;
+                                }
+                            }
+                        }
+                        if plan_ok {
+                            self.stats.horizontally_fused_tasks += plan.merged_tasks();
+                            self.window.reorder(permuted);
+                        }
                     }
-                    self.window.reorder(permuted);
                 }
             }
         }
@@ -971,13 +1125,19 @@ pub struct Context {
 impl Context {
     /// Creates a context over the given configuration.
     pub fn new(config: DiffuseConfig) -> Self {
-        let runtime_config = if config.materialize_data {
+        let mut runtime_config = if config.materialize_data {
             RuntimeConfig::functional(config.machine.clone())
                 .with_executor(config.executor)
                 .with_backend(config.backend)
         } else {
             RuntimeConfig::simulation_only(config.machine.clone()).with_backend(config.backend)
         };
+        // Fault injection and recovery are owned by the Diffuse config (so
+        // `DIFFUSE_FAULTS` is read once, here) and pushed down: the runtime
+        // injects device/region faults per launch, while the compile site is
+        // handled in this layer's backend degradation chain.
+        runtime_config.fault_plan = config.fault_plan;
+        runtime_config = runtime_config.with_recovery(config.recovery);
         let inner = ContextInner {
             adaptive: AdaptiveWindow::new(
                 config.initial_window_size.max(1),
@@ -999,6 +1159,7 @@ impl Context {
             len_scratch: Vec::new(),
             store_scratch: Vec::new(),
             linted_kinds: HashSet::new(),
+            batch_failures: Vec::new(),
             config,
         };
         Context {
@@ -1094,18 +1255,26 @@ impl Context {
 
     /// Reads back a store's contents (functional mode only). Flushes pending
     /// tasks (and any in-flight parallel launches) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deferred launch failed while neither fault injection nor
+    /// contained verification is active: with no fault layer in play,
+    /// context-generated kernels failing is a bug, not a recoverable
+    /// condition. With containment active, failed cones leave their outputs
+    /// untouched, surviving stores read back normally, and the per-launch
+    /// records are retrievable via [`Context::take_failures`].
     pub fn read_store(&self, store: &StoreHandle) -> Option<Vec<f64>> {
         self.flush();
         let mut inner = self.inner.borrow_mut();
         let region = inner.ensure_region(store.id);
-        // Surface deferred launch errors here, with a clear panic site,
-        // rather than letting region_data stash them: context-generated
-        // kernels failing is a bug, not a recoverable condition. After this
-        // succeeds, region_data's internal flush is a no-op.
-        inner
-            .runtime
-            .flush_launches()
-            .expect("deferred launch failed");
+        if let Err(e) = inner.runtime.flush_launches() {
+            let failures = inner.runtime.take_failures();
+            inner.batch_failures.extend(failures);
+            let contained =
+                inner.runtime.fault_plan().is_some() || !inner.config.verify_fail_fast;
+            assert!(contained, "deferred launch failed: {e}");
+        }
         inner.runtime.region_data(region)
     }
 
@@ -1218,13 +1387,42 @@ impl Context {
     }
 
     /// Execution statistics accumulated so far, including the per-library
-    /// attribution ([`ExecutionStats::per_library`]).
+    /// attribution ([`ExecutionStats::per_library`]) and the fault/recovery
+    /// counters (the runtime's device/region fault attribution merged with
+    /// this layer's compile-degradation accounting).
     pub fn stats(&self) -> ExecutionStats {
         let inner = self.inner.borrow();
         let mut stats = inner.stats.clone();
         stats.current_window_size = inner.adaptive.size() as u64;
         stats.memo_evictions = inner.memo.evictions();
+        let fs = inner.runtime.fault_stats();
+        stats.faults_injected += fs.faults_injected;
+        stats.retries += fs.retries;
+        stats.degraded_launches += fs.degraded_launches;
+        stats.abandoned_launches += fs.abandoned_launches;
+        stats.recovery_sim_time += fs.recovery_sim_time;
         stats
+    }
+
+    /// Drains the per-launch failure records accumulated by fault injection
+    /// and contained verification errors: each record names the launch and
+    /// carries the structured [`RuntimeError`] that felled it (the cone
+    /// downstream of a failure appears as `RuntimeError::Poisoned` entries).
+    /// Pending work is flushed first so in-flight failures are visible.
+    /// Empty unless a fault plan is active or `verify_fail_fast` is off —
+    /// recovery repairs faults without abandoning launches, so under the
+    /// default policy this stays empty even with injection on.
+    pub fn take_failures(&self) -> Vec<LaunchFailure> {
+        self.flush();
+        let mut inner = self.inner.borrow_mut();
+        if let Err(e) = inner.runtime.flush_launches() {
+            // The record set below carries strictly more detail than the
+            // first-error summary.
+            let _ = e;
+        }
+        let mut out = std::mem::take(&mut inner.batch_failures);
+        out.extend(inner.runtime.take_failures());
+        out
     }
 
     /// The runtime's execution profile.
@@ -1762,6 +1960,149 @@ mod tests {
         assert_eq!(stats.compilations, 2, "packed windows memoize");
         assert!(stats.memo_hits >= 2);
         assert_eq!(stats.horizontally_fused_tasks, 12);
+    }
+
+    #[test]
+    fn compile_faults_degrade_down_the_backend_chain() {
+        use kernel::BackendKind;
+        use runtime::FaultPlan;
+        // At rate 1.0 every fault site fires. The runtime-site schedule
+        // (device + region-read) is identical across backends — launch
+        // fingerprints deliberately exclude the kernel — so the per-backend
+        // difference isolates the compile site: simd falls two tiers to the
+        // interpreter, closure one, and the interpreter cannot fail.
+        let run = |backend: BackendKind| {
+            let ctx = Context::new(
+                DiffuseConfig::fused(MachineConfig::with_gpus(4))
+                    .with_backend(backend)
+                    .with_fault_plan(FaultPlan::new(5, 1.0)),
+            );
+            let add = register_add(&ctx);
+            let n = 32u64;
+            let p = block(n, 4);
+            let a = ctx.create_store(vec![n], "a");
+            let out = ctx.create_store(vec![n], "out");
+            ctx.fill(&a, 2.0);
+            let t = ctx.create_store(vec![n], "t");
+            let ew = |x: ir::StoreId, y: ir::StoreId, o: ir::StoreId| {
+                vec![
+                    StoreArg::new(x, p.clone(), Privilege::Read),
+                    StoreArg::new(y, p.clone(), Privilege::Read),
+                    StoreArg::new(o, p.clone(), Privilege::Write),
+                ]
+            };
+            ctx.submit(add, "add", ew(a.id(), a.id(), t.id()), vec![]);
+            ctx.submit(add, "add", ew(t.id(), a.id(), out.id()), vec![]);
+            drop(t);
+            ctx.flush();
+            let data = ctx.read_store(&out).unwrap();
+            (data, ctx.stats())
+        };
+        let (interp_data, interp_stats) = run(BackendKind::Interp);
+        let (closure_data, closure_stats) = run(BackendKind::Closure);
+        let (simd_data, simd_stats) = run(BackendKind::Simd);
+        // Recovery repairs every injected fault: results are fault-free.
+        assert_eq!(interp_data, vec![6.0; 32]);
+        assert_eq!(closure_data, interp_data);
+        assert_eq!(simd_data, interp_data);
+        assert!(interp_stats.faults_injected > 0, "runtime sites fired");
+        // One fused window = one compilation; the compile-site delta on top
+        // of the shared runtime-site schedule pins the degradation order.
+        assert_eq!(closure_stats.faults_injected - interp_stats.faults_injected, 1);
+        assert_eq!(simd_stats.faults_injected - interp_stats.faults_injected, 2);
+        assert_eq!(
+            closure_stats.degraded_launches - interp_stats.degraded_launches,
+            1
+        );
+        assert_eq!(simd_stats.degraded_launches - interp_stats.degraded_launches, 1);
+        // Compile faults never retry on the simulated clock (the fallback
+        // tier compiles instead); retries are the runtime sites' alone.
+        assert_eq!(simd_stats.retries, interp_stats.retries);
+        // The thrown-away tiers' JIT work is still paid for.
+        assert!(simd_stats.compile_time > interp_stats.compile_time);
+        // Recovery left nothing abandoned.
+        assert_eq!(simd_stats.abandoned_launches, 0);
+        assert!(ctx_with_gpus(1).take_failures().is_empty());
+    }
+
+    #[test]
+    fn contained_verify_errors_fail_only_the_cone() {
+        use runtime::RuntimeError;
+        // A generator whose kernel is inconsistent with its declared
+        // signature: `bad` declares read + write but its module writes the
+        // *input* buffer and never touches the output.
+        let ctx = Context::new(
+            DiffuseConfig::unfused(MachineConfig::with_gpus(2))
+                .with_verification(true)
+                .with_verify_fail_fast(false),
+        );
+        let lib = ctx.register_library("chaoslib");
+        let bad = lib.register("bad", TaskSignature::new().read().write(), |_args| {
+            let mut m = KernelModule::new(2);
+            m.set_role(BufferId(0), BufferRole::Output);
+            let mut b = LoopBuilder::new("bad", BufferId(0));
+            let c = b.constant(1.0);
+            b.store(BufferId(0), c);
+            m.push_loop(b.finish());
+            m
+        });
+        let add = register_add(&ctx);
+        let n = 16u64;
+        let p = block(n, 2);
+        let a = ctx.create_store(vec![n], "a");
+        let t = ctx.create_store(vec![n], "t");
+        let cone = ctx.create_store(vec![n], "cone");
+        let indep = ctx.create_store(vec![n], "indep");
+        ctx.fill(&a, 3.0);
+        ctx.submit(
+            bad,
+            "bad",
+            vec![
+                StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                StoreArg::new(t.id(), p.clone(), Privilege::Write),
+            ],
+            vec![],
+        );
+        // Downstream of the violation: must be skipped (poisoned).
+        ctx.submit(
+            add,
+            "add",
+            vec![
+                StoreArg::new(t.id(), p.clone(), Privilege::Read),
+                StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                StoreArg::new(cone.id(), p.clone(), Privilege::Write),
+            ],
+            vec![],
+        );
+        // Independent of the violation: must complete.
+        ctx.submit(
+            add,
+            "add",
+            vec![
+                StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                StoreArg::new(a.id(), p.clone(), Privilege::Read),
+                StoreArg::new(indep.id(), p, Privilege::Write),
+            ],
+            vec![],
+        );
+        ctx.flush();
+        assert_eq!(ctx.read_store(&indep).unwrap(), vec![6.0; 16]);
+        let failures = ctx.take_failures();
+        assert_eq!(failures.len(), 2, "the violation and its cone: {failures:?}");
+        assert_eq!(failures[0].launch, "bad");
+        match &failures[0].error {
+            RuntimeError::Verify { launch, detail } => {
+                assert_eq!(launch, "bad");
+                assert!(detail.contains("signature"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected a Verify error, got {other}"),
+        }
+        match &failures[1].error {
+            RuntimeError::Poisoned { upstream, .. } => assert_eq!(upstream, "bad"),
+            other => panic!("expected a Poisoned error, got {other}"),
+        }
+        // Drained once; a second take is empty.
+        assert!(ctx.take_failures().is_empty());
     }
 
     #[test]

@@ -94,3 +94,7 @@ pub use stats::{ExecutionStats, LibraryStats};
 pub use kernel::BackendKind;
 pub use kernel::{ArgSpec, LibraryId, TaskKind, TaskSignature};
 pub use runtime::ExecutorKind;
+// The fault-injection surface (`docs/RESILIENCE.md`): applications configure
+// a plan and recovery policy on `DiffuseConfig` and read the outcome back
+// through `ExecutionStats` and `Context::take_failures`.
+pub use runtime::{FaultEvent, FaultPlan, FaultSite, FaultStats, LaunchFailure, RecoveryPolicy, RuntimeError};

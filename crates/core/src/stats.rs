@@ -84,6 +84,22 @@ pub struct ExecutionStats {
     pub privilege_lint_warnings: u64,
     /// The window size currently selected by the adaptive policy.
     pub current_window_size: u64,
+    /// Simulated faults injected by the active `FaultPlan` (zero when fault
+    /// injection is off; see `docs/RESILIENCE.md`).
+    pub faults_injected: u64,
+    /// Recovery retries performed (each priced on the simulated clock with
+    /// exponential backoff).
+    pub retries: u64,
+    /// Launches that ran degraded: exhausted their device-retry budget and
+    /// migrated off a struck GPU, or fell back a backend tier after an
+    /// injected compile fault.
+    pub degraded_launches: u64,
+    /// Launches abandoned because recovery was disabled; their dependence
+    /// cones failed with them.
+    pub abandoned_launches: u64,
+    /// Simulated seconds charged for recovery (backoff waits and machine
+    /// restarts) — measured, not free, like compile time.
+    pub recovery_sim_time: f64,
     /// Per-library attribution, indexed by `LibraryId` registration order.
     pub per_library: Vec<LibraryStats>,
 }
@@ -114,6 +130,11 @@ impl ExecutionStats {
             privilege_lint_warnings: self.privilege_lint_warnings
                 - earlier.privilege_lint_warnings,
             current_window_size: self.current_window_size,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            retries: self.retries - earlier.retries,
+            degraded_launches: self.degraded_launches - earlier.degraded_launches,
+            abandoned_launches: self.abandoned_launches - earlier.abandoned_launches,
+            recovery_sim_time: self.recovery_sim_time - earlier.recovery_sim_time,
             per_library: self
                 .per_library
                 .iter()

@@ -212,6 +212,29 @@ impl BackendKind {
         }
     }
 
+    /// The next backend in the graceful-degradation chain used when a
+    /// backend's compilation fails (fault injection, `docs/RESILIENCE.md`):
+    /// simd → closure → interp. The interpreter is the terminal fallback —
+    /// its "compilation" is a module wrap that cannot fail — so the chain
+    /// always ends with a working artifact.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kernel::BackendKind;
+    ///
+    /// assert_eq!(BackendKind::Simd.fallback(), Some(BackendKind::Closure));
+    /// assert_eq!(BackendKind::Closure.fallback(), Some(BackendKind::Interp));
+    /// assert_eq!(BackendKind::Interp.fallback(), None);
+    /// ```
+    pub fn fallback(self) -> Option<BackendKind> {
+        match self {
+            BackendKind::Simd => Some(BackendKind::Closure),
+            BackendKind::Closure => Some(BackendKind::Interp),
+            BackendKind::Interp => None,
+        }
+    }
+
     /// Instantiates the backend.
     pub fn backend(self) -> Arc<dyn KernelBackend> {
         match self {

@@ -14,12 +14,13 @@
 
 use std::collections::HashMap;
 
+use crate::launch::RegionRequirement;
 use crate::region::RegionId;
 
 /// How one launch accesses one region, summarized for dependency analysis.
 ///
 /// A launch's full access list is derived from its
-/// [`RegionRequirement`](crate::RegionRequirement)s: `reads` covers the
+/// [`crate::RegionRequirement`]s: `reads` covers the
 /// `Read`/`ReadWrite` privileges, `writes` covers `Write`/`ReadWrite` and —
 /// conservatively — `Reduce` (reduction reordering is not modelled).
 ///
@@ -39,6 +40,23 @@ pub struct AccessSummary {
     pub reads: bool,
     /// Whether the launch writes (or reduces into) the region.
     pub writes: bool,
+}
+
+impl AccessSummary {
+    /// Summarizes an access with the given privilege (reductions count as
+    /// writes, as the tracker does not model reduction reordering).
+    pub fn from_privilege(region: RegionId, privilege: ir::Privilege) -> Self {
+        AccessSummary {
+            region,
+            reads: privilege.reads(),
+            writes: privilege.writes() || privilege.reduces(),
+        }
+    }
+
+    /// Summarizes a launch's region requirement.
+    pub fn from_requirement(req: &RegionRequirement) -> Self {
+        Self::from_privilege(req.region, req.privilege)
+    }
 }
 
 /// Derives launch-ordering dependencies from region read/write sets.

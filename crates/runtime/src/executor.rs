@@ -24,11 +24,14 @@
 //! Both executors defer errors to [`Executor::flush`]. For error-free batches
 //! the two are observably identical: same region contents, and simulated time
 //! never depends on the executor (accounting stays on the submitting thread);
-//! only the host wall-clock differs. When a batch errors, both poison it and
-//! surface the first error at flush, but *which* launches unordered with the
-//! failing one already completed is executor- and timing-dependent — treat
-//! region contents after a failed flush as unspecified (see
-//! `docs/RUNTIME.md`).
+//! only the host wall-clock differs. When a launch fails, the failure is
+//! **contained to its dependence cone**: both executors track region hazards
+//! (the same [`crate::DepTracker`] edges that order execution) and skip only
+//! launches downstream of a failed one, recording a structured
+//! [`LaunchFailure`] per skipped launch. Independent launches complete
+//! normally, so their region contents are trustworthy even after a failed
+//! flush; only regions written inside a failed cone are left at their
+//! pre-cone contents (see `docs/RUNTIME.md` and `docs/RESILIENCE.md`).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -142,12 +145,20 @@ impl BufferAccess {
     /// This access summarized for dependency tracking (reductions count as
     /// writes).
     pub fn summary(&self) -> AccessSummary {
-        AccessSummary {
-            region: self.region,
-            reads: self.privilege.reads(),
-            writes: self.privilege.writes() || self.privilege.reduces(),
-        }
+        AccessSummary::from_privilege(self.region, self.privilege)
     }
+}
+
+/// One launch that failed (or was skipped) in a batch, with its structured
+/// error — drained after a flush via [`Executor::drain_failures`] /
+/// `Runtime::take_failures`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchFailure {
+    /// The launch's name.
+    pub launch: String,
+    /// Why it failed: its own error, or [`RuntimeError::Poisoned`] naming
+    /// the upstream launch whose failure made its inputs untrustworthy.
+    pub error: RuntimeError,
 }
 
 /// A borrowed description of one launch's functional work, as handed to
@@ -169,6 +180,11 @@ pub struct WorkRequest<'a> {
     pub local_buffer_lens: &'a [usize],
     /// Region buffers in kernel-buffer order.
     pub accesses: Vec<BufferAccess>,
+    /// Injected device-fault attempts to replay before the committing run:
+    /// each executes a prefix of the stage protocol, then rolls every written
+    /// rect back (a killed attempt commits nothing). 0 outside fault
+    /// injection — see `docs/RESILIENCE.md`.
+    pub failed_attempts: u32,
 }
 
 impl WorkRequest<'_> {
@@ -181,6 +197,7 @@ impl WorkRequest<'_> {
             scalars: self.scalars.to_vec(),
             local_buffer_lens: self.local_buffer_lens.to_vec(),
             accesses: self.accesses,
+            failed_attempts: self.failed_attempts,
         }
     }
 }
@@ -201,6 +218,9 @@ pub struct FunctionalWork {
     pub accesses: Vec<BufferAccess>,
     /// Element counts of the task-local buffers following the region buffers.
     pub local_buffer_lens: Vec<usize>,
+    /// Injected device-fault attempts replayed (and rolled back) before the
+    /// committing run.
+    pub failed_attempts: u32,
 }
 
 impl FunctionalWork {
@@ -213,6 +233,7 @@ impl FunctionalWork {
             scalars: &self.scalars,
             local_buffer_lens: &self.local_buffer_lens,
             accesses: self.accesses.clone(),
+            failed_attempts: self.failed_attempts,
         }
     }
 }
@@ -221,21 +242,66 @@ impl FunctionalWork {
 /// All parts are borrowed, so both the serial inline path and the worker
 /// path execute without copying the work description.
 ///
-/// Stages execute one at a time with copy-in/copy-out around each stage so
-/// that aliasing views of the same region stay coherent through the parent
-/// region between stages (the same protocol the serial runtime always used).
+/// When `failed_attempts > 0` (fault injection, see `docs/RESILIENCE.md`),
+/// each killed attempt first executes a prefix of the stage protocol and is
+/// then rolled back from a snapshot of its written rects: a launch killed by
+/// a simulated device fault commits nothing, so the retry that follows starts
+/// from exactly the pre-launch region contents (no torn writes). The
+/// rollback is invisible to concurrent launches because the executors block
+/// every dependent until the launch completes successfully.
 pub(crate) fn run_functional(
     kernel: &dyn CompiledKernel,
     scalars: &[f64],
     local_buffer_lens: &[usize],
     accesses: &[BufferAccess],
+    failed_attempts: u32,
+) -> Result<(), RuntimeError> {
+    let num_stages = kernel.module().num_stages();
+    for attempt in 0..failed_attempts {
+        // Snapshot every written rect, run a (deterministic, attempt-varying)
+        // prefix of the stages, then restore — the discarded attempt really
+        // exercises the write path before the "device" kills it.
+        let snapshots: Vec<Option<Vec<f64>>> = accesses
+            .iter()
+            .map(|access| {
+                (access.privilege.writes() || access.privilege.reduces())
+                    .then(|| access.handle.read_rect(&access.rect))
+            })
+            .collect();
+        let stages = if num_stages == 0 {
+            0
+        } else {
+            attempt as usize % num_stages + 1
+        };
+        // A kernel error inside a killed attempt is moot (the attempt is
+        // discarded either way); the committing run below will resurface it.
+        let _ = run_stages(kernel, scalars, local_buffer_lens, accesses, stages);
+        for (access, snapshot) in accesses.iter().zip(&snapshots) {
+            if let Some(snapshot) = snapshot {
+                access.handle.write_rect(&access.rect, snapshot);
+            }
+        }
+    }
+    run_stages(kernel, scalars, local_buffer_lens, accesses, num_stages)
+}
+
+/// The committing stage loop: stages execute one at a time with
+/// copy-in/copy-out around each stage so that aliasing views of the same
+/// region stay coherent through the parent region between stages (the same
+/// protocol the serial runtime always used).
+fn run_stages(
+    kernel: &dyn CompiledKernel,
+    scalars: &[f64],
+    local_buffer_lens: &[usize],
+    accesses: &[BufferAccess],
+    stages: usize,
 ) -> Result<(), RuntimeError> {
     let num_reqs = accesses.len();
     let mut locals: Vec<Vec<f64>> = local_buffer_lens
         .iter()
         .map(|&len| vec![0.0; len])
         .collect();
-    for stage in 0..kernel.module().num_stages() {
+    for stage in 0..stages {
         // Copy-in.
         let mut buffers: Vec<Vec<f64>> = Vec::with_capacity(num_reqs + locals.len());
         for access in accesses {
@@ -264,10 +330,13 @@ pub(crate) fn run_functional(
 /// Implementations must preserve program order between conflicting launches
 /// (same region, at least one writer) and may freely overlap independent
 /// ones. Errors are deferred: [`Executor::submit`] never fails, and the first
-/// error of a batch is returned by the next [`Executor::flush`]. An error
-/// poisons the batch — launches ordered after the failing one are skipped;
-/// whether launches *unordered* with it completed is executor-dependent, so
-/// region contents after a failed flush are unspecified.
+/// failure of a batch (by submission order — the root of the earliest failed
+/// cone) is returned by the next [`Executor::flush`]. A failure poisons only
+/// its **dependence cone**: launches with a hazard path from the failed one
+/// are skipped and recorded as [`RuntimeError::Poisoned`]; launches unordered
+/// with it complete normally under both executors, so region contents outside
+/// failed cones are trustworthy after a failed flush. Per-launch records are
+/// available from [`Executor::drain_failures`].
 ///
 /// # Example
 ///
@@ -292,14 +361,28 @@ pub trait Executor: std::fmt::Debug + Send {
     /// ([`WorkRequest::into_owned_work`]).
     fn submit(&mut self, work: WorkRequest<'_>);
 
+    /// Records a launch as failed **without running it**: its accesses enter
+    /// hazard tracking so every downstream launch is skipped as
+    /// [`RuntimeError::Poisoned`], and `error` becomes its failure record.
+    /// Used by the runtime when fault injection abandons a launch before its
+    /// functional work is submitted.
+    fn poison(&mut self, name: &str, accesses: &[AccessSummary], error: RuntimeError);
+
     /// Blocks until every submitted launch has completed, returning the first
-    /// deferred error (if any) and resetting for the next batch.
+    /// failure of the batch (by submission order) and resetting hazard state
+    /// for the next batch. Structured per-launch records survive the flush
+    /// until [`Executor::drain_failures`] collects them.
     ///
     /// # Errors
     ///
     /// Returns the first [`RuntimeError`] raised by any launch since the last
     /// flush.
     fn flush(&mut self) -> Result<(), RuntimeError>;
+
+    /// Drains every per-launch failure record accumulated since the last
+    /// drain, in submission order (failed-cone roots precede their skipped
+    /// dependents).
+    fn drain_failures(&mut self) -> Vec<LaunchFailure>;
 }
 
 /// The deterministic baseline executor: runs each launch inline at submit
@@ -315,7 +398,16 @@ pub trait Executor: std::fmt::Debug + Send {
 /// ```
 #[derive(Debug, Default)]
 pub struct SerialExecutor {
-    error: Option<RuntimeError>,
+    /// Hazard tracking for cone containment: which earlier launches of the
+    /// current batch each new launch depends on.
+    tracker: DepTracker,
+    next_id: u64,
+    /// Failed launches of the current batch, by id (for poison propagation).
+    failed: HashMap<u64, String>,
+    /// Failure records of the current batch, in submission order.
+    failures: Vec<LaunchFailure>,
+    /// Records already reported by a flush, awaiting `drain_failures`.
+    drained: Vec<LaunchFailure>,
 }
 
 impl SerialExecutor {
@@ -323,12 +415,25 @@ impl SerialExecutor {
     pub fn new() -> Self {
         SerialExecutor::default()
     }
+
+    fn record_failure(&mut self, id: u64, name: &str, error: RuntimeError) {
+        self.failed.insert(id, name.to_string());
+        self.failures.push(LaunchFailure {
+            launch: name.to_string(),
+            error,
+        });
+    }
 }
 
 impl Drop for SerialExecutor {
     fn drop(&mut self) {
-        if let Some(e) = self.error.take() {
-            eprintln!("warning: discarding deferred launch error at executor shutdown: {e}");
+        // Failures in `drained` were already reported through a flush error;
+        // only un-flushed ones would otherwise vanish silently.
+        for f in &self.failures {
+            eprintln!(
+                "warning: discarding deferred launch error at executor shutdown: {}",
+                f.error
+            );
         }
     }
 }
@@ -339,8 +444,19 @@ impl Executor for SerialExecutor {
     }
 
     fn submit(&mut self, work: WorkRequest<'_>) {
-        if self.error.is_some() {
-            return; // batch poisoned: skip, like the parallel executor does
+        let id = self.next_id;
+        self.next_id += 1;
+        let summaries: Vec<AccessSummary> =
+            work.accesses.iter().map(BufferAccess::summary).collect();
+        let deps = self.tracker.record(id, &summaries);
+        // Cone containment: skip only launches downstream of a failure.
+        if let Some(upstream) = deps.iter().find_map(|d| self.failed.get(d)) {
+            let error = RuntimeError::Poisoned {
+                launch: work.name.to_string(),
+                upstream: upstream.clone(),
+            };
+            self.record_failure(id, work.name, error);
+            return;
         }
         // Runs inline from the borrowed request: no clones on this path.
         // Panics are caught for parity with the worker pool: both executors
@@ -351,27 +467,50 @@ impl Executor for SerialExecutor {
                 work.scalars,
                 work.local_buffer_lens,
                 &work.accesses,
+                work.failed_attempts,
             )
         }))
         .unwrap_or_else(|payload| Err(RuntimeError::Panicked(panic_message(&payload))));
         if let Err(e) = result {
-            self.error = Some(e);
+            self.record_failure(id, work.name, e);
         }
     }
 
+    fn poison(&mut self, name: &str, accesses: &[AccessSummary], error: RuntimeError) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let _ = self.tracker.record(id, accesses);
+        self.record_failure(id, name, error);
+    }
+
     fn flush(&mut self) -> Result<(), RuntimeError> {
-        match self.error.take() {
+        self.tracker.reset();
+        self.failed.clear();
+        let first = self.failures.first().map(|f| f.error.clone());
+        self.drained.append(&mut self.failures);
+        match first {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    fn drain_failures(&mut self) -> Vec<LaunchFailure> {
+        let mut out = std::mem::take(&mut self.drained);
+        out.append(&mut self.failures);
+        out
     }
 }
 
 /// A node of the in-flight dependency graph.
 #[derive(Debug)]
 struct TaskNode {
+    /// Launch name (failure records and poison propagation).
+    name: String,
     /// The work to run; taken by the executing worker.
     work: Option<FunctionalWork>,
+    /// Set when an upstream launch in this node's dependence cone failed:
+    /// the node is skipped and this error recorded instead of running.
+    fail_with: Option<RuntimeError>,
     /// Unfinished launches this one waits for.
     unmet: usize,
     /// Launches waiting for this one.
@@ -387,8 +526,12 @@ struct SchedState {
     queues: Vec<VecDeque<u64>>,
     /// Launches submitted but not yet completed.
     pending: usize,
-    /// First deferred error of the current batch.
-    error: Option<RuntimeError>,
+    /// Completed-but-failed launches of the current batch, by id, so later
+    /// submissions depending on them poison at submit time.
+    failed: HashMap<u64, String>,
+    /// Failure records of the current batch, tagged with launch id (workers
+    /// finish out of order; flush sorts by id to find the first).
+    failures: Vec<(u64, LaunchFailure)>,
     /// Set once at drop; workers exit when they run dry.
     shutdown: bool,
 }
@@ -437,6 +580,8 @@ pub struct WorkStealingExecutor {
     tracker: DepTracker,
     next_task: u64,
     requested: Option<usize>,
+    /// Records already reported by a flush, awaiting `drain_failures`.
+    drained: Vec<LaunchFailure>,
 }
 
 impl std::fmt::Debug for WorkStealingExecutor {
@@ -467,7 +612,8 @@ impl WorkStealingExecutor {
                 tasks: HashMap::new(),
                 queues: vec![VecDeque::new(); workers],
                 pending: 0,
-                error: None,
+                failed: HashMap::new(),
+                failures: Vec::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -489,6 +635,7 @@ impl WorkStealingExecutor {
             tracker: DepTracker::new(),
             next_task: 0,
             requested,
+            drained: Vec::new(),
         }
     }
 
@@ -518,19 +665,31 @@ impl Executor for WorkStealingExecutor {
         while state.pending >= self.shared.max_pending {
             state = self.shared.done_cv.wait(state).unwrap();
         }
-        // Hazards against launches that already completed are satisfied.
+        // Hazards against launches that completed successfully are satisfied;
+        // hazards against completed-but-failed launches poison this one now.
         let mut unmet = 0;
+        let mut fail_with = None;
         for dep in deps {
             if let Some(node) = state.tasks.get_mut(&dep) {
                 node.dependents.push(id);
                 unmet += 1;
+            } else if let Some(upstream) = state.failed.get(&dep) {
+                if fail_with.is_none() {
+                    fail_with = Some(RuntimeError::Poisoned {
+                        launch: work.name.clone(),
+                        upstream: upstream.clone(),
+                    });
+                }
             }
         }
         state.pending += 1;
+        let name = work.name.clone();
         state.tasks.insert(
             id,
             TaskNode {
+                name,
                 work: Some(work),
+                fail_with,
                 unmet,
                 dependents: Vec::new(),
             },
@@ -543,16 +702,52 @@ impl Executor for WorkStealingExecutor {
         }
     }
 
+    fn poison(&mut self, name: &str, accesses: &[AccessSummary], error: RuntimeError) {
+        let id = self.next_task;
+        self.next_task += 1;
+        let _ = self.tracker.record(id, accesses);
+        // The launch never runs: it is born completed-and-failed, so every
+        // later submission depending on it poisons at submit time.
+        let mut state = self.shared.state.lock().unwrap();
+        state.failed.insert(id, name.to_string());
+        state.failures.push((
+            id,
+            LaunchFailure {
+                launch: name.to_string(),
+                error,
+            },
+        ));
+    }
+
     fn flush(&mut self) -> Result<(), RuntimeError> {
         let mut state = self.shared.state.lock().unwrap();
         while state.pending > 0 {
             state = self.shared.done_cv.wait(state).unwrap();
         }
         self.tracker.reset();
-        match state.error.take() {
+        state.failed.clear();
+        let mut batch = std::mem::take(&mut state.failures);
+        drop(state);
+        // First failure by submission id: the root of the earliest failed
+        // cone, since a root always precedes its poisoned dependents.
+        batch.sort_by_key(|(id, _)| *id);
+        let first = batch.first().map(|(_, f)| f.error.clone());
+        self.drained.extend(batch.into_iter().map(|(_, f)| f));
+        match first {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    fn drain_failures(&mut self) -> Vec<LaunchFailure> {
+        let mut rest = {
+            let mut state = self.shared.state.lock().unwrap();
+            std::mem::take(&mut state.failures)
+        };
+        rest.sort_by_key(|(id, _)| *id);
+        let mut out = std::mem::take(&mut self.drained);
+        out.extend(rest.into_iter().map(|(_, f)| f));
+        out
     }
 }
 
@@ -604,40 +799,67 @@ fn worker_loop(id: usize, shared: &Shared) {
     let mut state = shared.state.lock().unwrap();
     loop {
         if let Some(task) = pop_ready(&mut state, id) {
-            let work = state
-                .tasks
-                .get_mut(&task)
-                .and_then(|node| node.work.take())
-                .expect("ready task must have unexecuted work");
-            let poisoned = state.error.is_some();
-            drop(state);
-            // The heavy part runs without any scheduler lock held. Panics are
-            // caught so a dying launch cannot leak `pending` and deadlock
-            // every later flush; they surface as RuntimeError::Panicked.
-            let result = if poisoned {
-                Ok(())
-            } else {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_functional(
-                        work.kernel.as_ref(),
-                        &work.scalars,
-                        &work.local_buffer_lens,
-                        &work.accesses,
-                    )
-                }))
-                .unwrap_or_else(|payload| Err(RuntimeError::Panicked(panic_message(&payload))))
+            let (work, fail_with) = {
+                let node = state.tasks.get_mut(&task).expect("ready task present");
+                (
+                    node.work.take().expect("ready task must have unexecuted work"),
+                    node.fail_with.take(),
+                )
             };
-            state = shared.state.lock().unwrap();
-            if let Err(e) = result {
-                state.error.get_or_insert(e);
-            }
+            let result = match fail_with {
+                // Skipped: an upstream launch in its cone failed. Launches
+                // outside the cone run normally (containment).
+                Some(e) => Err(e),
+                None => {
+                    drop(state);
+                    // The heavy part runs without any scheduler lock held.
+                    // Panics are caught so a dying launch cannot leak
+                    // `pending` and deadlock every later flush; they surface
+                    // as RuntimeError::Panicked.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_functional(
+                            work.kernel.as_ref(),
+                            &work.scalars,
+                            &work.local_buffer_lens,
+                            &work.accesses,
+                            work.failed_attempts,
+                        )
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(RuntimeError::Panicked(panic_message(&payload)))
+                    });
+                    state = shared.state.lock().unwrap();
+                    r
+                }
+            };
             let node = state.tasks.remove(&task).expect("completed task present");
+            let failed_name = if let Err(e) = result {
+                state.failed.insert(task, node.name.clone());
+                state.failures.push((
+                    task,
+                    LaunchFailure {
+                        launch: node.name.clone(),
+                        error: e,
+                    },
+                ));
+                Some(node.name.clone())
+            } else {
+                None
+            };
             let mut freed = 0;
             for dep in node.dependents {
                 let dependent = state
                     .tasks
                     .get_mut(&dep)
                     .expect("dependent of running task present");
+                if let Some(upstream) = &failed_name {
+                    if dependent.fail_with.is_none() {
+                        dependent.fail_with = Some(RuntimeError::Poisoned {
+                            launch: dependent.name.clone(),
+                            upstream: upstream.clone(),
+                        });
+                    }
+                }
                 dependent.unmet -= 1;
                 if dependent.unmet == 0 {
                     state.queues[id].push_back(dep);
@@ -703,6 +925,7 @@ mod tests {
                 },
             ],
             local_buffer_lens: vec![],
+            failed_attempts: 0,
         }
     }
 
@@ -811,6 +1034,160 @@ mod tests {
             assert_eq!(b.data().unwrap(), vec![4.0; 16]);
             b.fill(0.0);
         }
+    }
+
+    #[test]
+    fn failures_poison_only_the_dependence_cone() {
+        // bad writes region 1; its dependent (reads 1, writes 2) must be
+        // skipped; an unordered launch (0 -> 3) must still complete.
+        let (a, b, c, d) = (
+            handle(0, 16, 1.0),
+            handle(1, 16, 0.0),
+            handle(2, 16, 0.0),
+            handle(3, 16, 0.0),
+        );
+        for mut ex in [
+            Box::new(SerialExecutor::new()) as Box<dyn Executor>,
+            Box::new(WorkStealingExecutor::new(2)) as Box<dyn Executor>,
+        ] {
+            let mut bad = scale_work(&a, &b, 16, 1.0);
+            bad.name = "bad".into();
+            bad.accesses[0].region = RegionId(0);
+            bad.accesses[1].region = RegionId(1);
+            bad.accesses[0].rect = Rect::new(vec![0], vec![64]); // panics
+            ex.submit(bad.as_request());
+            let mut cone = scale_work(&b, &c, 16, 2.0);
+            cone.name = "cone".into();
+            cone.accesses[0].region = RegionId(1);
+            cone.accesses[1].region = RegionId(2);
+            ex.submit(cone.as_request());
+            let mut free = scale_work(&a, &d, 16, 5.0);
+            free.name = "free".into();
+            free.accesses[0].region = RegionId(0);
+            free.accesses[1].region = RegionId(3);
+            ex.submit(free.as_request());
+            // The flush error is the cone root's, not a Poisoned record.
+            match ex.flush() {
+                Err(RuntimeError::Panicked(_)) => {}
+                other => panic!("{:?}: expected Panicked, got {other:?}", ex.kind()),
+            }
+            // Containment: the unordered launch completed.
+            assert_eq!(d.data().unwrap(), vec![5.0; 16]);
+            // The cone was skipped.
+            assert_eq!(c.data().unwrap(), vec![0.0; 16]);
+            // Structured records: root first, then its poisoned dependent.
+            let failures = ex.drain_failures();
+            assert_eq!(failures.len(), 2, "{:?}", ex.kind());
+            assert_eq!(failures[0].launch, "bad");
+            assert!(matches!(failures[0].error, RuntimeError::Panicked(_)));
+            assert_eq!(failures[1].launch, "cone");
+            match &failures[1].error {
+                RuntimeError::Poisoned { launch, upstream } => {
+                    assert_eq!(launch, "cone");
+                    assert_eq!(upstream, "bad");
+                }
+                other => panic!("expected Poisoned, got {other:?}"),
+            }
+            // A fresh batch drains nothing.
+            assert!(ex.drain_failures().is_empty());
+            d.fill(0.0);
+        }
+    }
+
+    #[test]
+    fn poison_skips_downstream_and_records_failures() {
+        let (a, b, c) = (handle(0, 16, 3.0), handle(1, 16, 0.0), handle(2, 16, 0.0));
+        for mut ex in [
+            Box::new(SerialExecutor::new()) as Box<dyn Executor>,
+            Box::new(WorkStealingExecutor::new(2)) as Box<dyn Executor>,
+        ] {
+            // Runtime-abandoned launch: would have written region 1.
+            let summaries = [
+                AccessSummary {
+                    region: RegionId(0),
+                    reads: true,
+                    writes: false,
+                },
+                AccessSummary {
+                    region: RegionId(1),
+                    reads: false,
+                    writes: true,
+                },
+            ];
+            ex.poison(
+                "abandoned",
+                &summaries,
+                RuntimeError::Panicked("device fault".into()),
+            );
+            // Downstream of the poisoned write: must be skipped.
+            let mut cone = scale_work(&b, &c, 16, 2.0);
+            cone.name = "cone".into();
+            cone.accesses[0].region = RegionId(1);
+            cone.accesses[1].region = RegionId(2);
+            ex.submit(cone.as_request());
+            // Independent: must run.
+            let mut free = scale_work(&a, &b, 16, 4.0);
+            free.name = "free".into();
+            free.accesses[0].region = RegionId(0);
+            free.accesses[1].region = RegionId(5);
+            free.accesses[1].handle = handle(5, 16, 0.0);
+            let sink = free.accesses[1].handle.clone();
+            ex.submit(free.as_request());
+            assert!(ex.flush().is_err());
+            assert_eq!(sink.data().unwrap(), vec![12.0; 16]);
+            assert_eq!(c.data().unwrap(), vec![0.0; 16]);
+            let failures = ex.drain_failures();
+            assert_eq!(failures.len(), 2, "{:?}", ex.kind());
+            assert_eq!(failures[0].launch, "abandoned");
+            assert_eq!(failures[1].launch, "cone");
+        }
+    }
+
+    #[test]
+    fn discarded_attempts_commit_nothing() {
+        // An accumulating kernel (dst += src) is NOT idempotent, so any
+        // killed attempt that failed to roll back would inflate the result.
+        // With failed_attempts > 0 the committing result must be bitwise
+        // identical to a clean run.
+        let (a, b) = (handle(0, 32, 1.5), handle(1, 32, 9.0));
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("acc", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let y = lb.load(BufferId(1));
+        let v = lb.add(x, y);
+        lb.store(BufferId(1), v);
+        module.push_loop(lb.finish());
+        let rect = Rect::new(vec![0], vec![32]);
+        let work = FunctionalWork {
+            name: "acc".into(),
+            kernel: compile_interp(module),
+            scalars: vec![],
+            accesses: vec![
+                BufferAccess {
+                    region: RegionId(100),
+                    handle: a.clone(),
+                    rect: rect.clone(),
+                    privilege: Privilege::Read,
+                },
+                BufferAccess {
+                    region: RegionId(101),
+                    handle: b.clone(),
+                    rect,
+                    privilege: Privilege::ReadWrite,
+                },
+            ],
+            local_buffer_lens: vec![],
+            failed_attempts: 3,
+        };
+        let mut ex = SerialExecutor::new();
+        ex.submit(work.as_request());
+        ex.flush().unwrap();
+        assert!(ex.drain_failures().is_empty());
+        // One committed accumulation only: 9.0 + 1.5, not 9.0 + 4 * 1.5.
+        assert_eq!(b.data().unwrap(), vec![10.5; 32]);
+        // Source (read-only) untouched by the replayed attempts.
+        assert_eq!(a.data().unwrap(), vec![1.5; 32]);
     }
 
     #[test]

@@ -138,6 +138,39 @@ impl TaskLaunch {
         self.requirements.len() + self.local_buffer_lens.len()
     }
 
+    /// A stable content fingerprint of the launch: name, launch-domain size,
+    /// region requirements (region id + access direction) and scalars.
+    ///
+    /// Deliberately independent of the compiled kernel, the backend that
+    /// produced it, and the executor, so fault schedules keyed on it
+    /// (`docs/RESILIENCE.md`) reproduce identically across the whole
+    /// executor × backend matrix and under window permutations. FNV-1a over
+    /// the launch's content; collisions only blur which launches share a
+    /// fault stream, never correctness.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn put(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        put(&mut h, self.name.as_bytes());
+        put(&mut h, &self.launch_domain.size().to_le_bytes());
+        for req in &self.requirements {
+            put(&mut h, &req.region.0.to_le_bytes());
+            let dir = u8::from(req.privilege.reads())
+                | u8::from(req.privilege.writes()) << 1
+                | u8::from(req.privilege.reduces()) << 2;
+            put(&mut h, &[dir]);
+        }
+        for s in &self.scalars {
+            put(&mut h, &s.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Starts a typed builder for a launch — the runtime-level counterpart of
     /// the Diffuse context's `LaunchBuilder`, used by callers that construct
     /// launches by hand (the PETSc baseline, executor tests).

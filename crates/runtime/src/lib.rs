@@ -67,6 +67,7 @@
 
 pub mod deps;
 pub mod executor;
+pub mod faults;
 pub mod launch;
 pub mod profile;
 pub mod region;
@@ -75,9 +76,10 @@ pub mod runtime;
 
 pub use deps::{AccessSummary, DepTracker};
 pub use executor::{
-    BufferAccess, Executor, ExecutorKind, FunctionalWork, SerialExecutor, WorkRequest,
-    WorkStealingExecutor,
+    BufferAccess, Executor, ExecutorKind, FunctionalWork, LaunchFailure, SerialExecutor,
+    WorkRequest, WorkStealingExecutor,
 };
+pub use faults::{FaultEvent, FaultPlan, FaultSite, FaultStats, RecoveryPolicy};
 pub use launch::{OverheadClass, RegionRequirement, TaskLaunch, TaskLaunchBuilder};
 pub use profile::Profile;
 pub use region::{Region, RegionHandle, RegionId};

@@ -20,9 +20,12 @@ use ir::{PartitionId, Rect};
 use kernel::{cost as kcost, BackendKind, CompiledKernel, ExecError, KernelBackend, KernelModule};
 use machine::{CostModel, MachineConfig, MemoryTracker, SimClock};
 
+use crate::deps::AccessSummary;
 use crate::executor::{
-    BufferAccess, Executor, ExecutorKind, SerialExecutor, WorkRequest, WorkStealingExecutor,
+    BufferAccess, Executor, ExecutorKind, LaunchFailure, SerialExecutor, WorkRequest,
+    WorkStealingExecutor,
 };
+use crate::faults::{mix, FaultEvent, FaultPlan, FaultSite, FaultStats, RecoveryPolicy};
 use crate::launch::{OverheadClass, TaskLaunch};
 use crate::profile::Profile;
 use crate::region::{Region, RegionHandle, RegionId};
@@ -57,6 +60,11 @@ pub struct RuntimeConfig {
     /// workloads). Diffuse-layer launches arrive pre-compiled by the
     /// context's own backend and are unaffected.
     pub backend: BackendKind,
+    /// Deterministic fault-injection plan (`None` disables injection — the
+    /// default; see `docs/RESILIENCE.md`).
+    pub fault_plan: Option<FaultPlan>,
+    /// Recovery policy applied when a fault plan is active.
+    pub recovery: RecoveryPolicy,
 }
 
 impl RuntimeConfig {
@@ -69,6 +77,8 @@ impl RuntimeConfig {
             materialize_data: true,
             executor: ExecutorKind::from_env(),
             backend: BackendKind::from_env(),
+            fault_plan: FaultPlan::from_env(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -80,6 +90,8 @@ impl RuntimeConfig {
             materialize_data: false,
             executor: ExecutorKind::Serial,
             backend: BackendKind::from_env(),
+            fault_plan: FaultPlan::from_env(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -92,6 +104,19 @@ impl RuntimeConfig {
     /// Overrides the kernel backend used by [`Runtime::compile`].
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Enables deterministic fault injection under the given plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the recovery policy (only observable while a fault plan is
+    /// active).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -115,6 +140,7 @@ impl RuntimeConfig {
 /// demo().unwrap();
 /// ```
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// A launch referenced a region that does not exist (or was freed).
     /// Raised eagerly at submission time.
@@ -123,21 +149,52 @@ pub enum RuntimeError {
     /// work. Deferred under *every* executor (the serial one included):
     /// [`Runtime::execute`] returns `Ok` and the error surfaces at the next
     /// flush ([`Runtime::flush_launches`], [`Runtime::execute_batch`] or any
-    /// data-touching operation), with the remaining launches of the batch
-    /// skipped.
+    /// data-touching operation), with the launches downstream of the failed
+    /// one skipped ([`RuntimeError::Poisoned`]). The failing launch's name is
+    /// in its [`LaunchFailure`] record ([`Runtime::take_failures`]).
     Exec(ExecError),
     /// A launch's functional work panicked on an executor worker (e.g. an
     /// out-of-bounds access the interpreter does not guard). Deferred like
     /// [`RuntimeError::Exec`]; the payload is the panic message.
     Panicked(String),
+    /// An injected fault killed the launch and recovery was disabled (or
+    /// exhausted). Deferred like [`RuntimeError::Exec`]; the event names the
+    /// launch, the fault site and the attempt count.
+    Faulted(FaultEvent),
+    /// The launch was skipped because `upstream` — a launch in its dependence
+    /// cone — failed, so its inputs cannot be trusted. Always accompanies a
+    /// root failure in the same batch.
+    Poisoned {
+        /// The skipped launch.
+        launch: String,
+        /// The upstream launch whose failure poisoned it.
+        upstream: String,
+    },
+    /// A verifier violation attributed to a launch, routed through the
+    /// per-launch failure path instead of panicking (see
+    /// `DiffuseConfig::verify_fail_fast` and `docs/RESILIENCE.md`).
+    Verify {
+        /// The launch (or fused task) whose artifact failed verification.
+        launch: String,
+        /// The verifier's rendered report.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RuntimeError::UnknownRegion(r) => write!(f, "unknown region {r}"),
+            RuntimeError::UnknownRegion(r) => write!(f, "launch referenced unknown region {r}"),
             RuntimeError::Exec(e) => write!(f, "kernel execution failed: {e}"),
             RuntimeError::Panicked(msg) => write!(f, "launch panicked on a worker: {msg}"),
+            RuntimeError::Faulted(event) => write!(f, "{event}"),
+            RuntimeError::Poisoned { launch, upstream } => write!(
+                f,
+                "launch `{launch}` skipped: upstream launch `{upstream}` failed"
+            ),
+            RuntimeError::Verify { launch, detail } => {
+                write!(f, "verification of launch `{launch}` failed: {detail}")
+            }
         }
     }
 }
@@ -145,8 +202,12 @@ impl std::fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RuntimeError::UnknownRegion(_) | RuntimeError::Panicked(_) => None,
+            RuntimeError::UnknownRegion(_)
+            | RuntimeError::Panicked(_)
+            | RuntimeError::Poisoned { .. }
+            | RuntimeError::Verify { .. } => None,
             RuntimeError::Exec(e) => Some(e),
+            RuntimeError::Faulted(event) => Some(event),
         }
     }
 }
@@ -203,6 +264,30 @@ pub struct Runtime {
     /// that could not be surfaced through that call's signature; re-raised by
     /// the next fallible operation.
     deferred_error: Option<RuntimeError>,
+    /// The active fault-injection plan, if any.
+    fault_plan: Option<FaultPlan>,
+    /// Recovery policy applied to injected faults.
+    recovery: RecoveryPolicy,
+    /// Per-fingerprint occurrence counters: repeated launches of the same
+    /// content (CG iterations) get distinct fault keys while remaining
+    /// executor- and window-permutation invariant (program order of equal
+    /// fingerprints is preserved by every legal reordering).
+    fault_occurrence: HashMap<u64, u64>,
+    /// Fault/recovery attribution counters.
+    fault_stats: FaultStats,
+    /// Per-GPU device-fault strikes; a GPU with `recovery.unhealthy_after`
+    /// strikes is unhealthy and its share of work migrates to the rest.
+    gpu_strikes: Vec<u32>,
+    /// Engaged when the last healthy GPU is lost: the batch restarts and all
+    /// further functional work runs serially (parallel→serial fallback).
+    fallback_serial: Option<SerialExecutor>,
+    /// Per-launch failure records drained from the executors, surfaced via
+    /// [`Runtime::take_failures`].
+    failures: Vec<LaunchFailure>,
+    /// First error of the current batch recorded by a mid-batch internal
+    /// flush (executor fallback switch); returned by the next
+    /// [`Runtime::flush_launches`].
+    batch_error: Option<RuntimeError>,
 }
 
 impl Drop for Runtime {
@@ -230,6 +315,8 @@ impl Runtime {
             _ => Box::new(SerialExecutor::new()),
         };
         let backend = config.backend.backend();
+        let fault_plan = config.fault_plan.filter(|p| p.rate() > 0.0);
+        let recovery = config.recovery;
         Runtime {
             config,
             cost,
@@ -242,6 +329,14 @@ impl Runtime {
             executor,
             backend,
             deferred_error: None,
+            fault_plan,
+            recovery,
+            fault_occurrence: HashMap::new(),
+            fault_stats: FaultStats::default(),
+            gpu_strikes: vec![0; gpus],
+            fallback_serial: None,
+            failures: Vec::new(),
+            batch_error: None,
         }
     }
 
@@ -473,10 +568,25 @@ impl Runtime {
         self.clock.uniform_phase(overhead + comm_time + kernel_time);
         self.profile.index_tasks += 1;
         self.profile.overhead_time += overhead;
-        // 6. Functional execution, scheduled by the executor.
-        if self.config.materialize_data {
-            let work = self.work_request(launch);
-            self.executor.submit(work);
+        // 6. Fault injection and recovery pricing — eager and program-ordered
+        // like the rest of accounting, so fault schedules and recovery cost
+        // are identical under every executor and backend.
+        let (failed_attempts, abandoned) = self.inject_faults(launch);
+        // 7. Functional execution, scheduled by the executor.
+        if let Some(event) = abandoned {
+            // The accounting above stands (the machine did the work up to the
+            // kill); the launch's outputs never commit, and every launch in
+            // its dependence cone is skipped as Poisoned.
+            let summaries: Vec<AccessSummary> = launch
+                .requirements
+                .iter()
+                .map(AccessSummary::from_requirement)
+                .collect();
+            self.active_executor()
+                .poison(&launch.name, &summaries, RuntimeError::Faulted(event));
+        } else if self.config.materialize_data {
+            let work = self.work_request(launch, failed_attempts);
+            self.active_executor().submit(work);
         }
         Ok(())
     }
@@ -544,20 +654,198 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Returns the first deferred error raised since the last flush.
+    /// Returns the first failure of the batch (by submission order — the root
+    /// of the earliest failed dependence cone), or re-raises a deferred
+    /// error. Per-launch records survive until [`Runtime::take_failures`].
     pub fn flush_launches(&mut self) -> Result<(), RuntimeError> {
         if let Some(e) = self.deferred_error.take() {
-            // Drain the executor too so the next batch starts clean.
-            let _ = self.executor.flush();
+            // Drain the executors too so the next batch starts clean.
+            let result = self.executor.flush();
+            let drained = self.executor.drain_failures();
+            self.record_failures(result, drained);
+            let (fb_result, fb_drained) = match &mut self.fallback_serial {
+                Some(s) => (s.flush(), s.drain_failures()),
+                None => (Ok(()), Vec::new()),
+            };
+            self.record_failures(fb_result, fb_drained);
+            self.batch_error = None;
             return Err(e);
         }
-        self.executor.flush()
+        let main_result = self.executor.flush();
+        let main_drained = self.executor.drain_failures();
+        let (fb_result, fb_drained) = match &mut self.fallback_serial {
+            Some(s) => (s.flush(), s.drain_failures()),
+            None => (Ok(()), Vec::new()),
+        };
+        self.failures.extend(main_drained);
+        self.failures.extend(fb_drained);
+        // Earliest failure wins: a mid-batch stash (executor fallback switch)
+        // precedes the main executor's batch, which precedes the fallback's.
+        let first = self
+            .batch_error
+            .take()
+            .or(main_result.err())
+            .or(fb_result.err());
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Drains the structured per-launch failure records accumulated since the
+    /// last call, in submission order within each batch (a failed cone's root
+    /// precedes its poisoned dependents).
+    pub fn take_failures(&mut self) -> Vec<LaunchFailure> {
+        let mut out = std::mem::take(&mut self.failures);
+        out.extend(self.executor.drain_failures());
+        if let Some(fb) = &mut self.fallback_serial {
+            out.extend(fb.drain_failures());
+        }
+        out
+    }
+
+    /// Fault/recovery attribution counters accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// The active fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
+    }
+
+    /// Records a launch-attributed failure produced outside the executors
+    /// (the Diffuse layer's verifier, with fail-fast off) and poisons its
+    /// dependence cone: the accesses join hazard tracking so every downstream
+    /// launch is skipped.
+    pub fn poison_launch(&mut self, name: &str, accesses: &[AccessSummary], error: RuntimeError) {
+        self.active_executor().poison(name, accesses, error);
+    }
+
+    /// The executor functional work currently routes to: the serial fallback
+    /// once a machine restart engaged it, the configured executor otherwise.
+    fn active_executor(&mut self) -> &mut dyn Executor {
+        match &mut self.fallback_serial {
+            Some(s) => s,
+            None => self.executor.as_mut(),
+        }
+    }
+
+    fn record_failures(&mut self, result: Result<(), RuntimeError>, drained: Vec<LaunchFailure>) {
+        if let Err(e) = result {
+            self.batch_error.get_or_insert(e);
+        }
+        self.failures.extend(drained);
+    }
+
+    /// Decides this launch's injected faults and prices recovery — on the
+    /// submitting thread, before any functional work is scheduled, so the
+    /// simulated clock and the stats are executor- and backend-invariant.
+    ///
+    /// Returns the number of killed device attempts the functional half must
+    /// replay (and roll back) and, when the launch could not be recovered
+    /// (policy disabled), the fault event that abandons it.
+    fn inject_faults(&mut self, launch: &TaskLaunch) -> (u32, Option<FaultEvent>) {
+        let Some(plan) = self.fault_plan else {
+            return (0, None);
+        };
+        let fp = launch.fingerprint();
+        let occurrence = self.fault_occurrence.entry(fp).or_insert(0);
+        let key = mix(fp, *occurrence);
+        *occurrence += 1;
+        // Transient region-read faults: a retry re-reads the intact source
+        // copy, so recovery never affects functional results — only the
+        // simulated clock (the retry budget caps work at rate 1.0; past it
+        // the authoritative copy is assumed reached).
+        let mut read_attempt: u32 = 0;
+        while read_attempt <= self.recovery.max_retries
+            && plan.should_fault(FaultSite::RegionRead, key, read_attempt)
+        {
+            self.fault_stats.faults_injected += 1;
+            if !self.recovery.enabled {
+                self.fault_stats.abandoned_launches += 1;
+                return (
+                    0,
+                    Some(FaultEvent {
+                        launch: launch.name.clone(),
+                        site: FaultSite::RegionRead,
+                        attempts: read_attempt + 1,
+                    }),
+                );
+            }
+            self.fault_stats.retries += 1;
+            let backoff = self.recovery.backoff(read_attempt);
+            self.fault_stats.recovery_sim_time += backoff;
+            self.clock.uniform_phase(backoff);
+            read_attempt += 1;
+        }
+        // Device faults: each killed attempt is replayed (and rolled back) by
+        // the functional half; exhausting the retry budget strikes the
+        // launch's target GPU and migrates the work — with recovery on, a
+        // launch is never lost.
+        let mut killed: u32 = 0;
+        while killed <= self.recovery.max_retries
+            && plan.should_fault(FaultSite::Device, key, killed)
+        {
+            self.fault_stats.faults_injected += 1;
+            killed += 1;
+            if !self.recovery.enabled {
+                self.fault_stats.abandoned_launches += 1;
+                return (
+                    0,
+                    Some(FaultEvent {
+                        launch: launch.name.clone(),
+                        site: FaultSite::Device,
+                        attempts: killed,
+                    }),
+                );
+            }
+            if killed <= self.recovery.max_retries {
+                self.fault_stats.retries += 1;
+                let backoff = self.recovery.backoff(killed - 1);
+                self.fault_stats.recovery_sim_time += backoff;
+                self.clock.uniform_phase(backoff);
+            }
+        }
+        if killed > self.recovery.max_retries {
+            self.strike_gpu(fp);
+        }
+        (killed, None)
+    }
+
+    /// GPUs whose strike count is still below the policy threshold.
+    fn healthy_gpus(&self) -> usize {
+        self.gpu_strikes
+            .iter()
+            .filter(|&&s| s < self.recovery.unhealthy_after)
+            .count()
+    }
+
+    /// Registers a device-fault strike against the launch's deterministic
+    /// target GPU (`fingerprint % gpus`). Losing the last healthy GPU
+    /// restarts the machine: outstanding work drains, further functional work
+    /// runs on a serial fallback executor (parallel→serial degradation),
+    /// health resets, and the restart penalty is charged.
+    fn strike_gpu(&mut self, fp: u64) {
+        self.fault_stats.degraded_launches += 1;
+        let target = (fp % self.gpu_strikes.len() as u64) as usize;
+        self.gpu_strikes[target] = self.gpu_strikes[target].saturating_add(1);
+        if self.healthy_gpus() == 0 {
+            let result = self.active_executor().flush();
+            let drained = self.active_executor().drain_failures();
+            self.record_failures(result, drained);
+            self.fallback_serial.get_or_insert_with(SerialExecutor::new);
+            self.gpu_strikes.iter_mut().for_each(|s| *s = 0);
+            let penalty = self.recovery.restart_penalty();
+            self.fault_stats.recovery_sim_time += penalty;
+            self.clock.uniform_phase(penalty);
+        }
     }
 
     /// Packages the functional half of a launch for the executor. The request
     /// borrows the launch (zero-copy on the serial path); only resolved
     /// handles and rects are owned.
-    fn work_request<'a>(&self, launch: &'a TaskLaunch) -> WorkRequest<'a> {
+    fn work_request<'a>(&self, launch: &'a TaskLaunch, failed_attempts: u32) -> WorkRequest<'a> {
         let accesses: Vec<BufferAccess> = launch
             .requirements
             .iter()
@@ -575,6 +863,7 @@ impl Runtime {
             scalars: &launch.scalars,
             local_buffer_lens: &launch.local_buffer_lens,
             accesses,
+            failed_attempts,
         }
     }
 
@@ -708,6 +997,12 @@ impl Runtime {
         self.profile.kernel_launches += worst_cost.launches;
         self.profile.kernel_bytes += worst_cost.bytes;
         self.profile.kernel_flops += worst_cost.flops;
+        // Degraded machine: unhealthy GPUs' shares migrate to the healthy
+        // ones, stretching the bulk-synchronous phase proportionally. With no
+        // strikes the factor is exactly 1.0, so fault-free simulated time is
+        // bit-identical to a build without the fault layer.
+        let healthy = self.healthy_gpus().max(1);
+        let worst_time = worst_time * (self.gpu_strikes.len() as f64 / healthy as f64);
         self.profile.kernel_time += worst_time;
         worst_time
     }
@@ -1034,6 +1329,180 @@ mod tests {
         assert!(std::error::Error::source(&err).is_some());
         // The batch is drained: the next flush is clean.
         rt.flush_launches().unwrap();
+    }
+
+    /// A module reading scalar parameter 0 that no launch provides: fails
+    /// with MissingParam when its functional work runs.
+    fn missing_param_module() -> KernelModule {
+        let mut module = KernelModule::new(2);
+        module.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("bad", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let p = lb.param(0);
+        let v = lb.mul(x, p);
+        lb.store(BufferId(1), v);
+        module.push_loop(lb.finish());
+        module
+    }
+
+    #[test]
+    fn completed_launches_in_a_failed_batch_keep_data_and_stats() {
+        // The failing launch writes b; an unordered launch writes c. The
+        // failure must not discard the unordered launch's results or its
+        // already-flushed accounting.
+        let mut rt = functional_runtime(4);
+        let a = rt.allocate_region(vec![32], "a");
+        let b = rt.allocate_region(vec![32], "b");
+        let c = rt.allocate_region(vec![32], "c");
+        rt.fill(a, 2.0).unwrap();
+        let mut bad = scale_launch(a, b, 4, 32);
+        bad.kernel = compile_interp(missing_param_module());
+        rt.execute(&bad).unwrap();
+        rt.execute(&scale_launch(a, c, 4, 32)).unwrap();
+        let err = rt.flush_launches().unwrap_err();
+        assert!(matches!(err, RuntimeError::Exec(_)));
+        // Stats flushed for the whole batch: fill + both launches.
+        assert_eq!(rt.profile().index_tasks, 3);
+        // The unordered launch's data committed (containment).
+        assert_eq!(rt.region_data(c).unwrap(), vec![6.0; 32]);
+        // Exactly one structured failure: the bad launch, by name.
+        let failures = rt.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].launch, "scale");
+        assert!(matches!(failures[0].error, RuntimeError::Exec(_)));
+    }
+
+    #[test]
+    fn backoff_pricing_is_pinned() {
+        // rate 1.0 forces every site to fire on every attempt. With
+        // max_retries = 2 and backoff base b:
+        //  * region-read: 3 faults, 3 retries, backoff b + 2b + 4b = 7b
+        //  * device: 3 faults, 2 retries, backoff b + 2b = 3b, then the
+        //    retry budget is exhausted -> 1 degraded (migrated) launch
+        let base = 1e-4;
+        let recovery = RecoveryPolicy::default()
+            .with_max_retries(2)
+            .with_backoff_base(base)
+            .with_unhealthy_after(10); // no machine restart in this test
+        let config = RuntimeConfig::functional(MachineConfig::with_gpus(2))
+            .with_executor(ExecutorKind::Serial)
+            .with_fault_plan(FaultPlan::new(7, 1.0))
+            .with_recovery(recovery);
+        let mut rt = Runtime::new(config);
+        let a = rt.allocate_region(vec![16], "a");
+        let b = rt.allocate_region(vec![16], "b");
+        rt.write_region_data(a, vec![2.0; 16]).unwrap();
+        rt.execute(&scale_launch(a, b, 2, 16)).unwrap();
+        rt.flush_launches().unwrap();
+        let stats = rt.fault_stats();
+        assert_eq!(stats.faults_injected, 6);
+        assert_eq!(stats.retries, 5);
+        assert_eq!(stats.degraded_launches, 1);
+        assert_eq!(stats.abandoned_launches, 0);
+        assert!(
+            (stats.recovery_sim_time - 10.0 * base).abs() < 1e-12,
+            "expected 10b, got {}",
+            stats.recovery_sim_time
+        );
+        // Recovery on: the launch still committed, bit-identical.
+        assert_eq!(rt.region_data(b).unwrap(), vec![6.0; 16]);
+    }
+
+    #[test]
+    fn recovery_off_abandons_the_faulted_cone_only() {
+        let config = RuntimeConfig::functional(MachineConfig::with_gpus(2))
+            .with_executor(ExecutorKind::Serial)
+            .with_fault_plan(FaultPlan::new(3, 1.0))
+            .with_recovery(RecoveryPolicy::disabled());
+        let mut rt = Runtime::new(config);
+        let a = rt.allocate_region(vec![16], "a");
+        let b = rt.allocate_region(vec![16], "b");
+        let c = rt.allocate_region(vec![16], "c");
+        rt.fill(a, 1.0).unwrap();
+        // fill() is also a launch-free op; only execute() injects. The
+        // faulted launch writes b; its dependent reads b.
+        rt.execute(&scale_launch(a, b, 2, 16)).unwrap();
+        rt.execute(&scale_launch(b, c, 2, 16)).unwrap();
+        let err = rt.flush_launches().unwrap_err();
+        assert!(matches!(err, RuntimeError::Faulted(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        let stats = rt.fault_stats();
+        assert_eq!(stats.abandoned_launches, 2, "both launches fault at rate 1");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.recovery_sim_time, 0.0);
+        let failures = rt.take_failures();
+        assert_eq!(failures.len(), 2);
+        assert!(failures
+            .iter()
+            .all(|f| matches!(f.error, RuntimeError::Faulted(_))));
+        // Outputs of the faulted cone never committed.
+        assert_eq!(rt.region_data(b).unwrap(), vec![0.0; 16]);
+        assert_eq!(rt.region_data(c).unwrap(), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn losing_every_gpu_degrades_to_the_serial_fallback() {
+        // One GPU, one strike allowed: the first exhausted launch restarts
+        // the machine onto the serial fallback; later launches still commit.
+        let recovery = RecoveryPolicy::default()
+            .with_max_retries(1)
+            .with_unhealthy_after(1);
+        let config = RuntimeConfig::functional(MachineConfig::with_gpus(1))
+            .with_executor(ExecutorKind::WorkStealing { workers: Some(2) })
+            .with_fault_plan(FaultPlan::new(11, 1.0))
+            .with_recovery(recovery);
+        let mut rt = Runtime::new(config);
+        let a = rt.allocate_region(vec![8], "a");
+        let b = rt.allocate_region(vec![8], "b");
+        let c = rt.allocate_region(vec![8], "c");
+        rt.write_region_data(a, vec![2.0; 8]).unwrap();
+        rt.execute(&scale_launch(a, b, 1, 8)).unwrap();
+        rt.execute(&scale_launch(b, c, 1, 8)).unwrap();
+        rt.flush_launches().unwrap();
+        let stats = rt.fault_stats();
+        assert!(stats.degraded_launches >= 1);
+        // The restart penalty was charged at least once.
+        assert!(stats.recovery_sim_time >= recovery.restart_penalty());
+        // Recovery never loses a launch: the chain committed bit-identically.
+        assert_eq!(rt.region_data(c).unwrap(), vec![18.0; 8]);
+        assert!(rt.take_failures().is_empty());
+    }
+
+    #[test]
+    fn fault_schedule_is_executor_invariant() {
+        let run = |kind: ExecutorKind| {
+            let config = RuntimeConfig::functional(MachineConfig::with_gpus(4))
+                .with_executor(kind)
+                .with_fault_plan(FaultPlan::new(99, 0.35));
+            let mut rt = Runtime::new(config);
+            let a = rt.allocate_region(vec![32], "a");
+            let b = rt.allocate_region(vec![32], "b");
+            let c = rt.allocate_region(vec![32], "c");
+            let d = rt.allocate_region(vec![32], "d");
+            rt.write_region_data(a, (0..32).map(|i| i as f64).collect())
+                .unwrap();
+            // A chain plus an independent launch, repeated so per-fingerprint
+            // occurrence counters advance.
+            for _ in 0..4 {
+                rt.execute(&scale_launch(a, b, 4, 32)).unwrap();
+                rt.execute(&scale_launch(b, c, 4, 32)).unwrap();
+                rt.execute(&scale_launch(a, d, 4, 32)).unwrap();
+            }
+            rt.flush_launches().unwrap();
+            (
+                rt.region_data(c).unwrap(),
+                rt.region_data(d).unwrap(),
+                rt.elapsed(),
+                rt.fault_stats(),
+            )
+        };
+        let serial = run(ExecutorKind::Serial);
+        let parallel = run(ExecutorKind::WorkStealing { workers: Some(4) });
+        assert!(serial.3.faults_injected > 0, "schedule must actually fire");
+        assert_eq!(serial.3, parallel.3, "fault stats must not depend on the executor");
+        assert_eq!(serial.2.to_bits(), parallel.2.to_bits());
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1, parallel.1);
     }
 
     #[test]
