@@ -20,6 +20,15 @@
 //! fails if the ratio drops below the hard floor of 5× or regresses more
 //! than the tolerance against the checked-in baseline.
 //!
+//! A third regime measures the footprint analyzer of `docs/ANALYZE.md`:
+//! **inferred** replays the same all-hit warm trace under
+//! `AnalyzeMode::Inferred`, so every submission additionally pays the
+//! memoized effective-signature probe. The analyzer is memoized per launch
+//! key exactly like the window analysis, so its steady-state cost must be
+//! one hash probe; `--check` fails if the inferred warm path costs more
+//! than `ANALYZE_OVERHEAD_TOLERANCE` percent (default 2%) over the declared
+//! warm path measured in the same process.
+//!
 //! ```sh
 //! cargo run --release --bin analysis_overhead            # rewrite the baseline
 //! cargo run --release --bin analysis_overhead -- --check # CI regression gate
@@ -28,7 +37,7 @@
 use std::time::Instant;
 
 use bench::JsonValue;
-use diffuse::{Context, DiffuseConfig, StoreHandle, TaskSignature};
+use diffuse::{AnalyzeMode, Context, DiffuseConfig, StoreHandle, TaskSignature};
 use ir::{Partition, PartitionId};
 use kernel::{BufferId, BufferRole, KernelModule, LoopBuilder, TaskKind};
 use machine::MachineConfig;
@@ -66,11 +75,24 @@ fn tolerance_pct() -> f64 {
         .unwrap_or(30.0)
 }
 
+/// Allowed warm-path overhead of `AnalyzeMode::Inferred` in percent over the
+/// declared warm path (`ANALYZE_OVERHEAD_TOLERANCE` overrides).
+fn analyze_tolerance_pct() -> f64 {
+    std::env::var("ANALYZE_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0)
+}
+
 /// The registered task kinds of the replayed trace.
 struct Kinds {
     add: TaskKind,
     scale: TaskKind,
     dot: TaskKind,
+    /// An add with a declared read-write scratch argument its kernel never
+    /// touches — launched once (outside timed windows) in the inferred leg
+    /// to prove the analyzer is actually active (`privileges_tightened`).
+    phantom: TaskKind,
 }
 
 /// Length of the elementwise-chain window (models the long fused vector
@@ -125,7 +147,21 @@ fn register_kinds(ctx: &Context) -> Kinds {
         m.push_loop(b.finish());
         m
     });
-    Kinds { add, scale, dot }
+    let phantom = lib.register(
+        "phantom_add",
+        TaskSignature::new().read().read().write().read_write(),
+        |_args| {
+            let mut m = KernelModule::new(4);
+            m.set_role(BufferId(2), BufferRole::Output);
+            let mut b = LoopBuilder::new("phantom_add", BufferId(2));
+            let (x, y) = (b.load(BufferId(0)), b.load(BufferId(1)));
+            let s = b.add(x, y);
+            b.store(BufferId(2), s);
+            m.push_loop(b.finish());
+            m
+        },
+    );
+    Kinds { add, scale, dot, phantom }
 }
 
 fn make_stores(ctx: &Context) -> Stores {
@@ -144,12 +180,13 @@ fn make_stores(ctx: &Context) -> Stores {
     }
 }
 
-fn fresh_context() -> (Context, Kinds, Stores) {
+fn fresh_context(mode: AnalyzeMode) -> (Context, Kinds, Stores) {
     // Buffer the whole chain window before analyzing (the adaptive policy
     // would get there on its own; pinning it keeps samples uniform).
     let config = DiffuseConfig::fused(MachineConfig::with_gpus(GPUS))
         .simulation_only()
-        .with_window(32, 70);
+        .with_window(32, 70)
+        .with_analyze(mode);
     let ctx = Context::new(config);
     let kinds = register_kinds(&ctx);
     let stores = make_stores(&ctx);
@@ -216,7 +253,7 @@ fn measure_cold() -> f64 {
     let mut tasks = 0u64;
     let wall = Instant::now();
     while wall.elapsed() < budget || tasks == 0 {
-        let (ctx, kinds, stores) = fresh_context();
+        let (ctx, kinds, stores) = fresh_context(AnalyzeMode::Declared);
         let t0 = Instant::now();
         tasks += run_iteration(&ctx, &kinds, &stores);
         elapsed_ns += t0.elapsed().as_nanos() as f64;
@@ -229,11 +266,27 @@ fn measure_cold() -> f64 {
 
 /// Warm path: one context, memo populated, timing all-hit iterations.
 /// Returns ns per task.
-fn measure_warm() -> f64 {
-    let (ctx, kinds, stores) = fresh_context();
+fn measure_warm(mode: AnalyzeMode) -> f64 {
+    let (ctx, kinds, stores) = fresh_context(mode);
     // Populate the memo (and let the adaptive window settle).
     for _ in 0..3 {
         run_iteration(&ctx, &kinds, &stores);
+    }
+    if mode == AnalyzeMode::Inferred {
+        // Prove the analyzer is active in this leg: the phantom scratch must
+        // be tightened. Runs once, outside the timed windows below.
+        ctx.task(kinds.phantom)
+            .name("phantom_probe")
+            .read(&stores.x, stores.block)
+            .read(&stores.p, stores.block)
+            .write(&stores.t, stores.block)
+            .read_write(&stores.q, stores.block)
+            .launch();
+        ctx.flush();
+        assert!(
+            ctx.stats().privileges_tightened > 0,
+            "the inferred leg must actually tighten the phantom scratch"
+        );
     }
     let before = ctx.stats();
     let budget = std::time::Duration::from_millis(measure_ms());
@@ -261,11 +314,15 @@ fn main() {
         measure_ms()
     );
     let cold = measure_cold();
-    let warm = measure_warm();
+    let warm = measure_warm(AnalyzeMode::Declared);
+    let inferred = measure_warm(AnalyzeMode::Inferred);
     let ratio = cold / warm.max(1e-9);
+    let analyze_pct = (inferred / warm.max(1e-9) - 1.0) * 100.0;
     println!("{:<28}{:>14.0} ns/task", "cold (all misses)", cold);
     println!("{:<28}{:>14.0} ns/task", "warm (all hits)", warm);
-    println!("{:<28}{:>13.1}x\n", "cold/warm ratio", ratio);
+    println!("{:<28}{:>14.0} ns/task", "warm + analyzer (inferred)", inferred);
+    println!("{:<28}{:>13.1}x", "cold/warm ratio", ratio);
+    println!("{:<28}{:>+13.2}%\n", "analyzer overhead", analyze_pct);
 
     assert!(
         ratio >= HARD_FLOOR,
@@ -274,6 +331,19 @@ fn main() {
     );
 
     if check {
+        let analyze_tolerance = analyze_tolerance_pct();
+        println!(
+            "analyzer: declared {warm:.0} ns/task, inferred {inferred:.0} ns/task, \
+             overhead {analyze_pct:+.2}% (tolerance {analyze_tolerance}%) — {}",
+            if analyze_pct > analyze_tolerance { "REGRESSED" } else { "ok" }
+        );
+        assert!(
+            analyze_pct <= analyze_tolerance,
+            "DIFFUSE_ANALYZE=inferred costs {analyze_pct:.2}% > {analyze_tolerance}% on \
+             the warm path; the effective-signature probe must stay memoized per \
+             launch key (docs/ANALYZE.md), or raise ANALYZE_OVERHEAD_TOLERANCE \
+             for the migration"
+        );
         let path = format!("BENCH_{TOPIC}.json");
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("--check needs a checked-in {path}: {e}"));
@@ -302,6 +372,14 @@ fn main() {
             bench::json_line(
                 "analysis_overhead/warm",
                 &[("ns_per_task", JsonValue::Num(warm))],
+            ),
+            bench::json_line(
+                "analysis_overhead/inferred",
+                &[("ns_per_task", JsonValue::Num(inferred))],
+            ),
+            bench::json_line(
+                "analysis_overhead/analyze_overhead",
+                &[("pct_vs_warm", JsonValue::Num(analyze_pct))],
             ),
             bench::json_line("analysis_overhead/ratio", &[("ratio", JsonValue::Num(ratio))]),
         ];

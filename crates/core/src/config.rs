@@ -4,6 +4,24 @@ use kernel::BackendKind;
 use machine::MachineConfig;
 use runtime::{ExecutorKind, FaultPlan, RecoveryPolicy};
 
+/// Which privileges the fusion analysis trusts (the `DIFFUSE_ANALYZE` knob;
+/// see `docs/ANALYZE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalyzeMode {
+    /// Use the privileges each task declared, verbatim (historical behavior).
+    #[default]
+    Declared,
+    /// Run the abstract-interpretation footprint analysis over each task
+    /// kind's generated kernel (`kernel::analyze`, memoized by module
+    /// fingerprint) and *tighten* declared privileges the kernel provably
+    /// never exercises: a declared write/read-write/reduce argument whose
+    /// kernel never stores or reduces to the buffer is narrowed to read.
+    /// Tightening is bitwise-invisible to results (the runtime's copy-in is
+    /// unconditional; only the redundant identical write-back is skipped)
+    /// while windows that previously split on phantom privileges now fuse.
+    Inferred,
+}
+
 /// Configuration of a [`crate::Context`].
 ///
 /// The presets mirror the configurations evaluated in the paper:
@@ -77,6 +95,12 @@ pub struct DiffuseConfig {
     /// Recovery policy applied to injected faults (retry budget, backoff
     /// pricing, GPU health threshold).
     pub recovery: RecoveryPolicy,
+    /// Whether the fusion analysis trusts declared privileges or tightens
+    /// them with the abstract-interpretation footprint analyzer (defaults to
+    /// [`DiffuseConfig::analyze_from_env`], i.e. the `DIFFUSE_ANALYZE`
+    /// environment variable; declared when unset, so existing streams are
+    /// processed exactly as before). See `docs/ANALYZE.md`.
+    pub analyze: AnalyzeMode,
 }
 
 impl DiffuseConfig {
@@ -113,6 +137,23 @@ impl DiffuseConfig {
         }
     }
 
+    /// Which [`AnalyzeMode`] `DIFFUSE_ANALYZE` requests: `inferred` (or
+    /// `on`, `1`, `true`) enables privilege tightening; anything else —
+    /// including unset and `declared` — preserves declared privileges.
+    pub fn analyze_from_env() -> AnalyzeMode {
+        match std::env::var("DIFFUSE_ANALYZE") {
+            Ok(v) => {
+                let v = v.trim().to_ascii_lowercase();
+                if v == "inferred" || v == "on" || v == "1" || v == "true" {
+                    AnalyzeMode::Inferred
+                } else {
+                    AnalyzeMode::Declared
+                }
+            }
+            Err(_) => AnalyzeMode::Declared,
+        }
+    }
+
     /// Full Diffuse with functional execution.
     pub fn fused(machine: MachineConfig) -> Self {
         DiffuseConfig {
@@ -132,6 +173,7 @@ impl DiffuseConfig {
             verify_fail_fast: cfg!(debug_assertions),
             fault_plan: FaultPlan::from_env(),
             recovery: RecoveryPolicy::default(),
+            analyze: Self::analyze_from_env(),
         }
     }
 
@@ -241,6 +283,15 @@ impl DiffuseConfig {
         self.recovery = recovery;
         self
     }
+
+    /// Chooses the privilege-analysis mode explicitly, overriding the
+    /// `DIFFUSE_ANALYZE` default. [`AnalyzeMode::Inferred`] tightens declared
+    /// privileges a task's kernel provably never exercises; results are
+    /// bitwise-unchanged while phantom-privilege windows fuse.
+    pub fn with_analyze(mut self, analyze: AnalyzeMode) -> Self {
+        self.analyze = analyze;
+        self
+    }
 }
 
 impl Default for DiffuseConfig {
@@ -316,6 +367,16 @@ mod tests {
         let c = DiffuseConfig::fused(MachineConfig::single_node(2))
             .with_backend(BackendKind::Closure);
         assert_eq!(c.backend, BackendKind::Closure);
+    }
+
+    #[test]
+    fn analyze_override() {
+        let c = DiffuseConfig::fused(MachineConfig::single_node(2))
+            .with_analyze(AnalyzeMode::Inferred);
+        assert_eq!(c.analyze, AnalyzeMode::Inferred);
+        let c = c.with_analyze(AnalyzeMode::Declared);
+        assert_eq!(c.analyze, AnalyzeMode::Declared);
+        assert_eq!(AnalyzeMode::default(), AnalyzeMode::Declared);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use fusion::{
-    fusible_segments, plan_horizontal, temporary_stores, AdaptiveWindow, CanonicalWindow,
-    FusedTask, MemoCache,
+    explain_window_with, fusible_segments, plan_horizontal, temporary_stores, AdaptiveWindow,
+    CanonicalWindow, DepClass, FusedTask, FusionViolation, MemoCache,
 };
 use ir::{
     Domain, IndexTask, Partition, PartitionId, Privilege, ShapeId, StoreArg, StoreId, TaskId,
@@ -22,7 +22,7 @@ use runtime::{
     Runtime, RuntimeConfig, RuntimeError, TaskLaunch,
 };
 
-use crate::config::DiffuseConfig;
+use crate::config::{AnalyzeMode, DiffuseConfig};
 use crate::handle::StoreHandle;
 use crate::launch::LaunchBuilder;
 use crate::library::{Library, LibraryBuilder};
@@ -118,6 +118,15 @@ pub struct ContextInner {
     /// Task kinds already run through the privilege-precision lint (the lint
     /// reports once per kind, not once per launch).
     linted_kinds: HashSet<u32>,
+    /// Memoized footprint analysis per (task kind, launch-shape fingerprint):
+    /// which arguments the analyzer can tighten to read and which have exact
+    /// affine access summaries (see `kernel::analyze` and `docs/ANALYZE.md`).
+    /// Filled once per distinct key; the per-submit cost after that is one
+    /// hash probe.
+    analysis: HashMap<(u32, u64), KindAnalysis, FpBuild>,
+    /// Inferred module summaries memoized by module content fingerprint, so
+    /// two task kinds generating the same kernel share one analysis.
+    summaries: HashMap<u64, Arc<kernel::ModuleSummary>>,
     /// Per-launch failure records drained from the runtime across batch
     /// boundaries, kept until [`Context::take_failures`].
     batch_failures: Vec<LaunchFailure>,
@@ -136,6 +145,65 @@ fn module_content_key(module: &KernelModule) -> u64 {
     }
     h
 }
+
+/// Memoized result of the footprint analysis for one (task kind,
+/// launch-shape) combination: per declared argument, whether the analyzer
+/// narrows its privilege to read and whether its access summary is exact.
+#[derive(Debug, Clone)]
+struct KindAnalysis {
+    tighten: Vec<bool>,
+    exact: Vec<bool>,
+}
+
+/// Fingerprint of everything a task kind's generated module depends on: the
+/// kind itself, each argument's interned shape and partition, the launch
+/// domain, and the scalar parameters (all inputs of `GenArgs`). Pure integer
+/// word-wise FNV-1a — no allocation and one multiply per word, because this
+/// runs on every submission under [`AnalyzeMode::Inferred`] and the
+/// `analysis_overhead` bench gates the whole probe below 2% of the warm
+/// path.
+fn analysis_key(task: &IndexTask) -> (u32, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x0100_0000_01b3);
+    };
+    for arg in &task.args {
+        mix(arg.shape.index() as u64);
+        mix(arg.partition.index() as u64);
+    }
+    for &d in task.launch_domain.shape() {
+        mix(d);
+    }
+    for &s in &task.scalars {
+        mix(s.to_bits());
+    }
+    (task.kind, h)
+}
+
+/// Hasher for maps keyed by already-mixed fingerprints (the analysis memo):
+/// folds the written words FNV-style instead of paying SipHash on the
+/// per-submit probe. Not DoS-resistant — fine for keys we compute ourselves.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0100_0000_01b3);
+    }
+}
+
+type FpBuild = std::hash::BuildHasherDefault<FpHasher>;
 
 impl ContextInner {
     /// Registers a library namespace, creating its statistics entry.
@@ -323,6 +391,24 @@ impl ContextInner {
                     task.name
                 )
             })?;
+            // Independent cross-check of the analyzer (the PR contract of
+            // `AnalyzeMode::Inferred`): every tightened signature must itself
+            // survive the translation validator — a read argument the kernel
+            // stores or reduces to would be an analyzer soundness bug and
+            // fails loudly here.
+            if self.config.analyze == AnalyzeMode::Inferred {
+                let eff = kernel::analyze::effective_signature(module, sig);
+                if eff.is_tightened() {
+                    checks += kernel::verify::verify_against_signature(module, &eff.to_signature())
+                        .map_err(|e| {
+                            format!(
+                                "analyzer-tightened signature of `{}` failed independent \
+                                 re-verification: {e}",
+                                task.name
+                            )
+                        })?;
+                }
+            }
             if !self.linted_kinds.contains(&task.kind) {
                 lints = kernel::verify::lint_privilege_precision(module, sig);
             }
@@ -330,15 +416,134 @@ impl ContextInner {
         if self.linted_kinds.insert(task.kind) {
             for lint in lints {
                 self.stats.privilege_lint_warnings += 1;
-                eprintln!(
-                    "diffuse-verify: lint: `{}` declares {:?} for argument {} but its kernel \
-                     never writes or reduces it (over-broad privileges inhibit fusion)",
-                    task.name, lint.spec, lint.arg
-                );
+                eprintln!("diffuse-verify: lint: `{}`: {lint}", task.name);
             }
         }
         self.stats.verification_checks += checks as u64;
         Ok(())
+    }
+
+    /// Runs the footprint analyzer over `task`'s generated kernel and
+    /// memoizes the result under [`analysis_key`]. The module summary itself
+    /// is additionally shared by module content fingerprint, so two kinds
+    /// generating identical kernels analyze once. No-op on a cache hit.
+    fn ensure_analysis(&mut self, task: &IndexTask) {
+        self.ensure_analysis_keyed(analysis_key(task), task);
+    }
+
+    /// [`ensure_analysis`](Self::ensure_analysis) with the key already
+    /// computed — the per-submit tightening path computes it once and reuses
+    /// it for the lookup after the (usually hitting) insertion probe.
+    fn ensure_analysis_keyed(&mut self, key: (u32, u64), task: &IndexTask) {
+        if self.analysis.contains_key(&key) {
+            return;
+        }
+        let lens = self.task_arg_lens(task);
+        let module = self.generate_task_module(task, &lens);
+        let summary = match self.summaries.entry(module_content_key(&module)) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                Arc::clone(e.insert(Arc::new(kernel::infer_footprint(&module))))
+            }
+        };
+        let num_args = task.args.len();
+        let exact: Vec<bool> = (0..num_args).map(|i| summary.buffer(i).is_exact()).collect();
+        let mut tighten = vec![false; num_args];
+        if let Some(sig) = self.registry.signature(TaskKind::decode(task.kind)) {
+            let eff = kernel::analyze::effective_signature_from_summary(&summary, sig);
+            for (arg, _, _) in eff.tightened() {
+                if arg < num_args {
+                    tighten[arg] = true;
+                }
+            }
+        }
+        self.analysis.insert(key, KindAnalysis { tighten, exact });
+    }
+
+    /// Whether the kernel-level access summary for `task`'s argument `arg` is
+    /// exact (no ⊤ component) — the precondition for classifying a dependence
+    /// edge with a constant distance. Reads the memoized analysis only; an
+    /// unanalyzed kind is conservatively inexact.
+    fn arg_is_exact(&self, task: &IndexTask, arg: usize) -> bool {
+        self.analysis
+            .get(&analysis_key(task))
+            .is_some_and(|a| a.exact.get(arg).copied().unwrap_or(false))
+    }
+
+    /// Narrows `task`'s declared privileges to what its kernel provably
+    /// exercises ([`AnalyzeMode::Inferred`] only): a declared
+    /// write/read-write/reduce argument whose kernel never stores or reduces
+    /// to the buffer becomes a read. The runtime's copy-in is unconditional,
+    /// so the narrowing only skips a bit-identical write-back — results are
+    /// bitwise unchanged while phantom-privilege windows fuse.
+    fn tighten_task(&mut self, task: &mut IndexTask) {
+        let key = analysis_key(task);
+        if !self.analysis.contains_key(&key) {
+            self.ensure_analysis_keyed(key, task);
+        }
+        let Some(analysis) = self.analysis.get(&key) else {
+            return;
+        };
+        let mut tightened = 0;
+        for (arg, tighten) in task.args.iter_mut().zip(&analysis.tighten) {
+            if *tighten && (arg.privilege.writes() || arg.privilege.reduces()) {
+                arg.privilege = Privilege::Read;
+                tightened += 1;
+            }
+        }
+        self.stats.privileges_tightened += tightened;
+    }
+
+    /// One-pass fusible segmentation of the window (miss path only) with the
+    /// why-not explainer over every split boundary: each rejection is
+    /// classified ([`DepClass`]) and counted in the per-class rejection
+    /// stats. Kinds in the window are analyzed (memoized) first so the
+    /// classifier knows which access summaries are exact.
+    fn classify_and_segment(&mut self) -> VecDeque<usize> {
+        for i in 0..self.window.len() {
+            if !self
+                .analysis
+                .contains_key(&analysis_key(&self.window.tasks()[i]))
+            {
+                let task = self.window.tasks()[i].clone();
+                self.ensure_analysis(&task);
+            }
+        }
+        let report = {
+            let this: &ContextInner = self;
+            explain_window_with(this.window.tasks(), &|t, arg| this.arg_is_exact(t, arg))
+        };
+        for boundary in &report.boundaries {
+            match (&boundary.violation, &boundary.class) {
+                (FusionViolation::LaunchDomainMismatch { .. }, _) => {
+                    self.stats.rejections_domain_mismatch += 1;
+                }
+                (FusionViolation::Reduction { .. }, _) => {
+                    self.stats.rejections_reduction += 1;
+                }
+                (_, Some(DepClass::Carried { .. })) => self.stats.rejections_carried += 1,
+                _ => self.stats.rejections_unknown += 1,
+            }
+        }
+        report.segments.into()
+    }
+
+    /// A structured why-not report over the currently buffered window: the
+    /// fusible segmentation plus, per split boundary, the violated
+    /// constraint, the dependence classification, and what change would
+    /// admit fusion. Does not flush or otherwise perturb the window.
+    pub(crate) fn explain_window(&mut self) -> fusion::WindowReport {
+        for i in 0..self.window.len() {
+            if !self
+                .analysis
+                .contains_key(&analysis_key(&self.window.tasks()[i]))
+            {
+                let task = self.window.tasks()[i].clone();
+                self.ensure_analysis(&task);
+            }
+        }
+        let this: &ContextInner = self;
+        explain_window_with(this.window.tasks(), &|t, arg| this.arg_is_exact(t, arg))
     }
 
     /// Backend-lowering verification of a module that is about to be (or
@@ -993,20 +1198,6 @@ impl ContextInner {
             }
         }
 
-        /// Front segment of the window, computing the one-pass segmentation
-        /// lazily on first (miss-path) use.
-        fn front_segment(
-            segments: &mut VecDeque<usize>,
-            valid: &mut bool,
-            window: &TaskWindow,
-        ) -> usize {
-            if !*valid {
-                *segments = fusible_segments(window.tasks()).into();
-                *valid = true;
-            }
-            segments.front().copied().unwrap_or(1)
-        }
-
         let mut segments: VecDeque<usize> = VecDeque::new();
         let mut segments_valid = false;
         while !self.window.is_empty() {
@@ -1026,13 +1217,20 @@ impl ContextInner {
                     }
                     None => {
                         self.stats.memo_misses += 1;
-                        let len =
-                            front_segment(&mut segments, &mut segments_valid, &self.window);
+                        if !segments_valid {
+                            segments = self.classify_and_segment();
+                            segments_valid = true;
+                        }
+                        let len = segments.front().copied().unwrap_or(1);
                         (len, None, Some(CanonicalWindow::new(self.window.tasks())))
                     }
                 }
             } else {
-                let len = front_segment(&mut segments, &mut segments_valid, &self.window);
+                if !segments_valid {
+                    segments = self.classify_and_segment();
+                    segments_valid = true;
+                }
+                let len = segments.front().copied().unwrap_or(1);
                 (len, None, None)
             };
             let prefix_len = prefix_len.min(window_len).max(1);
@@ -1159,6 +1357,8 @@ impl Context {
             len_scratch: Vec::new(),
             store_scratch: Vec::new(),
             linted_kinds: HashSet::new(),
+            analysis: HashMap::default(),
+            summaries: HashMap::new(),
             batch_failures: Vec::new(),
             config,
         };
@@ -1366,6 +1566,13 @@ impl Context {
                 .unwrap_or_else(|| panic!("submit references unknown store {}", arg.store));
             arg.shape = meta.shape;
         }
+        // Privilege tightening (after shape stamping — the analysis key and
+        // the generator both need concrete shapes, and after the debug-only
+        // declared-signature validation in `submit`, which checks what the
+        // caller passed, not what the analyzer narrowed it to).
+        if inner.config.analyze == AnalyzeMode::Inferred {
+            inner.tighten_task(&mut task);
+        }
         inner.stats.tasks_submitted += 1;
         let lib = (task.kind >> 16) as usize;
         if let Some(ls) = inner.stats.per_library.get_mut(lib) {
@@ -1375,6 +1582,15 @@ impl Context {
         if inner.window.len() >= inner.adaptive.size() {
             inner.process_window();
         }
+    }
+
+    /// Explains the currently buffered (unflushed) task window: the fusible
+    /// segmentation plus, per split boundary, the violated constraint, the
+    /// dependence classification ([`fusion::DepClass`]) and a suggestion
+    /// that would admit fusion. Purely observational — the window is neither
+    /// flushed nor reordered. See `docs/ANALYZE.md` and `examples/explain.rs`.
+    pub fn explain(&self) -> fusion::WindowReport {
+        self.inner.borrow_mut().explain_window()
     }
 
     /// Flushes the task window: analyzes and launches every buffered task
@@ -2030,11 +2246,16 @@ mod tests {
         use runtime::RuntimeError;
         // A generator whose kernel is inconsistent with its declared
         // signature: `bad` declares read + write but its module writes the
-        // *input* buffer and never touches the output.
+        // *input* buffer and never touches the output. Pinned to declared
+        // privileges: under AnalyzeMode::Inferred the analyzer would tighten
+        // the never-exercised write of `t` to a read, the downstream task
+        // would genuinely no longer depend on the violating launch, and the
+        // poison cone this test pins would (correctly) shrink to just `bad`.
         let ctx = Context::new(
             DiffuseConfig::unfused(MachineConfig::with_gpus(2))
                 .with_verification(true)
-                .with_verify_fail_fast(false),
+                .with_verify_fail_fast(false)
+                .with_analyze(AnalyzeMode::Declared),
         );
         let lib = ctx.register_library("chaoslib");
         let bad = lib.register("bad", TaskSignature::new().read().write(), |_args| {

@@ -82,6 +82,20 @@ pub struct ExecutionStats {
     /// reduce privilege their generated kernel never exercises (reported once
     /// per kind; over-broad privileges silently inhibit fusion).
     pub privilege_lint_warnings: u64,
+    /// Launch arguments whose declared privilege the footprint analyzer
+    /// narrowed to read (`AnalyzeMode::Inferred`; zero in declared mode).
+    pub privileges_tightened: u64,
+    /// Window splits whose offending dependence edge classified as carried
+    /// with a constant launch-point distance (`fusion::DepClass::Carried`) —
+    /// candidates for a halo exchange.
+    pub rejections_carried: u64,
+    /// Window splits whose dependence edge could not be classified
+    /// (aliasing partitions, sub-tile shifts, or inexact kernel summaries).
+    pub rejections_unknown: u64,
+    /// Window splits caused by a launch-domain mismatch.
+    pub rejections_domain_mismatch: u64,
+    /// Window splits caused by the reduction constraint.
+    pub rejections_reduction: u64,
     /// The window size currently selected by the adaptive policy.
     pub current_window_size: u64,
     /// Simulated faults injected by the active `FaultPlan` (zero when fault
@@ -129,6 +143,12 @@ impl ExecutionStats {
             verification_checks: self.verification_checks - earlier.verification_checks,
             privilege_lint_warnings: self.privilege_lint_warnings
                 - earlier.privilege_lint_warnings,
+            privileges_tightened: self.privileges_tightened - earlier.privileges_tightened,
+            rejections_carried: self.rejections_carried - earlier.rejections_carried,
+            rejections_unknown: self.rejections_unknown - earlier.rejections_unknown,
+            rejections_domain_mismatch: self.rejections_domain_mismatch
+                - earlier.rejections_domain_mismatch,
+            rejections_reduction: self.rejections_reduction - earlier.rejections_reduction,
             current_window_size: self.current_window_size,
             faults_injected: self.faults_injected - earlier.faults_injected,
             retries: self.retries - earlier.retries,

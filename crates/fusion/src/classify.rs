@@ -1,0 +1,248 @@
+//! Dependence classification for fusion rejections.
+//!
+//! The fusion constraints (Figure 5) are a *decision* procedure: a window
+//! either fuses or it does not. This module turns the rejections into a
+//! *taxonomy*. When the kernel-level access summaries on both sides of a
+//! dependence edge are exact affine forms (`a·i + b`, see `ir::summary`), the
+//! edge can be classified precisely from the two partitions alone:
+//!
+//! - **point-wise** — every launch point depends only on itself; fusion is
+//!   legal (such edges are admitted, so they never appear on a rejection),
+//! - **carried with constant distance `d`** — launch point `q` depends on
+//!   launch point `q - d`; a whole-tile shift between producer and consumer
+//!   tilings. Fusion would be admitted by a halo exchange that
+//!   pre-communicates the shifted tiles,
+//! - **unknown** — the accesses may overlap arbitrarily across launch points
+//!   (replication, aliasing projections, sub-tile shifts, or an inexact
+//!   kernel summary).
+//!
+//! Classification is advisory: it feeds `ExecutionStats` counters and the
+//! why-not explainer ([`crate::explain`]), never an admission decision.
+
+use ir::{IndexTask, Partition, PartitionId, Projection};
+
+/// Classification of a dependence edge between two accesses of the same
+/// store by different tasks in a window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepClass {
+    /// Every launch point depends only on its own sub-store: the two
+    /// partitions are identical and disjoint across points.
+    Pointwise,
+    /// Launch point `q` of the consumer depends on launch point `q - d` of
+    /// the producer, one entry per launch-domain dimension: the two tilings
+    /// share a tile shape and differ by a whole-tile offset.
+    Carried {
+        /// Dependence distance in launch points, per dimension.
+        distance: Vec<i64>,
+    },
+    /// The dependence structure could not be resolved: aliasing partitions,
+    /// sub-tile offset shifts, or inexact kernel access summaries.
+    Unknown,
+}
+
+impl std::fmt::Display for DepClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepClass::Pointwise => write!(f, "point-wise"),
+            DepClass::Carried { distance } => {
+                if distance.len() == 1 {
+                    write!(f, "carried (distance {})", distance[0])
+                } else {
+                    write!(f, "carried (distance {distance:?})")
+                }
+            }
+            DepClass::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+impl DepClass {
+    /// Whether the edge is loop-carried with a known constant distance.
+    pub fn is_carried(&self) -> bool {
+        matches!(self, DepClass::Carried { .. })
+    }
+}
+
+/// Classifies the dependence from an earlier access through `src` to a later
+/// access through `dst` of the same store, assuming both kernels may touch
+/// every element of their sub-store (i.e. exact whole-tile summaries).
+///
+/// Identical disjoint partitions are point-wise. Identity-projection tilings
+/// with the same tile shape and a whole-tile offset delta are carried with
+/// distance `(offset_src - offset_dst) / tile` per dimension — the consumer
+/// point `q` overlaps the producer point `q - d`. Everything else (replication,
+/// aliasing projections, differing tile shapes, sub-tile shifts) is unknown.
+pub fn classify_partitions(src: PartitionId, dst: PartitionId) -> DepClass {
+    if src == dst && !src.may_alias_across_points() {
+        return DepClass::Pointwise;
+    }
+    match (src.get(), dst.get()) {
+        (
+            Partition::Tiling {
+                tile: tile_src,
+                offset: offset_src,
+                proj: Projection::Identity,
+            },
+            Partition::Tiling {
+                tile: tile_dst,
+                offset: offset_dst,
+                proj: Projection::Identity,
+            },
+        ) if tile_src == tile_dst => {
+            let mut distance = Vec::with_capacity(tile_src.len());
+            for ((&o_src, &o_dst), &tile) in offset_src.iter().zip(offset_dst).zip(tile_src) {
+                let delta = o_src - o_dst;
+                if tile == 0 || delta % tile as i64 != 0 {
+                    // A sub-tile shift: the consumer straddles two producer
+                    // tiles, so there is no single constant distance.
+                    return DepClass::Unknown;
+                }
+                distance.push(delta / tile as i64);
+            }
+            if distance.iter().all(|&d| d == 0) {
+                DepClass::Pointwise
+            } else {
+                DepClass::Carried { distance }
+            }
+        }
+        _ => DepClass::Unknown,
+    }
+}
+
+/// Classifies the dependence edge from argument `src_arg` of the earlier task
+/// `src` to argument `dst_arg` of the later task `dst`.
+///
+/// `arg_is_exact` reports whether the kernel-level access summary for a given
+/// (task, argument) is exact (no ⊤ component, see
+/// `ir::BufferFootprint::is_exact`). Classification requires exactness on
+/// *both* sides: an opaque kernel may address any element of its sub-store
+/// through indirection, so no constant distance can be claimed for it.
+pub fn classify_edge(
+    src: &IndexTask,
+    src_arg: usize,
+    dst: &IndexTask,
+    dst_arg: usize,
+    arg_is_exact: &dyn Fn(&IndexTask, usize) -> bool,
+) -> DepClass {
+    if !arg_is_exact(src, src_arg) || !arg_is_exact(dst, dst_arg) {
+        return DepClass::Unknown;
+    }
+    classify_partitions(src.args[src_arg].partition, dst.args[dst_arg].partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Domain, Privilege, StoreArg, StoreId, TaskId};
+
+    fn tiling(tile: u64, offset: i64) -> PartitionId {
+        PartitionId::intern(&Partition::tiling(
+            vec![tile],
+            vec![offset],
+            Projection::Identity,
+        ))
+    }
+
+    #[test]
+    fn equal_disjoint_partitions_are_pointwise() {
+        let p = tiling(4, 0);
+        assert_eq!(classify_partitions(p, p), DepClass::Pointwise);
+    }
+
+    #[test]
+    fn whole_tile_shift_is_carried() {
+        // Producer writes tiles at offset 4, consumer reads at offset 0:
+        // consumer point q overlaps producer point q - (-1)... distance is
+        // (4 - 0) / 4 = +1: point q reads what point q - 1 wrote? No — point
+        // q's consumer tile [4q, 4q+4) equals producer tile [4p+4, 4p+8) when
+        // p = q - 1, i.e. distance +1.
+        assert_eq!(
+            classify_partitions(tiling(4, 4), tiling(4, 0)),
+            DepClass::Carried { distance: vec![1] }
+        );
+        assert_eq!(
+            classify_partitions(tiling(4, 0), tiling(4, 4)),
+            DepClass::Carried { distance: vec![-1] }
+        );
+    }
+
+    #[test]
+    fn sub_tile_shift_is_unknown() {
+        // The Figure 1 stencil: offsets 0/1/2 with tile 4 straddle tiles.
+        assert_eq!(classify_partitions(tiling(4, 1), tiling(4, 0)), DepClass::Unknown);
+    }
+
+    #[test]
+    fn aliasing_partitions_are_unknown() {
+        let rep = PartitionId::intern(&Partition::Replicate);
+        assert_eq!(classify_partitions(rep, rep), DepClass::Unknown);
+        assert_eq!(classify_partitions(rep, tiling(4, 0)), DepClass::Unknown);
+        let proj = PartitionId::intern(&Partition::tiling(
+            vec![2],
+            vec![0],
+            Projection::SelectDims(vec![0]),
+        ));
+        assert_eq!(classify_partitions(proj, proj), DepClass::Unknown);
+    }
+
+    #[test]
+    fn differing_tile_shapes_are_unknown() {
+        assert_eq!(classify_partitions(tiling(4, 0), tiling(8, 0)), DepClass::Unknown);
+    }
+
+    #[test]
+    fn multi_dim_carried_distance() {
+        let a = PartitionId::intern(&Partition::tiling(
+            vec![2, 2],
+            vec![2, 0],
+            Projection::Identity,
+        ));
+        let b = PartitionId::intern(&Partition::block(vec![2, 2]));
+        assert_eq!(
+            classify_partitions(a, b),
+            DepClass::Carried {
+                distance: vec![1, 0]
+            }
+        );
+    }
+
+    #[test]
+    fn inexact_summary_forces_unknown() {
+        let p = tiling(4, 4);
+        let q = tiling(4, 0);
+        let t = |id, part: PartitionId, priv_: Privilege| {
+            IndexTask::new(
+                TaskId(id),
+                0,
+                "t",
+                Domain::linear(4),
+                vec![StoreArg::new(StoreId(0), part.get().clone(), priv_)],
+                vec![],
+            )
+        };
+        let src = t(0, p, Privilege::Write);
+        let dst = t(1, q, Privilege::Read);
+        assert_eq!(
+            classify_edge(&src, 0, &dst, 0, &|_, _| true),
+            DepClass::Carried { distance: vec![1] }
+        );
+        assert_eq!(classify_edge(&src, 0, &dst, 0, &|_, _| false), DepClass::Unknown);
+    }
+
+    #[test]
+    fn display_renders_taxonomy() {
+        assert_eq!(DepClass::Pointwise.to_string(), "point-wise");
+        assert_eq!(
+            DepClass::Carried { distance: vec![2] }.to_string(),
+            "carried (distance 2)"
+        );
+        assert_eq!(
+            DepClass::Carried {
+                distance: vec![1, 0]
+            }
+            .to_string(),
+            "carried (distance [1, 0])"
+        );
+        assert_eq!(DepClass::Unknown.to_string(), "unknown");
+    }
+}

@@ -38,7 +38,9 @@
 //! assert_eq!(find_fusible_prefix(&tasks), 3);
 //! ```
 
+pub mod classify;
 pub mod constraints;
+pub mod explain;
 pub mod fused;
 pub mod horizontal;
 pub mod memo;
@@ -47,11 +49,16 @@ pub mod temporaries;
 pub mod verify;
 pub mod window;
 
+pub use classify::{classify_edge, classify_partitions, DepClass};
 pub use constraints::{ConstraintState, FusionViolation};
+pub use explain::{explain_window, explain_window_with, BoundaryReport, WindowReport};
 pub use fused::FusedTask;
 pub use horizontal::{plan_horizontal, HorizontalPlan, HorizontalViolation, SegmentFootprint};
 pub use memo::{CanonicalWindow, MemoCache};
-pub use prefix::{find_fusible_prefix, find_fusible_prefix_explained, fusible_segments};
+pub use prefix::{
+    find_fusible_prefix, find_fusible_prefix_explained, fusible_segments,
+    fusible_segments_explained,
+};
 pub use temporaries::temporary_stores;
 pub use verify::{
     verify_fused_prefix, verify_horizontal_plan, verify_reorder, verify_skeleton, DepKind,

@@ -50,11 +50,26 @@ pub fn find_fusible_prefix_explained(tasks: &[IndexTask]) -> (usize, Option<Fusi
 /// assert_eq!(fusible_segments(&tasks), vec![2, 1]);
 /// ```
 pub fn fusible_segments(tasks: &[IndexTask]) -> Vec<usize> {
+    fusible_segments_explained(tasks)
+        .into_iter()
+        .map(|(len, _)| len)
+        .collect()
+}
+
+/// Like [`fusible_segments`], additionally pairing every segment with the
+/// constraint violation that *closed* it — the reason the first task of the
+/// next segment could not join. The final segment carries `None` (nothing
+/// rejected it; the window simply ended). This is the raw material for the
+/// why-not explainer ([`crate::explain`]) and for the per-class rejection
+/// counters in `ExecutionStats`.
+pub fn fusible_segments_explained(
+    tasks: &[IndexTask],
+) -> Vec<(usize, Option<FusionViolation>)> {
     let mut segments = Vec::new();
     let mut state = ConstraintState::new();
     for task in tasks {
-        if state.try_push(task).is_err() {
-            segments.push(state.len().max(1));
+        if let Err(violation) = state.try_push(task) {
+            segments.push((state.len().max(1), Some(violation)));
             state = ConstraintState::new();
             state
                 .try_push(task)
@@ -62,7 +77,7 @@ pub fn fusible_segments(tasks: &[IndexTask]) -> Vec<usize> {
         }
     }
     if !state.is_empty() {
-        segments.push(state.len());
+        segments.push((state.len(), None));
     }
     segments
 }

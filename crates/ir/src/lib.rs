@@ -46,6 +46,7 @@ pub mod domain;
 pub mod intern;
 pub mod partition;
 pub mod store;
+pub mod summary;
 pub mod task;
 pub mod window;
 
@@ -54,5 +55,8 @@ pub use domain::{Domain, Point, Rect};
 pub use intern::{PartitionId, ShapeId};
 pub use partition::{Partition, Projection};
 pub use store::{StoreId, StoreInfo};
+pub use summary::{
+    summary_fingerprint, AccessPattern, AffineForm, BufferFootprint, MAX_AFFINE_FORMS,
+};
 pub use task::{IndexTask, Privilege, ReductionOp, StoreArg, TaskId};
 pub use window::{window_fingerprint, FingerprintState, TaskWindow};

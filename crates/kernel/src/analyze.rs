@@ -1,0 +1,630 @@
+//! Static abstract interpretation over kernel modules: footprint inference,
+//! value ranges, and privilege tightening (`docs/ANALYZE.md`).
+//!
+//! This is the analysis half of the `diffuse-analyze` layer. It runs a
+//! forward dataflow over each [`KernelStage`] of a [`KernelModule`] and
+//! computes, per buffer, an affine **access summary** for every access kind
+//! (the [`ir::AccessPattern`] lattice: ⊥ / exact `a·i + b` forms / ⊤) plus a
+//! **value-range interval** for the values the kernel may write. From the
+//! joined module footprint it derives an [`EffectiveSignature`]: the declared
+//! [`TaskSignature`] with every privilege the kernel provably never exercises
+//! tightened to read-only.
+//!
+//! Soundness contract (checked by `crates/kernel/tests/analyze_soundness.rs`
+//! against an instrumented interpreter): for every buffer and access kind,
+//! the inferred pattern **over-approximates** the set of elements any dynamic
+//! execution touches. Loop stages are summarized exactly — in this IR every
+//! loop access is `buffer[i]` or `buffer[0]` — while opaque stages fall back
+//! to ⊤ for both reads and writes of every buffer they name (never a wrong
+//! tight summary).
+//!
+//! Tightening is deliberately *narrowing-only and copy-exact*: a declared
+//! `Write`/`ReadWrite`/`Reduce` argument becomes `Read` only when the module
+//! admits **no** store and no reduction to that buffer. Because the runtime's
+//! stage protocol copies every argument in unconditionally and copies out
+//! only under a writing privilege, skipping the copy-out of a provably
+//! untouched buffer writes back exactly the bytes that are already there —
+//! the tightened execution is bitwise-identical to the declared one.
+
+use ::ir::{summary_fingerprint, AccessPattern, AffineForm, BufferFootprint};
+
+use crate::generator::{ArgSpec, TaskSignature};
+use crate::ir::{BinaryOp, KernelModule, KernelStage, LoopKernel, LoopOp, UnaryOp};
+
+/// A closed interval over the extended reals, the value-range lattice for
+/// scalar SSA values. `NaN` is tracked out-of-band: an interval bounds only
+/// the non-NaN values a computation can produce, and [`Interval::contains`]
+/// admits `NaN` unconditionally (every lattice element includes it).
+///
+/// `EMPTY` (⊥, `lo > hi`) means no value; `TOP` is `[-∞, +∞]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The empty interval (⊥ — no value observed).
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+    /// The full interval (⊤ — any value).
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// A single-point interval. `NaN` constants widen to ⊤ (NaN is tracked
+    /// out-of-band, so an interval must still bound nothing falsely).
+    pub fn constant(v: f64) -> Interval {
+        if v.is_nan() {
+            Interval::TOP
+        } else {
+            Interval { lo: v, hi: v }
+        }
+    }
+
+    /// Whether the interval is ⊥.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether the interval is ⊤.
+    pub fn is_top(self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
+    /// Lattice join (interval hull).
+    pub fn join(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Membership: `v` is admitted if it is `NaN` (tracked out-of-band) or
+    /// falls within the bounds.
+    pub fn contains(self, v: f64) -> bool {
+        v.is_nan() || (self.lo <= v && v <= self.hi)
+    }
+
+    /// Builds an interval from candidate endpoint values, widening to ⊤ if
+    /// any endpoint computation produced `NaN` (e.g. `0 · ∞`).
+    fn from_endpoints(candidates: &[f64]) -> Interval {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &c in candidates {
+            if c.is_nan() {
+                return Interval::TOP;
+            }
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo, hi }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Interval transfer function of a unary operator. Monotone operators map
+/// endpoints; everything else returns a correct coarse bound or ⊤.
+fn unary_range(op: UnaryOp, a: Interval) -> Interval {
+    if a.is_empty() {
+        return Interval::EMPTY;
+    }
+    match op {
+        UnaryOp::Neg => Interval::from_endpoints(&[-a.lo, -a.hi]),
+        UnaryOp::Abs => {
+            if a.lo >= 0.0 {
+                a
+            } else if a.hi <= 0.0 {
+                Interval::from_endpoints(&[-a.lo, -a.hi])
+            } else {
+                Interval::from_endpoints(&[0.0, a.hi.max(-a.lo)])
+            }
+        }
+        UnaryOp::Sqrt => {
+            // Negative inputs produce NaN (out-of-band); bound the real part.
+            Interval::from_endpoints(&[a.lo.max(0.0).sqrt(), a.hi.max(0.0).sqrt()])
+        }
+        UnaryOp::Exp => Interval::from_endpoints(&[a.lo.exp(), a.hi.exp()]),
+        // Erf is monotone onto (-1, 1); Ln is monotone on the real part.
+        UnaryOp::Erf => Interval { lo: -1.0, hi: 1.0 },
+        UnaryOp::Ln | UnaryOp::Recip => Interval::TOP,
+    }
+}
+
+/// Interval transfer function of a binary operator.
+fn binary_range(op: BinaryOp, a: Interval, b: Interval) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    match op {
+        BinaryOp::Add => Interval::from_endpoints(&[a.lo + b.lo, a.hi + b.hi]),
+        BinaryOp::Sub => Interval::from_endpoints(&[a.lo - b.hi, a.hi - b.lo]),
+        BinaryOp::Mul => Interval::from_endpoints(&[
+            a.lo * b.lo,
+            a.lo * b.hi,
+            a.hi * b.lo,
+            a.hi * b.hi,
+        ]),
+        BinaryOp::Max => Interval::from_endpoints(&[a.lo.max(b.lo), a.hi.max(b.hi)]),
+        BinaryOp::Min => Interval::from_endpoints(&[a.lo.min(b.lo), a.hi.min(b.hi)]),
+        // Division and pow have sign/pole case splits; ⊤ is always sound.
+        BinaryOp::Div | BinaryOp::Pow => Interval::TOP,
+    }
+}
+
+/// The per-stage footprint: one [`BufferFootprint`] per module buffer.
+pub type StageFootprint = Vec<BufferFootprint>;
+
+/// The result of analyzing one [`KernelModule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSummary {
+    /// Per-stage footprints, in stage order (⊤ rows for opaque stages).
+    pub stages: Vec<StageFootprint>,
+    /// The joined module footprint: per buffer, the join over all stages.
+    pub buffers: Vec<BufferFootprint>,
+    /// Per buffer, the interval bounding every value the module may write
+    /// into it (⊥ when the buffer is never written; ⊤ under reductions and
+    /// opaque writes).
+    pub value_ranges: Vec<Interval>,
+    /// Deterministic fingerprint of the joined footprint
+    /// ([`ir::summary_fingerprint`]), the key under which analysis results
+    /// are memoized and compared.
+    pub fingerprint: u64,
+}
+
+impl ModuleSummary {
+    /// The joined footprint of one buffer (all-⊥ out of range).
+    pub fn buffer(&self, index: usize) -> BufferFootprint {
+        self.buffers.get(index).cloned().unwrap_or_default()
+    }
+}
+
+/// Forward dataflow over one loop stage: walks the SSA body once (def before
+/// use is guaranteed by the verifier), tracking a value range per SSA value
+/// and joining an affine form into the footprint at every access site.
+fn analyze_loop(l: &LoopKernel, footprint: &mut [BufferFootprint], ranges: &mut [Interval]) {
+    let mut values = vec![Interval::TOP; l.num_values()];
+    let get = |values: &[Interval], v: crate::ir::ValueId| {
+        values.get(v.0 as usize).copied().unwrap_or(Interval::TOP)
+    };
+    for op in &l.ops {
+        match op {
+            LoopOp::Load { dst, buffer } => {
+                if let Some(fp) = footprint.get_mut(buffer.0 as usize) {
+                    fp.reads.join_form(AffineForm::IDENTITY);
+                }
+                values[dst.0 as usize] = Interval::TOP;
+            }
+            LoopOp::LoadScalar { dst, buffer } => {
+                if let Some(fp) = footprint.get_mut(buffer.0 as usize) {
+                    fp.reads.join_form(AffineForm::ELEMENT0);
+                }
+                values[dst.0 as usize] = Interval::TOP;
+            }
+            LoopOp::Const { dst, value } => {
+                values[dst.0 as usize] = Interval::constant(*value);
+            }
+            LoopOp::Param { dst, .. } => {
+                values[dst.0 as usize] = Interval::TOP;
+            }
+            LoopOp::Unary { dst, op, a } => {
+                values[dst.0 as usize] = unary_range(*op, get(&values, *a));
+            }
+            LoopOp::Binary { dst, op, a, b } => {
+                values[dst.0 as usize] = binary_range(*op, get(&values, *a), get(&values, *b));
+            }
+            LoopOp::Store { buffer, src } => {
+                if let Some(fp) = footprint.get_mut(buffer.0 as usize) {
+                    fp.writes.join_form(AffineForm::IDENTITY);
+                }
+                if let Some(r) = ranges.get_mut(buffer.0 as usize) {
+                    *r = r.join(get(&values, *src));
+                }
+            }
+            LoopOp::Reduce { buffer, src, .. } => {
+                if let Some(fp) = footprint.get_mut(buffer.0 as usize) {
+                    fp.reduces.join_form(AffineForm::ELEMENT0);
+                }
+                // Accumulation folds the buffer's prior value in, so the
+                // written value is unbounded by the per-iteration source.
+                let _ = src;
+                if let Some(r) = ranges.get_mut(buffer.0 as usize) {
+                    *r = Interval::TOP;
+                }
+            }
+        }
+    }
+}
+
+/// Infers the access footprint of a module: a forward dataflow per stage,
+/// joined into a per-buffer module summary (see the module docs for the
+/// soundness contract).
+///
+/// The pass is linear in the number of ops and runs once per task kind at
+/// registration/verification time — results are memoized by the caller under
+/// the module's content key, so the launch hot path never re-analyzes.
+///
+/// # Example
+///
+/// ```
+/// use kernel::{analyze::infer_footprint, BufferId, BufferRole, KernelModule, LoopBuilder};
+///
+/// let mut m = KernelModule::new(2);
+/// m.set_role(BufferId(1), BufferRole::Output);
+/// let mut lb = LoopBuilder::new("scale", BufferId(0));
+/// let x = lb.load(BufferId(0));
+/// let c = lb.constant(3.0);
+/// let v = lb.mul(x, c);
+/// lb.store(BufferId(1), v);
+/// m.push_loop(lb.finish());
+///
+/// let summary = infer_footprint(&m);
+/// assert!(summary.buffers[0].is_read_only());
+/// assert!(summary.buffers[1].writes.is_exact());
+/// ```
+pub fn infer_footprint(module: &KernelModule) -> ModuleSummary {
+    let n = module.num_buffers() as usize;
+    let mut stages = Vec::with_capacity(module.num_stages());
+    let mut joined = vec![BufferFootprint::default(); n];
+    let mut ranges = vec![Interval::EMPTY; n];
+    for stage in &module.stages {
+        let mut fp = vec![BufferFootprint::default(); n];
+        match stage {
+            KernelStage::Loop(l) => analyze_loop(l, &mut fp, &mut ranges),
+            KernelStage::Opaque(op) => {
+                // ⊤ fallback: opaque host loops (SpMV, GEMV, restrict,
+                // prolong) index through runtime data, so nothing tighter
+                // than "may touch any element" is provable here. Written
+                // buffers are also marked ⊤-read: accumulating opaques read
+                // their outputs.
+                for b in op.read_buffers() {
+                    if let Some(f) = fp.get_mut(b.0 as usize) {
+                        f.reads = AccessPattern::Top;
+                    }
+                }
+                for b in op.written_buffers() {
+                    if let Some(f) = fp.get_mut(b.0 as usize) {
+                        f.reads = AccessPattern::Top;
+                        f.writes = AccessPattern::Top;
+                    }
+                    if let Some(r) = ranges.get_mut(b.0 as usize) {
+                        *r = Interval::TOP;
+                    }
+                }
+            }
+        }
+        for (j, f) in joined.iter_mut().zip(&fp) {
+            *j = j.join(f);
+        }
+        stages.push(fp);
+    }
+    let fingerprint = summary_fingerprint(&joined);
+    ModuleSummary {
+        stages,
+        buffers: joined,
+        value_ranges: ranges,
+        fingerprint,
+    }
+}
+
+/// A declared [`TaskSignature`] refined by footprint inference: per argument,
+/// the declared [`ArgSpec`] and the (possibly tightened) effective one.
+///
+/// Only narrowing refinements are produced — an effective spec never grants
+/// an access the declared one withheld — and only the copy-exact tightening
+/// `{Write, ReadWrite, Reduce} → Read` for arguments the module provably
+/// never stores or reduces (see the module docs for why that is
+/// bitwise-invisible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectiveSignature {
+    declared: Vec<ArgSpec>,
+    effective: Vec<ArgSpec>,
+    num_scalars: usize,
+}
+
+impl EffectiveSignature {
+    /// The effective (analyzer-tightened) specs, in argument order.
+    pub fn args(&self) -> &[ArgSpec] {
+        &self.effective
+    }
+
+    /// The declared specs, in argument order.
+    pub fn declared(&self) -> &[ArgSpec] {
+        &self.declared
+    }
+
+    /// The arguments whose spec was tightened, as
+    /// `(index, declared, effective)`.
+    pub fn tightened(&self) -> impl Iterator<Item = (usize, ArgSpec, ArgSpec)> + '_ {
+        self.declared
+            .iter()
+            .zip(&self.effective)
+            .enumerate()
+            .filter(|(_, (d, e))| d != e)
+            .map(|(i, (d, e))| (i, *d, *e))
+    }
+
+    /// Number of tightened arguments.
+    pub fn num_tightened(&self) -> usize {
+        self.tightened().count()
+    }
+
+    /// Whether any argument was tightened.
+    pub fn is_tightened(&self) -> bool {
+        self.declared != self.effective
+    }
+
+    /// Rebuilds a [`TaskSignature`] from the effective specs, e.g. to re-run
+    /// [`crate::verify::verify_against_signature`] as the independent
+    /// cross-check of an analyzer-tightened launch.
+    pub fn to_signature(&self) -> TaskSignature {
+        let mut sig = TaskSignature::new();
+        for &spec in &self.effective {
+            sig = sig.arg(spec);
+        }
+        sig.scalars(self.num_scalars)
+    }
+}
+
+/// Derives the effective signature of a module against its declared one:
+/// each declared write/reduce privilege whose buffer the module provably
+/// never mutates ([`BufferFootprint::is_read_only`]) is tightened to
+/// [`ArgSpec::Read`]; everything else — including every ⊤ footprint — keeps
+/// its declared spec.
+///
+/// # Example
+///
+/// ```
+/// use kernel::analyze::{effective_signature, infer_footprint};
+/// use kernel::{ArgSpec, BufferId, BufferRole, KernelModule, LoopBuilder, TaskSignature};
+///
+/// // Declared read+write+write, but the kernel never touches buffer 2.
+/// let mut m = KernelModule::new(3);
+/// m.set_role(BufferId(1), BufferRole::Output);
+/// let mut lb = LoopBuilder::new("copy", BufferId(0));
+/// let x = lb.load(BufferId(0));
+/// lb.store(BufferId(1), x);
+/// m.push_loop(lb.finish());
+///
+/// let declared = TaskSignature::new().read().write().write();
+/// let eff = effective_signature(&m, &declared);
+/// assert_eq!(eff.args(), &[ArgSpec::Read, ArgSpec::Write, ArgSpec::Read]);
+/// assert_eq!(eff.num_tightened(), 1);
+/// ```
+pub fn effective_signature(module: &KernelModule, declared: &TaskSignature) -> EffectiveSignature {
+    let summary = infer_footprint(module);
+    effective_signature_from_summary(&summary, declared)
+}
+
+/// Like [`effective_signature`], reusing an already-computed summary (the
+/// memoized path: the context caches [`ModuleSummary`] per module content
+/// key and derives signatures from the cache).
+pub fn effective_signature_from_summary(
+    summary: &ModuleSummary,
+    declared: &TaskSignature,
+) -> EffectiveSignature {
+    let declared_args: Vec<ArgSpec> = declared.args().to_vec();
+    let effective = declared_args
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| {
+            let tightenable = matches!(
+                spec,
+                ArgSpec::Write | ArgSpec::ReadWrite | ArgSpec::Reduce
+            );
+            if tightenable && summary.buffer(i).is_read_only() {
+                ArgSpec::Read
+            } else {
+                spec
+            }
+        })
+        .collect();
+    EffectiveSignature {
+        declared: declared_args,
+        effective,
+        num_scalars: declared.num_scalars(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::ir::{BufferId, BufferRole, OpaqueOp, ReduceOp};
+
+    fn scale_module() -> KernelModule {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("scale", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let c = lb.constant(3.0);
+        let v = lb.mul(x, c);
+        lb.store(BufferId(1), v);
+        m.push_loop(lb.finish());
+        m
+    }
+
+    #[test]
+    fn elementwise_footprint_is_exact() {
+        let s = infer_footprint(&scale_module());
+        assert_eq!(s.buffers[0].reads.forms().unwrap(), &[AffineForm::IDENTITY]);
+        assert!(s.buffers[0].is_read_only());
+        assert_eq!(s.buffers[1].writes.forms().unwrap(), &[AffineForm::IDENTITY]);
+        assert!(s.buffers[1].reads.is_bottom());
+        assert!(s.buffers.iter().all(BufferFootprint::is_exact));
+    }
+
+    #[test]
+    fn reduction_footprint_hits_element_zero() {
+        let mut m = KernelModule::new(3);
+        m.set_role(BufferId(2), BufferRole::Reduction);
+        let mut lb = LoopBuilder::new("dot", BufferId(0));
+        let x = lb.load(BufferId(0));
+        let y = lb.load(BufferId(1));
+        let v = lb.mul(x, y);
+        lb.reduce(BufferId(2), ReduceOp::Sum, v);
+        m.push_loop(lb.finish());
+        let s = infer_footprint(&m);
+        assert_eq!(
+            s.buffers[2].reduces.forms().unwrap(),
+            &[AffineForm::ELEMENT0]
+        );
+        assert!(s.buffers[2].writes.is_bottom());
+        assert!(s.value_ranges[2].is_top());
+    }
+
+    #[test]
+    fn opaque_stage_is_top() {
+        let mut m = KernelModule::new(5);
+        m.set_role(BufferId(4), BufferRole::Output);
+        m.push_opaque(OpaqueOp::SpMvCsr {
+            pos: BufferId(0),
+            crd: BufferId(1),
+            vals: BufferId(2),
+            x: BufferId(3),
+            y: BufferId(4),
+            index_width: crate::ir::IndexWidth::U64,
+        });
+        let s = infer_footprint(&m);
+        assert!(s.buffers[0].reads.is_top());
+        assert!(s.buffers[4].writes.is_top());
+        assert!(!s.buffers[4].is_exact());
+        // ⊤, never a wrong tight summary: nothing in an opaque row is exact.
+        assert!(s.stages[0].iter().all(|f| !f.reads.is_exact()
+            && !f.writes.is_exact()
+            && !f.reduces.is_exact()));
+    }
+
+    #[test]
+    fn value_range_of_constant_store() {
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("fill", BufferId(0));
+        let a = lb.constant(2.0);
+        let b = lb.constant(3.0);
+        let v = lb.add(a, b);
+        lb.store(BufferId(1), v);
+        m.push_loop(lb.finish());
+        let s = infer_footprint(&m);
+        assert_eq!(s.value_ranges[1], Interval { lo: 5.0, hi: 5.0 });
+        // The loaded-input module stores an unbounded value.
+        assert!(infer_footprint(&scale_module()).value_ranges[1].is_top());
+    }
+
+    #[test]
+    fn interval_arithmetic_is_sound_on_samples() {
+        let a = Interval { lo: -2.0, hi: 3.0 };
+        let b = Interval { lo: 0.5, hi: 4.0 };
+        for op in [
+            BinaryOp::Add,
+            BinaryOp::Sub,
+            BinaryOp::Mul,
+            BinaryOp::Max,
+            BinaryOp::Min,
+            BinaryOp::Div,
+            BinaryOp::Pow,
+        ] {
+            let out = binary_range(op, a, b);
+            for &x in &[a.lo, 0.0, a.hi] {
+                for &y in &[b.lo, 1.0, b.hi] {
+                    let v = match op {
+                        BinaryOp::Add => x + y,
+                        BinaryOp::Sub => x - y,
+                        BinaryOp::Mul => x * y,
+                        BinaryOp::Div => x / y,
+                        BinaryOp::Max => x.max(y),
+                        BinaryOp::Min => x.min(y),
+                        BinaryOp::Pow => x.powf(y),
+                    };
+                    assert!(out.contains(v), "{op:?}({x},{y})={v} not in {out}");
+                }
+            }
+        }
+        for op in [
+            UnaryOp::Neg,
+            UnaryOp::Abs,
+            UnaryOp::Sqrt,
+            UnaryOp::Exp,
+            UnaryOp::Ln,
+            UnaryOp::Erf,
+            UnaryOp::Recip,
+        ] {
+            let out = unary_range(op, a);
+            for &x in &[a.lo, -0.5, 0.0, 1.5, a.hi] {
+                let v = match op {
+                    UnaryOp::Neg => -x,
+                    UnaryOp::Abs => x.abs(),
+                    UnaryOp::Sqrt => x.sqrt(),
+                    UnaryOp::Exp => x.exp(),
+                    UnaryOp::Ln => x.ln(),
+                    UnaryOp::Erf => 0.99, // erf range is (-1, 1)
+                    UnaryOp::Recip => 1.0 / x,
+                };
+                assert!(out.contains(v), "{op:?}({x})={v} not in {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn tightening_never_widens() {
+        let m = scale_module();
+        // Exactly declared: nothing to tighten.
+        let precise = TaskSignature::new().read().write();
+        assert!(!effective_signature(&m, &precise).is_tightened());
+        // Phantom second write: tightened to Read.
+        let mut m3 = KernelModule::new(3);
+        m3.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("scale", BufferId(0));
+        let x = lb.load(BufferId(0));
+        lb.store(BufferId(1), x);
+        m3.push_loop(lb.finish());
+        let broad = TaskSignature::new().read().write().read_write().scalars(1);
+        let eff = effective_signature(&m3, &broad);
+        assert_eq!(
+            eff.args(),
+            &[ArgSpec::Read, ArgSpec::Write, ArgSpec::Read]
+        );
+        assert_eq!(
+            eff.tightened().collect::<Vec<_>>(),
+            vec![(2, ArgSpec::ReadWrite, ArgSpec::Read)]
+        );
+        // The rebuilt signature passes the signature validator.
+        assert!(crate::verify::verify_against_signature(&m3, &eff.to_signature()).is_ok());
+        assert_eq!(eff.to_signature().num_scalars(), 1);
+    }
+
+    #[test]
+    fn summary_fingerprint_is_stable_and_content_sensitive() {
+        let a = infer_footprint(&scale_module());
+        let b = infer_footprint(&scale_module());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let mut m = KernelModule::new(2);
+        m.set_role(BufferId(1), BufferRole::Output);
+        let mut lb = LoopBuilder::new("copy2", BufferId(0));
+        let x = lb.load(BufferId(0));
+        lb.store(BufferId(1), x);
+        lb.reduce(BufferId(0), ReduceOp::Sum, x);
+        m.push_loop(lb.finish());
+        assert_ne!(a.fingerprint, infer_footprint(&m).fingerprint);
+    }
+}

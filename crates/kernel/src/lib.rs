@@ -60,6 +60,7 @@
 //! assert_eq!(bufs[4], vec![6.0; 4]);
 //! ```
 
+pub mod analyze;
 pub mod backend;
 pub mod builder;
 pub mod closure;
@@ -71,6 +72,10 @@ pub mod passes;
 pub mod simd;
 pub mod verify;
 
+pub use analyze::{
+    effective_signature, infer_footprint, EffectiveSignature, Interval, ModuleSummary,
+    StageFootprint,
+};
 pub use backend::{compile_interp, BackendKind, CompiledKernel, InterpBackend, KernelBackend};
 pub use builder::LoopBuilder;
 pub use closure::ClosureBackend;

@@ -271,21 +271,28 @@ impl std::error::Error for VerifyError {}
 /// declared writable (or reducible) that the kernel never actually writes
 /// (or reduces). Not unsound — but it makes the fusion analysis assume
 /// dependences that cannot exist, silently inhibiting fusion.
+///
+/// Backed by the footprint analyzer ([`crate::analyze`]): `inferred` is the
+/// exact privilege the abstract interpretation proves sufficient, so the
+/// report shows the declared-vs-inferred delta rather than a heuristic flag.
+/// Under `DIFFUSE_ANALYZE=inferred` the runtime applies exactly this delta.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrecisionLint {
     /// Argument index within the signature.
     pub arg: usize,
     /// The declared spec the kernel never exercises.
     pub spec: ArgSpec,
+    /// The tightened spec the analyzer proves sufficient.
+    pub inferred: ArgSpec,
 }
 
 impl std::fmt::Display for PrecisionLint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "argument {} declares {:?} but the kernel never exercises it \
+            "argument {} declares {:?} but the analyzer infers {:?} \
              (over-broad privileges inhibit fusion)",
-            self.arg, self.spec
+            self.arg, self.spec, self.inferred
         )
     }
 }
@@ -701,23 +708,23 @@ pub fn verify_against_signature(
 /// privileges are sound but over-broad — the fusion analysis must assume
 /// dependences that cannot occur, which silently shortens fusible prefixes.
 ///
+/// The findings come from the abstract interpreter
+/// ([`crate::analyze::infer_footprint`]): an argument is reported exactly
+/// when its inferred footprint proves no store and no reduction can reach
+/// the buffer (⊤ footprints from opaque stages are never reported), and the
+/// lint carries the tightened spec the analysis derives. This is the same
+/// delta `DIFFUSE_ANALYZE=inferred` applies at launch time, so the report
+/// doubles as a preview of the analyzer's effect.
+///
 /// Returns one [`PrecisionLint`] per over-broad argument (empty when the
 /// signature is precise). Arguments beyond the module's buffer count are
 /// skipped (that inconsistency is [`verify_against_signature`]'s to report).
 pub fn lint_privilege_precision(module: &KernelModule, sig: &TaskSignature) -> Vec<PrecisionLint> {
-    let uses = buffer_uses(module);
-    sig.args()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, spec)| {
-            let u = uses.get(i)?;
-            let unexercised = match spec {
-                ArgSpec::Write | ArgSpec::ReadWrite => !u.stored && !u.reduced,
-                ArgSpec::Reduce => !u.reduced && !u.stored,
-                ArgSpec::Read => false,
-            };
-            unexercised.then_some(PrecisionLint { arg: i, spec: *spec })
-        })
+    let num_buffers = module.num_buffers() as usize;
+    crate::analyze::effective_signature(module, sig)
+        .tightened()
+        .filter(|(i, _, _)| *i < num_buffers)
+        .map(|(arg, spec, inferred)| PrecisionLint { arg, spec, inferred })
         .collect()
 }
 
@@ -910,7 +917,8 @@ mod tests {
             lint_privilege_precision(&m, &broad),
             vec![PrecisionLint {
                 arg: 0,
-                spec: ArgSpec::ReadWrite
+                spec: ArgSpec::ReadWrite,
+                inferred: ArgSpec::Read
             }]
         );
 

@@ -146,6 +146,107 @@ impl DepTracker {
     }
 }
 
+/// Debug-only happens-before checker for the parallel executor
+/// (`DIFFUSE_VERIFY` truthy in a debug build; see `docs/ANALYZE.md`).
+///
+/// The work-stealing executor promises that a task starts only after every
+/// conflicting earlier task has completed, where *conflicting* means the two
+/// tasks touch the same region and at least one writes it. This checker
+/// validates that promise independently of the scheduler: it maintains the
+/// transitive ancestor set of every registered task (the set-based equivalent
+/// of a vector clock — `a` happens-before `b` iff `a ∈ ancestors(b)`) and, at
+/// the moment a task begins executing, asserts that every conflicting
+/// predecessor is both an ancestor through recorded [`DepTracker`] edges *and*
+/// already completed. A violation is a scheduler bug and panics with the two
+/// task ids and the region.
+///
+/// The checker is O(tasks²) per flush epoch and allocates per task; it is
+/// meant for debug builds and tests, never the release hot path.
+#[derive(Debug, Default)]
+pub struct HbChecker {
+    /// Transitive happens-before ancestors of each registered task.
+    ancestors: HashMap<u64, std::collections::HashSet<u64>>,
+    /// Program-order registration log: (id, accesses).
+    log: Vec<(u64, Vec<AccessSummary>)>,
+    /// Tasks that have finished executing (or were poisoned).
+    completed: std::collections::HashSet<u64>,
+}
+
+impl HbChecker {
+    /// Whether `DIFFUSE_VERIFY` asks for the checker: `on`, `1` or `true`
+    /// (case-insensitive). Combined with `cfg!(debug_assertions)` by the
+    /// executor so release builds never pay for it.
+    pub fn requested_by_env() -> bool {
+        std::env::var("DIFFUSE_VERIFY")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "on" || v == "1" || v == "true"
+            })
+            .unwrap_or(false)
+    }
+
+    /// Registers a task at submission, in program order, with the dependence
+    /// edges the scheduler recorded for it. The task's ancestor set is the
+    /// transitive closure of `deps`.
+    pub fn register(&mut self, id: u64, accesses: &[AccessSummary], deps: &[u64]) {
+        let mut ancestors = std::collections::HashSet::with_capacity(deps.len());
+        for &d in deps {
+            ancestors.insert(d);
+            if let Some(up) = self.ancestors.get(&d) {
+                ancestors.extend(up.iter().copied());
+            }
+        }
+        self.ancestors.insert(id, ancestors);
+        self.log.push((id, accesses.to_vec()));
+    }
+
+    /// Asserts, at the moment `id` starts executing, that every earlier
+    /// conflicting task is an ancestor and has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending pair and region on a happens-before
+    /// violation.
+    pub fn check_start(&self, id: u64) {
+        let Some(mine) = self.log.iter().find(|(i, _)| *i == id).map(|(_, a)| a) else {
+            return;
+        };
+        let ancestors = self.ancestors.get(&id);
+        for (other, theirs) in self.log.iter().take_while(|(i, _)| *i != id) {
+            let conflict = mine.iter().find_map(|a| {
+                theirs
+                    .iter()
+                    .find(|b| b.region == a.region && (a.writes || b.writes))
+                    .map(|b| b.region)
+            });
+            let Some(region) = conflict else { continue };
+            assert!(
+                ancestors.is_some_and(|set| set.contains(other)),
+                "happens-before violation: task {id} conflicts with earlier task {other} on \
+                 {region:?} but has no dependence path to it"
+            );
+            assert!(
+                self.completed.contains(other),
+                "happens-before violation: task {id} started before conflicting predecessor \
+                 {other} completed ({region:?})"
+            );
+        }
+    }
+
+    /// Marks `id` as completed (also used for poisoned tasks, whose failure
+    /// is their completion).
+    pub fn complete(&mut self, id: u64) {
+        self.completed.insert(id);
+    }
+
+    /// Forgets the epoch (mirrors [`DepTracker::reset`] at executor flush).
+    pub fn reset(&mut self) {
+        self.ancestors.clear();
+        self.log.clear();
+        self.completed.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +306,62 @@ mod tests {
         t.record(0, &[acc(0, false, true)]);
         t.reset();
         assert!(t.record(1, &[acc(0, true, true)]).is_empty());
+    }
+
+    #[test]
+    fn hb_checker_accepts_ordered_conflicts() {
+        let mut hb = HbChecker::default();
+        hb.register(0, &[acc(0, false, true)], &[]);
+        hb.register(1, &[acc(0, true, false)], &[0]);
+        hb.check_start(0);
+        hb.complete(0);
+        hb.check_start(1);
+        hb.complete(1);
+    }
+
+    #[test]
+    fn hb_checker_accepts_transitive_ordering() {
+        // 0 -> 1 -> 2; task 2 conflicts with 0 but only lists 1 as a direct
+        // dep — the transitive closure must cover it.
+        let mut hb = HbChecker::default();
+        hb.register(0, &[acc(0, false, true)], &[]);
+        hb.register(1, &[acc(0, true, true)], &[0]);
+        hb.register(2, &[acc(0, false, true)], &[1]);
+        hb.complete(0);
+        hb.complete(1);
+        hb.check_start(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no dependence path")]
+    fn hb_checker_rejects_missing_edge() {
+        let mut hb = HbChecker::default();
+        hb.register(0, &[acc(0, false, true)], &[]);
+        hb.register(1, &[acc(0, true, false)], &[]);
+        hb.complete(0);
+        hb.check_start(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before conflicting predecessor")]
+    fn hb_checker_rejects_premature_start() {
+        let mut hb = HbChecker::default();
+        hb.register(0, &[acc(0, false, true)], &[]);
+        hb.register(1, &[acc(0, true, false)], &[0]);
+        // 0 never completed.
+        hb.check_start(1);
+    }
+
+    #[test]
+    fn hb_checker_ignores_read_read_and_disjoint_pairs() {
+        let mut hb = HbChecker::default();
+        hb.register(0, &[acc(0, true, false)], &[]);
+        hb.register(1, &[acc(0, true, false), acc(1, false, true)], &[]);
+        // Read-read on region 0, disjoint region 1: no ordering required.
+        hb.check_start(1);
+        hb.reset();
+        // After reset the history is gone.
+        hb.register(2, &[acc(0, true, false)], &[]);
+        hb.check_start(2);
     }
 }

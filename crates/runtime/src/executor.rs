@@ -534,6 +534,11 @@ struct SchedState {
     failures: Vec<(u64, LaunchFailure)>,
     /// Set once at drop; workers exit when they run dry.
     shutdown: bool,
+    /// Debug-only happens-before checker (`DIFFUSE_VERIFY` truthy in a debug
+    /// build): every functional execution asserts its conflicting
+    /// predecessors are ordered by recorded dependence edges and already
+    /// complete. `None` in release builds or when not requested — zero cost.
+    hb: Option<crate::deps::HbChecker>,
 }
 
 #[derive(Debug)]
@@ -615,6 +620,8 @@ impl WorkStealingExecutor {
                 failed: HashMap::new(),
                 failures: Vec::new(),
                 shutdown: false,
+                hb: (cfg!(debug_assertions) && crate::deps::HbChecker::requested_by_env())
+                    .then(crate::deps::HbChecker::default),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -665,6 +672,9 @@ impl Executor for WorkStealingExecutor {
         while state.pending >= self.shared.max_pending {
             state = self.shared.done_cv.wait(state).unwrap();
         }
+        if let Some(hb) = state.hb.as_mut() {
+            hb.register(id, &summaries, &deps);
+        }
         // Hazards against launches that completed successfully are satisfied;
         // hazards against completed-but-failed launches poison this one now.
         let mut unmet = 0;
@@ -705,10 +715,14 @@ impl Executor for WorkStealingExecutor {
     fn poison(&mut self, name: &str, accesses: &[AccessSummary], error: RuntimeError) {
         let id = self.next_task;
         self.next_task += 1;
-        let _ = self.tracker.record(id, accesses);
+        let deps = self.tracker.record(id, accesses);
         // The launch never runs: it is born completed-and-failed, so every
         // later submission depending on it poisons at submit time.
         let mut state = self.shared.state.lock().unwrap();
+        if let Some(hb) = state.hb.as_mut() {
+            hb.register(id, accesses, &deps);
+            hb.complete(id);
+        }
         state.failed.insert(id, name.to_string());
         state.failures.push((
             id,
@@ -725,6 +739,9 @@ impl Executor for WorkStealingExecutor {
             state = self.shared.done_cv.wait(state).unwrap();
         }
         self.tracker.reset();
+        if let Some(hb) = state.hb.as_mut() {
+            hb.reset();
+        }
         state.failed.clear();
         let mut batch = std::mem::take(&mut state.failures);
         drop(state);
@@ -811,6 +828,12 @@ fn worker_loop(id: usize, shared: &Shared) {
                 // outside the cone run normally (containment).
                 Some(e) => Err(e),
                 None => {
+                    // Independent scheduler audit (debug + DIFFUSE_VERIFY):
+                    // this task is about to touch real data, so every
+                    // conflicting predecessor must be ordered and complete.
+                    if let Some(hb) = state.hb.as_ref() {
+                        hb.check_start(task);
+                    }
                     drop(state);
                     // The heavy part runs without any scheduler lock held.
                     // Panics are caught so a dying launch cannot leak
@@ -833,6 +856,9 @@ fn worker_loop(id: usize, shared: &Shared) {
                 }
             };
             let node = state.tasks.remove(&task).expect("completed task present");
+            if let Some(hb) = state.hb.as_mut() {
+                hb.complete(task);
+            }
             let failed_name = if let Err(e) = result {
                 state.failed.insert(task, node.name.clone());
                 state.failures.push((

@@ -74,7 +74,7 @@ pub mod region;
 #[allow(clippy::module_inception)]
 pub mod runtime;
 
-pub use deps::{AccessSummary, DepTracker};
+pub use deps::{AccessSummary, DepTracker, HbChecker};
 pub use executor::{
     BufferAccess, Executor, ExecutorKind, FunctionalWork, LaunchFailure, SerialExecutor,
     WorkRequest, WorkStealingExecutor,
